@@ -1,0 +1,463 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's evaluation (§IV) on the synthetic substrate.
+
+   Experiments (see DESIGN.md's per-experiment index):
+     e1          robustness: Null transform on the large workloads (§IV-A)
+     fig4        file-size overhead histogram (Figure 4)
+     fig5        execution overhead histogram (Figure 5)
+     fig6        memory overhead histogram (Figure 6)
+     fig7        average overheads (Figure 7)
+     security    PoV outcomes per configuration (§IV-B, CFI)
+     throughput  rewriter processing time vs binary size (§IV-A timings)
+     ablation    placement strategies: naive vs optimized vs random (§III)
+     pinning     pinned-address policy: conservative vs relaxed (§II-A2)
+     jtrw        jump-table rewriting: statically modelled IBTs (§II-A2)
+     defenses    every shipped defense compared on overhead + PoVs blocked
+     micro       Bechamel micro-benchmarks, one per table/figure
+
+   Run with no arguments to execute everything; or pass a subset of the
+   experiment names. *)
+
+module Histogram = Zipr_util.Histogram
+module Stats = Zipr_util.Stats
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* ------------------------------------------------------------------ *)
+(* Corpus evaluation shared by fig4-7 and security.                    *)
+(* ------------------------------------------------------------------ *)
+
+type cb_result = {
+  name : string;
+  null_eval : Cgc.Score.eval;
+  cfi_eval : Cgc.Score.eval;
+  null_stats : Zipr.Reassemble.stats;
+  cfi_stats : Zipr.Reassemble.stats;
+}
+
+let corpus_results : cb_result list Lazy.t =
+  lazy
+    (let entries = Cgc.Corpus.build () in
+     List.map
+       (fun (e : Cgc.Corpus.entry) ->
+         let orig = e.Cgc.Corpus.binary in
+         let rn = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] orig in
+         let rc = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Cfi.transform ] orig in
+         let null_eval =
+           Cgc.Score.evaluate ~name:e.Cgc.Corpus.name ~orig
+             ~rewritten:rn.Zipr.Pipeline.rewritten ~meta:e.Cgc.Corpus.meta
+             ~pollers:e.Cgc.Corpus.pollers
+         in
+         let cfi_eval =
+           Cgc.Score.evaluate ~name:e.Cgc.Corpus.name ~orig
+             ~rewritten:rc.Zipr.Pipeline.rewritten ~meta:e.Cgc.Corpus.meta
+             ~pollers:e.Cgc.Corpus.pollers
+         in
+         {
+           name = e.Cgc.Corpus.name;
+           null_eval;
+           cfi_eval;
+           null_stats = rn.Zipr.Pipeline.stats;
+           cfi_stats = rc.Zipr.Pipeline.stats;
+         })
+       entries)
+
+let overhead_figure ~title ~metric () =
+  let results = Lazy.force corpus_results in
+  let h_null = Histogram.paper_bins () and h_cfi = Histogram.paper_bins () in
+  List.iter
+    (fun r ->
+      Histogram.add h_null (metric r.null_eval);
+      Histogram.add h_cfi (metric r.cfi_eval))
+    results;
+  print_string (Histogram.render h_null ~title:(title ^ " — baseline Zipr (Null transform)"));
+  print_string (Histogram.render h_cfi ~title:(title ^ " — Zipr + CFI"))
+
+let fig4 () =
+  say "== Figure 4: histogram of file-size overhead (62 CBs) ==";
+  overhead_figure ~title:"File-size overhead"
+    ~metric:(fun e -> e.Cgc.Score.ov.Cgc.Score.size_pct)
+    ();
+  say "(paper: both configurations < 5%% for nearly all CBs, within the 20%% threshold)"
+
+let fig5 () =
+  say "== Figure 5: histogram of execution overhead (62 CBs) ==";
+  overhead_figure ~title:"Execution overhead"
+    ~metric:(fun e -> e.Cgc.Score.ov.Cgc.Score.exec_pct)
+    ();
+  say "(paper: vast majority within 5%%; CFI shifts several CBs into higher bins)"
+
+let fig6 () =
+  say "== Figure 6: histogram of memory (MaxRSS) overhead (62 CBs) ==";
+  overhead_figure ~title:"Memory overhead"
+    ~metric:(fun e -> e.Cgc.Score.ov.Cgc.Score.mem_pct)
+    ();
+  let results = Lazy.force corpus_results in
+  let outlier =
+    List.fold_left
+      (fun acc r ->
+        let m = r.cfi_eval.Cgc.Score.ov.Cgc.Score.mem_pct in
+        match acc with Some (_, best) when best >= m -> acc | _ -> Some (r.name, m))
+      None results
+  in
+  (match outlier with
+  | Some (name, pct) -> say "worst CFI memory overhead: %s at %+.1f%%" name pct
+  | None -> ());
+  say "(paper: majority within 5%%; one pathological CB exceeded 50%% under CFI)"
+
+let fig7 () =
+  say "== Figure 7: average overheads across the corpus ==";
+  let results = Lazy.force corpus_results in
+  let avg metric evals = Stats.mean (List.map metric evals) in
+  let nulls = List.map (fun r -> r.null_eval) results in
+  let cfis = List.map (fun r -> r.cfi_eval) results in
+  say "%-22s %12s %12s" "metric" "baseline" "zipr+CFI";
+  say "%-22s %11.2f%% %11.2f%%" "file size"
+    (avg (fun e -> e.Cgc.Score.ov.Cgc.Score.size_pct) nulls)
+    (avg (fun e -> e.Cgc.Score.ov.Cgc.Score.size_pct) cfis);
+  say "%-22s %11.2f%% %11.2f%%" "execution"
+    (avg (fun e -> e.Cgc.Score.ov.Cgc.Score.exec_pct) nulls)
+    (avg (fun e -> e.Cgc.Score.ov.Cgc.Score.exec_pct) cfis);
+  say "%-22s %11.2f%% %11.2f%%" "memory"
+    (avg (fun e -> e.Cgc.Score.ov.Cgc.Score.mem_pct) nulls)
+    (avg (fun e -> e.Cgc.Score.ov.Cgc.Score.mem_pct) cfis);
+  say "(paper: low average overheads for all three metrics in both configurations)"
+
+let security () =
+  say "== Security: PoV outcomes (§IV-B) ==";
+  let results = Lazy.force corpus_results in
+  let count f = List.length (List.filter f results) in
+  let n = List.length results in
+  let entries = Cgc.Corpus.build () in
+  let pov_kinds =
+    List.concat_map (fun (e : Cgc.Corpus.entry) -> Cgc.Pov.povs e.Cgc.Corpus.meta) entries
+    |> List.map fst
+  in
+  let kind_count k = List.length (List.filter (( = ) k) pov_kinds) in
+  say "corpus: %d CBs; %d PoVs (%d return hijacks, %d function-pointer hijacks)" n
+    (List.length pov_kinds)
+    (kind_count "stack-overflow")
+    (kind_count "fptr-overwrite");
+  say "original / Null-rewritten: exploited on %d/%d (PoV must still work: rewriting alone is not a defense)"
+    (count (fun r -> r.null_eval.Cgc.Score.pov_blocked = Some false))
+    n;
+  say "Zipr + CFI: blocked on %d/%d"
+    (count (fun r -> r.cfi_eval.Cgc.Score.pov_blocked = Some true))
+    n;
+  let avg_score evals = Stats.mean (List.map Cgc.Score.total evals) in
+  say "mean CFE-style score: baseline %.3f, zipr+CFI %.3f"
+    (avg_score (List.map (fun r -> r.null_eval) results))
+    (avg_score (List.map (fun r -> r.cfi_eval) results));
+  say "poller functionality: baseline %d/%d CBs fully passing, CFI %d/%d"
+    (count (fun r -> r.null_eval.Cgc.Score.functionality = 1.0))
+    n
+    (count (fun r -> r.cfi_eval.Cgc.Score.functionality = 1.0))
+    n
+
+(* ------------------------------------------------------------------ *)
+(* E1: robustness (§IV-A)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  say "== E1: robustness — Null transform on large workloads (§IV-A) ==";
+  say "%-18s %10s %10s %12s %12s %10s" "workload" "text(B)" "file(B)" "rewrite(s)" "tests" "size ovh";
+  List.iter
+    (fun (w : Workloads.Synthetic.spec) ->
+      let orig = w.Workloads.Synthetic.binary in
+      let t0 = Unix.gettimeofday () in
+      let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] orig in
+      let dt = Unix.gettimeofday () -. t0 in
+      let chk =
+        Cgc.Poller.functional_check ~orig ~rewritten:r.Zipr.Pipeline.rewritten
+          w.Workloads.Synthetic.test_suite
+      in
+      let size_ov =
+        Stats.overhead_pct
+          ~baseline:(float_of_int (Zelf.Binary.file_size orig))
+          ~measured:(float_of_int (Zelf.Binary.file_size r.Zipr.Pipeline.rewritten))
+      in
+      say "%-18s %10d %10d %12.3f %8d/%d %+9.1f%%" w.Workloads.Synthetic.name
+        (Zelf.Binary.text orig).Zelf.Section.size
+        (Zelf.Binary.file_size orig) dt chk.Cgc.Poller.passed chk.Cgc.Poller.total size_ov)
+    (Workloads.Synthetic.all ());
+  say "(paper: rewritten libc passed its full unit-test suite; libjvm and Apache showed no failures)"
+
+(* ------------------------------------------------------------------ *)
+(* Throughput (§IV-A timings)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let throughput () =
+  say "== Throughput: rewriter processing time vs binary size (§IV-A) ==";
+  say "%-18s %10s %14s %14s %14s" "workload" "text(B)" "IR constr(s)" "transform(s)" "reassembly(s)";
+  List.iter
+    (fun (w : Workloads.Synthetic.spec) ->
+      let r =
+        Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ]
+          w.Workloads.Synthetic.binary
+      in
+      let t = r.Zipr.Pipeline.timing in
+      say "%-18s %10d %14.4f %14.4f %14.4f" w.Workloads.Synthetic.name
+        (Zelf.Binary.text w.Workloads.Synthetic.binary).Zelf.Section.size
+        t.Zipr.Pipeline.ir_construction_s t.Zipr.Pipeline.transformation_s
+        t.Zipr.Pipeline.reassembly_s)
+    (Workloads.Synthetic.all ());
+  say "(paper: libc 1.6MB in under 6 min; libjvm 12MB in under 58 min; Apache 624K in 71 s —";
+  say " i.e. roughly linear in binary size, which the rows above should reproduce in shape)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: placement strategies (§III)                               *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  say "== Ablation: placement strategy (naive / optimized / random), 16 CBs ==";
+  let entries = Cgc.Corpus.build ~n:16 () in
+  say "%-11s %12s %12s %12s %10s %8s %8s" "strategy" "size ovh" "exec ovh" "mem ovh" "colocated"
+    "chains" "overflow";
+  List.iter
+    (fun (sname, strategy) ->
+      let sizes = ref [] and execs = ref [] and mems = ref [] in
+      let colocated = ref 0 and chains = ref 0 and overflow = ref 0 in
+      List.iter
+        (fun (e : Cgc.Corpus.entry) ->
+          let orig = e.Cgc.Corpus.binary in
+          let config =
+            { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy }
+          in
+          let r = Zipr.Pipeline.rewrite ~config ~transforms:[ Transforms.Null.transform ] orig in
+          let ov =
+            Cgc.Score.overheads ~orig ~rewritten:r.Zipr.Pipeline.rewritten
+              e.Cgc.Corpus.pollers
+          in
+          sizes := ov.Cgc.Score.size_pct :: !sizes;
+          execs := ov.Cgc.Score.exec_pct :: !execs;
+          mems := ov.Cgc.Score.mem_pct :: !mems;
+          colocated := !colocated + r.Zipr.Pipeline.stats.Zipr.Reassemble.pins_colocated;
+          chains := !chains + r.Zipr.Pipeline.stats.Zipr.Reassemble.chain_hops;
+          overflow := !overflow + r.Zipr.Pipeline.stats.Zipr.Reassemble.overflow_bytes)
+        entries;
+      say "%-11s %+11.2f%% %+11.2f%% %+11.2f%% %10d %8d %8d" sname (Stats.mean !sizes)
+        (Stats.mean !execs) (Stats.mean !mems) !colocated !chains !overflow)
+    [
+      ("naive", Zipr.Placement.naive);
+      ("optimized", Zipr.Placement.optimized);
+      ("random", Zipr.Placement.random);
+    ];
+  say "(§III: the optimized layout trades layout diversity for space/memory efficiency;";
+  say " naive and random spill more code and keep fewer pins colocated)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation 2: pinned-address policy (the |P - B| trade-off of II-A2)  *)
+(* ------------------------------------------------------------------ *)
+
+let pinning () =
+  say "== Ablation: pinning policy — conservative (after-call pins) vs relaxed, 16 CBs ==";
+  let entries = Cgc.Corpus.build ~n:16 () in
+  say "%-14s %8s %12s %12s %10s" "policy" "|P|" "size ovh" "exec ovh" "func";
+  List.iter
+    (fun (pname, pin_config) ->
+      let pins = ref 0 and sizes = ref [] and execs = ref [] in
+      let passed = ref 0 and total = ref 0 in
+      List.iter
+        (fun (e : Cgc.Corpus.entry) ->
+          let orig = e.Cgc.Corpus.binary in
+          let config = { Zipr.Pipeline.default_config with Zipr.Pipeline.pin_config } in
+          let r = Zipr.Pipeline.rewrite ~config ~transforms:[ Transforms.Null.transform ] orig in
+          pins := !pins + r.Zipr.Pipeline.stats.Zipr.Reassemble.pins_total;
+          let ov = Cgc.Score.overheads ~orig ~rewritten:r.Zipr.Pipeline.rewritten e.Cgc.Corpus.pollers in
+          sizes := ov.Cgc.Score.size_pct :: !sizes;
+          execs := ov.Cgc.Score.exec_pct :: !execs;
+          let chk =
+            Cgc.Poller.functional_check ~orig ~rewritten:r.Zipr.Pipeline.rewritten
+              e.Cgc.Corpus.pollers
+          in
+          passed := !passed + chk.Cgc.Poller.passed;
+          total := !total + chk.Cgc.Poller.total)
+        entries;
+      say "%-14s %8d %+11.2f%% %+11.2f%% %6d/%d" pname !pins (Stats.mean !sizes)
+        (Stats.mean !execs) !passed !total)
+    [
+      ("conservative", { Analysis.Ibt.pin_after_calls = true });
+      ("relaxed", { Analysis.Ibt.pin_after_calls = false });
+    ];
+  say "(II-A2: a larger P is always safe but less space-efficient; after-call pins are the";
+  say " bulk of |P - B| and dropping them assumes no code computes on return addresses)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation 3: jump-table rewriting (statically modelled IBTs, II-A2)  *)
+(* ------------------------------------------------------------------ *)
+
+let jtrw () =
+  say "== Ablation: jump-table rewriting (statically modelled IBTs), 16 CBs ==";
+  let entries = Cgc.Corpus.build ~n:16 () in
+  say "%-22s %12s %12s %10s" "configuration" "exec ovh" "size ovh" "func";
+  List.iter
+    (fun (cname, transforms) ->
+      let sizes = ref [] and execs = ref [] in
+      let passed = ref 0 and total = ref 0 in
+      List.iter
+        (fun (e : Cgc.Corpus.entry) ->
+          let orig = e.Cgc.Corpus.binary in
+          let r = Zipr.Pipeline.rewrite ~transforms orig in
+          let ov = Cgc.Score.overheads ~orig ~rewritten:r.Zipr.Pipeline.rewritten e.Cgc.Corpus.pollers in
+          sizes := ov.Cgc.Score.size_pct :: !sizes;
+          execs := ov.Cgc.Score.exec_pct :: !execs;
+          let chk =
+            Cgc.Poller.functional_check ~orig ~rewritten:r.Zipr.Pipeline.rewritten
+              e.Cgc.Corpus.pollers
+          in
+          passed := !passed + chk.Cgc.Poller.passed;
+          total := !total + chk.Cgc.Poller.total)
+        entries;
+      say "%-22s %+11.2f%% %+11.2f%% %6d/%d" cname (Stats.mean !execs) (Stats.mean !sizes)
+        !passed !total)
+    [
+      ("null", [ Transforms.Null.transform ]);
+      ("jumptable-rewrite", [ Transforms.Jumptable_rewrite.transform ]);
+      ("cfi", [ Transforms.Cfi.transform ]);
+      ("jt-rewrite + cfi", [ Transforms.Jumptable_rewrite.transform; Transforms.Cfi.transform ]);
+    ];
+  say "(II-A2: IBTs whose behaviour is statically modelled need no pin indirection; the";
+  say " rewritten tables follow their targets via relocations)"
+
+(* ------------------------------------------------------------------ *)
+(* Defense comparison: the paper's §IV-B closing list, evaluated        *)
+(* ------------------------------------------------------------------ *)
+
+let defenses () =
+  say "== Defense comparison (§IV-B: the transforms the paper applied but could not evaluate), 16 CBs ==";
+  let entries = Cgc.Corpus.build ~n:16 () in
+  say "%-24s %10s %10s %10s %8s %14s" "defense" "size ovh" "exec ovh" "mem ovh" "func" "PoVs blocked";
+  List.iter
+    (fun (dname, transforms) ->
+      let sizes = ref [] and execs = ref [] and mems = ref [] in
+      let passed = ref 0 and total = ref 0 in
+      let blocked = ref 0 and povs = ref 0 in
+      List.iter
+        (fun (e : Cgc.Corpus.entry) ->
+          let orig = e.Cgc.Corpus.binary in
+          let r = Zipr.Pipeline.rewrite ~transforms orig in
+          let rw = r.Zipr.Pipeline.rewritten in
+          let ov = Cgc.Score.overheads ~orig ~rewritten:rw e.Cgc.Corpus.pollers in
+          sizes := ov.Cgc.Score.size_pct :: !sizes;
+          execs := ov.Cgc.Score.exec_pct :: !execs;
+          mems := ov.Cgc.Score.mem_pct :: !mems;
+          let chk = Cgc.Poller.functional_check ~orig ~rewritten:rw e.Cgc.Corpus.pollers in
+          passed := !passed + chk.Cgc.Poller.passed;
+          total := !total + chk.Cgc.Poller.total;
+          List.iter
+            (fun (_, o) ->
+              incr povs;
+              if o <> Cgc.Pov.Exploited then incr blocked)
+            (Cgc.Pov.attempt_all rw e.Cgc.Corpus.meta))
+        entries;
+      say "%-24s %+9.1f%% %+9.1f%% %+9.1f%% %4d/%d %10d/%d" dname (Stats.mean !sizes)
+        (Stats.mean !execs) (Stats.mean !mems) !passed !total !blocked !povs)
+    [
+      ("null (baseline)", [ Transforms.Null.transform ]);
+      ("cfi", [ Transforms.Cfi.transform ]);
+      ("canary", [ Transforms.Canary.transform ]);
+      ("stack-pad", [ Transforms.Stack_pad.transform ]);
+      ("shadow-stack", [ Transforms.Shadow_stack.transform ]);
+      ("stirring+nop-pad", [ Transforms.Stirring.transform; Transforms.Nop_pad.transform ]);
+      ( "cfi+shadow-stack",
+        [ Transforms.Shadow_stack.transform; Transforms.Cfi.transform ] );
+    ];
+  say "(the paper lists stack randomization, canary randomization and code mixing as applied";
+  say " with Zipr but unevaluated for space; stack-pad blocks the fixed-offset PoV only by";
+  say " displacement, and pure-diversity transforms block nothing — defense in depth matters)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  say "== Bechamel micro-benchmarks (one per table/figure) ==";
+  let open Bechamel in
+  let cb = Cgc.Corpus.entry 5 in
+  let orig = cb.Cgc.Corpus.binary in
+  let libc = Workloads.Synthetic.libc_like () in
+  let rewritten_null =
+    (Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] orig).Zipr.Pipeline.rewritten
+  in
+  let poller = List.hd cb.Cgc.Corpus.pollers in
+  let tests =
+    [
+      (* fig4/fig7: the cost of a full Null rewrite of a CB *)
+      Test.make ~name:"fig4:null-rewrite-cb"
+        (Staged.stage (fun () ->
+             ignore (Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] orig)));
+      (* fig5: executing a poller on the rewritten binary *)
+      Test.make ~name:"fig5:poller-run-rewritten"
+        (Staged.stage (fun () -> ignore (Cgc.Poller.run rewritten_null poller)));
+      (* fig6: CFI rewrite (the memory-heavy configuration) *)
+      Test.make ~name:"fig6:cfi-rewrite-cb"
+        (Staged.stage (fun () ->
+             ignore (Zipr.Pipeline.rewrite ~transforms:[ Transforms.Cfi.transform ] orig)));
+      (* e1/throughput: IR construction on the large workload *)
+      Test.make ~name:"e1:ir-construction-libc"
+        (Staged.stage (fun () ->
+             ignore (Zipr.Ir_construction.build libc.Workloads.Synthetic.binary)));
+      (* security: a PoV attempt *)
+      Test.make ~name:"security:pov-attempt"
+        (Staged.stage (fun () -> ignore (Cgc.Pov.attempt orig cb.Cgc.Corpus.meta)));
+      (* ablation: one dollop-placement-heavy reassembly *)
+      Test.make ~name:"ablation:random-placement"
+        (Staged.stage (fun () ->
+             let config =
+               { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = Zipr.Placement.random }
+             in
+             ignore
+               (Zipr.Pipeline.rewrite ~config ~transforms:[ Transforms.Null.transform ] orig)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let anl = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name v ->
+          match Analyze.OLS.estimates v with
+          | Some [ est ] -> say "%-32s %12.1f ns/run" name est
+          | _ -> say "%-32s (no estimate)" name)
+        anl)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("security", security);
+    ("throughput", throughput);
+    ("ablation", ablation);
+    ("pinning", pinning);
+    ("jtrw", jtrw);
+    ("defenses", defenses);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          f ();
+          say ""
+      | None ->
+          say "unknown experiment %S; available: %s" name
+            (String.concat ", " (List.map fst experiments)))
+    requested

@@ -1,0 +1,313 @@
+(* ziprtool: the command-line face of the rewriter.
+
+     ziprtool asm prog.zasm prog.zbf        assemble a textual program
+     ziprtool gen --seed 3 cb.zbf           generate a challenge binary
+     ziprtool rewrite cb.zbf out.zbf -t cfi rewrite with transforms
+     ziprtool run out.zbf --input 012q      execute and report metrics
+     ziprtool disasm cb.zbf                 aggregate disassembly + pins  *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data)
+
+let load_binary path =
+  match Zelf.Binary.parse (Bytes.of_string (read_file path)) with
+  | Ok b -> Ok b
+  | Error e -> Error (Format.asprintf "%s: %a" path Zelf.Binary.pp_parse_error e)
+
+let shipped_transforms =
+  [
+    Transforms.Null.transform;
+    Transforms.Cfi.transform;
+    Transforms.Stack_pad.transform;
+    Transforms.Canary.transform;
+    Transforms.Stirring.transform;
+    Transforms.Jumptable_rewrite.transform;
+    Transforms.Shadow_stack.transform;
+    Transforms.Nop_pad.transform;
+  ]
+
+let transform_of_name name =
+  List.find_opt (fun t -> t.Zipr.Transform.name = name) shipped_transforms
+
+let transform_names = List.map (fun t -> t.Zipr.Transform.name) shipped_transforms
+
+(* -- common args -- *)
+
+let input_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
+
+let output_file ~pos:p = Arg.(required & pos p (some string) None & info [] ~docv:"OUTPUT")
+
+(* -- asm -- *)
+
+let asm_cmd =
+  let run src out =
+    match Zasm.Parser.assemble_string (read_file src) with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok (binary, symbols) ->
+        write_file out (Zelf.Binary.serialize binary);
+        Printf.printf "%s: %d bytes, %d symbols\n" out (Zelf.Binary.file_size binary)
+          (List.length symbols);
+        0
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble a textual ZVM program into a ZBF binary.")
+    Term.(const run $ input_file $ output_file ~pos:1)
+
+(* -- gen -- *)
+
+let gen_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("pathological", `Pathological); ("libc", `Libc); ("jvm", `Jvm); ("apache", `Apache) ]) `Default
+      & info [ "profile" ] ~doc:"Profile: default, pathological, libc, jvm or apache.")
+  in
+  let run seed kind out =
+    let binary =
+      match kind with
+      | `Default -> fst (Cgc.Cb_gen.generate ~seed Cgc.Cb_gen.default_profile)
+      | `Pathological ->
+          fst (Cgc.Cb_gen.generate ~seed (Cgc.Corpus.profile_for 47 ~master_seed:seed))
+      | `Libc -> (Workloads.Synthetic.libc_like ~seed ()).Workloads.Synthetic.binary
+      | `Jvm -> (Workloads.Synthetic.jvm_like ~seed ()).Workloads.Synthetic.binary
+      | `Apache -> (Workloads.Synthetic.apache_like ~seed ()).Workloads.Synthetic.binary
+    in
+    write_file out (Zelf.Binary.serialize binary);
+    Printf.printf "%s: %d bytes (text %d)\n" out (Zelf.Binary.file_size binary)
+      (Zelf.Binary.text binary).Zelf.Section.size;
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a deterministic challenge binary or workload.")
+    Term.(const run $ seed $ kind $ output_file ~pos:0)
+
+(* -- rewrite -- *)
+
+let rewrite_cmd =
+  let transforms =
+    Arg.(
+      value
+      & opt (list string) [ "null" ]
+      & info [ "t"; "transform" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf "Comma-separated transforms, applied in order. Available: %s."
+               (String.concat ", " transform_names)))
+  in
+  let placement =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) Zipr.Placement.names)) "optimized"
+      & info [ "placement" ] ~doc:"Dollop placement strategy.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Layout seed (random placement).") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print reassembly statistics.") in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Run the structural post-rewrite verifier.")
+  in
+  let run tnames placement seed stats verify inp out =
+    match load_binary inp with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok binary -> (
+        let unknown = List.filter (fun n -> transform_of_name n = None) tnames in
+        if unknown <> [] then begin
+          Printf.eprintf "error: unknown transforms: %s\n" (String.concat ", " unknown);
+          1
+        end
+        else
+          let transforms = List.filter_map transform_of_name tnames in
+          let config =
+            {
+              Zipr.Pipeline.default_config with
+              Zipr.Pipeline.placement = Option.get (Zipr.Placement.by_name placement);
+              seed;
+            }
+          in
+          match Zipr.Pipeline.rewrite ~config ~transforms binary with
+          | r ->
+              write_file out (Zelf.Binary.serialize r.Zipr.Pipeline.rewritten);
+              let osize = Zelf.Binary.file_size binary in
+              let nsize = Zelf.Binary.file_size r.Zipr.Pipeline.rewritten in
+              Printf.printf "%s: %d -> %d bytes (%+.1f%%)\n" out osize nsize
+                (float_of_int (nsize - osize) /. float_of_int osize *. 100.0);
+              if stats then
+                Format.printf "%a@." Zipr.Reassemble.pp_stats r.Zipr.Pipeline.stats;
+              List.iter
+                (fun w -> Printf.printf "warning: %s\n" w)
+                r.Zipr.Pipeline.ir.Zipr.Ir_construction.warnings;
+              if verify then begin
+                let report =
+                  Zipr.Verify.structural ~orig:binary ~ir:r.Zipr.Pipeline.ir
+                    ~rewritten:r.Zipr.Pipeline.rewritten
+                in
+                Format.printf "%a@." Zipr.Verify.pp_report report;
+                if Zipr.Verify.ok report then 0 else 1
+              end
+              else 0
+          | exception Zipr.Reassemble.Failure_ msg ->
+              Printf.eprintf "reassembly failed: %s\n" msg;
+              1)
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Rewrite a binary through the Zipr pipeline.")
+    Term.(
+      const run $ transforms $ placement $ seed $ stats $ verify $ input_file
+      $ output_file ~pos:1)
+
+(* -- run -- *)
+
+let run_cmd =
+  let input = Arg.(value & opt string "" & info [ "input" ] ~doc:"Bytes fed to receive().") in
+  let input_from =
+    Arg.(value & opt (some file) None & info [ "input-file" ] ~doc:"Read input bytes from a file.")
+  in
+  let fuel = Arg.(value & opt int 20_000_000 & info [ "fuel" ] ~doc:"Instruction budget.") in
+  let run input input_from fuel path =
+    match load_binary path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok binary ->
+        let input = match input_from with Some f -> read_file f | None -> input in
+        let result = Zelf.Image.boot ~fuel binary ~input in
+        print_string result.Zvm.Vm.output;
+        Printf.printf "\n-- %s | %d instructions | %d cycles | %d pages resident\n"
+          (Zvm.Vm.stop_to_string result.Zvm.Vm.stop)
+          result.Zvm.Vm.insns result.Zvm.Vm.cycles result.Zvm.Vm.max_rss_pages;
+        (match result.Zvm.Vm.stop with Zvm.Vm.Exited 0 | Zvm.Vm.Halted -> 0 | _ -> 2)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a ZBF binary in the ZVM and report metrics.")
+    Term.(const run $ input $ input_from $ fuel $ input_file)
+
+(* -- disasm -- *)
+
+let disasm_cmd =
+  let as_asm =
+    Arg.(value & flag & info [ "asm" ] ~doc:"Emit a reparseable assembly listing instead.")
+  in
+  let run as_asm path =
+    match load_binary path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok binary when as_asm ->
+        print_string (Zasm.Printer.program_listing binary);
+        0
+    | Ok binary ->
+        let ir = Zipr.Ir_construction.build binary in
+        let agg = ir.Zipr.Ir_construction.aggregate in
+        let text = Zelf.Binary.text binary in
+        let pins = ir.Zipr.Ir_construction.pins in
+        let addr = ref text.Zelf.Section.vaddr in
+        let vend = Zelf.Section.vend text in
+        while !addr < vend do
+          let verdict = Disasm.Aggregate.verdict_at agg !addr in
+          (match verdict with
+          | Some Disasm.Aggregate.Data ->
+              (* advance over the data run *)
+              let start = !addr in
+              while
+                !addr < vend && Disasm.Aggregate.verdict_at agg !addr = Some Disasm.Aggregate.Data
+              do
+                incr addr
+              done;
+              Printf.printf "%08x  <data: %d bytes>\n" start (!addr - start)
+          | _ -> (
+              match Hashtbl.find_opt agg.Disasm.Aggregate.insn_at !addr with
+              | Some (insn, len) ->
+                  Printf.printf "%08x  %-28s%s%s\n" !addr (Zvm.Insn.to_string insn)
+                    (if Analysis.Ibt.is_pinned pins !addr then "  [pinned]" else "")
+                    (match verdict with
+                    | Some Disasm.Aggregate.Ambiguous -> "  [ambiguous]"
+                    | _ -> "");
+                  addr := !addr + len
+              | None -> incr addr))
+        done;
+        Printf.printf "\n%d pinned addresses, %d fixed ranges, %d warnings\n"
+          (Analysis.Ibt.count pins)
+          (List.length ir.Zipr.Ir_construction.fixed_ranges)
+          (List.length ir.Zipr.Ir_construction.warnings);
+        0
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble with code/data verdicts and pinned addresses.")
+    Term.(const run $ as_asm $ input_file)
+
+(* -- ir -- *)
+
+let ir_cmd =
+  let machine =
+    Arg.(value & flag & info [ "machine" ] ~doc:"Machine-readable IRDB records (restorable).")
+  in
+  let run machine path =
+    match load_binary path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok binary ->
+        let ir = Zipr.Ir_construction.build binary in
+        print_string
+          (if machine then Irdb.Dump.serialize ir.Zipr.Ir_construction.db
+           else Irdb.Dump.to_string ir.Zipr.Ir_construction.db);
+        0
+  in
+  Cmd.v
+    (Cmd.info "ir" ~doc:"Dump the intermediate representation of a binary.")
+    Term.(const run $ machine $ input_file)
+
+(* -- audit -- *)
+
+let audit_cmd =
+  let inputs =
+    Arg.(
+      value & opt_all string []
+      & info [ "input" ] ~docv:"BYTES" ~doc:"An input to drive the binary with (repeatable).")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "gen-seed" ] ~doc:"Treat the binary as a generated CB with this seed and derive pollers.")
+  in
+  let run inputs seed path =
+    match load_binary path with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok binary ->
+        let inputs =
+          match seed with
+          | Some s ->
+              let _, meta = Cgc.Cb_gen.generate ~seed:s Cgc.Cb_gen.default_profile in
+              List.map
+                (fun p -> p.Cgc.Poller.input)
+                (Cgc.Poller.generate meta ~seed:(s * 17) ~count:16)
+          | None -> if inputs = [] then [ "" ] else inputs
+        in
+        let agg = Disasm.Aggregate.run binary in
+        let pins = Analysis.Ibt.compute binary agg in
+        let report = Analysis.Pin_audit.audit binary pins ~inputs in
+        Format.printf "%a@." Analysis.Pin_audit.pp report;
+        if Analysis.Pin_audit.ok report then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Check B \xe2\x8a\x86 P dynamically: run the binary and verify every observed indirect target is pinned.")
+    Term.(const run $ inputs $ seed $ input_file)
+
+let () =
+  let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in
+  let info = Cmd.info "ziprtool" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ asm_cmd; gen_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd; audit_cmd ]))

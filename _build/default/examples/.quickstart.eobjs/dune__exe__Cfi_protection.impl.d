@@ -1,0 +1,1 @@
+examples/cfi_protection.ml: Cgc Format List String Transforms Zelf Zipr

@@ -1,0 +1,1 @@
+examples/cfi_protection.mli:

@@ -1,0 +1,1 @@
+examples/layout_diversity.ml: Bytes Cgc Format List Transforms Zelf Zipr Zipr_util

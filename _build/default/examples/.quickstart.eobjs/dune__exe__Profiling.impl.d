@@ -1,0 +1,1 @@
+examples/profiling.ml: Cgc Format List String Transforms Zelf Zipr Zvm

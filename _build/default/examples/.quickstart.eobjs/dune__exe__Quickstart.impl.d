@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Transforms Zasm Zelf Zipr Zvm

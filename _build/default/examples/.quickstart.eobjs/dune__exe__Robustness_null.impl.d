@@ -1,0 +1,1 @@
+examples/robustness_null.ml: Cgc Format List Transforms Unix Workloads Zelf Zipr

@@ -1,0 +1,34 @@
+(* The paper's robustness experiment (§IV-A) as a runnable demo: rewrite
+   the large synthetic stand-ins for libc / libjvm / Apache with the Null
+   transformation, replay their test suites, and validate the outputs
+   structurally — semantic equivalence end to end.
+
+   Run with:  dune exec examples/robustness_null.exe *)
+
+let () =
+  Format.printf "%-18s %9s %9s %12s %9s %8s@." "workload" "text(B)" "pins" "rewrite(ms)"
+    "tests" "verify";
+  List.iter
+    (fun (w : Workloads.Synthetic.spec) ->
+      let orig = w.Workloads.Synthetic.binary in
+      let t0 = Unix.gettimeofday () in
+      let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] orig in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let chk =
+        Cgc.Poller.functional_check ~orig ~rewritten:r.Zipr.Pipeline.rewritten
+          w.Workloads.Synthetic.test_suite
+      in
+      let report =
+        Zipr.Verify.structural ~orig ~ir:r.Zipr.Pipeline.ir
+          ~rewritten:r.Zipr.Pipeline.rewritten
+      in
+      Format.printf "%-18s %9d %9d %12.1f %5d/%-3d %8s@." w.Workloads.Synthetic.name
+        (Zelf.Binary.text orig).Zelf.Section.size
+        r.Zipr.Pipeline.stats.Zipr.Reassemble.pins_total ms chk.Cgc.Poller.passed
+        chk.Cgc.Poller.total
+        (if Zipr.Verify.ok report then "ok" else "ISSUES");
+      assert (chk.Cgc.Poller.passed = chk.Cgc.Poller.total))
+    (Workloads.Synthetic.all ());
+  Format.printf
+    "every workload — including the libc-like binary full of data islands and hidden code —@.";
+  Format.printf "passes its complete test suite after rewriting, the paper's §IV-A result.@."

@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Format Fun Hashtbl Irdb List Option Zvm

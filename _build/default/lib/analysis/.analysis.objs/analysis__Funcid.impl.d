@@ -1,0 +1,1 @@
+lib/analysis/funcid.ml: Hashtbl Irdb List Option Printf Zvm

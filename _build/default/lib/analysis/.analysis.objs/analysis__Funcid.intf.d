@@ -1,0 +1,1 @@
+lib/analysis/funcid.mli: Irdb

@@ -1,0 +1,1 @@
+lib/analysis/ibt.ml: Disasm Hashtbl Jumptable List Option Zelf Zvm

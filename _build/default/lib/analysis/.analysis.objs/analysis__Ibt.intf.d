@@ -1,0 +1,1 @@
+lib/analysis/ibt.mli: Disasm Zelf

@@ -1,0 +1,1 @@
+lib/analysis/jumptable.ml: Disasm Hashtbl List Zelf Zvm

@@ -1,0 +1,1 @@
+lib/analysis/jumptable.mli: Disasm Zelf

@@ -1,0 +1,1 @@
+lib/analysis/pin_audit.ml: Format Hashtbl Ibt List Zelf Zvm

@@ -1,0 +1,1 @@
+lib/analysis/pin_audit.mli: Format Ibt Zelf

@@ -1,0 +1,97 @@
+module Db = Irdb.Db
+
+type block = {
+  head : Db.insn_id;
+  body : Db.insn_id list;
+  succs : Db.insn_id list;
+  has_indirect_exit : bool;
+}
+
+type t = { block_list : block list; owner : (Db.insn_id, Db.insn_id) Hashtbl.t }
+
+let reachable_from db start =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      match Db.row db id with
+      | exception Not_found -> ()
+      | r ->
+          Option.iter go r.Db.fallthrough;
+          Option.iter go r.Db.target
+    end
+  in
+  go start;
+  Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare
+
+let build db =
+  (* Leaders: entry, pins, every branch target, every fallthrough of a
+     control-flow row. *)
+  let leaders = Hashtbl.create 64 in
+  let mark id = Hashtbl.replace leaders id () in
+  if Db.entry db >= 0 then mark (Db.entry db);
+  List.iter (fun (_, id) -> mark id) (Db.pinned_addresses db);
+  Db.iter db (fun r ->
+      Option.iter mark r.Db.target;
+      if Zvm.Insn.is_control_flow r.Db.insn then Option.iter mark r.Db.fallthrough);
+  (* Grow a block from each leader. *)
+  let owner = Hashtbl.create 256 in
+  let blocks = ref [] in
+  let leader_ids = Hashtbl.fold (fun id () acc -> id :: acc) leaders [] |> List.sort compare in
+  List.iter
+    (fun head ->
+      match Db.row db head with
+      | exception Not_found -> ()
+      | _ ->
+          let body = ref [] in
+          let rec grow id =
+            body := id :: !body;
+            Hashtbl.replace owner id head;
+            let r = Db.row db id in
+            if Zvm.Insn.is_control_flow r.Db.insn then Some r
+            else
+              match r.Db.fallthrough with
+              | Some ft when not (Hashtbl.mem leaders ft) -> grow ft
+              | _ -> Some r
+          in
+          let last = grow head in
+          let body = List.rev !body in
+          let succs, indirect =
+            match last with
+            | None -> ([], false)
+            | Some r ->
+                let s =
+                  List.filter_map Fun.id [ r.Db.target; (if Zvm.Insn.has_fallthrough r.Db.insn then r.Db.fallthrough else None) ]
+                in
+                (s, Zvm.Insn.is_indirect r.Db.insn)
+          in
+          (* Successor ids are rows; normalize to their block heads once
+             every block exists — store raw for now. *)
+          blocks := { head; body; succs; has_indirect_exit = indirect } :: !blocks)
+    leader_ids;
+  let blocks = List.rev !blocks in
+  (* Normalize successors to block heads. *)
+  let normalized =
+    List.map
+      (fun b ->
+        { b with succs = List.filter_map (fun s -> Hashtbl.find_opt owner s) b.succs |> List.sort_uniq compare })
+      blocks
+  in
+  { block_list = normalized; owner }
+
+let blocks t = t.block_list
+
+let block_of t id =
+  match Hashtbl.find_opt t.owner id with
+  | None -> None
+  | Some head -> List.find_opt (fun b -> b.head = head) t.block_list
+
+let pp db ppf t =
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "block %d:@," b.head;
+      List.iter
+        (fun id -> Format.fprintf ppf "  %s@," (Zvm.Insn.to_string (Db.row db id).Db.insn))
+        b.body;
+      Format.fprintf ppf "  -> %a@," (Format.pp_print_list Format.pp_print_int) b.succs)
+    t.block_list

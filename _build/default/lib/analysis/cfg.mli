@@ -1,0 +1,31 @@
+(** Control-flow graph over IRDB rows.
+
+    Blocks are maximal straight-line row chains; leaders are the entry,
+    branch targets, and fallthrough successors of control flow.  The CFG
+    is what user transforms navigate (e.g. the canary transform finds a
+    function's returns; the profiling transform instruments block
+    heads). *)
+
+type block = {
+  head : Irdb.Db.insn_id;
+  body : Irdb.Db.insn_id list;  (** rows in execution order, including [head] *)
+  succs : Irdb.Db.insn_id list;  (** heads of successor blocks *)
+  has_indirect_exit : bool;  (** ends in [jmpr]/[jmpt]/[callr]/[ret] *)
+}
+
+type t
+
+val build : Irdb.Db.t -> t
+(** CFG over every live row, rooted wherever control can start (the entry
+    row and all pinned rows). *)
+
+val blocks : t -> block list
+(** All blocks, ordered by head id. *)
+
+val block_of : t -> Irdb.Db.insn_id -> block option
+(** The block whose body contains the row. *)
+
+val reachable_from : Irdb.Db.t -> Irdb.Db.insn_id -> Irdb.Db.insn_id list
+(** Rows reachable by following fallthrough and target links. *)
+
+val pp : Irdb.Db.t -> Format.formatter -> t -> unit

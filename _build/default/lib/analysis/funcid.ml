@@ -1,0 +1,65 @@
+module Db = Irdb.Db
+
+let entries db =
+  let set = Hashtbl.create 32 in
+  let mark id = Hashtbl.replace set id () in
+  if Db.entry db >= 0 then mark (Db.entry db);
+  (* Direct call targets. *)
+  Db.iter db (fun r ->
+      match (r.Db.insn, r.Db.target) with
+      | Zvm.Insn.Call _, Some tgt -> mark tgt
+      | _ -> ());
+  (* Address-taken code: pinned rows.  After-call pins are continuation
+     points, not functions, but the IRDB does not retain pin reasons, so
+     accept pins that are not immediately preceded by a call row.  We
+     detect that by checking whether any call's fallthrough is this row. *)
+  let after_call = Hashtbl.create 32 in
+  Db.iter db (fun r ->
+      match r.Db.insn with
+      | Zvm.Insn.Call _ | Zvm.Insn.Callr _ ->
+          Option.iter (fun ft -> Hashtbl.replace after_call ft ()) r.Db.fallthrough
+      | _ -> ());
+  List.iter
+    (fun (_addr, id) -> if not (Hashtbl.mem after_call id) then mark id)
+    (Db.pinned_addresses db);
+  Hashtbl.fold (fun id () acc -> id :: acc) set [] |> List.sort compare
+
+let assign db =
+  let entry_ids = entries db in
+  let entry_set = Hashtbl.create 32 in
+  List.iter (fun id -> Hashtbl.replace entry_set id ()) entry_ids;
+  (* Claim rows reachable from each entry without crossing another entry.
+     Entries are processed in ascending id order; first claim wins. *)
+  List.iter
+    (fun entry_id ->
+      match Db.row db entry_id with
+      | exception Not_found -> ()
+      | entry_row ->
+          if entry_row.Db.func = None then begin
+            let name =
+              match entry_row.Db.orig_addr with
+              | Some a -> Printf.sprintf "f_%x" a
+              | None -> Printf.sprintf "f_id%d" entry_id
+            in
+            let fid = Db.add_func db ~fname:name ~entry:entry_id in
+            let seen = Hashtbl.create 64 in
+            let rec claim id ~is_entry =
+              if not (Hashtbl.mem seen id) then begin
+                Hashtbl.add seen id ();
+                (* Stop at other entries, but not at our own head. *)
+                if is_entry || not (Hashtbl.mem entry_set id) then
+                  match Db.row db id with
+                  | exception Not_found -> ()
+                  | r ->
+                      if r.Db.func = None then r.Db.func <- Some fid;
+                      (* Calls transfer to another function; follow only
+                         fallthrough and intraprocedural targets. *)
+                      (match r.Db.insn with
+                      | Zvm.Insn.Call _ | Zvm.Insn.Callr _ -> ()
+                      | _ -> Option.iter (fun tgt -> claim tgt ~is_entry:false) r.Db.target);
+                      Option.iter (fun ft -> claim ft ~is_entry:false) r.Db.fallthrough
+              end
+            in
+            claim entry_id ~is_entry:true
+          end)
+    entry_ids

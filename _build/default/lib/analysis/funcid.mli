@@ -1,0 +1,18 @@
+(** Function identification over the IRDB.
+
+    ZBF binaries, like CGC challenge binaries, carry no symbols, so
+    function boundaries must be inferred.  Entry candidates are the
+    program entry, direct call targets, and pinned rows that originate in
+    data-scan/jump-table/code-immediate pins (the classic
+    address-taken-function heuristic).  Each entry then claims the rows
+    reachable from it without passing through another entry; rows claimed
+    by several entries go to the lowest entry address (shared-code
+    functions — one of the hard cases of Meng & Miller that the paper
+    cites — thus end up merged, which is safe for our transforms). *)
+
+val assign : Irdb.Db.t -> unit
+(** Identify functions, register them with {!Irdb.Db.add_func}, and stamp
+    each reachable row's [func] field. *)
+
+val entries : Irdb.Db.t -> Irdb.Db.insn_id list
+(** The entry candidates that {!assign} would use (exposed for tests). *)

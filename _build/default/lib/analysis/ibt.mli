@@ -1,0 +1,54 @@
+(** Pinned-address analysis: computing the set [P] of the paper's §II-A2.
+
+    Correctness requires [B ⊆ P], where [B] is the set of every
+    indirect-branch-target address of the original program; efficiency
+    wants [P] as close to [B] as possible, since every spurious pin
+    fragments the rewritten text and costs space (§II-A2, §III, and the
+    pathological CB of §IV-B).  The heuristics, in the lineage of ILR
+    (Hiser et al.) and PSI (Zhang et al.):
+
+    - the program entry point is pinned;
+    - every text-range 32-bit constant found anywhere in data sections is
+      pinned (function-pointer tables, vtables, jump tables);
+    - every text-range immediate in decoded code is pinned (address
+      materialization the analysis cannot model);
+    - each jump-table entry is pinned;
+    - the address after every call is pinned when [pin_after_calls] is
+      set (the conservative default: return addresses escape through the
+      stack, and code is free to compute on them);
+    - ambiguous (fixed) ranges keep their original bytes, so any address
+      such bytes can transfer control to — static branch targets of their
+      decoded instructions, and the fallthrough address just past the
+      range — must also be pinned. *)
+
+type reason =
+  | Entry
+  | Data_scan
+  | Code_immediate
+  | Jump_table
+  | After_call
+  | Fixed_target
+  | Fixed_fallthrough
+
+type config = {
+  pin_after_calls : bool;
+      (** default [true]; turning it off shrinks [P] at the cost of
+          assuming no code computes on return addresses *)
+}
+
+val default_config : config
+
+type t
+
+val compute : ?config:config -> Zelf.Binary.t -> Disasm.Aggregate.t -> t
+
+val pins : t -> (int * reason list) list
+(** Pinned addresses ascending, each with every reason that pinned it. *)
+
+val addresses : t -> int list
+
+val is_pinned : t -> int -> bool
+
+val count : t -> int
+
+val reason_to_string : reason -> string

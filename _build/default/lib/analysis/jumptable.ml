@@ -1,0 +1,27 @@
+type table = { dispatch_at : int; table_addr : int; entries : int list }
+
+let scan_entries binary ~lo ~hi table_addr =
+  let rec go i acc =
+    if i >= 1024 then List.rev acc
+    else
+      match Zelf.Binary.read32 binary (table_addr + (i * 4)) with
+      | Some v when v >= lo && v < hi -> go (i + 1) (v :: acc)
+      | _ -> List.rev acc
+  in
+  go 0 []
+
+let find binary (agg : Disasm.Aggregate.t) =
+  let text = Zelf.Binary.text binary in
+  let lo = text.Zelf.Section.vaddr and hi = Zelf.Section.vend text in
+  Hashtbl.fold
+    (fun addr (insn, _len) acc ->
+      match insn with
+      | Zvm.Insn.Jmpt (_, table_addr) ->
+          { dispatch_at = addr; table_addr; entries = scan_entries binary ~lo ~hi table_addr }
+          :: acc
+      | _ -> acc)
+    agg.Disasm.Aggregate.insn_at []
+  |> List.sort (fun a b -> compare a.dispatch_at b.dispatch_at)
+
+let all_entries tables =
+  List.concat_map (fun t -> t.entries) tables |> List.sort_uniq compare

@@ -1,0 +1,18 @@
+(** Jump-table discovery.
+
+    For every [jmpt] dispatch instruction found by the disassemblers, scan
+    forward from its table address collecting consecutive 32-bit words
+    that are valid text addresses.  The scan over-approximates table
+    length (it stops at the first non-text word), which is safe: an extra
+    entry merely pins one extra address. *)
+
+type table = {
+  dispatch_at : int;  (** address of the [jmpt] instruction *)
+  table_addr : int;
+  entries : int list;  (** target addresses, in table order *)
+}
+
+val find : Zelf.Binary.t -> Disasm.Aggregate.t -> table list
+
+val all_entries : table list -> int list
+(** Union of every table's targets, sorted and deduplicated. *)

@@ -1,0 +1,30 @@
+type t = { observed : int list; missing : int list }
+
+let ok t = t.missing = []
+
+let audit ?(fuel = 5_000_000) binary pins ~inputs =
+  let observed = Hashtbl.create 64 in
+  List.iter
+    (fun input ->
+      let mem = Zvm.Memory.create () in
+      Zelf.Image.load mem binary;
+      let vm = Zvm.Vm.create ~mem ~entry:binary.Zelf.Binary.entry ~input () in
+      let prev_indirect = ref false in
+      ignore
+        (Zvm.Vm.run ~fuel
+           ~on_step:(fun ~pc insn ->
+             if !prev_indirect then Hashtbl.replace observed pc ();
+             prev_indirect :=
+               (match insn with
+               | Zvm.Insn.Jmpr _ | Zvm.Insn.Callr _ | Zvm.Insn.Jmpt _ -> true
+               | _ -> false))
+           vm))
+    inputs;
+  let observed = Hashtbl.fold (fun a () acc -> a :: acc) observed [] |> List.sort compare in
+  let missing = List.filter (fun a -> not (Ibt.is_pinned pins a)) observed in
+  { observed; missing }
+
+let pp ppf t =
+  Format.fprintf ppf "pin audit: %d runtime indirect targets observed, %d missing from P"
+    (List.length t.observed) (List.length t.missing);
+  List.iter (fun a -> Format.fprintf ppf "@.  MISSING pin at 0x%x" a) t.missing

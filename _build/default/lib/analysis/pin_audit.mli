@@ -1,0 +1,23 @@
+(** Dynamic audit of the pinned-address superset.
+
+    Correctness of the whole technique rests on [B ⊆ P] (§II-A2): every
+    address the program actually reaches through an indirect transfer
+    must be pinned.  The static heuristics cannot be proven complete, so
+    a production rewriter wants an oracle: run the {e original} binary on
+    representative inputs, record every address reached by an indirect
+    transfer, and compare against [P].  A miss is a would-be-broken
+    rewrite caught before deployment. *)
+
+type t = {
+  observed : int list;  (** runtime indirect-branch targets, deduplicated *)
+  missing : int list;  (** observed but not pinned: rewrite hazards *)
+}
+
+val ok : t -> bool
+
+val audit :
+  ?fuel:int -> Zelf.Binary.t -> Ibt.t -> inputs:string list -> t
+(** Execute the binary on each input with a tracing hook and check every
+    observed indirect target against the pin set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cgc/cb_gen.ml: Assemble Ast Builder Char List Printf Zasm Zipr_util Zvm

@@ -1,0 +1,1 @@
+lib/cgc/cb_gen.mli: Zelf

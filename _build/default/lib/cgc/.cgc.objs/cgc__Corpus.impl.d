@@ -1,0 +1,1 @@
+lib/cgc/corpus.ml: Cb_gen List Poller Printf Zelf Zipr_util

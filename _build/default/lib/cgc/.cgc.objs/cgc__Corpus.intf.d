@@ -1,0 +1,1 @@
+lib/cgc/corpus.mli: Cb_gen Poller Zelf

@@ -1,0 +1,1 @@
+lib/cgc/poller.ml: Buffer Cb_gen Char List Printf String Zelf Zipr_util Zvm

@@ -1,0 +1,1 @@
+lib/cgc/poller.mli: Cb_gen Zelf Zvm

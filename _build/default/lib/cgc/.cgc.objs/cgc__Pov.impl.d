@@ -1,0 +1,1 @@
+lib/cgc/pov.ml: Buffer Bytes Cb_gen Char Format List Option Printf String Transforms Zelf Zipr_util Zvm

@@ -1,0 +1,1 @@
+lib/cgc/pov.mli: Cb_gen Zelf Zvm

@@ -1,0 +1,1 @@
+lib/cgc/score.ml: Format List Poller Pov Zelf Zipr_util

@@ -1,0 +1,1 @@
+lib/cgc/score.mli: Cb_gen Format Poller Zelf

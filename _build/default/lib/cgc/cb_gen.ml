@@ -1,0 +1,536 @@
+module Rng = Zipr_util.Rng
+open Zasm
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+module Cond = Zvm.Cond
+
+type profile = {
+  n_handlers : int;
+  n_helpers : int;
+  body_ops : int;
+  loop_iters : int;
+  use_jump_table : bool;
+  n_fptrs : int;
+  data_islands : int;
+  hidden_funcs : int;
+  dense_pair : bool;
+  vuln : bool;
+  vuln_fptr : bool;
+  pathological : bool;
+  mem_span : int;
+  pic : bool;
+}
+
+let default_profile =
+  {
+    n_handlers = 6;
+    n_helpers = 8;
+    body_ops = 20;
+    loop_iters = 40;
+    use_jump_table = true;
+    n_fptrs = 4;
+    data_islands = 1;
+    hidden_funcs = 1;
+    dense_pair = false;
+    vuln = true;
+    vuln_fptr = false;
+    pathological = false;
+    mem_span = 512;
+    pic = false;
+  }
+
+type meta = {
+  seed : int;
+  profile : profile;
+  symbols : (string * int) list;
+  commands : char list;
+  fptr_count : int;
+  vuln_frame : int option;
+  vuln_buffer_addr : int option;
+  fptr_slots_addr : int option;  (* the writable pointer table, if vuln_fptr *)
+  upload_buf_addr : int option;  (* where 'b' uploads land, if vuln_fptr *)
+}
+
+let stack_top = 0xbfff_f000
+let vuln_frame_size = 48
+
+(* Emit a random straight-line ALU op over the handler scratch registers. *)
+let random_op rng b =
+  let k = Rng.int rng 0x10000 in
+  match Rng.int rng 8 with
+  | 0 -> Builder.insn b (Insn.Alu (Insn.Add, Reg.R4, Reg.R5))
+  | 1 -> Builder.insn b (Insn.Alu (Insn.Xor, Reg.R5, Reg.R7))
+  | 2 -> Builder.insn b (Insn.Alui (Insn.Muli, Reg.R4, (k lor 1) land 0xff))
+  | 3 -> Builder.insn b (Insn.Shri (Reg.R4, 1 + Rng.int rng 3))
+  | 4 -> Builder.insn b (Insn.Alu (Insn.Sub, Reg.R5, Reg.R4))
+  | 5 -> Builder.insn b (Insn.Alui (Insn.Ori, Reg.R4, k))
+  | 6 -> Builder.insn b (Insn.Alui (Insn.Addi, Reg.R5, k))
+  | _ -> Builder.insn b (Insn.Alu (Insn.And, Reg.R4, Reg.R7))
+
+(* Materialize a label address: position-independent binaries form
+   addresses PC-relatively (exercising the mandatory transformations),
+   others use absolute immediates. *)
+let lea profile b reg lbl =
+  if profile.pic then Builder.leap_lab b reg lbl else Builder.movi_lab b reg lbl
+
+(* receive 1 byte into iobuf; r0 = count *)
+let recv_byte profile b =
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  lea profile b Reg.R1 "iobuf";
+  Builder.insn b (Insn.Movi (Reg.R2, 1));
+  Builder.insn b (Insn.Sys 2)
+
+let transmit_label profile b lbl len =
+  Builder.insn b (Insn.Movi (Reg.R0, 1));
+  lea profile b Reg.R1 lbl;
+  Builder.insn b (Insn.Movi (Reg.R2, len));
+  Builder.insn b (Insn.Sys 1)
+
+(* Small address-taken stub functions used by the pathological profile to
+   scatter pins between large dollops. *)
+let emit_stub b name k =
+  Builder.label b name;
+  Builder.insn b (Insn.Alui (Insn.Xori, Reg.R7, k));
+  Builder.insn b (Insn.Ret)
+
+let emit_helper b rng ~index ~count =
+  Builder.label b (Printf.sprintf "helper_%d" index);
+  let ops = 2 + Rng.int rng 6 in
+  for _ = 1 to ops do
+    match Rng.int rng 4 with
+    | 0 -> Builder.insn b (Insn.Alui (Insn.Addi, Reg.R0, Rng.int rng 0xffff))
+    | 1 -> Builder.insn b (Insn.Alui (Insn.Xori, Reg.R0, Rng.int rng 0xffff))
+    | 2 -> Builder.insn b (Insn.Alui (Insn.Muli, Reg.R0, 1 + Rng.int rng 31))
+    | _ -> Builder.insn b (Insn.Shri (Reg.R0, 1))
+  done;
+  (* Acyclic call chain deepens the call graph. *)
+  if index + 1 < count && Rng.chance rng 0.4 then
+    Builder.call b (Printf.sprintf "helper_%d" (index + 1));
+  Builder.insn b (Insn.Ret)
+
+let emit_handler b rng profile ~index ~add_stub =
+  Builder.label b (Printf.sprintf "handler_%d" index);
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.R7, 0x101 * (index + 1)));
+  Builder.insn b (Insn.Movi (Reg.R4, Rng.int rng 0xffffff));
+  Builder.insn b (Insn.Movi (Reg.R5, Rng.int rng 0xffffff));
+  for op = 1 to profile.body_ops do
+    random_op rng b;
+    (* Pathological profile: pepper the body with address-taken stubs the
+       handler must jump over.  The stubs' pins fragment the handler's
+       original bytes into small pieces (paper §IV-B's pathological CB). *)
+    if profile.pathological && op mod 10 = 0 then begin
+      let stub = add_stub () in
+      let skip = Builder.fresh b "skip" in
+      Builder.jmp b skip;
+      emit_stub b stub (Rng.int rng 0xffff);
+      Builder.label b skip
+    end
+  done;
+  (* Hot loop. *)
+  let loop_lbl = Printf.sprintf "handler_%d_loop" index in
+  Builder.insn b (Insn.Movi (Reg.R6, profile.loop_iters));
+  Builder.label b loop_lbl;
+  Builder.insn b (Insn.Alu (Insn.Add, Reg.R4, Reg.R5));
+  Builder.insn b (Insn.Alui (Insn.Xori, Reg.R4, 0x9e37 + index));
+  Builder.insn b (Insn.Alui (Insn.Subi, Reg.R6, 1));
+  Builder.insn b (Insn.Cmpi (Reg.R6, 0));
+  Builder.jcc b Cond.Ne loop_lbl;
+  (* Memory walk: touch a profile-sized span of the working buffer so the
+     resident-set metric reflects real data usage. *)
+  if profile.mem_span >= 8 then begin
+    let walk_lbl = Printf.sprintf "handler_%d_walk" index in
+    lea profile b Reg.R6 "workbuf";
+    Builder.insn b (Insn.Movi (Reg.R3, profile.mem_span / 4));
+    Builder.label b walk_lbl;
+    Builder.insn b (Insn.Store { base = Reg.R6; disp = 0; src = Reg.R4 });
+    Builder.insn b (Insn.Load { dst = Reg.R5; base = Reg.R6; disp = 0 });
+    Builder.insn b (Insn.Alu (Insn.Add, Reg.R4, Reg.R5));
+    Builder.insn b (Insn.Alui (Insn.Addi, Reg.R6, 4));
+    Builder.insn b (Insn.Alui (Insn.Subi, Reg.R3, 1));
+    Builder.insn b (Insn.Cmpi (Reg.R3, 0));
+    Builder.jcc b Cond.Ne walk_lbl
+  end;
+  (* Occasionally deepen the call graph. *)
+  if profile.n_helpers > 0 && Rng.chance rng 0.7 then begin
+    Builder.insn b (Insn.Mov (Reg.R0, Reg.R4));
+    Builder.call b (Printf.sprintf "helper_%d" (Rng.int rng profile.n_helpers));
+    Builder.insn b (Insn.Mov (Reg.R4, Reg.R0))
+  end;
+  (* Respond with the 4-byte result and fold it into the session state. *)
+  lea profile b Reg.R1 "workbuf";
+  Builder.insn b (Insn.Store { base = Reg.R1; disp = 0; src = Reg.R4 });
+  Builder.insn b (Insn.Movi (Reg.R0, 1));
+  Builder.insn b (Insn.Movi (Reg.R2, 4));
+  Builder.insn b (Insn.Sys 1);
+  Builder.insn b (Insn.Alu (Insn.Xor, Reg.R7, Reg.R4));
+  Builder.jmp b "loop"
+
+let emit_fptr_target b rng ~index =
+  Builder.label b (Printf.sprintf "fptr_%d" index);
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.R7, 0x33 * (index + 3)));
+  let ops = 1 + Rng.int rng 4 in
+  for _ = 1 to ops do
+    match Rng.int rng 3 with
+    | 0 -> Builder.insn b (Insn.Alui (Insn.Xori, Reg.R7, Rng.int rng 0xffff))
+    | 1 -> Builder.insn b (Insn.Alui (Insn.Muli, Reg.R7, 3))
+    | _ -> Builder.insn b (Insn.Alui (Insn.Addi, Reg.R7, Rng.int rng 0xff))
+  done;
+  Builder.insn b (Insn.Ret)
+
+let emit_vuln_handler profile b =
+  Builder.label b "vuln_handler";
+  Builder.insn b (Insn.Alui (Insn.Subi, Reg.SP, vuln_frame_size));
+  (* read the length byte *)
+  recv_byte profile b;
+  lea profile b Reg.R1 "iobuf";
+  Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+  (* read r3 bytes into the stack buffer — no bounds check: the bug *)
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Mov (Reg.R1, Reg.SP));
+  Builder.insn b (Insn.Mov (Reg.R2, Reg.R3));
+  Builder.insn b (Insn.Sys 2);
+  transmit_label profile b "msg_ok" 3;
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.SP, vuln_frame_size));
+  Builder.insn b (Insn.Ret)
+
+(* Patch the rodata xor-cells for hidden functions: cell_k must hold
+   (addr(hidden_k) lxor key), which requires knowing final addresses, so
+   assemble a probe first and substitute. *)
+let patch_hidden_cells program hidden =
+  match hidden with
+  | [] -> Assemble.program_exn program
+  | _ ->
+      let _, symbols = Assemble.program_exn program in
+      let value_of cell =
+        let _, target, key = List.find (fun (c, _, _) -> c = cell) hidden in
+        (List.assoc target symbols lxor key) land 0xffffffff
+      in
+      let rec patch_items = function
+        | [] -> []
+        | Ast.Label l :: rest when List.exists (fun (c, _, _) -> c = l) hidden ->
+            Ast.Label l :: patch_next l rest
+        | item :: rest -> item :: patch_items rest
+      and patch_next cell = function
+        | Ast.Word _ :: rest -> Ast.Word (Ast.Abs (value_of cell)) :: patch_items rest
+        | other -> patch_items other
+      in
+      let patched =
+        {
+          program with
+          Ast.source_sections =
+            List.map
+              (fun (s : Ast.section_src) -> { s with Ast.items = patch_items s.Ast.items })
+              program.Ast.source_sections;
+        }
+      in
+      Assemble.program_exn patched
+
+let generate ~seed profile =
+  let rng = Rng.create seed in
+  let body_rng = Rng.split rng in
+  let b = Builder.create ~entry:"main" () in
+  Builder.bss b "iobuf" 64;
+  Builder.bss b "workbuf" 16384;
+  if profile.vuln_fptr then begin
+    Builder.bss b "upload_buf" 256;
+    Builder.bss b "fptr_slots" 16
+  end;
+  (* Response strings. *)
+  Builder.rodata_label b "msg_ok";
+  Builder.rodata_ascii b "ok\n";
+  Builder.rodata_label b "msg_unknown";
+  Builder.rodata_ascii b "?\n";
+  Builder.rodata_label b "msg_bye";
+  Builder.rodata_ascii b "bye\n";
+  Builder.rodata_label b "msg_hidden";
+  Builder.rodata_ascii b "h!\n";
+  Builder.rodata_label b "msg_dense";
+  Builder.rodata_ascii b "d!\n";
+  (* Dispatch tables. *)
+  if profile.use_jump_table && profile.n_handlers > 0 then begin
+    Builder.rodata_label b "handler_table";
+    for i = 0 to profile.n_handlers - 1 do
+      Builder.rodata_word b (Ast.Lab (Printf.sprintf "handler_%d" i))
+    done
+  end;
+  if profile.n_fptrs > 0 then begin
+    Builder.rodata_label b "fptr_table";
+    for i = 0 to profile.n_fptrs - 1 do
+      Builder.rodata_word b (Ast.Lab (Printf.sprintf "fptr_%d" i))
+    done
+  end;
+  if profile.dense_pair then begin
+    Builder.rodata_label b "dense_table";
+    Builder.rodata_word b (Ast.Lab "dense_t0");
+    Builder.rodata_word b (Ast.Lab "dense_t1")
+  end;
+  (* Hidden-function xor cells (patched post-probe). *)
+  let hidden = ref [] in
+  for k = 0 to profile.hidden_funcs - 1 do
+    let cell = Printf.sprintf "hidden_cell_%d" k in
+    let key = 0x5a5a0000 lor (Rng.int rng 0xffff) in
+    hidden := (cell, Printf.sprintf "hidden_%d" k, key) :: !hidden;
+    Builder.rodata_label b cell;
+    Builder.rodata_word b (Ast.Abs 0)
+  done;
+  let hidden = List.rev !hidden in
+  (* -- main command loop -- *)
+  Builder.label b "main";
+  Builder.insn b (Insn.Movi (Reg.R7, seed land 0xffff));
+  if profile.vuln_fptr then begin
+    (* Populate the writable dispatch slots with the default handler. *)
+    Builder.movi_lab b Reg.R4 "slot_fn";
+    lea profile b Reg.R6 "fptr_slots";
+    for i = 0 to 3 do
+      Builder.insn b (Insn.Store { base = Reg.R6; disp = 4 * i; src = Reg.R4 })
+    done
+  end;
+  Builder.label b "loop";
+  recv_byte profile b;
+  Builder.insn b (Insn.Cmpi (Reg.R0, 0));
+  Builder.jcc b Cond.Eq "quit";
+  Builder.movi_lab b Reg.R1 "iobuf";
+  Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+  Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'q'));
+  Builder.jcc b Cond.Eq "quit";
+  if profile.vuln then begin
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'v'));
+    Builder.jcc b Cond.Eq "vuln_dispatch"
+  end;
+  if profile.n_fptrs > 0 then begin
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'p'));
+    Builder.jcc b Cond.Eq "pcall"
+  end;
+  if profile.vuln_fptr then begin
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'b'));
+    Builder.jcc b Cond.Eq "bupload";
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'w'));
+    Builder.jcc b Cond.Eq "wwrite";
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'x'));
+    Builder.jcc b Cond.Eq "xcall"
+  end;
+  if profile.dense_pair then begin
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'd'));
+    Builder.jcc b Cond.Eq "dcall"
+  end;
+  List.iteri
+    (fun k _ ->
+      Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'h' + k));
+      Builder.jcc b Cond.Eq (Printf.sprintf "hjump_%d" k))
+    hidden;
+  if profile.pathological then begin
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 's'));
+    Builder.jcc b Cond.Eq "scall"
+  end;
+  if profile.n_handlers > 0 then begin
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code '0'));
+    Builder.jcc b Cond.Lt "unknown";
+    Builder.insn b (Insn.Cmpi (Reg.R3, Char.code '0' + profile.n_handlers - 1));
+    Builder.jcc b Cond.Gt "unknown";
+    Builder.insn b (Insn.Alui (Insn.Subi, Reg.R3, Char.code '0'));
+    if profile.use_jump_table then Builder.jmpt_lab b Reg.R3 "handler_table"
+    else begin
+      for i = 0 to profile.n_handlers - 1 do
+        Builder.insn b (Insn.Cmpi (Reg.R3, i));
+        Builder.jcc b Cond.Eq (Printf.sprintf "handler_%d" i)
+      done;
+      Builder.jmp b "unknown"
+    end
+  end;
+  Builder.label b "unknown";
+  transmit_label profile b "msg_unknown" 2;
+  Builder.jmp b "loop";
+  Builder.label b "quit";
+  transmit_label profile b "msg_bye" 4;
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys 0);
+  (* -- auxiliary dispatch paths -- *)
+  if profile.vuln then begin
+    Builder.label b "vuln_dispatch";
+    Builder.call b "vuln_handler";
+    Builder.jmp b "loop"
+  end;
+  if profile.n_fptrs > 0 then begin
+    Builder.label b "pcall";
+    recv_byte profile b;
+    Builder.movi_lab b Reg.R1 "iobuf";
+    Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+    Builder.insn b (Insn.Movi (Reg.R4, profile.n_fptrs));
+    Builder.insn b (Insn.Alu (Insn.Mod, Reg.R3, Reg.R4));
+    Builder.insn b (Insn.Shli (Reg.R3, 2));
+    Builder.movi_lab b Reg.R4 "fptr_table";
+    Builder.insn b (Insn.Alu (Insn.Add, Reg.R4, Reg.R3));
+    Builder.insn b (Insn.Load { dst = Reg.R4; base = Reg.R4; disp = 0 });
+    Builder.insn b (Insn.Callr Reg.R4);
+    transmit_label profile b "msg_ok" 3;
+    Builder.jmp b "loop"
+  end;
+  if profile.vuln_fptr then begin
+    (* 'b': upload a length-prefixed blob into the (bounded) upload
+       buffer — benign by itself. *)
+    Builder.label b "bupload";
+    recv_byte profile b;
+    lea profile b Reg.R1 "iobuf";
+    Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+    Builder.insn b (Insn.Movi (Reg.R0, 0));
+    lea profile b Reg.R1 "upload_buf";
+    Builder.insn b (Insn.Mov (Reg.R2, Reg.R3));
+    Builder.insn b (Insn.Sys 2);
+    transmit_label profile b "msg_ok" 3;
+    Builder.jmp b "loop";
+    (* 'w': write a 32-bit value into slot[idx] of the writable pointer
+       table.  The index is NOT bounds-checked: the bug.  Payload: one
+       index byte, then 4 little-endian value bytes (received into iobuf
+       and copied). *)
+    Builder.label b "wwrite";
+    recv_byte profile b;
+    lea profile b Reg.R1 "iobuf";
+    Builder.insn b (Insn.Load8 { dst = Reg.R4; base = Reg.R1; disp = 0 });
+    (* read the 4 value bytes *)
+    Builder.insn b (Insn.Movi (Reg.R0, 0));
+    lea profile b Reg.R1 "iobuf";
+    Builder.insn b (Insn.Movi (Reg.R2, 4));
+    Builder.insn b (Insn.Sys 2);
+    lea profile b Reg.R1 "iobuf";
+    Builder.insn b (Insn.Load { dst = Reg.R5; base = Reg.R1; disp = 0 });
+    Builder.insn b (Insn.Shli (Reg.R4, 2));
+    lea profile b Reg.R6 "fptr_slots";
+    Builder.insn b (Insn.Alu (Insn.Add, Reg.R6, Reg.R4));
+    Builder.insn b (Insn.Store { base = Reg.R6; disp = 0; src = Reg.R5 });
+    transmit_label profile b "msg_ok" 3;
+    Builder.jmp b "loop";
+    (* 'x': call through slot[idx]. *)
+    Builder.label b "xcall";
+    recv_byte profile b;
+    lea profile b Reg.R1 "iobuf";
+    Builder.insn b (Insn.Load8 { dst = Reg.R4; base = Reg.R1; disp = 0 });
+    Builder.insn b (Insn.Alui (Insn.Andi, Reg.R4, 3));
+    Builder.insn b (Insn.Shli (Reg.R4, 2));
+    lea profile b Reg.R6 "fptr_slots";
+    Builder.insn b (Insn.Alu (Insn.Add, Reg.R6, Reg.R4));
+    Builder.insn b (Insn.Load { dst = Reg.R6; base = Reg.R6; disp = 0 });
+    Builder.insn b (Insn.Callr Reg.R6);
+    transmit_label profile b "msg_ok" 3;
+    Builder.jmp b "loop"
+  end;
+  if profile.dense_pair then begin
+    Builder.label b "dcall";
+    recv_byte profile b;
+    Builder.movi_lab b Reg.R1 "iobuf";
+    Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+    Builder.insn b (Insn.Alui (Insn.Andi, Reg.R3, 1));
+    Builder.insn b (Insn.Shli (Reg.R3, 2));
+    Builder.movi_lab b Reg.R4 "dense_table";
+    Builder.insn b (Insn.Alu (Insn.Add, Reg.R4, Reg.R3));
+    Builder.insn b (Insn.Load { dst = Reg.R4; base = Reg.R4; disp = 0 });
+    Builder.insn b (Insn.Callr Reg.R4);
+    transmit_label profile b "msg_dense" 3;
+    Builder.jmp b "loop"
+  end;
+  List.iteri
+    (fun k (cell, _, key) ->
+      Builder.label b (Printf.sprintf "hjump_%d" k);
+      Builder.loada_lab b Reg.R4 cell;
+      Builder.insn b (Insn.Alui (Insn.Xori, Reg.R4, key));
+      Builder.insn b (Insn.Jmpr Reg.R4))
+    hidden;
+  if profile.pathological then begin
+    (* call every stub through the table (terminated by a 0 sentinel):
+       heavy pin traffic *)
+    Builder.label b "scall";
+    Builder.movi_lab b Reg.R5 "stub_table";
+    Builder.label b "scall_loop";
+    Builder.insn b (Insn.Load { dst = Reg.R4; base = Reg.R5; disp = 0 });
+    Builder.insn b (Insn.Cmpi (Reg.R4, 0));
+    Builder.jcc b Cond.Eq "scall_done";
+    Builder.insn b (Insn.Callr Reg.R4);
+    Builder.insn b (Insn.Alui (Insn.Addi, Reg.R5, 4));
+    Builder.jmp b "scall_loop";
+    Builder.label b "scall_done";
+    transmit_label profile b "msg_ok" 3;
+    Builder.jmp b "loop"
+  end;
+  (* -- code bodies -- *)
+  (* The dense pair sits directly in front of handler_0: the sled the
+     rewriter must build for it needs the following bytes to be
+     relocatable, and handlers are always dispatch-reachable. *)
+  if profile.dense_pair then begin
+    Builder.label b "dense_t0";
+    Builder.insn b Insn.Nop;
+    Builder.label b "dense_t1";
+    Builder.insn b (Insn.Alui (Insn.Xori, Reg.R7, 0x5151));
+    Builder.insn b (Insn.Ret)
+  end;
+  let stubs = ref [] in
+  let add_stub () =
+    let name = Printf.sprintf "stub_%d" (List.length !stubs) in
+    stubs := name :: !stubs;
+    name
+  in
+  for i = 0 to profile.n_handlers - 1 do
+    emit_handler b body_rng profile ~index:i ~add_stub;
+    if profile.data_islands > 0 && i mod (1 + (profile.n_handlers / profile.data_islands)) = 0
+    then begin
+      Builder.text_item b (Ast.Asciiz (Printf.sprintf "island-%d" i));
+      Builder.text_item b
+        (Ast.Raw_bytes (Rng.bytes body_rng (4 + Rng.int body_rng 12)))
+    end
+  done;
+  for i = 0 to profile.n_helpers - 1 do
+    emit_helper b body_rng ~index:i ~count:profile.n_helpers
+  done;
+  for i = 0 to profile.n_fptrs - 1 do
+    emit_fptr_target b body_rng ~index:i
+  done;
+  List.iteri
+    (fun _k (_, target, _) ->
+      Builder.label b target;
+      transmit_label profile b "msg_hidden" 3;
+      Builder.insn b (Insn.Alui (Insn.Addi, Reg.R7, 0xdead));
+      Builder.jmp b "loop")
+    hidden;
+  if profile.vuln_fptr then begin
+    Builder.label b "slot_fn";
+    Builder.insn b (Insn.Alui (Insn.Addi, Reg.R7, 0x77));
+    Builder.insn b (Insn.Ret)
+  end;
+  if profile.vuln then emit_vuln_handler profile b;
+  if profile.pathological then begin
+    Builder.rodata_label b "stub_table";
+    List.iter (fun name -> Builder.rodata_word b (Ast.Lab name)) (List.rev !stubs);
+    Builder.rodata_word b (Ast.Abs 0)
+  end;
+  (* -- assemble (with hidden-cell patching) -- *)
+  let program = Builder.to_program b in
+  let binary, symbols = patch_hidden_cells program hidden in
+  let commands =
+    List.concat
+      [
+        List.init profile.n_handlers (fun i -> Char.chr (Char.code '0' + i));
+        (if profile.n_fptrs > 0 then [ 'p' ] else []);
+        (if profile.dense_pair then [ 'd' ] else []);
+        (if profile.vuln_fptr then [ 'x' ] else []);
+        List.init (List.length hidden) (fun k -> Char.chr (Char.code 'h' + k));
+        (* 's' (the stub storm) stays out of the poller command set: the
+           stubs are address-taken cold code — their pins stress the
+           rewriter, their execution is not part of the service's normal
+           profile. *)
+      ]
+  in
+  let meta =
+    {
+      seed;
+      profile;
+      symbols;
+      commands;
+      fptr_count = profile.n_fptrs;
+      vuln_frame = (if profile.vuln then Some vuln_frame_size else None);
+      vuln_buffer_addr =
+        (if profile.vuln then Some (stack_top - 4 - vuln_frame_size) else None);
+      fptr_slots_addr =
+        (if profile.vuln_fptr then List.assoc_opt "fptr_slots" symbols else None);
+      upload_buf_addr =
+        (if profile.vuln_fptr then List.assoc_opt "upload_buf" symbols else None);
+    }
+  in
+  (binary, meta)

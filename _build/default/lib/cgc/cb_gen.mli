@@ -1,0 +1,60 @@
+(** Challenge-binary generator.
+
+    DARPA's CGC challenge binaries were purpose-written network services:
+    a command loop over DECREE I/O, rich dispatch (switch tables, function
+    pointers), compute kernels, and at least one injected memory-safety
+    vulnerability.  This generator reproduces that shape deterministically
+    from a seed, with knobs for every structural trait that stresses a
+    rewriter:
+
+    - jump-table and function-pointer dispatch (indirect-branch targets);
+    - data islands inside the text section (code/data disambiguation);
+    - hidden code reached through computed jumps no static analysis can
+      follow (conservative fixed ranges);
+    - adjacent 1-byte address-taken targets (dense pins, sleds);
+    - a stack-overflow vulnerability with a deterministic PoV;
+    - a "pathological" mode modelled on the paper's Figure-6 outlier:
+      pinned addresses scattered densely between large dollops.
+
+    Every binary reads commands until ['q'] or EOF and answers each with
+    output that depends on the command, its arguments, and a running
+    session accumulator, so pollers get deep behavioural coverage. *)
+
+type profile = {
+  n_handlers : int;  (** switch-dispatched command handlers *)
+  n_helpers : int;  (** call-graph depth fodder *)
+  body_ops : int;  (** straight-line ALU ops per handler body *)
+  loop_iters : int;  (** hot-loop trip count (execution-time profile) *)
+  use_jump_table : bool;
+  n_fptrs : int;  (** function-pointer table entries (0 = none) *)
+  data_islands : int;  (** data blobs embedded in text *)
+  hidden_funcs : int;  (** computed-jump-only code regions *)
+  dense_pair : bool;  (** adjacent 1-byte pins forcing a sled *)
+  vuln : bool;
+  vuln_fptr : bool;
+      (** a second vulnerability class: an unchecked indexed write into a
+          writable function-pointer table ('w'), triggered through 'x' —
+          hijacks via [callr] rather than [ret] *)
+  pathological : bool;  (** scatter many pins between large dollops *)
+  mem_span : int;  (** bytes of working buffer each handler touches *)
+  pic : bool;  (** form data addresses PC-relatively (position-independent style) *)
+}
+
+val default_profile : profile
+(** A mid-sized CB: 6 handlers, 8 helpers, jump table, 4 function
+    pointers, one island, one hidden function, vulnerable. *)
+
+type meta = {
+  seed : int;
+  profile : profile;
+  symbols : (string * int) list;
+  commands : char list;  (** dispatchable command bytes (excluding 'q') *)
+  fptr_count : int;
+  vuln_frame : int option;  (** vulnerable handler's frame size, if any *)
+  vuln_buffer_addr : int option;  (** deterministic stack address of the buffer *)
+  fptr_slots_addr : int option;  (** writable pointer table, when [vuln_fptr] *)
+  upload_buf_addr : int option;  (** attacker-controllable upload buffer, when [vuln_fptr] *)
+}
+
+val generate : seed:int -> profile -> Zelf.Binary.t * meta
+(** Deterministic: equal seeds and profiles yield identical binaries. *)

@@ -1,0 +1,57 @@
+module Rng = Zipr_util.Rng
+
+type entry = {
+  name : string;
+  binary : Zelf.Binary.t;
+  meta : Cb_gen.meta;
+  pollers : Poller.script list;
+}
+
+let size = 62
+
+let profile_for i ~master_seed =
+  let rng = Rng.create (master_seed + (i * 7919)) in
+  if i = 47 then
+    (* The Figure-6 outlier: scattered pins, large dollops. *)
+    {
+      Cb_gen.n_handlers = 10;
+      n_helpers = 6;
+      body_ops = 500;
+      loop_iters = 30;
+      use_jump_table = true;
+      n_fptrs = 6;
+      data_islands = 0;
+      hidden_funcs = 0;
+      dense_pair = false;
+      vuln = true;
+      vuln_fptr = false;
+      pathological = true;
+      mem_span = 0;
+      pic = false;
+    }
+  else
+    {
+      Cb_gen.n_handlers = 4 + Rng.int rng 7;
+      n_helpers = 8 + Rng.int rng 22;
+      body_ops = 40 + Rng.int rng 110;
+      loop_iters = 100 + Rng.int rng 700;
+      use_jump_table = i mod 3 <> 1;
+      n_fptrs = (match i mod 4 with 0 -> 0 | 1 -> 2 | 2 -> 4 | _ -> 6);
+      data_islands = (if i mod 5 = 0 then 1 + Rng.int rng 2 else 0);
+      hidden_funcs = (if i mod 6 = 2 then 1 else 0);
+      dense_pair = i mod 7 = 3;
+      vuln = true;
+      vuln_fptr = i mod 8 = 5;
+      pathological = false;
+      mem_span = 64 lsl Rng.int rng 8;
+      pic = i mod 9 = 4;
+    }
+
+let entry ?(master_seed = 2016) ?(pollers_per_cb = 8) i =
+  let profile = profile_for i ~master_seed in
+  let binary, meta = Cb_gen.generate ~seed:(master_seed + i) profile in
+  let pollers = Poller.generate meta ~seed:(master_seed + (1000 * i)) ~count:pollers_per_cb in
+  { name = Printf.sprintf "CB_%02d" i; binary; meta; pollers }
+
+let build ?master_seed ?pollers_per_cb ?(n = size) () =
+  List.init n (fun i -> entry ?master_seed ?pollers_per_cb i)

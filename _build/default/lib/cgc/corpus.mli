@@ -1,0 +1,28 @@
+(** The evaluation corpus: 62 deterministic challenge binaries, matching
+    the count the paper measured during the CGC final event (§IV-B, "For
+    62 of the CBs deployed during CFE...").
+
+    Profiles sweep the structural space — handler counts, body sizes,
+    loop weights, dispatch styles, data islands, hidden code, dense pins
+    — and CB #47 uses the pathological profile that reproduces the
+    paper's Figure-6 memory outlier (pinned addresses fragmenting the
+    address space under large dollops). *)
+
+type entry = {
+  name : string;  (** "CB_00" ... *)
+  binary : Zelf.Binary.t;
+  meta : Cb_gen.meta;
+  pollers : Poller.script list;
+}
+
+val size : int
+(** 62. *)
+
+val profile_for : int -> master_seed:int -> Cb_gen.profile
+(** The deterministic profile of corpus index [i] (exposed for tests). *)
+
+val entry : ?master_seed:int -> ?pollers_per_cb:int -> int -> entry
+(** Build a single corpus member (default master seed 2016, 8 pollers). *)
+
+val build : ?master_seed:int -> ?pollers_per_cb:int -> ?n:int -> unit -> entry list
+(** Build the first [n] members (default: all {!size}). *)

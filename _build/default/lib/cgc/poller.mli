@@ -1,0 +1,36 @@
+(** Pollers: deterministic functionality and performance probes.
+
+    In the CGC, DARPA required challenge-binary authors to supply pollers
+    exercising all of a CB's functionality; replacement binaries were
+    scored on poller behaviour (functionality) and poller resource usage
+    (execution time, memory) relative to the original.  Here a poller is a
+    generated input script; its expected behaviour is whatever the
+    {e original} binary does with it, so a rewritten binary passes when
+    its transcript (output bytes and exit status) matches byte-for-byte. *)
+
+type script = { input : string }
+
+val generate : Cb_gen.meta -> seed:int -> count:int -> script list
+(** Random command scripts covering every dispatchable command, indirect
+    calls, hidden code, benign (in-bounds) uses of the vulnerable
+    handler, unknown-command paths, and quit/EOF endings. *)
+
+val run : ?fuel:int -> Zelf.Binary.t -> script -> Zvm.Vm.result
+
+type check = {
+  total : int;
+  passed : int;
+  failures : (script * string) list;  (** script and a short reason *)
+}
+
+val functional_check :
+  ?fuel:int -> orig:Zelf.Binary.t -> rewritten:Zelf.Binary.t -> script list -> check
+(** Byte-for-byte transcript comparison over every script. *)
+
+type usage = {
+  cycles : int;  (** summed over scripts *)
+  insns : int;
+  rss_pages : int;  (** maximum over scripts *)
+}
+
+val measure : ?fuel:int -> Zelf.Binary.t -> script list -> usage

@@ -1,0 +1,97 @@
+module B = Zipr_util.Bytebuf
+
+let marker = "PWN!"
+let exploit_status = 42
+
+(* Shellcode that transmits the marker (placed at [marker_addr]) and
+   exits with the flag status. *)
+let shellcode ~marker_addr =
+  Zvm.Encode.encode_all
+    Zvm.Insn.
+      [
+        Movi (Zvm.Reg.R0, 1);
+        Movi (Zvm.Reg.R1, marker_addr);
+        Movi (Zvm.Reg.R2, String.length marker);
+        Sys 1;
+        Movi (Zvm.Reg.R0, exploit_status);
+        Sys 0;
+      ]
+
+let build_stack (meta : Cb_gen.meta) =
+  match (meta.Cb_gen.vuln_frame, meta.Cb_gen.vuln_buffer_addr) with
+  | Some frame, Some buffer_addr ->
+      let buf = B.create () in
+      let marker_off = frame - 12 in
+      let shell = shellcode ~marker_addr:(buffer_addr + marker_off) in
+      assert (Bytes.length shell <= marker_off);
+      B.blit_bytes buf shell;
+      B.zeros buf (marker_off - Bytes.length shell);
+      B.string buf marker;
+      B.zeros buf (frame - B.length buf);
+      B.u32 buf buffer_addr;
+      let payload = B.to_string buf in
+      Some (Printf.sprintf "v%c%s" (Char.chr (String.length payload)) payload)
+  | _ -> None
+
+(* The function-pointer overwrite: upload shellcode to the bounded buffer
+   ('b' — benign in itself), stomp dispatch slot 0 with its address ('w'
+   — the unchecked write), and trigger it ('x'). *)
+let build_fptr (meta : Cb_gen.meta) =
+  match meta.Cb_gen.upload_buf_addr with
+  | Some upload ->
+      let buf = B.create () in
+      let marker_off = 40 in
+      let shell = shellcode ~marker_addr:(upload + marker_off) in
+      assert (Bytes.length shell <= marker_off);
+      B.blit_bytes buf shell;
+      B.zeros buf (marker_off - Bytes.length shell);
+      B.string buf marker;
+      let payload = B.to_string buf in
+      let input = Buffer.create 64 in
+      Buffer.add_char input 'b';
+      Buffer.add_char input (Char.chr (String.length payload));
+      Buffer.add_string input payload;
+      Buffer.add_char input 'w';
+      Buffer.add_char input '\000';
+      Buffer.add_char input (Char.chr (upload land 0xff));
+      Buffer.add_char input (Char.chr ((upload lsr 8) land 0xff));
+      Buffer.add_char input (Char.chr ((upload lsr 16) land 0xff));
+      Buffer.add_char input (Char.chr ((upload lsr 24) land 0xff));
+      Buffer.add_char input 'x';
+      Buffer.add_char input '\000';
+      Some (Buffer.contents input)
+  | None -> None
+
+let povs meta =
+  List.filter_map
+    (fun (kind, v) -> Option.map (fun input -> (kind, input)) v)
+    [ ("stack-overflow", build_stack meta); ("fptr-overwrite", build_fptr meta) ]
+
+let build meta = Option.map snd (List.nth_opt (povs meta) 0)
+
+type outcome = Exploited | Blocked of string | Inconclusive of string
+
+let classify (r : Zvm.Vm.result) =
+  let has_marker =
+    let m = marker and s = r.Zvm.Vm.output in
+    let ml = String.length m and sl = String.length s in
+    let rec scan i = i + ml <= sl && (String.sub s i ml = m || scan (i + 1)) in
+    scan 0
+  in
+  if has_marker || r.Zvm.Vm.stop = Zvm.Vm.Exited exploit_status then Exploited
+  else
+    match r.Zvm.Vm.stop with
+    | Zvm.Vm.Exited n when n = Transforms.Cfi.violation_status ->
+        Blocked "CFI violation (safe termination)"
+    | Zvm.Vm.Exited n when n = Transforms.Canary.violation_status ->
+        Blocked "canary mismatch (safe termination)"
+    | Zvm.Vm.Exited n when n = Transforms.Shadow_stack.violation_status ->
+        Blocked "shadow-stack mismatch (safe termination)"
+    | Zvm.Vm.Fault f -> Blocked (Format.asprintf "%a" Zvm.Vm.pp_stop (Zvm.Vm.Fault f))
+    | stop -> Inconclusive (Zvm.Vm.stop_to_string stop)
+
+let attempt_all ?(fuel = 5_000_000) binary meta =
+  List.map (fun (kind, input) -> (kind, classify (Zelf.Image.boot ~fuel binary ~input))) (povs meta)
+
+let attempt ?fuel binary meta =
+  match attempt_all ?fuel binary meta with [] -> None | (_, o) :: _ -> Some o

@@ -1,0 +1,41 @@
+(** Proofs of vulnerability: control-flow-hijack exploits for the
+    generated challenge binaries.
+
+    Each vulnerable CB's overflow is triggered with a payload that places
+    ZVM shellcode in the stack buffer and overwrites the saved return
+    address with the buffer's (deterministic) address.  The shellcode
+    transmits {!marker} and terminates with {!exploit_status} — the
+    observable "flag capture".  The PoV demonstrably works on the
+    original and Null-rewritten binaries; a CFI-rewritten binary must
+    stop it (safe termination), which is the competition's definition of
+    a fielded defense. *)
+
+val marker : string
+(** ["PWN!"] *)
+
+val exploit_status : int
+(** 42 *)
+
+val povs : Cb_gen.meta -> (string * string) list
+(** Every exploit the profile admits, as (kind, input) pairs: the stack
+    overflow ("stack-overflow", return hijack through [ret]) and, when
+    the profile has the writable dispatch table, the pointer overwrite
+    ("fptr-overwrite", hijack through [callr]).  The two exercise both
+    halves of a CFI defense. *)
+
+val build : Cb_gen.meta -> string option
+(** The first exploit input, or [None] for an invulnerable profile. *)
+
+type outcome =
+  | Exploited  (** shellcode ran: marker transmitted or exploit status *)
+  | Blocked of string  (** stopped before the shellcode (reason rendered) *)
+  | Inconclusive of string
+
+val classify : Zvm.Vm.result -> outcome
+
+val attempt_all : ?fuel:int -> Zelf.Binary.t -> Cb_gen.meta -> (string * outcome) list
+(** Run every PoV against a binary. *)
+
+val attempt : ?fuel:int -> Zelf.Binary.t -> Cb_gen.meta -> outcome option
+(** Run the first PoV against a binary; [None] if the profile has no
+    vulnerability. *)

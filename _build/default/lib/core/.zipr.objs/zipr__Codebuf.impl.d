@@ -1,0 +1,1 @@
+lib/core/codebuf.ml: Bytes Char Printf Zvm

@@ -1,0 +1,1 @@
+lib/core/dollop.ml: Array Format Hashtbl Irdb List Zvm

@@ -1,0 +1,1 @@
+lib/core/dollop.mli: Format Irdb Zvm

@@ -1,0 +1,1 @@
+lib/core/ir_construction.ml: Analysis Array Disasm Hashtbl Irdb List Mandatory Printf Zelf Zvm

@@ -1,0 +1,1 @@
+lib/core/ir_construction.mli: Analysis Disasm Irdb Zelf

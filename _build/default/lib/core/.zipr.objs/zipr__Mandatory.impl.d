@@ -1,0 +1,1 @@
+lib/core/mandatory.ml: Irdb Zvm

@@ -1,0 +1,1 @@
+lib/core/mandatory.mli: Irdb Zvm

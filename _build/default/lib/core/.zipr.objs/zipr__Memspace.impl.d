@@ -1,0 +1,1 @@
+lib/core/memspace.ml: List Option Zipr_util

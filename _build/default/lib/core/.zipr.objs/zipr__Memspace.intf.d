@@ -1,0 +1,1 @@
+lib/core/memspace.mli: Zipr_util

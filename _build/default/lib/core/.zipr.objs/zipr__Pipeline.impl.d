@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Analysis Format Ir_construction Placement Reassemble Transform Unix Zelf

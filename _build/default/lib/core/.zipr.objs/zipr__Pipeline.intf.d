@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Analysis Ir_construction Placement Reassemble Stdlib Transform Zelf

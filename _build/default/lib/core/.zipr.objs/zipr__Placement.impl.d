@@ -1,0 +1,1 @@
+lib/core/placement.ml: List Memspace Zipr_util

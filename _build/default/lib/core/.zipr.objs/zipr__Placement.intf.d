@@ -1,0 +1,1 @@
+lib/core/placement.mli: Memspace Zipr_util

@@ -1,0 +1,1 @@
+lib/core/reassemble.ml: Array Bytes Char Codebuf Cond Dollop Format Hashtbl Insn Ir_construction Irdb List Memspace Option Placement Printf Queue Reg Sled Zelf Zipr_util Zvm

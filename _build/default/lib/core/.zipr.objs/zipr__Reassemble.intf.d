@@ -1,0 +1,1 @@
+lib/core/reassemble.mli: Format Ir_construction Placement Zelf

@@ -1,0 +1,1 @@
+lib/core/routine.ml: Hashtbl Irdb List Printf Zvm

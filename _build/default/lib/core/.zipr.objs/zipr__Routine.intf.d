@@ -1,0 +1,1 @@
+lib/core/routine.mli: Irdb Zvm

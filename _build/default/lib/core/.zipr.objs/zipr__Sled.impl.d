@@ -1,0 +1,1 @@
+lib/core/sled.ml: Array Bytes Char Hashtbl Irdb List Option Printf Zvm

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Hashtbl Irdb List Printf

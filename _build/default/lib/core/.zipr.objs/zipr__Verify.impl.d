@@ -1,0 +1,1 @@
+lib/core/verify.ml: Format Ir_construction Irdb List Zelf Zvm

@@ -1,0 +1,69 @@
+type t = {
+  text_lo : int;
+  text_hi : int;
+  overflow_base : int;
+  text : bytes;
+  mutable overflow : bytes;
+  mutable overflow_hw : int;  (* high-water offset *)
+}
+
+let create ~text_lo ~text_hi ~overflow_base =
+  {
+    text_lo;
+    text_hi;
+    overflow_base;
+    text = Bytes.make (text_hi - text_lo) '\000';
+    overflow = Bytes.make 4096 '\000';
+    overflow_hw = 0;
+  }
+
+let text_lo t = t.text_lo
+let text_hi t = t.text_hi
+let overflow_base t = t.overflow_base
+let overflow_used t = t.overflow_hw
+
+let grow_overflow t needed =
+  if needed > Bytes.length t.overflow then begin
+    let cap = ref (Bytes.length t.overflow) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let fresh = Bytes.make !cap '\000' in
+    Bytes.blit t.overflow 0 fresh 0 t.overflow_hw;
+    t.overflow <- fresh
+  end
+
+let write8 t addr v =
+  if addr >= t.text_lo && addr < t.text_hi then
+    Bytes.set t.text (addr - t.text_lo) (Char.chr (v land 0xff))
+  else if addr >= t.overflow_base then begin
+    let off = addr - t.overflow_base in
+    grow_overflow t (off + 1);
+    Bytes.set t.overflow off (Char.chr (v land 0xff));
+    if off + 1 > t.overflow_hw then t.overflow_hw <- off + 1
+  end
+  else invalid_arg (Printf.sprintf "Codebuf.write8: address 0x%x outside code regions" addr)
+
+let write32 t addr v =
+  write8 t addr v;
+  write8 t (addr + 1) (v lsr 8);
+  write8 t (addr + 2) (v lsr 16);
+  write8 t (addr + 3) (v lsr 24)
+
+let write_bytes t addr b =
+  Bytes.iteri (fun i c -> write8 t (addr + i) (Char.code c)) b
+
+let write_insn t addr insn =
+  let b = Zvm.Encode.to_bytes insn in
+  write_bytes t addr b;
+  Bytes.length b
+
+let read8 t addr =
+  if addr >= t.text_lo && addr < t.text_hi then Char.code (Bytes.get t.text (addr - t.text_lo))
+  else if addr >= t.overflow_base && addr < t.overflow_base + t.overflow_hw then
+    Char.code (Bytes.get t.overflow (addr - t.overflow_base))
+  else invalid_arg (Printf.sprintf "Codebuf.read8: address 0x%x outside code regions" addr)
+
+let text_image t = Bytes.copy t.text
+
+let overflow_image t = Bytes.sub t.overflow 0 t.overflow_hw

@@ -1,0 +1,36 @@
+(** The rewritten program's code image under construction.
+
+    Two address regions back the image: the original text span and the
+    "infinite" overflow area appended past the binary's last section
+    (paper §II-C1).  Writes to either region land in the right backing
+    store transparently; the overflow's high-water mark determines how
+    many overflow bytes the output binary must carry. *)
+
+type t
+
+val create : text_lo:int -> text_hi:int -> overflow_base:int -> t
+
+val text_lo : t -> int
+val text_hi : t -> int
+val overflow_base : t -> int
+
+val overflow_used : t -> int
+(** Bytes of overflow written so far (high-water relative to the base). *)
+
+val write8 : t -> int -> int -> unit
+(** Raises [Invalid_argument] outside both regions. *)
+
+val write32 : t -> int -> int -> unit
+
+val write_bytes : t -> int -> bytes -> unit
+
+val write_insn : t -> int -> Zvm.Insn.t -> int
+(** Encode an instruction at an address; returns its length. *)
+
+val read8 : t -> int -> int
+
+val text_image : t -> bytes
+(** The original text span's final contents. *)
+
+val overflow_image : t -> bytes
+(** The overflow contents up to the high-water mark. *)

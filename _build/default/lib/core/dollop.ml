@@ -1,0 +1,163 @@
+module Db = Irdb.Db
+
+type ending = Natural | Connect of Db.insn_id
+
+type t = { rows : Db.insn_id list; ending : ending }
+
+let normalized_insn insn =
+  let open Zvm.Insn in
+  match insn with
+  | Jcc (c, Short, d) -> Jcc (c, Near, d)
+  | Jmp (Short, d) -> Jmp (Near, d)
+  | other -> other
+
+let normalized_size insn = Zvm.Insn.size (normalized_insn insn)
+
+let connector_size = 5
+
+let build db ~has_home head =
+  if has_home head then invalid_arg "Dollop.build: head already placed";
+  let seen = Hashtbl.create 16 in
+  let rec go id acc =
+    Hashtbl.add seen id ();
+    let r = Db.row db id in
+    let acc = id :: acc in
+    match r.Db.fallthrough with
+    | None -> { rows = List.rev acc; ending = Natural }
+    | Some ft ->
+        if has_home ft then { rows = List.rev acc; ending = Connect ft }
+        else if Hashtbl.mem seen ft then
+          (* A fallthrough cycle (malformed IR); close with a connector so
+             emission terminates and the jump re-enters the placed code. *)
+          { rows = List.rev acc; ending = Connect ft }
+        else go ft acc
+  in
+  go head []
+
+let size db t =
+  let body =
+    List.fold_left (fun acc id -> acc + normalized_size (Db.row db id).Db.insn) 0 t.rows
+  in
+  match t.ending with Natural -> body | Connect _ -> body + connector_size
+
+type placed_insn = { row : Db.insn_id; offset : int; form : Zvm.Insn.t; internal : bool }
+
+let layout db t =
+  let rows = Array.of_list t.rows in
+  let n = Array.length rows in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i id -> Hashtbl.replace index_of id i) rows;
+  (* Which direct branches can be resolved inside the dollop, and to which
+     row index? *)
+  let internal_target =
+    Array.map
+      (fun id ->
+        let r = Db.row db id in
+        match r.Db.insn with
+        | Zvm.Insn.Jcc _ | Zvm.Insn.Jmp _ -> (
+            match r.Db.target with
+            | Some tid -> Hashtbl.find_opt index_of tid
+            | None -> None)
+        | _ -> None)
+      rows
+  in
+  (* Relaxation: internal branches start short; grow out-of-range ones to
+     a fixpoint (monotone, hence terminating). *)
+  let near = Array.make n false in
+  let offsets = Array.make n 0 in
+  let size_of i =
+    let r = Db.row db rows.(i) in
+    match internal_target.(i) with
+    | Some _ -> if near.(i) then 5 else 2
+    | None -> normalized_size r.Db.insn
+  in
+  let compute_offsets () =
+    let off = ref 0 in
+    for i = 0 to n - 1 do
+      offsets.(i) <- !off;
+      off := !off + size_of i
+    done;
+    !off
+  in
+  let body = ref (compute_offsets ()) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      match internal_target.(i) with
+      | Some j when not near.(i) ->
+          let disp = offsets.(j) - (offsets.(i) + 2) in
+          if disp < -128 || disp > 127 then begin
+            near.(i) <- true;
+            changed := true
+          end
+      | _ -> ()
+    done;
+    if !changed then body := compute_offsets ()
+  done;
+  let placed =
+    List.init n (fun i ->
+        let id = rows.(i) in
+        let r = Db.row db id in
+        match internal_target.(i) with
+        | Some j ->
+            let open Zvm.Insn in
+            let width = if near.(i) then Near else Short in
+            let disp = offsets.(j) - (offsets.(i) + size_of i) in
+            let form =
+              match r.Db.insn with
+              | Jcc (c, _, _) -> Jcc (c, width, disp)
+              | Jmp (_, _) -> Jmp (width, disp)
+              | _ -> assert false
+            in
+            { row = id; offset = offsets.(i); form; internal = true }
+        | None ->
+            { row = id; offset = offsets.(i); form = normalized_insn r.Db.insn; internal = false })
+  in
+  let total = match t.ending with Natural -> !body | Connect _ -> !body + connector_size in
+  (placed, total)
+
+let split_to_fit db t ~capacity =
+  match t.rows with
+  | [] | [ _ ] -> None
+  | _ ->
+      (* Greedy prefix: keep adding rows while prefix + connector fits. *)
+      let rec take rows acc_size acc_rows =
+        match rows with
+        | [] -> (List.rev acc_rows, [])
+        | id :: rest ->
+            let s = normalized_size (Db.row db id).Db.insn in
+            if acc_size + s + connector_size <= capacity then
+              take rest (acc_size + s) (id :: acc_rows)
+            else (List.rev acc_rows, rows)
+      in
+      let prefix, rest = take t.rows 0 [] in
+      (* A call must keep its successor adjacent: the pushed return
+         address is the byte after the call, and landing on a connector
+         jump instead of the real continuation breaks return-address
+         invariants (and CFI return markers). *)
+      let rec trim prefix rest =
+        match List.rev prefix with
+        | last :: _
+          when (match (Db.row db last).Db.insn with
+               | Zvm.Insn.Call _ | Zvm.Insn.Callr _ -> true
+               | _ -> false) ->
+            let prefix' = List.filteri (fun i _ -> i < List.length prefix - 1) prefix in
+            trim prefix' (last :: rest)
+        | _ -> (prefix, rest)
+      in
+      let prefix, rest = trim prefix rest in
+      (match (prefix, rest) with
+      | [], _ | _, [] -> None  (* nothing fits, or nothing left to split off *)
+      | _, rest_head :: _ ->
+          Some ({ rows = prefix; ending = Connect rest_head }, rest_head))
+
+let pp db ppf t =
+  Format.fprintf ppf "@[<v>dollop (%d rows):@," (List.length t.rows);
+  List.iter
+    (fun id -> Format.fprintf ppf "  %d: %s@," id (Zvm.Insn.to_string (Db.row db id).Db.insn))
+    t.rows;
+  (match t.ending with
+  | Natural -> Format.fprintf ppf "  (natural end)@,"
+  | Connect id -> Format.fprintf ppf "  jmp -> row %d@," id);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** Dollops: the reassembler's unit of placement (paper §II-C1).
+
+    A dollop is a maximal sequence of IRDB rows linked by fallthrough.
+    Construction from a head row follows fallthrough links until an
+    instruction with no fallthrough ends the dollop naturally, or until
+    the chain reaches a row that already has a home (previously placed,
+    or fixed at its original address) — then the dollop must end with a
+    {e connector}: an appended unconditional jump to that row.
+
+    Inside a dollop, direct branches are {e normalized} to their near
+    (32-bit displacement) forms so encoded sizes are known before
+    placement; the optimized layout of §III recovers short forms for the
+    references it controls, not for dollop-internal branches. *)
+
+type ending =
+  | Natural  (** last row has no fallthrough *)
+  | Connect of Irdb.Db.insn_id  (** needs a trailing 5-byte jump to this row *)
+
+type t = { rows : Irdb.Db.insn_id list; ending : ending }
+
+val normalized_insn : Zvm.Insn.t -> Zvm.Insn.t
+(** Direct branches widened to near form (displacement meaningless until
+    placement). *)
+
+val normalized_size : Zvm.Insn.t -> int
+
+val connector_size : int
+(** Size of the trailing jump (5). *)
+
+type placed_insn = {
+  row : Irdb.Db.insn_id;
+  offset : int;  (** from the dollop start *)
+  form : Zvm.Insn.t;
+      (** the emitted form: a dollop-internal direct branch whose
+          displacement fits rel8 is already concretized short; other
+          direct branches are near with a placeholder displacement *)
+  internal : bool;  (** branch fully resolved within the dollop *)
+}
+
+val layout : Irdb.Db.t -> t -> placed_insn list * int
+(** Final intra-dollop layout after branch relaxation (the LLVM-style
+    short/near selection the paper adapts in §III, applied inside each
+    dollop), plus the total size {e including} any trailing connector.
+    The layout never exceeds {!size}. *)
+
+val build : Irdb.Db.t -> has_home:(Irdb.Db.insn_id -> bool) -> Irdb.Db.insn_id -> t
+(** Build the dollop headed at a row.  [has_home] tells construction which
+    rows already have an address.  Raises [Invalid_argument] if the head
+    itself already has a home. *)
+
+val size : Irdb.Db.t -> t -> int
+(** Encoded size including any connector. *)
+
+val split_to_fit : Irdb.Db.t -> t -> capacity:int -> (t * Irdb.Db.insn_id) option
+(** [split_to_fit db d ~capacity] truncates [d] to the largest prefix
+    whose encoded size plus a connector fits in [capacity] (paper
+    §II-C4's dollop splitting).  Returns the prefix (ending in a
+    connector to the remainder's head) and the remainder head row, or
+    [None] if not even one instruction plus connector fits.  Never splits
+    a [Connect]-ending dollop's connector off on its own. *)
+
+val pp : Irdb.Db.t -> Format.formatter -> t -> unit

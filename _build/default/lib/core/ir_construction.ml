@@ -1,0 +1,165 @@
+module Db = Irdb.Db
+module Agg = Disasm.Aggregate
+
+type t = {
+  db : Db.t;
+  aggregate : Agg.t;
+  pins : Analysis.Ibt.t;
+  fixed_ranges : (int * int) list;
+  data_ranges : (int * int) list;
+  warnings : string list;
+}
+
+let data_ranges_of agg =
+  let ranges = ref [] in
+  let start = ref (-1) in
+  for off = 0 to agg.Agg.len - 1 do
+    match (agg.Agg.verdicts.(off), !start) with
+    | Agg.Data, -1 -> start := off
+    | Agg.Data, _ -> ()
+    | _, -1 -> ()
+    | _, s ->
+        ranges := (agg.Agg.base + s, agg.Agg.base + off) :: !ranges;
+        start := -1
+  done;
+  if !start >= 0 then ranges := (agg.Agg.base + !start, agg.Agg.base + agg.Agg.len) :: !ranges;
+  List.rev !ranges
+
+let in_ranges ranges addr = List.exists (fun (lo, hi) -> addr >= lo && addr < hi) ranges
+
+(* [sys 0] is the terminate system call: its syscall number is an
+   immediate, so it statically never falls through.  Cutting the edge here
+   keeps dead code after exit paths from being glued onto live dollops and
+   from confusing function-entry analyses. *)
+let falls_through insn =
+  Zvm.Insn.has_fallthrough insn && insn <> Zvm.Insn.Sys 0
+
+(* Decode a short chain of rows starting at an address that has no known
+   instruction boundary (a pin landed mid-instruction or on bytes the
+   disassemblers never claimed).  New rows link into existing boundaries
+   when the chain re-synchronizes — the overlapping-instruction case real
+   x86 rewriters must also survive. *)
+let speculative_decode db binary warnings addr =
+  let fetch a = Zelf.Binary.read8 binary a in
+  let rec go a budget prev =
+    match Db.find_by_orig_addr db a with
+    | Some existing ->
+        (* Re-synchronized with known code. *)
+        (match prev with Some p -> Db.set_fallthrough db p (Some existing) | None -> ());
+        None
+    | None ->
+        if budget = 0 then begin
+          warnings := Printf.sprintf "speculative decode at 0x%x exceeded budget" a :: !warnings;
+          None
+        end
+        else
+          match Zvm.Decode.decode ~fetch a with
+          | Error e ->
+              warnings :=
+                Printf.sprintf "speculative decode failed at 0x%x: %s" a
+                  (Zvm.Decode.error_to_string e)
+                :: !warnings;
+              None
+          | Ok (insn, len) ->
+              let insn = Mandatory.rewrite_insn ~at:a insn in
+              (* orig_addr stays empty: the primary row at this range owns
+                 the by-address index. *)
+              let id = Db.add_insn db insn in
+              (match prev with Some p -> Db.set_fallthrough db p (Some id) | None -> ());
+              (* Direct branch targets resolve against known rows. *)
+              (match Zvm.Insn.static_target ~at:a insn with
+              | Some tgt -> (
+                  match Db.find_by_orig_addr db tgt with
+                  | Some tid -> Db.set_target db id (Some tid)
+                  | None ->
+                      warnings :=
+                        Printf.sprintf "speculative branch at 0x%x targets unknown 0x%x" a tgt
+                        :: !warnings)
+              | None -> ());
+              if falls_through insn then ignore (go (a + len) (budget - 1) (Some id));
+              Some id
+  and first a = go a 32 None in
+  first addr
+
+let build ?pin_config binary =
+  let warnings = ref [] in
+  let aggregate = Agg.run binary in
+  List.iter (fun w -> warnings := w :: !warnings) aggregate.Agg.warnings;
+  let pins = Analysis.Ibt.compute ?config:pin_config binary aggregate in
+  let db = Db.create ~orig:binary in
+  let fixed_ranges = Agg.ambiguous_ranges aggregate in
+  let data_ranges = data_ranges_of aggregate in
+  (* Rows for every decoded boundary. *)
+  Hashtbl.iter
+    (fun addr (insn, _len) -> ignore (Db.add_insn ~orig_addr:addr db insn))
+    aggregate.Agg.insn_at;
+  (* Logical links. *)
+  Hashtbl.iter
+    (fun addr (insn, len) ->
+      match Db.find_by_orig_addr db addr with
+      | None -> ()
+      | Some id ->
+          if falls_through insn then begin
+            match Db.find_by_orig_addr db (addr + len) with
+            | Some ft -> Db.set_fallthrough db id (Some ft)
+            | None ->
+                (* Falling into data or off the section: leave open. *)
+                if not (in_ranges data_ranges (addr + len)) then
+                  warnings :=
+                    Printf.sprintf "instruction at 0x%x falls through to unknown 0x%x" addr
+                      (addr + len)
+                    :: !warnings
+          end;
+          (match Zvm.Insn.static_target ~at:addr insn with
+          | Some tgt -> (
+              match Db.find_by_orig_addr db tgt with
+              | Some tid -> Db.set_target db id (Some tid)
+              | None ->
+                  warnings :=
+                    Printf.sprintf "branch at 0x%x targets unknown 0x%x" addr tgt :: !warnings)
+          | None -> ()))
+    aggregate.Agg.insn_at;
+  (* Fixed rows keep original bytes. *)
+  Db.iter db (fun r ->
+      match r.Db.orig_addr with
+      | Some a when in_ranges fixed_ranges a -> r.Db.fixed <- true
+      | _ -> ());
+  (* Mandatory transformations, before user transforms see the IR. *)
+  Mandatory.apply db;
+  (* Pin assignment.  Pins that may be targeted by an indirect branch are
+     marked (they receive the pin prologue, e.g. CFI landing bytes);
+     conservative pins that only straight-line or direct control flow can
+     reach are not. *)
+  let indirect_reason = function
+    | Analysis.Ibt.Data_scan | Analysis.Ibt.Code_immediate | Analysis.Ibt.Jump_table -> true
+    | Analysis.Ibt.Entry | Analysis.Ibt.After_call | Analysis.Ibt.Fixed_target
+    | Analysis.Ibt.Fixed_fallthrough ->
+        false
+  in
+  List.iter
+    (fun (addr, reasons) ->
+      if List.exists indirect_reason reasons then Db.mark_pin db addr;
+      if in_ranges data_ranges addr then ()  (* data bytes are copied; nothing to pin *)
+      else
+        match Db.find_by_orig_addr db addr with
+        | Some id -> Db.pin db id addr
+        | None -> (
+            if in_ranges fixed_ranges addr then
+              (* Inside fixed bytes but not on a decoded boundary: the
+                 original bytes are preserved, so the address stays valid
+                 without a reference. *)
+              ()
+            else
+              match speculative_decode db binary warnings addr with
+              | Some id -> Db.pin db id addr
+              | None ->
+                  warnings :=
+                    Printf.sprintf "pin at 0x%x has no decodable instruction; dropped" addr
+                    :: !warnings))
+    (Analysis.Ibt.pins pins);
+  (* Entry row. *)
+  (match Db.find_by_orig_addr db binary.Zelf.Binary.entry with
+  | Some id -> Db.set_entry db id
+  | None -> warnings := "entry point is not a decoded instruction" :: !warnings);
+  Analysis.Funcid.assign db;
+  { db; aggregate; pins; fixed_ranges; data_ranges; warnings = List.rev !warnings }

@@ -1,0 +1,27 @@
+(** The IR Construction phase (paper §II-A): disassemble, disambiguate,
+    build logical links, compute pinned addresses, and populate the IRDB.
+
+    Output is the IRDB plus the byte ranges of the original text section
+    that must keep their original contents in the rewritten program:
+
+    - [fixed_ranges] — ambiguous ranges (disassembler disagreement,
+      paper cases 2/3/4): bytes copied verbatim {e and} decoded rows kept
+      for CFG purposes, marked [fixed];
+    - [data_ranges] — ranges both disassemblers agree are data
+      (read-only tables, string islands): bytes copied verbatim. *)
+
+type t = {
+  db : Irdb.Db.t;
+  aggregate : Disasm.Aggregate.t;
+  pins : Analysis.Ibt.t;
+  fixed_ranges : (int * int) list;
+  data_ranges : (int * int) list;
+  warnings : string list;
+}
+
+val build : ?pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> t
+(** Run the whole phase: aggregate disassembly, row/link construction,
+    fixed-range marking, mandatory transformations, pinned-address
+    assignment (including speculative decoding at pins that fall between
+    known instruction boundaries), entry designation and function
+    identification. *)

@@ -1,0 +1,18 @@
+let rewrite_insn ~at insn =
+  let open Zvm.Insn in
+  let next = at + size insn in
+  match insn with
+  | Leap (r, d) -> Leaa (r, (next + d) land 0xffffffff)
+  | Loadp (r, d) -> Loada (r, (next + d) land 0xffffffff)
+  | Storep (d, r) -> Storea ((next + d) land 0xffffffff, r)
+  | Jcc (c, w, _) -> Jcc (c, w, 0)
+  | Jmp (w, _) -> Jmp (w, 0)
+  | Call _ -> Call 0
+  | other -> other
+
+let apply db =
+  Irdb.Db.iter db (fun r ->
+      if not r.Irdb.Db.fixed then
+        match r.Irdb.Db.orig_addr with
+        | Some at -> r.Irdb.Db.insn <- rewrite_insn ~at r.Irdb.Db.insn
+        | None -> ())

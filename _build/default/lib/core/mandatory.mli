@@ -1,0 +1,27 @@
+(** Mandatory transformations (paper §II-B1).
+
+    These run before any user transform and make every instruction
+    relocatable:
+
+    - PC-relative {e data} operations ([leap]/[loadp]/[storep]) are
+      rewritten to their absolute forms using the instruction's original
+      address — the data segment is copied at its original addresses, so
+      absolute data references survive relocation unchanged.  When the
+      computed absolute address points into {e text}, the reference is to
+      code; correctness then relies on that address being pinned, which
+      the address-constant heuristics of {!Analysis.Ibt} guarantee for
+      the same scan the target had to survive to be found here.
+    - Direct control flow keeps only its logical [target] link; the
+      encoded displacement is zeroed so nothing downstream can depend on
+      the original layout.
+
+    Fixed rows (ambiguous byte ranges that keep their original bytes) are
+    exempt: their bytes are not re-emitted, so rewriting them would be
+    meaningless. *)
+
+val rewrite_insn : at:int -> Zvm.Insn.t -> Zvm.Insn.t
+(** The per-instruction rewrite, given the instruction's original
+    address. *)
+
+val apply : Irdb.Db.t -> unit
+(** Rewrite every non-fixed row that has a known original address. *)

@@ -1,0 +1,96 @@
+module Iset = Zipr_util.Interval_set
+module Rng = Zipr_util.Rng
+
+(* Large enough to never be exhausted by a realistic rewrite; the output
+   binary only pays for the high-water mark actually written. *)
+let default_overflow_span = 1 lsl 28
+
+type t = {
+  text_lo : int;
+  text_hi : int;
+  overflow_base : int;
+  mutable free : Iset.t;
+  mutable overflow_cursor : int;
+}
+
+let create ?(overflow_cap = default_overflow_span) ~text_lo ~text_hi ~overflow_base () =
+  let free = Iset.add Iset.empty ~lo:text_lo ~hi:text_hi in
+  let free = Iset.add free ~lo:overflow_base ~hi:(overflow_base + overflow_cap) in
+  { text_lo; text_hi; overflow_base; free; overflow_cursor = overflow_base }
+
+let text_lo t = t.text_lo
+let text_hi t = t.text_hi
+let overflow_base t = t.overflow_base
+
+let reserve t ~lo ~hi = t.free <- Iset.remove t.free ~lo ~hi
+
+let release t ~lo ~hi = t.free <- Iset.add t.free ~lo ~hi
+
+let is_free t ~lo ~hi = Iset.contains_range t.free ~lo ~hi
+
+let take t addr size =
+  reserve t ~lo:addr ~hi:(addr + size);
+  if addr >= t.overflow_base then t.overflow_cursor <- max t.overflow_cursor (addr + size);
+  addr
+
+let alloc_first t ~size =
+  match Iset.first_fit t.free ~size with
+  | Some a -> take t a size
+  | None -> invalid_arg "Memspace.alloc_first: overflow exhausted"
+
+let alloc_text_first t ~size =
+  match Iset.fit_in_window t.free ~lo:t.text_lo ~hi:t.text_hi ~size with
+  | Some a -> Some (take t a size)
+  | None -> None
+
+let alloc_in_window t ~lo ~hi ~size =
+  match Iset.fit_in_window t.free ~lo ~hi ~size with
+  | Some a -> Some (take t a size)
+  | None -> None
+
+let text_gaps t =
+  Iset.fold
+    (fun lo hi acc ->
+      let lo = max lo t.text_lo and hi = min hi t.text_hi in
+      if hi > lo then (lo, hi) :: acc else acc)
+    t.free []
+  |> List.rev
+
+let alloc_near t ~center ~size =
+  let best = ref None in
+  List.iter
+    (fun (lo, hi) ->
+      if hi - lo >= size then begin
+        let a = max lo (min center (hi - size)) in
+        let d = abs (a - center) in
+        match !best with
+        | Some (_, bd) when bd <= d -> ()
+        | _ -> best := Some (a, d)
+      end)
+    (text_gaps t);
+  Option.map (fun (a, _) -> take t a size) !best
+
+let alloc_random_text t ~rng ~size =
+  let candidates = List.filter (fun (lo, hi) -> hi - lo >= size) (text_gaps t) in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let lo, hi = Rng.choose_list rng candidates in
+      let slack = hi - lo - size in
+      let a = lo + if slack = 0 then 0 else Rng.int rng (slack + 1) in
+      Some (take t a size)
+
+let alloc_overflow t ~size =
+  match Iset.first_fit_at_or_after t.free ~pos:t.overflow_cursor ~size with
+  | Some a -> take t a size
+  | None -> invalid_arg "Memspace.alloc_overflow: overflow exhausted"
+
+let largest_text_gap t =
+  List.fold_left
+    (fun acc (lo, hi) ->
+      match acc with
+      | Some (blo, bhi) when bhi - blo >= hi - lo -> acc
+      | _ -> Some (lo, hi))
+    None (text_gaps t)
+
+let text_free_bytes t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 (text_gaps t)

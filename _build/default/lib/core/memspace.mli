@@ -1,0 +1,57 @@
+(** Free-space accounting for the rewritten program's address space.
+
+    Initially the whole original text span plus the unbounded overflow
+    area are free; IR construction reserves the ranges that must keep
+    their original bytes (fixed ambiguous ranges, data-in-text), pin
+    planning reserves reference slots and sleds, and dollop placement
+    consumes the rest.  Placement strategies query this structure;
+    reservations and releases keep it exact, which is what lets the
+    optimized layout give back the 3 bytes of a pin slot that relaxation
+    kept short (§III). *)
+
+type t
+
+val create : ?overflow_cap:int -> text_lo:int -> text_hi:int -> overflow_base:int -> unit -> t
+(** The overflow region is a free interval of [overflow_cap] bytes
+    (default 256 MiB, effectively unbounded); its consumption is tracked
+    by {!Codebuf} high-water, not here. *)
+
+val text_lo : t -> int
+val text_hi : t -> int
+val overflow_base : t -> int
+
+val reserve : t -> lo:int -> hi:int -> unit
+(** Mark [\[lo, hi)] used.  Idempotent on already-used bytes. *)
+
+val release : t -> lo:int -> hi:int -> unit
+
+val is_free : t -> lo:int -> hi:int -> bool
+
+val alloc_first : t -> size:int -> int
+(** Lowest free block anywhere (text first, then overflow); reserves and
+    returns its start.  Never fails — overflow is unbounded. *)
+
+val alloc_text_first : t -> size:int -> int option
+(** Lowest free block strictly inside the original text span. *)
+
+val alloc_in_window : t -> lo:int -> hi:int -> size:int -> int option
+(** Free block within a window (used for short-jump range and chaining);
+    may land in overflow if the window covers it. *)
+
+val alloc_near : t -> center:int -> size:int -> int option
+(** Text-span block minimizing distance to [center]. *)
+
+val alloc_random_text : t -> rng:Zipr_util.Rng.t -> size:int -> int option
+(** Uniformly random text-span placement among candidate gaps (layout
+    diversity). *)
+
+val alloc_overflow : t -> size:int -> int
+(** Force placement in the overflow area. *)
+
+val largest_text_gap : t -> (int * int) option
+(** Biggest free text-span interval, for dollop splitting decisions. *)
+
+val text_free_bytes : t -> int
+
+val text_gaps : t -> (int * int) list
+(** Free intervals clipped to the text span, ascending. *)

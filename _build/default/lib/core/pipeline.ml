@@ -1,0 +1,46 @@
+type config = {
+  placement : Placement.t;
+  pin_config : Analysis.Ibt.config;
+  seed : int;
+}
+
+let default_config =
+  { placement = Placement.optimized; pin_config = Analysis.Ibt.default_config; seed = 1 }
+
+type timing = {
+  ir_construction_s : float;
+  transformation_s : float;
+  reassembly_s : float;
+}
+
+type result = {
+  rewritten : Zelf.Binary.t;
+  ir : Ir_construction.t;
+  stats : Reassemble.stats;
+  timing : timing;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let rewrite ?(config = default_config) ~transforms binary =
+  let ir, ir_construction_s =
+    timed (fun () -> Ir_construction.build ~pin_config:config.pin_config binary)
+  in
+  let (), transformation_s =
+    timed (fun () -> Transform.apply_all transforms ir.Ir_construction.db)
+  in
+  let (rewritten, stats), reassembly_s =
+    timed (fun () -> Reassemble.run ~strategy:config.placement ~seed:config.seed ir)
+  in
+  { rewritten; ir; stats; timing = { ir_construction_s; transformation_s; reassembly_s } }
+
+let rewrite_bytes ?config ~transforms raw =
+  match Zelf.Binary.parse raw with
+  | Error e -> Error (Format.asprintf "parse error: %a" Zelf.Binary.pp_parse_error e)
+  | Ok binary -> (
+      match rewrite ?config ~transforms binary with
+      | r -> Ok (Zelf.Binary.serialize r.rewritten)
+      | exception Reassemble.Failure_ msg -> Error ("reassembly failed: " ^ msg))

@@ -1,0 +1,37 @@
+(** The end-to-end Zipr pipeline (paper Figure 1):
+    IR Construction -> Transformation -> Reassembly. *)
+
+type config = {
+  placement : Placement.t;
+  pin_config : Analysis.Ibt.config;
+  seed : int;  (** drives layout diversity under the random strategy *)
+}
+
+val default_config : config
+(** Optimized placement, conservative pinning, seed 1. *)
+
+type timing = {
+  ir_construction_s : float;
+  transformation_s : float;
+  reassembly_s : float;
+}
+
+type result = {
+  rewritten : Zelf.Binary.t;
+  ir : Ir_construction.t;
+  stats : Reassemble.stats;
+  timing : timing;
+}
+
+val rewrite :
+  ?config:config -> transforms:Transform.t list -> Zelf.Binary.t -> result
+(** Rewrite a binary.  Raises {!Reassemble.Failure_} on unrecoverable
+    reassembly problems. *)
+
+val rewrite_bytes :
+  ?config:config ->
+  transforms:Transform.t list ->
+  bytes ->
+  (bytes, string) Stdlib.result
+(** File-level convenience: parse, rewrite, serialize; errors are
+    rendered. *)

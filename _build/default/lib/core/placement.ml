@@ -1,0 +1,111 @@
+type ctx = {
+  space : Memspace.t;
+  rng : Zipr_util.Rng.t;
+  pinned_page : int -> bool;
+}
+
+type request = { size : int; referent : int option; min_prefix : int }
+
+type decision = Place_at of int | Place_split of { addr : int; capacity : int }
+
+type t = {
+  name : string;
+  decide : ctx -> request -> decision;
+  colocate_at_pin : bool;
+  prefer_short_pins : bool;
+}
+
+let naive =
+  {
+    name = "naive";
+    decide = (fun ctx req -> Place_at (Memspace.alloc_first ctx.space ~size:req.size));
+    colocate_at_pin = false;
+    prefer_short_pins = false;
+  }
+
+let page_size = 4096
+
+(* Smallest fragment the optimized layout will split a dollop into. *)
+let min_split_capacity = 64
+
+(* Free text gaps restricted to pages that already hold pins. *)
+let pinned_page_gaps ctx =
+  List.filter_map
+    (fun (lo, hi) ->
+      (* Clip the gap to its pinned-page portions; take the first such
+         portion big enough to be useful. *)
+      let rec first_pinned_run a =
+        if a >= hi then None
+        else
+          let page = a / page_size in
+          if ctx.pinned_page page then Some (a, min hi ((page + 1) * page_size))
+          else first_pinned_run ((page + 1) * page_size)
+      in
+      first_pinned_run lo)
+    (Memspace.text_gaps ctx.space)
+
+let optimized =
+  let decide ctx req =
+    (* 1. Within short-jump range of the referent, so the 2-byte reference
+       survives relaxation. *)
+    let near_referent () =
+      match req.referent with
+      | None -> None
+      | Some site ->
+          (* The short jump's displacement is relative to site+2. *)
+          Memspace.alloc_in_window ctx.space ~lo:(site + 2 - 128) ~hi:(site + 2 + 127 + req.size)
+            ~size:req.size
+    in
+    (* 2. A gap on a page that already contains pinned addresses. *)
+    let on_pinned_page () =
+      let candidates = pinned_page_gaps ctx in
+      let fitting = List.filter (fun (lo, hi) -> hi - lo >= req.size) candidates in
+      match fitting with
+      | (lo, _) :: _ -> Memspace.alloc_in_window ctx.space ~lo ~hi:(lo + req.size) ~size:req.size
+      | [] -> None
+    in
+    (* 3. Anywhere in the original text span. *)
+    let in_text () = Memspace.alloc_text_first ctx.space ~size:req.size in
+    (* 4. Split to fill the largest text fragment rather than spill whole.
+       Fragments below [min_split_capacity] are not worth a 5-byte
+       connector per piece and are left unused — which is exactly the
+       pathological behaviour the paper reports when a CB's pinned
+       addresses shatter the address space into small fragments under
+       large dollops (§IV-B, the Figure-6 outlier). *)
+    let split () =
+      match Memspace.largest_text_gap ctx.space with
+      | Some (lo, hi) when hi - lo >= max req.min_prefix min_split_capacity ->
+          let capacity = hi - lo in
+          (match Memspace.alloc_in_window ctx.space ~lo ~hi ~size:capacity with
+          | Some addr -> Some (Place_split { addr; capacity })
+          | None -> None)
+      | _ -> None
+    in
+    match near_referent () with
+    | Some a -> Place_at a
+    | None -> (
+        match on_pinned_page () with
+        | Some a -> Place_at a
+        | None -> (
+            match in_text () with
+            | Some a -> Place_at a
+            | None -> (
+                match split () with
+                | Some d -> d
+                | None -> Place_at (Memspace.alloc_overflow ctx.space ~size:req.size))))
+  in
+  { name = "optimized"; decide; colocate_at_pin = true; prefer_short_pins = true }
+
+let random =
+  let decide ctx req =
+    match Memspace.alloc_random_text ctx.space ~rng:ctx.rng ~size:req.size with
+    | Some a -> Place_at a
+    | None -> Place_at (Memspace.alloc_overflow ctx.space ~size:req.size)
+  in
+  { name = "random"; decide; colocate_at_pin = false; prefer_short_pins = false }
+
+let all = [ naive; optimized; random ]
+
+let by_name n = List.find_opt (fun t -> t.name = n) all
+
+let names = List.map (fun t -> t.name) all

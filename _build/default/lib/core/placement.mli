@@ -1,0 +1,60 @@
+(** Dollop-placement strategies.
+
+    §III of the paper: layout algorithms are plugins; changing them does
+    not require modifying Zipr.  A strategy receives the free-space state
+    and a placement request and decides where a dollop goes — possibly
+    splitting it to fill a fragment.
+
+    Three strategies ship, mirroring the paper's design space:
+
+    - {!naive}: first-fit at the lowest free address (§II-C's unoptimized
+      algorithm);
+    - {!optimized}: the §III allocator — place dollops within short-jump
+      range of their referent so the 2-byte reference form survives,
+      prefer pages that already contain pinned addresses (they will be
+      resident anyway, so filling them adds no MaxRSS), split large
+      dollops into fragments, spill to overflow only as a last resort;
+    - {!random}: uniformly random placement over the free text gaps —
+      the maximum-flexibility layout-diversity configuration the paper
+      describes as the default's natural by-product. *)
+
+type ctx = {
+  space : Memspace.t;
+  rng : Zipr_util.Rng.t;
+  pinned_page : int -> bool;  (** does this 4-KiB page number contain a pin? *)
+}
+
+type request = {
+  size : int;  (** encoded dollop size, connector included *)
+  referent : int option;
+      (** address of the (short) reference that wants this dollop, when
+          placement can still keep that reference 2 bytes *)
+  min_prefix : int;  (** smallest useful split: first insn + connector *)
+}
+
+type decision =
+  | Place_at of int  (** whole dollop at this (reserved) address *)
+  | Place_split of { addr : int; capacity : int }
+      (** put the largest prefix fitting [capacity] at [addr] (reserved),
+          re-queue the rest *)
+
+type t = {
+  name : string;
+  decide : ctx -> request -> decision;
+  colocate_at_pin : bool;
+      (** try placing a pinned row's dollop {e at} its pinned address,
+          eliminating the reference jump entirely (an optimized-layout
+          refinement of "place dollops as close to their referents as
+          possible") *)
+  prefer_short_pins : bool;
+      (** reserve 2-byte reference slots at pins and relax to 5 bytes only
+          when the target lands out of range (§III); [false] reserves
+          5-byte slots whenever the pin gap allows (§II-C3 expansion) *)
+}
+
+val naive : t
+val optimized : t
+val random : t
+
+val by_name : string -> t option
+val names : string list

@@ -1,0 +1,691 @@
+module Db = Irdb.Db
+module Rng = Zipr_util.Rng
+
+type stats = {
+  pins_total : int;
+  pin_slots_long : int;
+  pin_slots_short : int;
+  pins_colocated : int;
+  sleds : int;
+  sled_entries : int;
+  slot_expansions : int;
+  chain_hops : int;
+  dollops_placed : int;
+  dollops_split : int;
+  overflow_bytes : int;
+  text_free_bytes : int;
+  warnings : string list;
+}
+
+exception Failure_ of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Failure_ s)) fmt
+
+(* A reference site: the address of an emitted jump opcode whose
+   displacement still needs (or needed) resolution. *)
+type site = {
+  opcode_at : int;
+  short : bool;  (* emission preference: try the 2-byte form first *)
+  expandable : bool;  (* may grow 2 -> 5 bytes in place if room appears *)
+  reserved_long : bool;  (* 5 bytes are reserved, so growing always works *)
+  is_pin : bool;
+  pin_addr : int;  (* the pinned address this slot serves; -1 otherwise *)
+}
+
+type state = {
+  db : Db.t;
+  buf : Codebuf.t;
+  space : Memspace.t;
+  m : (Db.insn_id, int) Hashtbl.t;
+  udr : (site * Db.insn_id) Queue.t;
+  pin_sites : (int, site) Hashtbl.t;  (* pin address -> its reference slot *)
+  cancelled : (int, unit) Hashtbl.t;  (* opcode_at of sites resolved natively *)
+  rng : Rng.t;
+  strategy : Placement.t;
+  pinned_page : int -> bool;
+  mutable pin_slots_long : int;
+  mutable pin_slots_short : int;
+  mutable pins_colocated : int;
+  mutable sleds : int;
+  mutable sled_entries : int;
+  mutable slot_expansions : int;
+  mutable chain_hops : int;
+  mutable dollops_placed : int;
+  mutable dollops_split : int;
+  mutable warnings : string list;
+}
+
+let warn st fmt = Format.kasprintf (fun s -> st.warnings <- s :: st.warnings) fmt
+
+let short_jmp_opcode = Zvm.Encode.op_jmp_short
+let near_jmp_opcode = Zvm.Encode.op_jmp_near
+
+let has_home st id = Hashtbl.mem st.m id
+
+(* -- reference patching: expansion and chaining (paper II-C3) -- *)
+
+let write_long_jump st ~at ~target =
+  Codebuf.write8 st.buf at near_jmp_opcode;
+  Codebuf.write32 st.buf (at + 1) ((target - (at + 5)) land 0xffffffff)
+
+let rec patch st site target ~depth =
+  if not site.short then
+    Codebuf.write32 st.buf (site.opcode_at + 1)
+      ((target - (site.opcode_at + 5)) land 0xffffffff)
+  else begin
+    let disp = target - (site.opcode_at + 2) in
+    if disp >= -128 && disp <= 127 then begin
+      Codebuf.write8 st.buf (site.opcode_at + 1) (disp land 0xff);
+      (* Relaxation kept the reference short: give the 3 spare bytes of a
+         long reservation back to the allocator (§III). *)
+      if site.reserved_long then
+        Memspace.release st.space ~lo:(site.opcode_at + 2) ~hi:(site.opcode_at + 5)
+    end
+    else if
+      site.reserved_long
+      || site.expandable
+         && Memspace.is_free st.space ~lo:(site.opcode_at + 2) ~hi:(site.opcode_at + 5)
+    then begin
+      (* Expansion: the three bytes after the constrained slot are
+         available, so relax it to an unconstrained 5-byte jump in
+         place (§II-C3). *)
+      if not site.reserved_long then
+        Memspace.reserve st.space ~lo:(site.opcode_at + 2) ~hi:(site.opcode_at + 5);
+      write_long_jump st ~at:site.opcode_at ~target;
+      st.slot_expansions <- st.slot_expansions + 1
+    end
+    else chain st site target ~depth
+  end
+
+and chain st site target ~depth =
+  if depth <= 0 then
+    fail "chaining depth exhausted resolving reference at 0x%x to 0x%x" site.opcode_at target;
+  (* A hop must sit within short-branch range of the constrained site. *)
+  let lo = site.opcode_at + 2 - 128 and hi = site.opcode_at + 2 + 127 + 5 in
+  match Memspace.alloc_in_window st.space ~lo ~hi ~size:5 with
+  | Some h ->
+      write_long_jump st ~at:h ~target;
+      st.chain_hops <- st.chain_hops + 1;
+      patch st site h ~depth:(depth - 1)
+  | None -> (
+      match Memspace.alloc_in_window st.space ~lo ~hi:(hi - 3) ~size:2 with
+      | Some h ->
+          Codebuf.write8 st.buf h short_jmp_opcode;
+          st.chain_hops <- st.chain_hops + 1;
+          patch st site h ~depth:(depth - 1);
+          (* The new short hop must itself reach the target. *)
+          patch st
+            { opcode_at = h; short = true; expandable = true; reserved_long = false; is_pin = false; pin_addr = -1 }
+            target ~depth:(depth - 1)
+      | None ->
+          fail "no chain hop available near constrained reference at 0x%x" site.opcode_at)
+
+let patch_or_enqueue st site tgt =
+  match Hashtbl.find_opt st.m tgt with
+  | Some addr -> patch st site addr ~depth:16
+  | None -> Queue.add (site, tgt) st.udr
+
+(* -- dollop emission -- *)
+
+(* Emit a laid-out dollop at [start]; returns one past its last byte. *)
+let emit_dollop st (d : Dollop.t) start =
+  let placed, total = Dollop.layout st.db d in
+  let body_end = ref start in
+  List.iter
+    (fun (p : Dollop.placed_insn) ->
+      let at = start + p.Dollop.offset in
+      let r = Db.row st.db p.Dollop.row in
+      Hashtbl.replace st.m p.Dollop.row at;
+      let size = Zvm.Insn.size p.Dollop.form in
+      (if p.Dollop.internal then
+         (* Displacement already concrete within the dollop. *)
+         ignore (Codebuf.write_insn st.buf at p.Dollop.form)
+       else
+         match p.Dollop.form with
+         | Zvm.Insn.Jcc _ | Zvm.Insn.Jmp _ | Zvm.Insn.Call _ -> (
+             match r.Db.target with
+             | Some tgt ->
+                 ignore (Codebuf.write_insn st.buf at p.Dollop.form);
+                 patch_or_enqueue st
+                   { opcode_at = at; short = false; expandable = false; reserved_long = false; is_pin = false; pin_addr = -1 }
+                   tgt
+             | None ->
+                 (* A direct branch with no logical target is either dead
+                    or malformed; emit a halt so failure is loud, not
+                    silent. *)
+                 warn st "row %d: direct branch without target link" p.Dollop.row;
+                 Codebuf.write8 st.buf at 0xf4;
+                 for i = 1 to size - 1 do
+                   Codebuf.write8 st.buf (at + i) 0x90
+                 done)
+         | form -> ignore (Codebuf.write_insn st.buf at form));
+      body_end := at + size)
+    placed;
+  (match d.Dollop.ending with
+  | Dollop.Natural -> ()
+  | Dollop.Connect tgt ->
+      Codebuf.write8 st.buf !body_end near_jmp_opcode;
+      patch_or_enqueue st
+        { opcode_at = !body_end; short = false; expandable = false; reserved_long = false; is_pin = false; pin_addr = -1 }
+        tgt);
+  st.dollops_placed <- st.dollops_placed + 1;
+  start + total
+
+(* Place the dollop containing [rid] somewhere, per the strategy, and
+   return nothing: [st.m] gains homes for every row emitted. *)
+let place_dollop st rid ~referent =
+  let d = Dollop.build st.db ~has_home:(has_home st) rid in
+  let _, dsize = Dollop.layout st.db d in
+  let min_prefix =
+    match d.Dollop.rows with
+    | [] -> Dollop.connector_size
+    | first :: _ ->
+        Dollop.normalized_size (Db.row st.db first).Db.insn + Dollop.connector_size
+  in
+  let ctx =
+    { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page }
+  in
+  let emit_releasing d addr reserved =
+    let endp = emit_dollop st d addr in
+    if endp < addr + reserved then Memspace.release st.space ~lo:endp ~hi:(addr + reserved)
+  in
+  match st.strategy.Placement.decide ctx { Placement.size = dsize; referent; min_prefix } with
+  | Placement.Place_at addr -> emit_releasing d addr dsize
+  | Placement.Place_split { addr; capacity } -> (
+      if capacity >= dsize then
+        (* The fragment turned out big enough after all. *)
+        emit_releasing d addr capacity
+      else
+        match Dollop.split_to_fit st.db d ~capacity with
+        | Some (prefix, _rest_head) ->
+            emit_releasing prefix addr capacity;
+            st.dollops_split <- st.dollops_split + 1
+        | None ->
+            (* Could not split usefully; give the fragment back and spill. *)
+            Memspace.release st.space ~lo:addr ~hi:(addr + capacity);
+            let a = Memspace.alloc_overflow st.space ~size:dsize in
+            emit_releasing d a dsize)
+
+(* -- sled dispatch synthesis (paper II-C2) -- *)
+
+(* Dispatch discriminates entries on the top pushed word, falling back to
+   the second word for top-collision groups (the planner guarantees such
+   groups only contain entries of depth >= 2, so probing [sp+8] is safe).
+   Stack layout on arrival: the sled's pushed words, topmost at [sp];
+   dispatch saves r0, so the top word is at [sp+4].
+
+   The code is generated through a tiny two-pass local assembler: items
+   first, then label resolution, then emission.  Arrivals matching no pin
+   halt loudly — only possible if the original program jumped somewhere
+   the pin analysis never promised. *)
+let synth_dispatch st (sled : Sled.t) =
+  let open Zvm in
+  let entries = sled.Sled.entries in
+  (* Group by top word, preserving entry order. *)
+  let groups =
+    List.fold_left
+      (fun acc e ->
+        let top = List.hd e.Sled.words in
+        match List.assoc_opt top acc with
+        | Some _ -> List.map (fun (t, es) -> if t = top then (t, es @ [ e ]) else (t, es)) acc
+        | None -> acc @ [ (top, [ e ]) ])
+      [] entries
+  in
+  let handler_lbl e = Printf.sprintf "h%x" e.Sled.pin_addr in
+  let sub_lbl top = Printf.sprintf "g%x" (top land 0xffffff) in
+  (* Local assembly items. *)
+  let items = ref [] in
+  let emit_item it = items := it :: !items in
+  let ins i = emit_item (`I i) in
+  let jcc_to c l = emit_item (`Jcc (c, l)) in
+  let lab l = emit_item (`Lab l) in
+  let jmp_row r = emit_item (`Jmp_row r) in
+  ins (Insn.Push Reg.R0);
+  ins (Insn.Load { dst = Reg.R0; base = Reg.SP; disp = 4 });
+  List.iter
+    (fun (top, members) ->
+      ins (Insn.Cmpi (Reg.R0, top));
+      match members with
+      | [ e ] -> jcc_to Cond.Eq (handler_lbl e)
+      | _ -> jcc_to Cond.Eq (sub_lbl top))
+    groups;
+  ins Insn.Halt;
+  List.iter
+    (fun (top, members) ->
+      match members with
+      | [ _ ] -> ()
+      | _ ->
+          lab (sub_lbl top);
+          ins (Insn.Load { dst = Reg.R0; base = Reg.SP; disp = 8 });
+          List.iter
+            (fun e ->
+              ins (Insn.Cmpi (Reg.R0, List.nth e.Sled.words 1));
+              jcc_to Cond.Eq (handler_lbl e))
+            members;
+          ins Insn.Halt)
+    groups;
+  List.iter
+    (fun e ->
+      lab (handler_lbl e);
+      ins (Insn.Pop Reg.R0);
+      ins (Insn.Alui (Insn.Addi, Reg.SP, 4 * Sled.depth e));
+      jmp_row e.Sled.row)
+    entries;
+  let items = List.rev !items in
+  (* Pass 1: sizes and label offsets. *)
+  let size_of = function
+    | `I i -> Insn.size i
+    | `Jcc _ -> 5
+    | `Jmp_row _ -> 5
+    | `Lab _ -> 0
+  in
+  let total = List.fold_left (fun acc it -> acc + size_of it) 0 items in
+  let offsets = Hashtbl.create 16 in
+  let () =
+    let off = ref 0 in
+    List.iter
+      (fun it ->
+        (match it with `Lab l -> Hashtbl.replace offsets l !off | _ -> ());
+        off := !off + size_of it)
+      items
+  in
+  (* Place and emit. *)
+  let ctx = { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page } in
+  let base =
+    match
+      st.strategy.Placement.decide ctx
+        { Placement.size = total; referent = None; min_prefix = total }
+    with
+    | Placement.Place_at a -> a
+    | Placement.Place_split { addr; capacity } ->
+        if capacity >= total then begin
+          Memspace.release st.space ~lo:(addr + total) ~hi:(addr + capacity);
+          addr
+        end
+        else begin
+          Memspace.release st.space ~lo:addr ~hi:(addr + capacity);
+          Memspace.alloc_overflow st.space ~size:total
+        end
+  in
+  let cur = ref base in
+  List.iter
+    (fun it ->
+      (match it with
+      | `I i -> ignore (Codebuf.write_insn st.buf !cur i)
+      | `Lab _ -> ()
+      | `Jcc (c, l) ->
+          let target = base + Hashtbl.find offsets l in
+          ignore (Codebuf.write_insn st.buf !cur (Insn.Jcc (c, Insn.Near, target - (!cur + 5))))
+      | `Jmp_row r ->
+          Codebuf.write8 st.buf !cur near_jmp_opcode;
+          patch_or_enqueue st
+            {
+              opcode_at = !cur;
+              short = false;
+              expandable = false;
+              reserved_long = false;
+              is_pin = false;
+              pin_addr = -1;
+            }
+            r);
+      cur := !cur + size_of it)
+    items;
+  base
+
+(* -- pin planning (paper II-C1/C2) -- *)
+
+type plan_item = Slot of site * Db.insn_id | Sled_group of Sled.t
+
+(* The pin prologue (CFI landing markers and the like) applies only to
+   marked pins — addresses an indirect branch may actually target.
+   Conservative pins (after-call sites and the like) keep bare slots. *)
+let prologue_len_at st addr =
+  if Db.pin_is_marked st.db addr then
+    List.fold_left (fun acc i -> acc + Zvm.Insn.size i) 0 (Db.pin_prologue st.db)
+  else 0
+
+(* Emit the pin prologue at an address; returns the address just past it. *)
+let emit_prologue st addr =
+  if Db.pin_is_marked st.db addr then
+    List.fold_left
+      (fun at insn -> at + Codebuf.write_insn st.buf at insn)
+      addr
+      (Db.pin_prologue st.db)
+  else addr
+
+let plan_pins st pins text_hi =
+  (* [pins]: ascending (addr, row), none fixed. *)
+  let arr = Array.of_list pins in
+  let n = Array.length arr in
+  let items = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let addr, row = arr.(!i) in
+    let plen = prologue_len_at st addr in
+    let next_gap = if !i + 1 < n then fst arr.(!i + 1) - addr else max_int in
+    let gap = min next_gap (text_hi - addr) in
+    if gap >= plen + 2 then begin
+      (* Reserve the unconstrained 5-byte form whenever the pin gap and
+         free space allow; relaxation gives the spare bytes back if the
+         reference stays short.  Only truly cramped pins get a bare 2-byte
+         reservation (and may need chaining). *)
+      let free w = Memspace.is_free st.space ~lo:addr ~hi:(addr + plen + w) in
+      let width =
+        if gap >= plen + 5 && free 5 then 5
+        else if free 2 then 2
+        else fail "pin slot at 0x%x collides with reserved bytes" addr
+      in
+      Memspace.reserve st.space ~lo:addr ~hi:(addr + plen + width);
+      let jump_at = emit_prologue st addr in
+      let prefer_short = st.strategy.Placement.prefer_short_pins || width = 2 in
+      Codebuf.write8 st.buf jump_at (if prefer_short then short_jmp_opcode else near_jmp_opcode);
+      if width = 5 then st.pin_slots_long <- st.pin_slots_long + 1
+      else st.pin_slots_short <- st.pin_slots_short + 1;
+      let site =
+        {
+          opcode_at = jump_at;
+          short = prefer_short;
+          expandable = true;
+          reserved_long = width = 5;
+          is_pin = true;
+          pin_addr = addr;
+        }
+      in
+      Hashtbl.replace st.pin_sites addr site;
+      items := Slot (site, row) :: !items;
+      incr i
+    end
+    else begin
+      (* Dense: gather the sled group.  A later pin inside the sled's
+         footprint must join it. *)
+      let group = ref [ arr.(!i) ] in
+      incr i;
+      let continue = ref true in
+      while !continue && !i < n do
+        let last_pin = fst (List.hd !group) in
+        if fst arr.(!i) < Sled.footprint_end ~last_pin then begin
+          group := arr.(!i) :: !group;
+          incr i
+        end
+        else continue := false
+      done;
+      let group = List.rev !group in
+      let sled =
+        try Sled.plan ~pins:group
+        with Sled.Infeasible msg -> fail "sled planning failed: %s" msg
+      in
+      let send = Sled.reserved_end sled in
+      if send > text_hi then fail "sled at 0x%x runs past end of text" sled.Sled.start;
+      if not (Memspace.is_free st.space ~lo:sled.Sled.start ~hi:send) then
+        fail "sled at 0x%x collides with reserved bytes" sled.Sled.start;
+      Memspace.reserve st.space ~lo:sled.Sled.start ~hi:send;
+      Codebuf.write_bytes st.buf sled.Sled.start sled.Sled.body;
+      st.sleds <- st.sleds + 1;
+      st.sled_entries <- st.sled_entries + List.length sled.Sled.entries;
+      items := Sled_group sled :: !items
+    end
+  done;
+  List.rev !items
+
+(* -- main -- *)
+
+(* Colocation: place the pinned row's dollop at the pin itself, making the
+   reference free.  When the pin prologue is empty, the dollop may even
+   span {e other} pins, provided each covered pin's row lands at exactly
+   its pinned address — the reference then resolves natively and its slot
+   is cancelled.  This is how a Null-transformed, unfragmented function
+   reassembles back onto its original bytes with zero overhead (the
+   [B = P] ideal of §II-A2). *)
+let try_colocate st site rid =
+  let pin_addr = site.pin_addr in
+  let plen = site.opcode_at - pin_addr in
+  let slot_extent (s : site) = (s.opcode_at - s.pin_addr) + if s.reserved_long then 5 else 2 in
+  let d = Dollop.build st.db ~has_home:(has_home st) rid in
+  let placed, dsize = Dollop.layout st.db d in
+  let lo = pin_addr and hi = pin_addr + plen + dsize in
+  let body_lo = pin_addr + plen in
+  let covered =
+    Hashtbl.fold
+      (fun q s acc ->
+        if q > pin_addr && q < hi && not (Hashtbl.mem st.cancelled s.opcode_at) then
+          (q, s) :: acc
+        else acc)
+      st.pin_sites []
+  in
+  (* A covered pin resolves natively only if its row lands at exactly its
+     pinned address and it needs no prologue of its own. *)
+  let aligned =
+    List.for_all
+      (fun (q, (s : site)) ->
+        s.opcode_at = q
+        && List.exists
+             (fun (p : Dollop.placed_insn) ->
+               (Db.row st.db p.Dollop.row).Db.pinned = Some q && body_lo + p.Dollop.offset = q)
+             placed)
+      covered
+  in
+  if not aligned then false
+  else begin
+    (* Give back every slot inside the candidate region, then test it. *)
+    Memspace.release st.space ~lo:pin_addr ~hi:(pin_addr + slot_extent site);
+    List.iter (fun (q, s) -> Memspace.release st.space ~lo:q ~hi:(q + slot_extent s)) covered;
+    if Memspace.is_free st.space ~lo ~hi then begin
+      Memspace.reserve st.space ~lo ~hi;
+      let body_at = emit_prologue st pin_addr in
+      assert (body_at = body_lo);
+      ignore (emit_dollop st d body_at);
+      List.iter (fun (_, s) -> Hashtbl.replace st.cancelled s.opcode_at ()) covered;
+      st.pins_colocated <- st.pins_colocated + 1 + List.length covered;
+      true
+    end
+    else begin
+      Memspace.reserve st.space ~lo:pin_addr ~hi:(pin_addr + slot_extent site);
+      List.iter (fun (q, s) -> Memspace.reserve st.space ~lo:q ~hi:(q + slot_extent s)) covered;
+      false
+    end
+  end
+
+let drain st =
+  while not (Queue.is_empty st.udr) do
+    let site, rid = Queue.pop st.udr in
+    if not (Hashtbl.mem st.cancelled site.opcode_at) then
+      match Hashtbl.find_opt st.m rid with
+      | Some addr -> patch st site addr ~depth:16
+      | None ->
+          let colocated =
+            st.strategy.Placement.colocate_at_pin && site.is_pin && try_colocate st site rid
+          in
+          if not colocated then begin
+            let referent = if site.short then Some site.opcode_at else None in
+            place_dollop st rid ~referent;
+            match Hashtbl.find_opt st.m rid with
+            | Some addr -> patch st site addr ~depth:16
+            | None -> fail "dollop placement failed to give row %d a home" rid
+          end
+  done
+
+let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
+  let db = ir.Ir_construction.db in
+  let binary = Db.orig db in
+  let text = Zelf.Binary.text binary in
+  let text_lo = text.Zelf.Section.vaddr in
+  let text_hi = Zelf.Section.vend text in
+  (* Prefer growing the text section in place: overflow goes directly
+     after the original text when the gap to the next section allows,
+     producing a single (larger) text section; otherwise a detached
+     ".ztext" section is appended past everything. *)
+  let next_section_start =
+    List.fold_left
+      (fun acc (s : Zelf.Section.t) ->
+        if s.Zelf.Section.vaddr >= text_hi then
+          Some (match acc with Some a -> min a s.Zelf.Section.vaddr | None -> s.Zelf.Section.vaddr)
+        else acc)
+      None binary.Zelf.Binary.sections
+  in
+  let overflow_base, overflow_cap, contiguous =
+    match next_section_start with
+    | Some ns when ns - text_hi >= 8192 -> (text_hi, ns - text_hi - 4096, true)
+    | None -> (text_hi, 1 lsl 28, true)
+    | Some _ -> (Db.next_free_vaddr db + 4096, 1 lsl 28, false)
+  in
+  let buf = Codebuf.create ~text_lo ~text_hi ~overflow_base in
+  let space = Memspace.create ~overflow_cap ~text_lo ~text_hi ~overflow_base () in
+  let pins_all = Db.pinned_addresses db in
+  let pinned_pages = Hashtbl.create 16 in
+  List.iter (fun (a, _) -> Hashtbl.replace pinned_pages (a / 4096) ()) pins_all;
+  let st =
+    {
+      db;
+      buf;
+      space;
+      m = Hashtbl.create 1024;
+      udr = Queue.create ();
+      pin_sites = Hashtbl.create 64;
+      cancelled = Hashtbl.create 16;
+      rng = Rng.create seed;
+      strategy;
+      pinned_page = (fun p -> Hashtbl.mem pinned_pages p);
+      pin_slots_long = 0;
+      pin_slots_short = 0;
+      pins_colocated = 0;
+      sleds = 0;
+      sled_entries = 0;
+      slot_expansions = 0;
+      chain_hops = 0;
+      dollops_placed = 0;
+      dollops_split = 0;
+      warnings = [];
+    }
+  in
+  (* 1. Ranges that keep their original bytes. *)
+  let copy_range (lo, hi) =
+    (match Zelf.Binary.read8 binary lo with
+    | Some _ ->
+        let data = Bytes.init (hi - lo) (fun i ->
+            Char.chr (Option.value ~default:0 (Zelf.Binary.read8 binary (lo + i))))
+        in
+        Codebuf.write_bytes buf lo data
+    | None -> ());
+    Memspace.reserve space ~lo ~hi
+  in
+  List.iter copy_range ir.Ir_construction.data_ranges;
+  List.iter copy_range ir.Ir_construction.fixed_ranges;
+  (* Fixed rows are pre-placed at their original addresses. *)
+  Db.iter db (fun r ->
+      if r.Db.fixed then
+        match r.Db.orig_addr with Some a -> Hashtbl.replace st.m r.Db.id a | None -> ());
+  (* 2. Pin plan: slots and sleds. *)
+  let movable_pins =
+    List.filter (fun (_, id) -> not (Db.row db id).Db.fixed) pins_all
+  in
+  let items = plan_pins st movable_pins text_hi in
+  (* 3. Sled dispatch code, then seed the worklist with pin references. *)
+  List.iter
+    (function
+      | Sled_group sled ->
+          let dispatch = synth_dispatch st sled in
+          Codebuf.write8 buf sled.Sled.jmp_at near_jmp_opcode;
+          Codebuf.write32 buf (sled.Sled.jmp_at + 1)
+            ((dispatch - (sled.Sled.jmp_at + 5)) land 0xffffffff)
+      | Slot _ -> ())
+    items;
+  List.iter (function Slot (site, row) -> Queue.add (site, row) st.udr | Sled_group _ -> ()) items;
+  (* 4. Drain uDR (paper II-C4). *)
+  drain st;
+  (* 4b. Relocations in transform-added data: place any still-homeless
+     targets, then patch the 32-bit cells with final addresses. *)
+  let relocs = Db.relocs db in
+  List.iter
+    (fun (r : Db.reloc) ->
+      if not (Hashtbl.mem st.m r.Db.reloc_target) then begin
+        place_dollop st r.Db.reloc_target ~referent:None;
+        drain st
+      end)
+    relocs;
+  let patched_sections : (string, bytes) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Db.reloc) ->
+      let data =
+        match Hashtbl.find_opt patched_sections r.Db.reloc_section with
+        | Some d -> d
+        | None -> (
+            match
+              List.find_opt
+                (fun (s : Zelf.Section.t) -> s.Zelf.Section.name = r.Db.reloc_section)
+                (Db.added_sections db)
+            with
+            | Some s ->
+                let d = Bytes.copy s.Zelf.Section.data in
+                Hashtbl.replace patched_sections r.Db.reloc_section d;
+                d
+            | None -> fail "reloc against unknown added section %S" r.Db.reloc_section)
+      in
+      match Hashtbl.find_opt st.m r.Db.reloc_target with
+      | Some addr ->
+          if r.Db.reloc_offset + 4 > Bytes.length data then
+            fail "reloc offset %d outside section %S" r.Db.reloc_offset r.Db.reloc_section;
+          Bytes.set data r.Db.reloc_offset (Char.chr (addr land 0xff));
+          Bytes.set data (r.Db.reloc_offset + 1) (Char.chr ((addr lsr 8) land 0xff));
+          Bytes.set data (r.Db.reloc_offset + 2) (Char.chr ((addr lsr 16) land 0xff));
+          Bytes.set data (r.Db.reloc_offset + 3) (Char.chr ((addr lsr 24) land 0xff))
+      | None -> fail "reloc target row %d was never placed" r.Db.reloc_target)
+    relocs;
+  let finalize_added (s : Zelf.Section.t) =
+    match Hashtbl.find_opt patched_sections s.Zelf.Section.name with
+    | Some data ->
+        Zelf.Section.make ~name:s.Zelf.Section.name ~kind:s.Zelf.Section.kind
+          ~vaddr:s.Zelf.Section.vaddr data
+    | None -> s
+  in
+  (* 5. Assemble the output binary. *)
+  let new_text_data =
+    if contiguous && Codebuf.overflow_used buf > 0 then
+      Bytes.cat (Codebuf.text_image buf) (Codebuf.overflow_image buf)
+    else Codebuf.text_image buf
+  in
+  let sections =
+    List.map
+      (fun (s : Zelf.Section.t) ->
+        if s == text then
+          Zelf.Section.make ~name:s.Zelf.Section.name ~kind:Zelf.Section.Text ~vaddr:text_lo
+            new_text_data
+        else s)
+      binary.Zelf.Binary.sections
+  in
+  let overflow_sections =
+    if (not contiguous) && Codebuf.overflow_used buf > 0 then
+      [ Zelf.Section.make ~name:".ztext" ~kind:Zelf.Section.Text ~vaddr:overflow_base
+          (Codebuf.overflow_image buf) ]
+    else []
+  in
+  let out =
+    Zelf.Binary.create ~entry:binary.Zelf.Binary.entry
+      (sections @ overflow_sections @ List.map finalize_added (Db.added_sections db))
+  in
+  let stats =
+    {
+      pins_total = List.length pins_all;
+      pin_slots_long = st.pin_slots_long;
+      pin_slots_short = st.pin_slots_short;
+      pins_colocated = st.pins_colocated;
+      sleds = st.sleds;
+      sled_entries = st.sled_entries;
+      slot_expansions = st.slot_expansions;
+      chain_hops = st.chain_hops;
+      dollops_placed = st.dollops_placed;
+      dollops_split = st.dollops_split;
+      overflow_bytes = Codebuf.overflow_used buf;
+      text_free_bytes = Memspace.text_free_bytes space;
+      warnings = List.rev st.warnings;
+    }
+  in
+  (out, stats)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>pins=%d (long=%d short=%d colocated=%d)@,sleds=%d entries=%d@,expansions=%d \
+     chain-hops=%d@,dollops placed=%d split=%d@,overflow=%d bytes, text free=%d bytes@,%d \
+     warnings@]"
+    s.pins_total s.pin_slots_long s.pin_slots_short s.pins_colocated s.sleds s.sled_entries
+    s.slot_expansions s.chain_hops s.dollops_placed s.dollops_split s.overflow_bytes
+    s.text_free_bytes (List.length s.warnings)

@@ -1,0 +1,61 @@
+(** The Reassembly phase (paper §II-C): convert the transformed IRDB back
+    into executable machine code.
+
+    The engine follows the paper's algorithm and notation:
+
+    + {b Initial reference placement} (§II-C1): reserve the byte ranges
+      that must keep their original contents (data-in-text, ambiguous
+      fixed ranges, whose rows are pre-placed in the mapping [M]); then
+      walk the pinned addresses placing an unresolved reference at each —
+      a 5-byte unconstrained jump where the gap to the next pin allows, a
+      2-byte constrained jump otherwise.
+    + {b Dense references} (§II-C2): pins too close together for any jump
+      are covered by a {!Sled}, whose dispatch code is synthesized and
+      placed like any other code.
+    + {b Expansion and chaining} (§II-C3): when a constrained reference's
+      target lands out of short-jump range, the engine first tries to
+      expand the 2-byte slot in place to 5 bytes (the bytes after it may
+      have been freed by placement), then falls back to chaining through
+      intermediate jumps within range.
+    + {b Reference resolution and instruction placement} (§II-C4): the
+      worklist [uDR] of unresolved references drains by building the
+      {!Dollop} containing each referenced instruction, asking the
+      {!Placement} strategy for an address (possibly splitting the dollop
+      to fill a fragment), emitting it, updating [M], and resolving every
+      reference to rows it covered.
+
+    Instructions the drained worklist never demanded are dead code and are
+    simply not emitted. *)
+
+type stats = {
+  pins_total : int;
+  pin_slots_long : int;
+  pin_slots_short : int;
+  pins_colocated : int;  (** pins whose dollop was placed at the pin itself *)
+  sleds : int;
+  sled_entries : int;
+  slot_expansions : int;  (** 2-byte slots relaxed in place to 5 bytes *)
+  chain_hops : int;
+  dollops_placed : int;
+  dollops_split : int;
+  overflow_bytes : int;
+  text_free_bytes : int;  (** free bytes left inside the original text span *)
+  warnings : string list;
+}
+
+exception Failure_ of string
+(** Unrecoverable reassembly failure (pin slot collision, unchainable
+    reference, infeasible sled). *)
+
+val run :
+  ?strategy:Placement.t ->
+  ?seed:int ->
+  Ir_construction.t ->
+  Zelf.Binary.t * stats
+(** Reassemble.  Defaults: {!Placement.optimized}, seed 1.  The result
+    binary keeps the original section layout, with text contents replaced
+    and, when needed, a [".ztext"] overflow section appended after the
+    last section (plus any transform-added sections already registered in
+    the IRDB). *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,86 @@
+module Db = Irdb.Db
+
+type item =
+  | Insn of Zvm.Insn.t
+  | Label of string
+  | Branch of Zvm.Insn.t * [ `Label of string | `Row of Db.insn_id ]
+  | Fallthrough of Db.insn_id
+
+let insn i =
+  if Zvm.Insn.is_control_flow i && Zvm.Insn.static_target ~at:0 i <> None then
+    invalid_arg "Routine.insn: use jmp_to/jcc_to/call_to for direct branches";
+  Insn i
+
+let label l = Label l
+
+let jmp_to l = Branch (Zvm.Insn.Jmp (Zvm.Insn.Near, 0), `Label l)
+let jcc_to c l = Branch (Zvm.Insn.Jcc (c, Zvm.Insn.Near, 0), `Label l)
+let call_to l = Branch (Zvm.Insn.Call 0, `Label l)
+let jmp_row r = Branch (Zvm.Insn.Jmp (Zvm.Insn.Near, 0), `Row r)
+let jcc_row c r = Branch (Zvm.Insn.Jcc (c, Zvm.Insn.Near, 0), `Row r)
+let call_row r = Branch (Zvm.Insn.Call 0, `Row r)
+let fallthrough_to r = Fallthrough r
+
+let labels db items =
+  if items = [] then invalid_arg "Routine.build: empty routine";
+  (* Pass 1: create rows, collect label positions and the trailing
+     fallthrough declaration. *)
+  let rows = ref [] in
+  let lbls : (string, [ `Pending | `Bound of Db.insn_id ]) Hashtbl.t = Hashtbl.create 8 in
+  let pending_labels = ref [] in
+  let fallthrough = ref None in
+  List.iteri
+    (fun idx item ->
+      if !fallthrough <> None then invalid_arg "Routine.build: fallthrough_to must be last";
+      match item with
+      | Label l ->
+          if Hashtbl.mem lbls l then invalid_arg (Printf.sprintf "Routine.build: duplicate label %S" l);
+          Hashtbl.replace lbls l `Pending;
+          pending_labels := l :: !pending_labels
+      | Insn i | Branch (i, _) ->
+          let id = Db.add_insn db i in
+          List.iter (fun l -> Hashtbl.replace lbls l (`Bound id)) !pending_labels;
+          pending_labels := [];
+          rows := (id, item) :: !rows;
+          ignore idx
+      | Fallthrough r -> fallthrough := Some r)
+    items;
+  if !pending_labels <> [] then
+    invalid_arg "Routine.build: trailing label binds no instruction";
+  let rows = List.rev !rows in
+  (match rows with [] -> invalid_arg "Routine.build: no instructions" | _ -> ());
+  (* Pass 2: fallthrough chaining. *)
+  let rec chain = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        let ra = Db.row db a in
+        if Zvm.Insn.has_fallthrough ra.Db.insn then Db.set_fallthrough db a (Some b);
+        chain rest
+    | [ (last, _) ] -> (
+        match !fallthrough with
+        | Some r ->
+            let rl = Db.row db last in
+            if not (Zvm.Insn.has_fallthrough rl.Db.insn) then
+              invalid_arg "Routine.build: fallthrough_to after a non-falling instruction";
+            Db.set_fallthrough db last (Some r)
+        | None -> ())
+    | [] -> ()
+  in
+  chain rows;
+  (* Pass 3: branch targets. *)
+  List.iter
+    (fun (id, item) ->
+      match item with
+      | Branch (_, `Row r) -> Db.set_target db id (Some r)
+      | Branch (_, `Label l) -> (
+          match Hashtbl.find_opt lbls l with
+          | Some (`Bound r) -> Db.set_target db id (Some r)
+          | _ -> invalid_arg (Printf.sprintf "Routine.build: unknown label %S" l))
+      | _ -> ())
+    rows;
+  let head = fst (List.hd rows) in
+  let bound =
+    Hashtbl.fold (fun l v acc -> match v with `Bound r -> (l, r) :: acc | `Pending -> acc) lbls []
+  in
+  (head, List.sort compare bound)
+
+let build db items = fst (labels db items)

@@ -1,0 +1,60 @@
+(** Linking new code into the IR: a mini-assembler over IRDB rows.
+
+    The paper's user-transformation API lets users "add new instructions
+    or specify how to link in pre-compiled program code and execute
+    functions therein" (§II-B2).  This module is that capability: a
+    routine is authored as a list of items — instructions, local labels,
+    branches to labels, and branches/calls to existing IR rows — and
+    materialized as properly linked rows.  The reassembler then places it
+    like any other code.
+
+    {[
+      let head =
+        Routine.(build db [
+          insn (Push R0);
+          label "loop";
+          insn (Alui (Subi, R0, 1));
+          insn (Cmpi (R0, 0));
+          jcc_to Ne "loop";
+          insn (Pop R0);
+          jmp_row continuation;
+        ])
+    ]} *)
+
+type item
+
+val insn : Zvm.Insn.t -> item
+(** A plain instruction (must not be a direct branch — use the
+    combinators below so targets stay logical). *)
+
+val label : string -> item
+(** A local label; scoped to one [build]. *)
+
+val jmp_to : string -> item
+(** Unconditional jump to a local label. *)
+
+val jcc_to : Zvm.Cond.t -> string -> item
+(** Conditional branch to a local label. *)
+
+val call_to : string -> item
+(** Call to a local label. *)
+
+val jmp_row : Irdb.Db.insn_id -> item
+(** Unconditional jump to an existing row. *)
+
+val jcc_row : Zvm.Cond.t -> Irdb.Db.insn_id -> item
+val call_row : Irdb.Db.insn_id -> item
+
+val fallthrough_to : Irdb.Db.insn_id -> item
+(** Declare that the routine's final instruction falls through to an
+    existing row.  Must be the last item if present. *)
+
+val build : Irdb.Db.t -> item list -> Irdb.Db.insn_id
+(** Materialize the routine; returns its head row.  Raises
+    [Invalid_argument] on an empty routine, an unknown or duplicate
+    label, a direct branch passed through {!insn}, or a misplaced
+    {!fallthrough_to}. *)
+
+val labels : Irdb.Db.t -> item list -> Irdb.Db.insn_id * (string * Irdb.Db.insn_id) list
+(** Like {!build}, also returning each label's row (for wiring external
+    references to the routine's interior). *)

@@ -1,0 +1,164 @@
+module Db = Irdb.Db
+
+exception Infeasible of string
+
+type entry = { pin_addr : int; row : Db.insn_id; words : int list }
+
+let depth e = List.length e.words
+
+type t = { start : int; body : bytes; jmp_at : int; entries : entry list }
+
+let tail_len = 4
+let jmp_len = 5
+
+let reserved_end t = t.jmp_at + jmp_len
+
+let footprint_end ~last_pin = last_pin + 1 + tail_len + jmp_len
+
+let push_opcode = Zvm.Encode.op_pushi
+
+(* Walkable filler bytes: 1-byte instructions with no architectural
+   effect, so a walk through the sled reaches the dispatch jump. *)
+let fillers = [| Zvm.Encode.op_nop; Zvm.Encode.op_land; Zvm.Encode.op_retland |]
+
+let is_filler b = Array.exists (fun f -> f = b) fillers
+
+(* Decode the sled from one entry offset.  [body] includes the tail;
+   decoding past the body means reaching the dispatch jump.  Returns the
+   pushed words (chronological) and the positions where pushes executed. *)
+let simulate body entry_off =
+  let n = Bytes.length body in
+  let byte i = Char.code (Bytes.get body i) in
+  let rec go off pushed push_sites steps =
+    if steps > 64 then raise (Infeasible "sled simulation did not terminate")
+    else if off >= n then (List.rev pushed, List.rev push_sites)
+    else
+      let b = byte off in
+      if b = push_opcode then
+        if off + 4 >= n then
+          raise (Infeasible "sled push immediate overlaps dispatch jump")
+        else
+          let imm =
+            byte (off + 1) lor (byte (off + 2) lsl 8) lor (byte (off + 3) lsl 16)
+            lor (byte (off + 4) lsl 24)
+          in
+          go (off + 5) (imm :: pushed) (off :: push_sites) (steps + 1)
+      else if is_filler b then go (off + 1) pushed push_sites (steps + 1)
+      else
+        raise
+          (Infeasible (Printf.sprintf "sled byte 0x%02x at offset %d is not walkable" b off))
+  in
+  go entry_off [] [] 0
+
+(* Break chain merges: when one pin's walk reaches another pin's push
+   opcode, every word after the merge point is shared, so top words can
+   never separate.  Planting an extra push opcode on a filler byte of the
+   offending walk makes the path vault over the later pin (the pin byte is
+   swallowed as immediate data), splitting the chains.  Iterate to a
+   fixpoint; each iteration converts one filler to a push, so it
+   terminates. *)
+let break_merges body pin_offsets =
+  let byte i = Char.code (Bytes.get body i) in
+  let is_pin off = List.mem off pin_offsets in
+  let n = Bytes.length body in
+  let progress = ref true in
+  let guard = ref 0 in
+  while !progress do
+    progress := false;
+    incr guard;
+    if !guard > 64 then raise (Infeasible "sled merge-breaking did not converge");
+    List.iter
+      (fun p ->
+        if not !progress then begin
+          (* Walk p's chain; find the first *other* pin it executes. *)
+          let rec walk off last_filler =
+            if off >= n then None
+            else if byte off = push_opcode then
+              if is_pin off && off <> p then Some (off, last_filler)
+              else if off + 4 >= n then None
+              else walk (off + 5) last_filler
+            else walk (off + 1) (Some off)
+          in
+          match walk p None with
+          | Some (_merge, Some f) when f + 4 < n ->
+              Bytes.set body f (Char.chr push_opcode);
+              progress := true
+          | _ -> ()
+        end)
+      pin_offsets
+  done
+
+let build_body ~pin_offsets ~span ~filler_choice =
+  let body = Bytes.create (span + tail_len) in
+  let fi = ref 0 in
+  for i = 0 to span + tail_len - 1 do
+    if i < span && List.mem i pin_offsets then Bytes.set body i (Char.chr push_opcode)
+    else begin
+      let f = fillers.(filler_choice !fi mod Array.length fillers) in
+      incr fi;
+      Bytes.set body i (Char.chr f)
+    end
+  done;
+  body
+
+let plan ~pins =
+  match pins with
+  | [] | [ _ ] -> invalid_arg "Sled.plan: need at least two pins"
+  | (start, _) :: _ ->
+      let last_pin = fst (List.nth pins (List.length pins - 1)) in
+      let span = last_pin - start + 1 in
+      let pin_offsets = List.map (fun (a, _) -> a - start) pins in
+      (* Permutation [k] assigns filler position [i] symbol
+         [(k / 3^i) mod 3]; merge-breaking then plants extra pushes on top
+         of the chosen fillers. *)
+      let attempt k =
+        let filler_choice i =
+          let rec digit k i = if i = 0 then k mod 3 else digit (k / 3) (i - 1) in
+          digit k (min i 12)
+        in
+        let body = build_body ~pin_offsets ~span ~filler_choice in
+        break_merges body pin_offsets;
+        let entries =
+          List.map
+            (fun (pin_addr, row) ->
+              match simulate body (pin_addr - start) with
+              | [], _ -> raise (Infeasible "sled entry pushes nothing")
+              | pushed_chronological, _ ->
+                  { pin_addr; row; words = List.rev pushed_chronological })
+            pins
+        in
+        (* Dispatch discriminates on the top word, falling back to the
+           second word within a top collision group.  Probing [sp+8] is
+           only safe when every member of the colliding group pushed at
+           least two words (a depth-1 arrival's [sp+8] may be unmapped
+           caller stack), and the second words must then separate them. *)
+        let ok =
+          let groups = Hashtbl.create 8 in
+          List.iter
+            (fun e ->
+              let top = List.hd e.words in
+              Hashtbl.replace groups top (e :: Option.value ~default:[] (Hashtbl.find_opt groups top)))
+            entries;
+          Hashtbl.fold
+            (fun _ members acc ->
+              acc
+              &&
+              match members with
+              | [ _ ] -> true
+              | group ->
+                  List.for_all (fun e -> depth e >= 2) group
+                  &&
+                  let seconds = List.map (fun e -> List.nth e.words 1) group in
+                  List.length (List.sort_uniq compare seconds) = List.length seconds)
+            groups true
+        in
+        if ok then Some (body, entries) else None
+      in
+      let rec search k =
+        if k >= 729 then raise (Infeasible "no filler permutation separates sled signatures")
+        else match attempt k with Some r -> r | None -> search (k + 1)
+      in
+      (try
+         let body, entries = search 0 in
+         { start; body; jmp_at = start + span + tail_len; entries }
+       with Infeasible _ as e -> raise e)

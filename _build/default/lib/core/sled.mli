@@ -1,0 +1,50 @@
+(** Sleds for dense pinned references (paper §II-C2).
+
+    When pinned addresses sit closer together than the smallest control
+    transfer (2 bytes), no jump fits.  A sled fills the dense range with
+    push-immediate opcodes ([0x68]) at pin positions and 1-byte no-op
+    filler elsewhere, ends with a 4-byte no-op tail, and falls into a
+    5-byte jump to {e dispatch code}.  Entering the sled at any pin
+    executes a chain of pushes whose pushed values — the {e signature} —
+    identify the entry point; dispatch inspects the top of stack, drops
+    the pushed words, and jumps to the pin's real target.
+
+    Signatures are computed by {e decoding the actual sled bytes} from
+    every entry, so feasibility is verified by construction.  If two
+    entries would push identical top words, filler bytes are permuted
+    (between the no-op-equivalent opcodes [nop]/[land]/[retland]) until
+    signatures separate; pathological groups raise {!Infeasible}. *)
+
+exception Infeasible of string
+
+type entry = {
+  pin_addr : int;
+  row : Irdb.Db.insn_id;
+  words : int list;
+      (** the entry's full signature: every word it pushes, topmost (last
+          pushed) first — i.e. in stack order from [\[sp+4\]] upward once
+          dispatch has saved one register.  Always non-empty. *)
+}
+
+val depth : entry -> int
+(** [List.length e.words]. *)
+
+type t = {
+  start : int;  (** address of the first sled byte (= lowest pin) *)
+  body : bytes;  (** sled bytes including the no-op tail, excluding the jump *)
+  jmp_at : int;  (** where the 5-byte jump to dispatch goes *)
+  entries : entry list;  (** ascending pin address *)
+}
+
+val reserved_end : t -> int
+(** One past the last byte the sled consumes (after the dispatch jump). *)
+
+val plan : pins:(int * Irdb.Db.insn_id) list -> t
+(** Plan a sled over a dense pin group (ascending addresses, at least
+    two).  Raises {!Infeasible} when no filler permutation separates the
+    signatures. *)
+
+val footprint_end : last_pin:int -> int
+(** One past the last byte a sled whose highest pin is [last_pin] would
+    consume (tail plus dispatch jump); pin-planning uses this to decide
+    which later pins must be absorbed into the group. *)

@@ -1,0 +1,51 @@
+(** Post-rewrite structural validation.
+
+    The paper stresses that a missed pin or a mislabelled byte range
+    produces a silently broken binary; this module is the safety net a
+    production rewriter ships with.  Given the inputs and outputs of a
+    rewrite, it checks every invariant that can be checked without
+    executing the program:
+
+    - the output serializes and re-parses;
+    - the entry point is preserved;
+    - non-text sections of the original survive byte-for-byte (the data
+      segment is "copied directly from the original program", §II-C1);
+    - every fixed (ambiguous) range and every data-in-text range is
+      byte-identical to the original;
+    - every movable pinned address decodes to a control transfer (or a
+      pin-prologue instruction reaching one), and following the reference
+      stays within the program's code;
+    - the dispatch jump of every sled lands on decodable code;
+    - chained/expanded references do not point outside the code regions.
+
+    Optionally, a transcript check runs the supplied inputs through both
+    binaries (the dynamic complement the paper's evaluation relies on). *)
+
+type issue = { check : string; detail : string }
+
+type report = { issues : issue list; checks_run : int }
+
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+val structural :
+  orig:Zelf.Binary.t ->
+  ir:Ir_construction.t ->
+  rewritten:Zelf.Binary.t ->
+  report
+(** All static checks. *)
+
+val transcripts :
+  ?fuel:int -> orig:Zelf.Binary.t -> rewritten:Zelf.Binary.t -> string list -> report
+(** Dynamic equivalence over the given inputs. *)
+
+val full :
+  ?fuel:int ->
+  ?inputs:string list ->
+  orig:Zelf.Binary.t ->
+  ir:Ir_construction.t ->
+  rewritten:Zelf.Binary.t ->
+  unit ->
+  report
+(** {!structural} plus {!transcripts} (default inputs: [ "" ]). *)

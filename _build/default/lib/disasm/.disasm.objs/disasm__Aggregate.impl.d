@@ -1,0 +1,1 @@
+lib/disasm/aggregate.ml: Array Format Hashtbl Linear List Printf Recursive Source String Superset Zvm

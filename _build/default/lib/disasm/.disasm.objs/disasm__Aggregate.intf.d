@@ -1,0 +1,1 @@
+lib/disasm/aggregate.mli: Format Hashtbl Linear Recursive Source Zelf Zvm

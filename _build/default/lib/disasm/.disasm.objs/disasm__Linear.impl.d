@@ -1,0 +1,1 @@
+lib/disasm/linear.ml: Array Hashtbl Zelf Zvm

@@ -1,0 +1,1 @@
+lib/disasm/linear.mli: Hashtbl Zelf Zvm

@@ -1,0 +1,1 @@
+lib/disasm/recursive.ml: Array Bytes Char Hashtbl List Option Queue Zelf Zvm

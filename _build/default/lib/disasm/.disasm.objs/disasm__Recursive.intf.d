@@ -1,0 +1,1 @@
+lib/disasm/recursive.mli: Hashtbl Zelf Zvm

@@ -1,0 +1,1 @@
+lib/disasm/source.ml: Array Hashtbl Linear Recursive Zvm

@@ -1,0 +1,1 @@
+lib/disasm/source.mli: Hashtbl Linear Recursive Zvm

@@ -1,0 +1,1 @@
+lib/disasm/superset.ml: Array Fun Hashtbl List Option Recursive Source Zelf Zvm

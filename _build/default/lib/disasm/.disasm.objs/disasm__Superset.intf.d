@@ -1,0 +1,1 @@
+lib/disasm/superset.mli: Recursive Source Zelf

@@ -1,0 +1,123 @@
+type verdict = Code | Data | Ambiguous
+
+type t = {
+  base : int;
+  len : int;
+  verdicts : verdict array;
+  insn_at : (int, Zvm.Insn.t * int) Hashtbl.t;
+  warnings : string list;
+}
+
+let pp_verdict ppf = function
+  | Code -> Format.pp_print_string ppf "code"
+  | Data -> Format.pp_print_string ppf "data"
+  | Ambiguous -> Format.pp_print_string ppf "ambiguous"
+
+(* N-way aggregation rule (generalizing the paper's case analysis to any
+   number of tools):
+
+   - a byte is [Code] iff at least one high-confidence source claims it as
+     code and every source that claims anything agrees on the covering
+     instruction's start;
+   - a byte is [Data] iff no source claims it as code;
+   - anything else — disagreement, or code claimed only by low-confidence
+     sources (possibly misdecoded data, case 4) — is [Ambiguous]. *)
+let combine_sources binary (sources : Source.t list) =
+  let first = List.hd sources in
+  let base = first.Source.base and len = first.Source.len in
+  List.iter
+    (fun (s : Source.t) ->
+      if s.Source.base <> base || s.Source.len <> len then
+        invalid_arg "Aggregate.combine_sources: sources cover different ranges")
+    sources;
+  let verdicts = Array.make len Data in
+  let warnings = ref [] in
+  let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
+  for off = 0 to len - 1 do
+    let addr = base + off in
+    let code_claims =
+      List.filter_map
+        (fun (s : Source.t) ->
+          match s.Source.claims.(off) with
+          | Source.Code start -> Some (s.Source.name, s.Source.confidence, start)
+          | _ -> None)
+        sources
+    in
+    let data_claimed =
+      List.exists (fun (s : Source.t) -> s.Source.claims.(off) = Source.Data) sources
+    in
+    verdicts.(off) <-
+      (match code_claims with
+      | [] -> Data
+      | (_, _, start0) :: rest ->
+          let starts_agree = List.for_all (fun (_, _, st) -> st = start0) rest in
+          let high_claim =
+            List.exists (fun (_, conf, _) -> conf = Source.High) code_claims
+          in
+          if not starts_agree then begin
+            warn "boundary disagreement at 0x%x (%s)" addr
+              (String.concat ", "
+                 (List.map (fun (n, _, st) -> Printf.sprintf "%s@0x%x" n st) code_claims));
+            Ambiguous
+          end
+          else if data_claimed then begin
+            if high_claim then
+              warn "data claim at 0x%x contradicted by a high-confidence code claim" addr;
+            Ambiguous
+          end
+          else if high_claim then Code
+          else (* only low-confidence tools call it code: case 4 *) Ambiguous)
+  done;
+  let insn_at = Hashtbl.create 256 in
+  (* Boundary preference: earlier sources are lower priority (later
+     replace); order the list lowest-priority first. *)
+  List.iter
+    (fun (s : Source.t) -> Hashtbl.iter (fun addr v -> Hashtbl.replace insn_at addr v) s.Source.insns)
+    sources;
+  (* Drop boundaries that start inside bytes judged pure data. *)
+  Hashtbl.iter
+    (fun addr _ ->
+      let off = addr - base in
+      if off < 0 || off >= len || verdicts.(off) = Data then Hashtbl.remove insn_at addr)
+    (Hashtbl.copy insn_at);
+  ignore binary;
+  { base; len; verdicts; insn_at; warnings = List.rev !warnings }
+
+let combine binary (lin : Linear.t) (rec_ : Recursive.t) =
+  combine_sources binary [ Source.of_linear lin; Source.of_recursive rec_ ]
+
+let run binary =
+  let lin = Linear.sweep binary in
+  let rec_ = Recursive.traverse binary in
+  let spec = Superset.run binary ~avoid:rec_ in
+  (* Priority (lowest first): linear, superset, recursive — so recursive
+     boundaries win, with superset refining the regions it never reached. *)
+  combine_sources binary [ Source.of_linear lin; spec; Source.of_recursive rec_ ]
+
+let verdict_at t addr =
+  if addr < t.base || addr >= t.base + t.len then None else Some t.verdicts.(addr - t.base)
+
+let ambiguous_ranges t =
+  let ranges = ref [] in
+  let start = ref (-1) in
+  for off = 0 to t.len - 1 do
+    match (t.verdicts.(off), !start) with
+    | Ambiguous, -1 -> start := off
+    | Ambiguous, _ -> ()
+    | _, -1 -> ()
+    | _, s ->
+        ranges := (t.base + s, t.base + off) :: !ranges;
+        start := -1
+  done;
+  if !start >= 0 then ranges := (t.base + !start, t.base + t.len) :: !ranges;
+  List.rev !ranges
+
+let code_starts t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.insn_at [] |> List.sort compare
+
+let stats t =
+  let code = ref 0 and data = ref 0 and amb = ref 0 in
+  Array.iter
+    (function Code -> incr code | Data -> incr data | Ambiguous -> incr amb)
+    t.verdicts;
+  (!code, !data, !amb)

@@ -1,0 +1,62 @@
+(** Multi-disassembler aggregation with the paper's conservative four-case
+    code/data disambiguation (§II-A1).
+
+    For every byte range of the text section the two disassemblers'
+    verdicts are combined:
+
+    + both conclusively agree the bytes are code with identical
+      instruction boundaries, or agree they are data — the range is
+      labelled accordingly ({e case 1});
+    + a range is conclusively labelled data by linear sweep but reached as
+      code by recursive traversal (or vice versa) — the disassemblers
+      disagree, so the range is {b ambiguous} and is treated as {e both}
+      code and data: its bytes stay fixed at their original addresses and
+      its decoded instructions still participate in CFG construction
+      ({e cases 2 and 3});
+    + code claimed only by linear sweep, unreached by recursive traversal,
+      is also treated as ambiguous — if there is {e any} chance a range
+      labelled instructions actually contains data, the output is treated
+      as inconclusive, and a warning is recorded to ease debugging
+      ({e case 4}). *)
+
+type verdict = Code | Data | Ambiguous
+
+type t = {
+  base : int;
+  len : int;
+  verdicts : verdict array;  (** per byte of text *)
+  insn_at : (int, Zvm.Insn.t * int) Hashtbl.t;
+      (** instruction boundaries for downstream IR construction: recursive
+          traversal's where available, linear sweep's otherwise *)
+  warnings : string list;
+}
+
+val run : Zelf.Binary.t -> t
+(** Run all three disassemblers (linear sweep, recursive traversal,
+    superset) and aggregate. *)
+
+val combine : Zelf.Binary.t -> Linear.t -> Recursive.t -> t
+(** Two-way aggregation, for tests that want to inject disassembler
+    results. *)
+
+val combine_sources : Zelf.Binary.t -> Source.t list -> t
+(** N-way aggregation over any set of {!Source}s covering the same text
+    range (lowest boundary priority first).  A byte is [Code] iff a
+    high-confidence source claims it and every claiming source agrees on
+    the instruction start; [Data] iff nothing claims code; [Ambiguous]
+    otherwise.  Raises [Invalid_argument] on an empty or mismatched
+    source list. *)
+
+val verdict_at : t -> int -> verdict option
+
+val ambiguous_ranges : t -> (int * int) list
+(** Maximal [\[lo, hi)] runs of ambiguous bytes, ascending. *)
+
+val code_starts : t -> int list
+(** Instruction start addresses in [Code] or [Ambiguous] bytes,
+    ascending. *)
+
+val stats : t -> int * int * int
+(** (code bytes, data bytes, ambiguous bytes). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,38 @@
+type t = {
+  base : int;
+  len : int;
+  cover : int array;
+  insns : (int, Zvm.Insn.t * int) Hashtbl.t;
+}
+
+let sweep binary =
+  let text = Zelf.Binary.text binary in
+  let base = text.Zelf.Section.vaddr in
+  let len = text.Zelf.Section.size in
+  let cover = Array.make len (-1) in
+  let insns = Hashtbl.create 256 in
+  let fetch a = Zelf.Binary.read8 binary a in
+  let pos = ref base in
+  let limit = base + len in
+  while !pos < limit do
+    match Zvm.Decode.decode ~fetch !pos with
+    | Ok (insn, ilen) when !pos + ilen <= limit ->
+        Hashtbl.replace insns !pos (insn, ilen);
+        for i = !pos to !pos + ilen - 1 do
+          cover.(i - base) <- !pos
+        done;
+        pos := !pos + ilen
+    | Ok _ | Error _ ->
+        (* Data byte (or an instruction spilling off the section). *)
+        pos := !pos + 1
+  done;
+  { base; len; cover; insns }
+
+let covering_start t addr =
+  if addr < t.base || addr >= t.base + t.len then None
+  else
+    let c = t.cover.(addr - t.base) in
+    if c < 0 then None else Some c
+
+let is_data t addr =
+  addr >= t.base && addr < t.base + t.len && t.cover.(addr - t.base) < 0

@@ -1,0 +1,27 @@
+(** Linear-sweep disassembly (the objdump-like tool of the paper's
+    aggregation).
+
+    Decodes the text section front to back: each successful decode claims
+    its bytes as code and the sweep continues at the following
+    instruction; an undecodable byte is claimed as data and the sweep
+    resynchronizes at the next byte.  Linear sweep classifies {e every}
+    byte, but misclassifies data that happens to decode (the fundamental
+    weakness the paper's case analysis addresses). *)
+
+type t = {
+  base : int;  (** text section load address *)
+  len : int;
+  cover : int array;
+      (** per byte: start address of the covering instruction, or [-1] if
+          the byte was claimed as data *)
+  insns : (int, Zvm.Insn.t * int) Hashtbl.t;  (** start address -> (instruction, length) *)
+}
+
+val sweep : Zelf.Binary.t -> t
+(** Sweep the binary's text section. *)
+
+val covering_start : t -> int -> int option
+(** Start address of the instruction covering the given address, or
+    [None] if it was claimed as data. *)
+
+val is_data : t -> int -> bool

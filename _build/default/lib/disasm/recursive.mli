@@ -1,0 +1,31 @@
+(** Recursive-traversal disassembly (the IDA-Pro-like tool of the paper's
+    aggregation).
+
+    Starts from high-confidence entry points — the program entry, direct
+    call/branch targets, address constants found by scanning data
+    sections, and jump-table contents — and follows control flow.  Bytes
+    it reaches are claimed as code with high confidence; bytes it never
+    reaches are left unclassified.  That abstention is exactly what the
+    aggregation needs: recursive traversal rarely lies, but it is
+    incomplete on code reached only through computations it cannot
+    model. *)
+
+type t = {
+  base : int;
+  len : int;
+  cover : int array;  (** per byte: covering instruction start, or [-1] if unreached *)
+  insns : (int, Zvm.Insn.t * int) Hashtbl.t;
+  seeds : int list;  (** every traversal seed, for diagnostics *)
+}
+
+val traverse : Zelf.Binary.t -> t
+
+val covering_start : t -> int -> int option
+
+val reached : t -> int -> bool
+
+val scan_for_text_addresses : Zelf.Binary.t -> int list
+(** Every 32-bit little-endian word, at any byte offset of any non-text
+    section, whose value lies inside the text section.  The classic
+    conservative address-constant scan (also used by the pinned-address
+    analysis). *)

@@ -1,0 +1,35 @@
+type claim = Code of int | Data | Unknown
+
+type confidence = High | Low
+
+type t = {
+  name : string;
+  base : int;
+  len : int;
+  claims : claim array;
+  insns : (int, Zvm.Insn.t * int) Hashtbl.t;
+  confidence : confidence;
+}
+
+let of_linear (lin : Linear.t) =
+  {
+    name = "linear-sweep";
+    base = lin.Linear.base;
+    len = lin.Linear.len;
+    claims = Array.map (fun c -> if c < 0 then Data else Code c) lin.Linear.cover;
+    insns = lin.Linear.insns;
+    confidence = Low;
+  }
+
+let of_recursive (r : Recursive.t) =
+  {
+    name = "recursive-traversal";
+    base = r.Recursive.base;
+    len = r.Recursive.len;
+    claims = Array.map (fun c -> if c < 0 then Unknown else Code c) r.Recursive.cover;
+    insns = r.Recursive.insns;
+    confidence = High;
+  }
+
+let claim_at t addr =
+  if addr < t.base || addr >= t.base + t.len then Unknown else t.claims.(addr - t.base)

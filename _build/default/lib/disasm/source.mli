@@ -1,0 +1,35 @@
+(** A uniform view of one disassembler's output, for N-way aggregation.
+
+    The paper's methodology "can aggregate the output of multiple
+    disassemblers" and keep "the flexibility to include the output of
+    new disassemblers" (§II-A1); this is the interface a new tool plugs
+    into.  A source reports, per text byte, either the start address of
+    the instruction covering it, a conclusive data claim, or abstention;
+    plus its instruction boundaries and a {e confidence} level.  High
+    confidence means the tool only claims code it has strong evidence for
+    (recursive traversal); low confidence means its code claims may be
+    misdecoded data (linear sweep, speculative disassembly). *)
+
+type claim =
+  | Code of int  (** covered by the instruction starting at this address *)
+  | Data
+  | Unknown
+
+type confidence = High | Low
+
+type t = {
+  name : string;
+  base : int;
+  len : int;
+  claims : claim array;  (** per text byte *)
+  insns : (int, Zvm.Insn.t * int) Hashtbl.t;
+  confidence : confidence;
+}
+
+val of_linear : Linear.t -> t
+(** Low confidence; abstains nowhere (everything is code or data). *)
+
+val of_recursive : Recursive.t -> t
+(** High confidence; abstains on unreached bytes. *)
+
+val claim_at : t -> int -> claim

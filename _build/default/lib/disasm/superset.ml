@@ -1,0 +1,110 @@
+(* Candidate instructions at every offset, pruned by flow validity. *)
+
+let decode_all binary =
+  let text = Zelf.Binary.text binary in
+  let base = text.Zelf.Section.vaddr in
+  let len = text.Zelf.Section.size in
+  let fetch a = Zelf.Binary.read8 binary a in
+  Array.init len (fun off ->
+      match Zvm.Decode.decode ~fetch (base + off) with
+      | Ok (insn, ilen) when off + ilen <= len -> Some (insn, ilen)
+      | _ -> None)
+
+let prune_fixpoint binary =
+  let text = Zelf.Binary.text binary in
+  let base = text.Zelf.Section.vaddr in
+  let len = text.Zelf.Section.size in
+  let candidates = decode_all binary in
+  let alive = Array.map Option.is_some candidates in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for off = 0 to len - 1 do
+      if alive.(off) then begin
+        let insn, ilen = Option.get candidates.(off) in
+        let addr = base + off in
+        let dead_flow target =
+          (* Flow into the text at a dead offset kills the candidate;
+             flow outside the text is left to other evidence. *)
+          target >= base && target < base + len && not (alive.(target - base))
+        in
+        let kills =
+          (Zvm.Insn.has_fallthrough insn && insn <> Zvm.Insn.Sys 0 && dead_flow (addr + ilen))
+          ||
+          match Zvm.Insn.static_target ~at:addr insn with
+          | Some t -> dead_flow t
+          | None -> false
+        in
+        if kills then begin
+          alive.(off) <- false;
+          changed := true
+        end
+      end
+    done
+  done;
+  alive
+
+let run binary ~avoid =
+  let text = Zelf.Binary.text binary in
+  let base = text.Zelf.Section.vaddr in
+  let len = text.Zelf.Section.size in
+  let candidates = decode_all binary in
+  let alive = prune_fixpoint binary in
+  (* Score surviving candidates: references from other survivors are
+     evidence (probabilistic-disassembly flavour). *)
+  let score = Array.make len 0 in
+  for off = 0 to len - 1 do
+    if alive.(off) then begin
+      let insn, _ = Option.get candidates.(off) in
+      match Zvm.Insn.static_target ~at:(base + off) insn with
+      | Some t when t >= base && t < base + len && alive.(t - base) ->
+          score.(t - base) <- score.(t - base) + 1
+      | _ -> ()
+    end
+  done;
+  (* Greedy tiling: walk fallthrough chains from the best-scored seeds,
+     claiming bytes not already claimed and not covered by [avoid]. *)
+  let claims = Array.make len Source.Unknown in
+  let insns : (int, Zvm.Insn.t * int) Hashtbl.t = Hashtbl.create 256 in
+  let avoided off = Recursive.reached avoid (base + off) in
+  let free lo ilen =
+    let ok = ref (lo + ilen <= len) in
+    for i = lo to min (len - 1) (lo + ilen - 1) do
+      if claims.(i) <> Source.Unknown || avoided i then ok := false
+    done;
+    !ok
+  in
+  let claim_chain start =
+    let rec go off =
+      if off < len && alive.(off) && not (avoided off) then
+        match candidates.(off) with
+        | Some (insn, ilen) when free off ilen ->
+            for i = off to off + ilen - 1 do
+              claims.(i) <- Source.Code (base + off)
+            done;
+            Hashtbl.replace insns (base + off) (insn, ilen);
+            if Zvm.Insn.has_fallthrough insn && insn <> Zvm.Insn.Sys 0 then go (off + ilen)
+        | _ -> ()
+    in
+    go start
+  in
+  let seeds =
+    List.init len Fun.id
+    |> List.filter (fun off -> alive.(off))
+    |> List.sort (fun a b -> compare (score.(b), a) (score.(a), b))
+  in
+  List.iter claim_chain seeds;
+  (* Undecodable bytes are conclusive data; everything else we did not
+     tile stays unknown (we are a low-confidence, best-effort source). *)
+  for off = 0 to len - 1 do
+    if claims.(off) = Source.Unknown && candidates.(off) = None && not (avoided off) then
+      claims.(off) <- Source.Data
+  done;
+  {
+    Source.name = "superset";
+    base;
+    len;
+    claims;
+    insns;
+    confidence = Source.Low;
+  }

@@ -1,0 +1,1 @@
+lib/irdb/db.ml: Hashtbl List Printf Zelf Zvm

@@ -1,0 +1,1 @@
+lib/irdb/db.mli: Zelf Zvm

@@ -1,0 +1,1 @@
+lib/irdb/dump.ml: Buffer Bytes Db Format Hashtbl List Option Printf String Zelf Zipr_util Zvm

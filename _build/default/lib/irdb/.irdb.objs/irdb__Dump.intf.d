@@ -1,0 +1,1 @@
+lib/irdb/dump.mli: Db Format Zelf

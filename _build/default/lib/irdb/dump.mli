@@ -1,0 +1,30 @@
+(** Human-readable IRDB dumps.
+
+    The paper's IRDB is persisted in SQL so that pipeline stages can run
+    as separate processes; here a deterministic textual dump serves the
+    debugging half of that role (golden-file tests, [ziprtool disasm]
+    output, postmortems on failed rewrites). *)
+
+val to_string : Db.t -> string
+(** One line per row, ascending id, followed by pin, function and section
+    summaries.  Deterministic for a given IRDB state. *)
+
+val pp : Format.formatter -> Db.t -> unit
+
+val row_to_string : Db.row -> string
+
+(** {1 Machine-readable persistence}
+
+    The paper's IRDB is a database precisely so pipeline phases can run
+    as separate processes; [serialize]/[deserialize] provide that
+    capability here.  The format is line-based: one [R] record per row
+    (instruction bytes hex-encoded, so the roundtrip is exact), plus
+    entry/function/pin/mark records. *)
+
+val serialize : Db.t -> string
+
+val deserialize : orig:Zelf.Binary.t -> string -> (Db.t, string) result
+(** Rebuild an IRDB over the original binary it was constructed from.
+    Row ids are preserved.  Transform-added sections and relocations are
+    {e not} persisted (persist before transformation, as the pipeline
+    does between its phases). *)

@@ -1,0 +1,1 @@
+lib/transforms/canary.ml: Cond Insn Int64 Irdb List Reg Zipr Zipr_util Zvm

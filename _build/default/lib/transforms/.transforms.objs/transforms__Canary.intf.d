@@ -1,0 +1,1 @@
+lib/transforms/canary.mli: Zipr

@@ -1,0 +1,1 @@
+lib/transforms/cfi.ml: Cond Encode Insn Irdb List Printf Reg Zipr Zvm

@@ -1,0 +1,1 @@
+lib/transforms/cfi.mli: Zipr

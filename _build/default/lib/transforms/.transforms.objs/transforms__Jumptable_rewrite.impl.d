@@ -1,0 +1,1 @@
+lib/transforms/jumptable_rewrite.ml: Bytes Insn Irdb List Option Printf Zelf Zipr Zvm

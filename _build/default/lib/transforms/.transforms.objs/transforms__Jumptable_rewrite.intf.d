@@ -1,0 +1,1 @@
+lib/transforms/jumptable_rewrite.mli: Zipr

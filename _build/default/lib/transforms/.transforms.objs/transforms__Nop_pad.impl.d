@@ -1,0 +1,1 @@
+lib/transforms/nop_pad.ml: Insn Irdb List Zipr Zipr_util Zvm

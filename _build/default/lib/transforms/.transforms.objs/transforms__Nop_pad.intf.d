@@ -1,0 +1,1 @@
+lib/transforms/nop_pad.mli: Zipr

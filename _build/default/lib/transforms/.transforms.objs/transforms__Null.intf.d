@@ -1,0 +1,1 @@
+lib/transforms/null.mli: Zipr

@@ -1,0 +1,1 @@
+lib/transforms/profile_count.ml: Analysis Bytes Insn Irdb List Option Reg Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+lib/transforms/profile_count.mli: Irdb Zipr Zvm

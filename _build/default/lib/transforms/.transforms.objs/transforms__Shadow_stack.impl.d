@@ -1,0 +1,1 @@
+lib/transforms/shadow_stack.ml: Bytes Char Cond Insn Irdb List Reg Zelf Zipr Zvm

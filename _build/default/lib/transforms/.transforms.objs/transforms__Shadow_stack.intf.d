@@ -1,0 +1,1 @@
+lib/transforms/shadow_stack.mli: Zipr

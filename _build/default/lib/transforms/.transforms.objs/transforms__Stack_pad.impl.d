@@ -1,0 +1,1 @@
+lib/transforms/stack_pad.ml: Insn Irdb List Reg Zipr Zipr_util Zvm

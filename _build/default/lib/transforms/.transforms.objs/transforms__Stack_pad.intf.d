@@ -1,0 +1,1 @@
+lib/transforms/stack_pad.mli: Zipr

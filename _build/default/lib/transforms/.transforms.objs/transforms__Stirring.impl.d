@@ -1,0 +1,1 @@
+lib/transforms/stirring.ml: Insn Irdb List Zipr Zipr_util Zvm

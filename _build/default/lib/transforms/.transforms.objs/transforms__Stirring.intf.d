@@ -1,0 +1,1 @@
+lib/transforms/stirring.mli: Zipr

@@ -1,0 +1,67 @@
+module Db = Irdb.Db
+open Zvm
+
+let section_prefix = ".zjt"
+
+let apply db =
+  let binary = Db.orig db in
+  let text = Zelf.Binary.text binary in
+  let lo = text.Zelf.Section.vaddr and hi = Zelf.Section.vend text in
+  (* Collect dispatches first: rewriting mutates rows in place. *)
+  let dispatches = ref [] in
+  Db.iter db (fun r ->
+      if not r.Db.fixed then
+        match r.Db.insn with
+        | Insn.Jmpt (idx, table) -> dispatches := (r.Db.id, idx, table) :: !dispatches
+        | _ -> ());
+  let counter = ref 0 in
+  List.iter
+    (fun (id, idx, table) ->
+      (* Recover the table from the original binary. *)
+      let rec entries i acc =
+        if i >= 1024 then List.rev acc
+        else
+          match Zelf.Binary.read32 binary (table + (i * 4)) with
+          | Some v when v >= lo && v < hi -> entries (i + 1) (v :: acc)
+          | _ -> List.rev acc
+      in
+      let targets = entries 0 [] in
+      let rows = List.map (fun addr -> Db.find_by_orig_addr db addr) targets in
+      (* Only rewrite when every entry resolves to a known, relocatable
+         instruction; otherwise stay conservative and keep the pinned
+         original table. *)
+      let resolvable =
+        targets <> []
+        && List.for_all
+             (fun row ->
+               match row with
+               | Some rid -> ( match Db.row db rid with r -> not r.Db.fixed | exception Not_found -> false)
+               | None -> false)
+             rows
+      in
+      if resolvable then begin
+        let name = Printf.sprintf "%s%d" section_prefix !counter in
+        incr counter;
+        let vaddr = Db.next_free_vaddr db in
+        let data = Bytes.make (4 * List.length targets) '\000' in
+        Db.add_section db
+          (Zelf.Section.make ~name ~kind:Zelf.Section.Rodata ~vaddr data);
+        List.iteri
+          (fun i row ->
+            let rid = Option.get row in
+            (* A landing marker in front of the target keeps the dispatch
+               CFI-checkable; insert_before preserves every incoming
+               reference. *)
+            (match (Db.row db rid).Db.insn with
+            | Insn.Land -> ()  (* already marked by a previous table *)
+            | _ -> ignore (Db.insert_before db rid Insn.Land));
+            Db.add_reloc db ~section:name ~offset:(4 * i) ~target:rid)
+          rows;
+        Db.replace db id (Insn.Jmpt (idx, vaddr))
+      end)
+    !dispatches
+
+let transform =
+  Zipr.Transform.make ~name:"jumptable-rewrite"
+    ~describe:"relocate statically recovered jump tables so dispatch lands directly on moved code"
+    apply

@@ -1,0 +1,25 @@
+(** Jump-table rewriting: statically modelled indirect control flow.
+
+    The paper (§II-A2) notes that not every indirect-branch target needs a
+    pin: "there are cases where the program's behavior with respect to an
+    IBT can be analyzed and modeled statically".  A [jmpt] dispatch whose
+    table the analysis fully recovers is the canonical case.  This
+    transform relocates each such table into a transform-added section
+    whose entries are {e relocations} against the target rows, and points
+    the dispatch at the new table.  After reassembly, dispatch lands
+    directly on the relocated code — no reference jump, no per-dispatch
+    indirection penalty.
+
+    Each target row additionally receives a [land] marker in front of it
+    (identity-stealing insert), so the rewritten dispatch still satisfies
+    the CFI jump check when both transforms are applied (this transform
+    first, CFI second).
+
+    The original table and the pins on its entries are conservatively
+    retained — other, unanalyzed references may still use the original
+    addresses. *)
+
+val section_prefix : string
+(** Added sections are named ["<prefix><n>"]. *)
+
+val transform : Zipr.Transform.t

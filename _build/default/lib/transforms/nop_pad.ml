@@ -1,0 +1,26 @@
+module Db = Irdb.Db
+module Rng = Zipr_util.Rng
+open Zvm
+
+let paddings = [| Insn.Nop; Insn.Land; Insn.Retland |]
+
+let apply ~p ~seed db =
+  let rng = Rng.create seed in
+  List.iter
+    (fun id ->
+      match Db.row db id with
+      | exception Not_found -> ()
+      | r when r.Db.fixed -> ()
+      | r -> (
+          match (r.Db.insn, r.Db.fallthrough) with
+          | (Insn.Call _ | Insn.Callr _), _ -> ()  (* keep return points exact *)
+          | _, Some _ when Rng.chance rng p ->
+              ignore (Db.insert_after db id (Rng.choose rng paddings))
+          | _ -> ()))
+    (Db.ids db)
+
+let make ?(p = 0.15) ~seed () =
+  Zipr.Transform.make ~name:"nop-pad" ~describe:"probabilistic no-op insertion for layout diversity"
+    (apply ~p ~seed)
+
+let transform = make ~seed:13 ()

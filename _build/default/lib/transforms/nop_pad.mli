@@ -1,0 +1,18 @@
+(** Nop padding: fine-grained intra-block layout diversity.
+
+    Inserts no-op instructions between existing instructions with
+    probability [p], shifting every subsequent code address
+    unpredictably.  Combined with {!Stirring} (block scattering) and the
+    random placement strategy, this is the "whole program randomization"
+    menu the paper lists among Zipr's applications — each layer breaks a
+    different class of address-reuse assumption.
+
+    Never inserts after a call (the return point must stay the call's
+    true continuation for return-protection transforms) and never touches
+    fixed rows. *)
+
+val make : ?p:float -> seed:int -> unit -> Zipr.Transform.t
+(** Default [p] = 0.15. *)
+
+val transform : Zipr.Transform.t
+(** [make ~seed:13 ()]. *)

@@ -1,0 +1,4 @@
+let transform =
+  Zipr.Transform.make ~name:"null"
+    ~describe:"no-op transformation; isolates the rewriter's own overhead"
+    (fun _db -> ())

@@ -1,0 +1,10 @@
+(** The Null Transformation (paper §IV-A).
+
+    A no-op modification of the IR: the rewritten program is semantically
+    equivalent to the original, so every behavioural or performance
+    difference after rewriting is attributable to the rewriting technique
+    itself.  The paper uses it as the floor for all overhead
+    measurements; the robustness experiments (libc, libjvm, Apache — our
+    synthetic equivalents) run under it. *)
+
+val transform : Zipr.Transform.t

@@ -1,0 +1,56 @@
+module Db = Irdb.Db
+open Zvm
+
+let section_name = ".zcounters"
+
+type handle = {
+  transform : Zipr.Transform.t;
+  slots : unit -> (Db.insn_id * int) list;
+}
+
+let instrument db base id slot_addr =
+  ignore base;
+  (* push r0; load r0,[slot]; addi r0,1; store [slot],r0; pop r0 *)
+  ignore (Db.insert_before db id (Insn.Push Reg.R0));
+  let cur = ref id in
+  let add insn = cur := Db.insert_after db !cur insn in
+  add (Insn.Loada (Reg.R0, slot_addr));
+  add (Insn.Alui (Insn.Addi, Reg.R0, 1));
+  add (Insn.Storea (slot_addr, Reg.R0));
+  add (Insn.Pop Reg.R0)
+
+let make () =
+  let recorded = ref [] in
+  let apply db =
+    let cfg = Analysis.Cfg.build db in
+    let heads =
+      List.filter_map
+        (fun (b : Analysis.Cfg.block) ->
+          match Db.row db b.Analysis.Cfg.head with
+          | exception Not_found -> None
+          | r when r.Db.fixed -> None
+          | _ -> Some b.Analysis.Cfg.head)
+        (Analysis.Cfg.blocks cfg)
+    in
+    let base = Db.next_free_vaddr db in
+    let n = List.length heads in
+    Db.add_section db
+      (Zelf.Section.make ~name:section_name ~kind:Zelf.Section.Data ~vaddr:base
+         (Bytes.make (max 4 (n * 4)) '\000'));
+    recorded :=
+      List.mapi
+        (fun i id ->
+          let slot = base + (i * 4) in
+          instrument db base id slot;
+          (id, slot))
+        heads
+  in
+  {
+    transform =
+      Zipr.Transform.make ~name:"profile-count"
+        ~describe:"count basic-block executions into an added data section" apply;
+    slots = (fun () -> !recorded);
+  }
+
+let read_counter mem ~addr =
+  Option.value ~default:0 (Zvm.Memory.read32 mem addr)

@@ -1,0 +1,25 @@
+(** Basic-block execution counting — a non-security transform that
+    demonstrates the breadth of the user API (paper §II-B2: users can
+    "add new instructions" and link in new data, not just harden).
+
+    Every basic-block head is instrumented with a counter increment into
+    a transform-added data section ([".zcounters"]).  After a run, the
+    counters can be read back out of the VM's memory.
+
+    The increment clobbers flags, so this transform assumes (like most
+    lightweight binary profilers) that no flags are live at block heads;
+    that holds for code produced by the in-tree generators. *)
+
+val section_name : string
+
+type handle = {
+  transform : Zipr.Transform.t;
+  slots : (unit -> (Irdb.Db.insn_id * int) list);
+      (** after the transform has run: block-head row id, counter
+          address *)
+}
+
+val make : unit -> handle
+
+val read_counter : Zvm.Memory.t -> addr:int -> int
+(** Read one counter cell from a finished VM. *)

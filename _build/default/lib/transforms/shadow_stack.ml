@@ -1,0 +1,138 @@
+module Db = Irdb.Db
+open Zvm
+
+let violation_status = 142
+
+(* Same function-eligibility analysis as the canary transform. *)
+let eligible db (f : Db.func) =
+  match Db.row db f.Db.entry with
+  | exception Not_found -> false
+  | entry_row ->
+      let members = Db.func_insns db f.Db.fid in
+      let entry_is_loop_head =
+        List.exists
+          (fun id ->
+            match Db.row db id with
+            | exception Not_found -> false
+            | r -> r.Db.target = Some f.Db.entry)
+          members
+      in
+      let entry_is_fallthrough_target =
+        let found = ref false in
+        Db.iter db (fun r -> if r.Db.fallthrough = Some f.Db.entry then found := true);
+        !found
+      in
+      let leaves link =
+        match link with
+        | None -> false
+        | Some t -> (
+            match Db.row db t with
+            | exception Not_found -> true
+            | tr -> tr.Db.func <> Some f.Db.fid)
+      in
+      let escapes =
+        List.exists
+          (fun id ->
+            match Db.row db id with
+            | exception Not_found -> false
+            | r -> (
+                match r.Db.insn with
+                | Insn.Call _ | Insn.Callr _ -> leaves r.Db.fallthrough
+                | _ -> leaves r.Db.fallthrough || leaves r.Db.target))
+          members
+      in
+      let rets =
+        List.exists
+          (fun id ->
+            match Db.row db id with
+            | exception Not_found -> false
+            | r -> (not r.Db.fixed) && r.Db.insn = Insn.Ret)
+          members
+      in
+      (not entry_row.Db.fixed) && (not entry_is_loop_head) && (not entry_is_fallthrough_target)
+      && (not escapes) && rets
+
+let apply ~region_bytes db =
+  let snapshot_funcs = Db.funcs db in
+  let snapshot_rows = Db.ids db in
+  (* Shadow region (bss: no file bytes) and cursor cell (data). *)
+  let region_base = Db.next_free_vaddr db in
+  Db.add_section db
+    (Zelf.Section.make_bss ~name:".zshadow" ~vaddr:region_base ~size:region_bytes);
+  let cursor_base = Db.next_free_vaddr db in
+  let cursor_cell = Bytes.create 4 in
+  Bytes.set cursor_cell 0 (Char.chr (region_base land 0xff));
+  Bytes.set cursor_cell 1 (Char.chr ((region_base lsr 8) land 0xff));
+  Bytes.set cursor_cell 2 (Char.chr ((region_base lsr 16) land 0xff));
+  Bytes.set cursor_cell 3 (Char.chr ((region_base lsr 24) land 0xff));
+  Db.add_section db
+    (Zelf.Section.make ~name:".zshadow_cursor" ~kind:Zelf.Section.Data ~vaddr:cursor_base
+       cursor_cell);
+  let cursor = cursor_base in
+  let violation =
+    Db.append_chain db [ Insn.Movi (Reg.R0, violation_status); Insn.Sys 0 ]
+  in
+  (* Shared routines.  Called with the protected function's return address
+     at [sp+4]; after saving r0 and r1 it sits at [sp+12]. *)
+  let shadow_push =
+    Zipr.Routine.(
+      build db
+        [
+          insn (Insn.Push Reg.R0);
+          insn (Insn.Push Reg.R1);
+          insn (Insn.Loada (Reg.R0, cursor));
+          insn (Insn.Load { dst = Reg.R1; base = Reg.SP; disp = 12 });
+          insn (Insn.Store { base = Reg.R0; disp = 0; src = Reg.R1 });
+          insn (Insn.Alui (Insn.Addi, Reg.R0, 4));
+          insn (Insn.Storea (cursor, Reg.R0));
+          insn (Insn.Pop Reg.R1);
+          insn (Insn.Pop Reg.R0);
+          insn Insn.Ret;
+        ])
+  in
+  let shadow_check =
+    Zipr.Routine.(
+      build db
+        [
+          insn (Insn.Push Reg.R0);
+          insn (Insn.Push Reg.R1);
+          insn (Insn.Loada (Reg.R0, cursor));
+          insn (Insn.Alui (Insn.Subi, Reg.R0, 4));
+          insn (Insn.Storea (cursor, Reg.R0));
+          insn (Insn.Load { dst = Reg.R1; base = Reg.R0; disp = 0 });
+          insn (Insn.Load { dst = Reg.R0; base = Reg.SP; disp = 12 });
+          insn (Insn.Cmp (Reg.R0, Reg.R1));
+          jcc_row Cond.Ne violation;
+          insn (Insn.Pop Reg.R1);
+          insn (Insn.Pop Reg.R0);
+          insn Insn.Ret;
+        ])
+  in
+  let protected_fids =
+    List.filter_map (fun f -> if eligible db f then Some f.Db.fid else None) snapshot_funcs
+  in
+  let protect_entry (f : Db.func) =
+    ignore (Db.insert_before db f.Db.entry (Insn.Call 0));
+    Db.set_target db f.Db.entry (Some shadow_push)
+  in
+  List.iter
+    (fun f -> if List.mem f.Db.fid protected_fids then protect_entry f)
+    snapshot_funcs;
+  List.iter
+    (fun id ->
+      match Db.row db id with
+      | exception Not_found -> ()
+      | r -> (
+          match (r.Db.insn, r.Db.func) with
+          | Insn.Ret, Some fid when (not r.Db.fixed) && List.mem fid protected_fids ->
+              ignore (Db.insert_before db id (Insn.Call 0));
+              Db.set_target db id (Some shadow_check)
+          | _ -> ()))
+    snapshot_rows
+
+let make ?(region_bytes = 16384) () =
+  Zipr.Transform.make ~name:"shadow-stack"
+    ~describe:"exact return-address verification through a shadow region"
+    (apply ~region_bytes)
+
+let transform = make ()

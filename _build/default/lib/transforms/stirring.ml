@@ -1,0 +1,37 @@
+module Db = Irdb.Db
+module Rng = Zipr_util.Rng
+open Zvm
+
+let apply ~p ~seed db =
+  let rng = Rng.create seed in
+  let snapshot = Db.ids db in
+  List.iter
+    (fun id ->
+      match Db.row db id with
+      | exception Not_found -> ()
+      | r when r.Db.fixed -> ()
+      | r -> (
+          match (r.Db.insn, r.Db.fallthrough) with
+          | (Insn.Jcc _ | Insn.Call _), Some ft
+            when (* Never detach a CFI return-landing marker from its call:
+                    returns must land on the marker byte. *)
+                 (match Db.row db ft with
+                 | exception Not_found -> false
+                 | ftr -> ftr.Db.insn <> Insn.Retland)
+                 && Rng.chance rng p ->
+              (* Sever the edge: the block now ends in an explicit jump,
+                 so the reassembler is free to place the successor
+                 anywhere. *)
+              let j = Db.add_insn db (Insn.Jmp (Insn.Near, 0)) in
+              Db.set_target db j (Some ft);
+              (match r.Db.func with Some f -> Db.set_func db j f | None -> ());
+              Db.set_fallthrough db id (Some j)
+          | _ -> ()))
+    snapshot
+
+let make ?(p = 0.5) ~seed () =
+  Zipr.Transform.make ~name:"stirring"
+    ~describe:"sever fallthrough edges so basic blocks place independently"
+    (apply ~p ~seed)
+
+let transform = make ~seed:5 ()

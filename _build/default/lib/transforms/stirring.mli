@@ -1,0 +1,22 @@
+(** Basic-block stirring (the "dynamic code mixing similar to Binary
+    Stirring by Wartell et al." the paper reports applying with Zipr).
+
+    Dollops form along fallthrough chains, so by default whole functions
+    travel together.  Stirring severs fallthrough edges after conditional
+    branches (and, with probability [p], after any instruction at a
+    block-like boundary) by materializing an explicit unconditional jump,
+    turning each basic block into its own dollop.  Combined with the
+    {!Zipr.Placement.random} strategy this scatters blocks across the
+    address space — self-randomizing instruction addresses at rewrite
+    time.
+
+    Cost: one 5-byte jump and one control transfer per severed edge,
+    which is exactly the diversity-versus-efficiency trade-off §III
+    discusses. *)
+
+val make : ?p:float -> seed:int -> unit -> Zipr.Transform.t
+(** [p] is the probability of severing each eligible fallthrough edge
+    (default 0.5). *)
+
+val transform : Zipr.Transform.t
+(** [make ~seed:5 ()]. *)

@@ -1,0 +1,87 @@
+type t = {
+  mutable data : bytes;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () = { data = Bytes.make capacity '\000'; len = 0 }
+
+let length t = t.len
+
+let ensure t extra =
+  let needed = t.len + extra in
+  if needed > Bytes.length t.data then begin
+    let cap = ref (max 64 (Bytes.length t.data)) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let fresh = Bytes.make !cap '\000' in
+    Bytes.blit t.data 0 fresh 0 t.len;
+    t.data <- fresh
+  end
+
+let u8 t v =
+  ensure t 1;
+  Bytes.set t.data t.len (Char.chr (v land 0xff));
+  t.len <- t.len + 1
+
+let u16 t v =
+  u8 t v;
+  u8 t (v lsr 8)
+
+let u32 t v =
+  u8 t v;
+  u8 t (v lsr 8);
+  u8 t (v lsr 16);
+  u8 t (v lsr 24)
+
+let i32 t v =
+  if v < -0x8000_0000 || v > 0x7fff_ffff then
+    invalid_arg (Printf.sprintf "Bytebuf.i32: %d does not fit in 32 bits" v);
+  u32 t (v land 0xffff_ffff)
+
+let blit_bytes t b =
+  let n = Bytes.length b in
+  ensure t n;
+  Bytes.blit b 0 t.data t.len n;
+  t.len <- t.len + n
+
+let string t s =
+  let n = String.length s in
+  ensure t n;
+  Bytes.blit_string s 0 t.data t.len n;
+  t.len <- t.len + n
+
+let zeros t n =
+  ensure t n;
+  Bytes.fill t.data t.len n '\000';
+  t.len <- t.len + n
+
+let check_pos t pos width =
+  if pos < 0 || pos + width > t.len then
+    invalid_arg (Printf.sprintf "Bytebuf: position %d+%d out of range [0,%d)" pos width t.len)
+
+let patch_u8 t pos v =
+  check_pos t pos 1;
+  Bytes.set t.data pos (Char.chr (v land 0xff))
+
+let patch_u32 t pos v =
+  check_pos t pos 4;
+  Bytes.set t.data pos (Char.chr (v land 0xff));
+  Bytes.set t.data (pos + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set t.data (pos + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set t.data (pos + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u8 t pos =
+  check_pos t pos 1;
+  Char.code (Bytes.get t.data pos)
+
+let get_u32 t pos =
+  check_pos t pos 4;
+  get_u8 t pos
+  lor (get_u8 t (pos + 1) lsl 8)
+  lor (get_u8 t (pos + 2) lsl 16)
+  lor (get_u8 t (pos + 3) lsl 24)
+
+let contents t = Bytes.sub t.data 0 t.len
+
+let to_string t = Bytes.sub_string t.data 0 t.len

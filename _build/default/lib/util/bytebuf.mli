@@ -1,0 +1,50 @@
+(** Growable byte buffer with little-endian accessors and random-access
+    patching.
+
+    [Buffer] from the standard library is append-only; binary emission needs
+    to go back and patch displacement fields once layout is known, so this
+    module keeps the written region addressable. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+(** Number of bytes written so far (the high-water mark). *)
+
+val u8 : t -> int -> unit
+(** Append one byte (low 8 bits). *)
+
+val u16 : t -> int -> unit
+(** Append a 16-bit little-endian value. *)
+
+val u32 : t -> int -> unit
+(** Append a 32-bit little-endian value (low 32 bits of the int). *)
+
+val i32 : t -> int -> unit
+(** Append a signed 32-bit little-endian value; must fit in 32 bits. *)
+
+val blit_bytes : t -> bytes -> unit
+(** Append the full contents of a byte string. *)
+
+val string : t -> string -> unit
+(** Append the full contents of a string. *)
+
+val zeros : t -> int -> unit
+(** Append [n] zero bytes. *)
+
+val patch_u8 : t -> int -> int -> unit
+(** [patch_u8 t pos v] overwrites the byte at [pos]. *)
+
+val patch_u32 : t -> int -> int -> unit
+(** [patch_u32 t pos v] overwrites 4 bytes at [pos], little-endian. *)
+
+val get_u8 : t -> int -> int
+
+val get_u32 : t -> int -> int
+(** Unsigned 32-bit read. *)
+
+val contents : t -> bytes
+(** Copy of the written region. *)
+
+val to_string : t -> string

@@ -1,0 +1,47 @@
+let of_bytes b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  let digit v = "0123456789abcdef".[v] in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) (digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (digit (c land 0xf))
+  done;
+  Bytes.to_string out
+
+let of_string s = of_bytes (Bytes.of_string s)
+
+let to_bytes s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.to_bytes: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Hex.to_bytes: bad digit"
+  in
+  Bytes.init (n / 2) (fun i -> Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let dump ?(base = 0) b =
+  let buf = Buffer.create 256 in
+  let n = Bytes.length b in
+  let i = ref 0 in
+  while !i < n do
+    Buffer.add_string buf (Printf.sprintf "%08x  " (base + !i));
+    for j = 0 to 15 do
+      if !i + j < n then
+        Buffer.add_string buf (Printf.sprintf "%02x " (Char.code (Bytes.get b (!i + j))))
+      else Buffer.add_string buf "   "
+    done;
+    Buffer.add_char buf ' ';
+    for j = 0 to 15 do
+      if !i + j < n then begin
+        let c = Bytes.get b (!i + j) in
+        Buffer.add_char buf (if c >= ' ' && c < '\127' then c else '.')
+      end
+    done;
+    Buffer.add_char buf '\n';
+    i := !i + 16
+  done;
+  Buffer.contents buf

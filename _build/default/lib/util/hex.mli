@@ -1,0 +1,13 @@
+(** Hex-dump helpers for debugging and for test fixtures. *)
+
+val of_bytes : bytes -> string
+(** Lowercase hex, two characters per byte, no separators. *)
+
+val of_string : string -> string
+
+val to_bytes : string -> bytes
+(** Inverse of {!of_bytes}.  Raises [Invalid_argument] on malformed input. *)
+
+val dump : ?base:int -> bytes -> string
+(** Traditional 16-bytes-per-line hex dump with addresses starting at
+    [base] (default 0). *)

@@ -1,0 +1,59 @@
+type t = {
+  edges : float array;
+  counts : int array;
+  mutable samples : float list;
+}
+
+let create ~edges =
+  let edges = Array.of_list edges in
+  { edges; counts = Array.make (Array.length edges + 1) 0; samples = [] }
+
+let paper_bins () = create ~edges:[ 0.0; 5.0; 10.0; 20.0; 50.0 ]
+
+let bin_index t x =
+  let n = Array.length t.edges in
+  let rec go i = if i >= n then n else if x < t.edges.(i) then i else go (i + 1) in
+  go 0
+
+let add t x =
+  t.counts.(bin_index t x) <- t.counts.(bin_index t x) + 1;
+  t.samples <- x :: t.samples
+
+let count t = List.length t.samples
+
+let counts t = Array.copy t.counts
+
+let labels t =
+  let n = Array.length t.edges in
+  let lbl i =
+    if i = 0 then Printf.sprintf "< %g%%" t.edges.(0)
+    else if i = n then Printf.sprintf ">= %g%%" t.edges.(n - 1)
+    else Printf.sprintf "%g-%g%%" t.edges.(i - 1) t.edges.(i)
+  in
+  List.init (n + 1) lbl
+
+let mean t =
+  match t.samples with
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let max_sample t = List.fold_left max neg_infinity t.samples
+let min_sample t = List.fold_left min infinity t.samples
+
+let render t ~title =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let lbls = labels t in
+  let total = max 1 (count t) in
+  List.iteri
+    (fun i lbl ->
+      let c = t.counts.(i) in
+      let width = c * 50 / total in
+      Buffer.add_string buf (Printf.sprintf "  %10s | %-50s %d\n" lbl (String.make width '#') c))
+    lbls;
+  Buffer.add_string buf
+    (Printf.sprintf "  n=%d mean=%.2f%% min=%.2f%% max=%.2f%%\n" (count t) (mean t)
+       (if count t = 0 then 0.0 else min_sample t)
+       (if count t = 0 then 0.0 else max_sample t));
+  Buffer.contents buf

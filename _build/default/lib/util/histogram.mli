@@ -1,0 +1,33 @@
+(** Binned histograms over percentage overheads, matching the bin structure
+    of the paper's Figures 4-6. *)
+
+type t
+
+val create : edges:float list -> t
+(** [create ~edges] builds a histogram with bins
+    [(-inf, e0), [e0, e1), ..., [en, +inf)]. *)
+
+val paper_bins : unit -> t
+(** The bin layout used by the paper's overhead figures:
+    [< 0%], [0-5%], [5-10%], [10-20%], [20-50%], [>= 50%]. *)
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+(** Total samples recorded. *)
+
+val counts : t -> int array
+(** Per-bin sample counts, lowest bin first. *)
+
+val labels : t -> string list
+(** Human-readable bin labels aligned with {!counts}. *)
+
+val mean : t -> float
+(** Mean of the raw samples (not binned). *)
+
+val max_sample : t -> float
+val min_sample : t -> float
+
+val render : t -> title:string -> string
+(** ASCII rendering: one row per bin with a bar proportional to the count. *)

@@ -1,0 +1,139 @@
+(* Balanced map from interval start to interval end.  Invariant: intervals
+   are non-empty, disjoint, and non-adjacent (gaps of at least one byte),
+   so every operation can reason locally about at most a few neighbours. *)
+
+module M = Map.Make (Int)
+
+type t = int M.t
+
+let empty = M.empty
+
+let is_empty = M.is_empty
+
+let intervals t = M.bindings t
+
+let total t = M.fold (fun lo hi acc -> acc + (hi - lo)) t 0
+
+(* Find the member containing or immediately preceding [p]. *)
+let pred_member t p = M.find_last_opt (fun lo -> lo <= p) t
+
+let mem t p =
+  match pred_member t p with
+  | Some (_, hi) -> p < hi
+  | None -> false
+
+let contains_range t ~lo ~hi =
+  if hi <= lo then true
+  else
+    match pred_member t lo with
+    | Some (_, mhi) -> hi <= mhi
+    | None -> false
+
+let add t ~lo ~hi =
+  if hi <= lo then t
+  else begin
+    (* Absorb every member overlapping or adjacent to [lo, hi). *)
+    let lo = ref lo and hi = ref hi in
+    let t = ref t in
+    (match pred_member !t !lo with
+    | Some (mlo, mhi) when mhi >= !lo ->
+        lo := min !lo mlo;
+        hi := max !hi mhi;
+        t := M.remove mlo !t
+    | _ -> ());
+    let continue = ref true in
+    while !continue do
+      match M.find_first_opt (fun l -> l >= !lo) !t with
+      | Some (mlo, mhi) when mlo <= !hi ->
+          hi := max !hi mhi;
+          t := M.remove mlo !t
+      | _ -> continue := false
+    done;
+    M.add !lo !hi !t
+  end
+
+let remove t ~lo ~hi =
+  if hi <= lo then t
+  else begin
+    let t = ref t in
+    (* Trim the member that starts before [lo] but reaches into the range. *)
+    (match pred_member !t lo with
+    | Some (mlo, mhi) when mhi > lo ->
+        t := M.remove mlo !t;
+        if mlo < lo then t := M.add mlo lo !t;
+        if mhi > hi then t := M.add hi mhi !t
+    | _ -> ());
+    (* Drop or trim members starting inside the range. *)
+    let continue = ref true in
+    while !continue do
+      match M.find_first_opt (fun l -> l >= lo) !t with
+      | Some (mlo, mhi) when mlo < hi ->
+          t := M.remove mlo !t;
+          if mhi > hi then t := M.add hi mhi !t
+      | _ -> continue := false
+    done;
+    !t
+  end
+
+let first_fit t ~size =
+  let exception Found of int in
+  try
+    M.iter (fun lo hi -> if hi - lo >= size then raise (Found lo)) t;
+    None
+  with Found a -> Some a
+
+let first_fit_at_or_after t ~pos ~size =
+  let exception Found of int in
+  try
+    M.iter
+      (fun lo hi ->
+        let start = max lo pos in
+        if hi - start >= size then raise (Found start))
+      t;
+    None
+  with Found a -> Some a
+
+let best_fit_near t ~center ~size =
+  let best = ref None in
+  let consider a =
+    let d = abs (a - center) in
+    match !best with
+    | Some (_, bd) when bd <= d -> ()
+    | _ -> best := Some (a, d)
+  in
+  M.iter
+    (fun lo hi ->
+      if hi - lo >= size then begin
+        (* Candidate closest to [center] inside this member. *)
+        let a = max lo (min center (hi - size)) in
+        consider a
+      end)
+    t;
+  Option.map fst !best
+
+let fit_in_window t ~lo ~hi ~size =
+  let exception Found of int in
+  try
+    M.iter
+      (fun mlo mhi ->
+        let start = max mlo lo in
+        let stop = min mhi hi in
+        if stop - start >= size then raise (Found start))
+      t;
+    None
+  with Found a -> Some a
+
+let largest t =
+  M.fold
+    (fun lo hi acc ->
+      match acc with
+      | Some (blo, bhi) when bhi - blo >= hi - lo -> acc
+      | _ -> Some (lo, hi))
+    t None
+
+let fold f t acc = M.fold f t acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  M.iter (fun lo hi -> Format.fprintf ppf "[0x%x,0x%x) " lo hi) t;
+  Format.fprintf ppf "@]"

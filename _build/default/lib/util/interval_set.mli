@@ -1,0 +1,55 @@
+(** Sets of disjoint half-open integer intervals.
+
+    The reassembler tracks the free regions of the rewritten program's
+    address space with one of these: placing a dollop removes an interval,
+    giving bytes back (e.g. relaxing a 5-byte reservation down to a 2-byte
+    jump) re-inserts one.  Intervals are [\[lo, hi)]; adjacent and
+    overlapping intervals are coalesced on insertion. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val add : t -> lo:int -> hi:int -> t
+(** Insert [\[lo, hi)], merging with any overlapping or adjacent members.
+    Empty or negative ranges are ignored. *)
+
+val remove : t -> lo:int -> hi:int -> t
+(** Remove every point of [\[lo, hi)] from the set, splitting members as
+    needed. *)
+
+val mem : t -> int -> bool
+(** Is the point inside some interval? *)
+
+val contains_range : t -> lo:int -> hi:int -> bool
+(** Is the whole of [\[lo, hi)] inside a single member interval? *)
+
+val total : t -> int
+(** Sum of member lengths. *)
+
+val intervals : t -> (int * int) list
+(** Members in increasing order. *)
+
+val first_fit : t -> size:int -> int option
+(** Lowest address [a] such that [\[a, a+size)] is free. *)
+
+val first_fit_at_or_after : t -> pos:int -> size:int -> int option
+(** Lowest [a >= pos] such that [\[a, a+size)] is free. *)
+
+val best_fit_near : t -> center:int -> size:int -> int option
+(** Free start address for a [size]-byte block minimizing distance to
+    [center]. *)
+
+val fit_in_window : t -> lo:int -> hi:int -> size:int -> int option
+(** Free start address [a] with [lo <= a] and [a + size <= hi], preferring
+    the lowest such [a]. *)
+
+val largest : t -> (int * int) option
+(** The member with the most bytes, if any. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f t acc] folds [f lo hi] over members in increasing order. *)
+
+val pp : Format.formatter -> t -> unit

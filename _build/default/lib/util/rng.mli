@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    Every randomized component of the system (workload generators, pollers,
+    layout diversity) draws from an explicit generator state so that a given
+    seed always reproduces the same corpus, the same inputs and the same
+    layouts.  The implementation is splitmix64, which is small, fast and has
+    good statistical quality for simulation purposes. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** [copy t] snapshots the generator; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t].  Use this to give sub-components their own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly pick an element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniformly pick an element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is [n] uniformly random bytes. *)

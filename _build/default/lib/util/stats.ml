@@ -1,0 +1,45 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      if n mod 2 = 1 then List.nth s (n / 2)
+      else (List.nth s ((n / 2) - 1) +. List.nth s (n / 2)) /. 2.0
+
+let percentile xs p =
+  match sorted xs with
+  | [] -> 0.0
+  | s ->
+      let n = List.length s in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      List.nth s idx
+
+let overhead_pct ~baseline ~measured =
+  if baseline = 0.0 then 0.0 else (measured -. baseline) /. baseline *. 100.0
+
+let geomean_ratio pairs =
+  let logs =
+    List.filter_map
+      (fun (b, m) -> if b > 0.0 && m > 0.0 then Some (log (m /. b)) else None)
+      pairs
+  in
+  match logs with
+  | [] -> 1.0
+  | _ -> exp (mean logs)

@@ -1,0 +1,15 @@
+(** Small descriptive-statistics helpers for the evaluation harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val median : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]], by nearest-rank. *)
+
+val overhead_pct : baseline:float -> measured:float -> float
+(** [(measured - baseline) / baseline * 100].  Baseline of 0 yields 0. *)
+
+val geomean_ratio : (float * float) list -> float
+(** Geometric mean of [measured /. baseline] pairs, ignoring non-positive
+    entries. *)

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Cgc Zelf

@@ -1,0 +1,76 @@
+type spec = {
+  name : string;
+  binary : Zelf.Binary.t;
+  meta : Cgc.Cb_gen.meta;
+  test_suite : Cgc.Poller.script list;
+}
+
+let build ~name ~seed ~tests profile =
+  let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+  let test_suite = Cgc.Poller.generate meta ~seed:(seed * 31) ~count:tests in
+  { name; binary; meta; test_suite }
+
+let libc_like ?(seed = 101) ?(tests = 120) () =
+  build ~name:"libc-like" ~seed ~tests
+    {
+      Cgc.Cb_gen.n_handlers = 9;
+      n_helpers = 60;
+      body_ops = 160;
+      loop_iters = 120;
+      use_jump_table = true;
+      n_fptrs = 12;
+      (* The "handwritten assembly" share: frequent islands and hidden
+         computed-jump regions. *)
+      data_islands = 6;
+      hidden_funcs = 3;
+      dense_pair = true;
+      vuln = true;
+      vuln_fptr = false;
+      pathological = false;
+      mem_span = 2048;
+      pic = false;
+    }
+
+let jvm_like ?(seed = 202) ?(tests = 60) () =
+  build ~name:"jvm-like" ~seed ~tests
+    {
+      Cgc.Cb_gen.n_handlers = 10;
+      n_helpers = 220;
+      body_ops = 700;
+      loop_iters = 200;
+      use_jump_table = true;
+      (* Interpreter-style dispatch: a wide pointer table. *)
+      n_fptrs = 64;
+      data_islands = 4;
+      hidden_funcs = 2;
+      dense_pair = false;
+      vuln = true;
+      vuln_fptr = false;
+      pathological = false;
+      mem_span = 8192;
+      pic = false;
+    }
+
+let apache_like ?(pic = false) ?(seed = 303) ?(tests = 80) () =
+  build
+    ~name:(if pic then "apache-like-pic" else "apache-like")
+    ~seed ~tests
+    {
+      Cgc.Cb_gen.n_handlers = 8;
+      n_helpers = 40;
+      body_ops = 120;
+      loop_iters = 150;
+      use_jump_table = true;
+      n_fptrs = 8;
+      data_islands = 2;
+      hidden_funcs = 1;
+      dense_pair = false;
+      vuln = true;
+      vuln_fptr = false;
+      pathological = false;
+      mem_span = 4096;
+      pic;
+    }
+
+let all () =
+  [ libc_like (); jvm_like (); apache_like (); apache_like ~pic:true () ]

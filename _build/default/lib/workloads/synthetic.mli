@@ -1,0 +1,40 @@
+(** Synthetic stand-ins for the robustness workloads of the paper's
+    §IV-A: libc, OpenJDK's libjvm, and the Apache httpd binaries.
+
+    We cannot link the real artifacts in this environment (see DESIGN.md's
+    substitution table), so each stand-in reproduces the {e traits} the
+    paper calls out, at reduced but proportional scale:
+
+    - {b libc-like}: a large service with a high proportion of
+      "handwritten assembly" irregularity — data islands inside text,
+      computed-jump-only (hidden) regions, dense address-taken targets —
+      plus a broad unit-test suite (the paper ran >2500 libc tests; the
+      suite size here is a parameter).
+    - {b jvm-like}: several times larger than libc-like, dominated by a
+      big dispatch surface (a wide function-pointer table standing in for
+      interpreter dispatch) and deep call chains.
+    - {b apache-like}: moderate size, compiled in two configurations —
+      with and without position-independent addressing — matching the
+      paper's PIC / non-PIC Apache experiments.
+
+    All four are deterministic in their seeds. *)
+
+type spec = {
+  name : string;
+  binary : Zelf.Binary.t;
+  meta : Cgc.Cb_gen.meta;
+  test_suite : Cgc.Poller.script list;  (** the workload's "unit tests" *)
+}
+
+val libc_like : ?seed:int -> ?tests:int -> unit -> spec
+(** Defaults: seed 101, 120 tests. *)
+
+val jvm_like : ?seed:int -> ?tests:int -> unit -> spec
+(** Roughly 5x the text of {!libc_like} (the paper's libjvm/libc ratio).
+    Defaults: seed 202, 60 tests. *)
+
+val apache_like : ?pic:bool -> ?seed:int -> ?tests:int -> unit -> spec
+(** Defaults: non-PIC, seed 303, 80 tests. *)
+
+val all : unit -> spec list
+(** libc-like, jvm-like, apache-like (both PIC modes). *)

@@ -1,0 +1,1 @@
+lib/zasm/assemble.ml: Array Ast Format Hashtbl List Zelf Zipr_util Zvm

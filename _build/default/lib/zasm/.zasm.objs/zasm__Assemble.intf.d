@@ -1,0 +1,1 @@
+lib/zasm/assemble.mli: Ast Format Zelf

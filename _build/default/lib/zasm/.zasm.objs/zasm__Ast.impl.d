@@ -1,0 +1,1 @@
+lib/zasm/ast.ml: Bytes Format String Zelf Zvm

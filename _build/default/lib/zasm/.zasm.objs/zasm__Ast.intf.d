@@ -1,0 +1,1 @@
+lib/zasm/ast.mli: Format Zelf Zvm

@@ -1,0 +1,1 @@
+lib/zasm/builder.ml: Assemble Ast List Printf Zelf

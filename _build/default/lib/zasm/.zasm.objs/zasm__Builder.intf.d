@@ -1,0 +1,1 @@
+lib/zasm/builder.mli: Assemble Ast Zelf Zvm

@@ -1,0 +1,1 @@
+lib/zasm/parser.ml: Assemble Ast Buffer Bytes Char Format List Option String Zelf Zvm

@@ -1,0 +1,1 @@
+lib/zasm/parser.mli: Ast Format Zelf

@@ -1,0 +1,1 @@
+lib/zasm/printer.ml: Buffer Bytes Char Disasm Hashtbl List Printf Zelf Zvm

@@ -1,0 +1,1 @@
+lib/zasm/printer.mli: Hashtbl Zelf Zvm

@@ -1,0 +1,200 @@
+module B = Zipr_util.Bytebuf
+open Ast
+
+type error =
+  | Undefined_label of string
+  | Duplicate_label of string
+  | Branch_out_of_range of { section : string; offset : int; disp : int }
+  | Bad_bss_item of string
+  | Overlapping_sections of string
+
+let pp_error ppf = function
+  | Undefined_label l -> Format.fprintf ppf "undefined label %S" l
+  | Duplicate_label l -> Format.fprintf ppf "duplicate label %S" l
+  | Branch_out_of_range { section; offset; disp } ->
+      Format.fprintf ppf "short branch at %s+0x%x out of range (disp %d)" section offset disp
+  | Bad_bss_item s -> Format.fprintf ppf "bss section may not contain %s" s
+  | Overlapping_sections msg -> Format.fprintf ppf "overlapping sections: %s" msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Err of error
+
+(* Per text-section assembly state: one width slot per item; [true] means
+   the Auto branch has been relaxed to near form. *)
+type sec_state = {
+  src : section_src;
+  widths : bool array;
+  mutable addrs : int array;  (* address of each item under current widths *)
+  mutable size : int;
+}
+
+let item_size st i item addr =
+  match item with
+  | Jmp_to (Auto, _) -> if st.widths.(i) then 5 else 2
+  | Jcc_to (_, Auto, _) -> if st.widths.(i) then 5 else 2
+  | Jmp_to (Force_short, _) | Jcc_to (_, Force_short, _) -> 2
+  | Jmp_to (Force_near, _) | Jcc_to (_, Force_near, _) -> 5
+  | Align n -> if n <= 1 then 0 else (n - (addr mod n)) mod n
+  | other -> min_size other
+
+let check_bss_items items =
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ | Space _ | Align _ -> ()
+      | other -> raise (Err (Bad_bss_item (Format.asprintf "%a" pp_item other))))
+    items
+
+(* Assign addresses to all items under the current width assignment and
+   rebuild the symbol table. *)
+let layout states =
+  let symtab : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun st ->
+      let items = Array.of_list st.src.items in
+      let addrs = Array.make (Array.length items) 0 in
+      let addr = ref st.src.sec_vaddr in
+      Array.iteri
+        (fun i item ->
+          addrs.(i) <- !addr;
+          (match item with
+          | Label l ->
+              if Hashtbl.mem symtab l then raise (Err (Duplicate_label l));
+              Hashtbl.add symtab l !addr
+          | _ -> ());
+          addr := !addr + item_size st i item !addr)
+        items;
+      st.addrs <- addrs;
+      st.size <- !addr - st.src.sec_vaddr)
+    states;
+  symtab
+
+let resolve symtab = function
+  | Abs a -> a
+  | Lab l -> (
+      match Hashtbl.find_opt symtab l with
+      | Some a -> a
+      | None -> raise (Err (Undefined_label l)))
+
+(* Relaxation: grow any Auto branch whose short displacement is out of
+   range.  Growing only increases distances monotonically, so iterating to
+   a fixpoint terminates. *)
+let relax states =
+  let fixpoint = ref false in
+  while not !fixpoint do
+    let symtab = layout states in
+    fixpoint := true;
+    List.iter
+      (fun st ->
+        List.iteri
+          (fun i item ->
+            match item with
+            | Jmp_to (Auto, t) | Jcc_to (_, Auto, t) ->
+                if not st.widths.(i) then begin
+                  let target = resolve symtab t in
+                  let disp = target - (st.addrs.(i) + 2) in
+                  if disp < -128 || disp > 127 then begin
+                    st.widths.(i) <- true;
+                    fixpoint := false
+                  end
+                end
+            | _ -> ())
+          st.src.items)
+      states
+  done;
+  layout states
+
+let emit_section st symtab =
+  let buf = B.create ~capacity:(max 64 st.size) () in
+  let base = st.src.sec_vaddr in
+  List.iteri
+    (fun i item ->
+      let addr = st.addrs.(i) in
+      (* Keep emission honest: the buffer must be exactly at the address
+         layout computed. *)
+      assert (base + B.length buf = addr);
+      let size = item_size st i item addr in
+      let next = addr + size in
+      let enc insn = Zvm.Encode.encode buf insn in
+      let short_disp t =
+        let d = resolve symtab t - next in
+        if d < -128 || d > 127 then
+          raise
+            (Err (Branch_out_of_range { section = st.src.sec_name; offset = addr - base; disp = d }));
+        d
+      in
+      match item with
+      | Insn insn -> enc insn
+      | Jmp_to (Auto, t) ->
+          if st.widths.(i) then enc (Zvm.Insn.Jmp (Zvm.Insn.Near, resolve symtab t - next))
+          else enc (Zvm.Insn.Jmp (Zvm.Insn.Short, short_disp t))
+      | Jmp_to (Force_short, t) -> enc (Zvm.Insn.Jmp (Zvm.Insn.Short, short_disp t))
+      | Jmp_to (Force_near, t) -> enc (Zvm.Insn.Jmp (Zvm.Insn.Near, resolve symtab t - next))
+      | Jcc_to (c, Auto, t) ->
+          if st.widths.(i) then enc (Zvm.Insn.Jcc (c, Zvm.Insn.Near, resolve symtab t - next))
+          else enc (Zvm.Insn.Jcc (c, Zvm.Insn.Short, short_disp t))
+      | Jcc_to (c, Force_short, t) -> enc (Zvm.Insn.Jcc (c, Zvm.Insn.Short, short_disp t))
+      | Jcc_to (c, Force_near, t) -> enc (Zvm.Insn.Jcc (c, Zvm.Insn.Near, resolve symtab t - next))
+      | Call_to t -> enc (Zvm.Insn.Call (resolve symtab t - next))
+      | Movi_lab (r, t) -> enc (Zvm.Insn.Movi (r, resolve symtab t))
+      | Leaa_lab (r, t) -> enc (Zvm.Insn.Leaa (r, resolve symtab t))
+      | Leap_lab (r, t) -> enc (Zvm.Insn.Leap (r, resolve symtab t - next))
+      | Loada_lab (r, t) -> enc (Zvm.Insn.Loada (r, resolve symtab t))
+      | Storea_lab (t, r) -> enc (Zvm.Insn.Storea (resolve symtab t, r))
+      | Loadp_lab (r, t) -> enc (Zvm.Insn.Loadp (r, resolve symtab t - next))
+      | Storep_lab (t, r) -> enc (Zvm.Insn.Storep (resolve symtab t - next, r))
+      | Jmpt_lab (r, t) -> enc (Zvm.Insn.Jmpt (r, resolve symtab t))
+      | Label _ -> ()
+      | Raw_bytes b -> B.blit_bytes buf b
+      | Word t -> B.u32 buf (resolve symtab t)
+      | Ascii s -> B.string buf s
+      | Asciiz s ->
+          B.string buf s;
+          B.u8 buf 0
+      | Space n -> B.zeros buf n
+      | Align _ -> B.zeros buf size)
+    st.src.items;
+  B.contents buf
+
+let program (p : program) =
+  try
+    let states =
+      List.map
+        (fun src ->
+          if src.sec_kind = Zelf.Section.Bss then check_bss_items src.items;
+          {
+            src;
+            widths = Array.make (List.length src.items) false;
+            addrs = [||];
+            size = 0;
+          })
+        p.source_sections
+    in
+    let symtab = relax states in
+    let sections =
+      List.map
+        (fun st ->
+          let src = st.src in
+          match src.sec_kind with
+          | Zelf.Section.Bss ->
+              let size = if src.items = [] then src.bss_size else st.size in
+              Zelf.Section.make_bss ~name:src.sec_name ~vaddr:src.sec_vaddr ~size
+          | kind ->
+              Zelf.Section.make ~name:src.sec_name ~kind ~vaddr:src.sec_vaddr
+                (emit_section st symtab))
+        states
+    in
+    let entry = resolve symtab p.entry in
+    let binary =
+      try Zelf.Binary.create ~entry sections
+      with Invalid_argument msg -> raise (Err (Overlapping_sections msg))
+    in
+    let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) symtab [] in
+    Ok (binary, List.sort compare symbols)
+  with Err e -> Error e
+
+let program_exn p =
+  match program p with
+  | Ok r -> r
+  | Error e -> failwith (error_to_string e)

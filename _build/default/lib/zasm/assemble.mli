@@ -1,0 +1,28 @@
+(** Two-pass assembler with branch relaxation.
+
+    Pass structure follows a classic span-dependent-instruction assembler
+    (Leverett & Szymanski's chaining paper is the same lineage the paper
+    cites for Zipr's reference chaining): all [Auto] branches start
+    short, then any whose displacement does not fit a signed byte are
+    grown to near form, iterating to a fixpoint before final emission. *)
+
+type error =
+  | Undefined_label of string
+  | Duplicate_label of string
+  | Branch_out_of_range of { section : string; offset : int; disp : int }
+      (** a [Force_short] branch whose displacement does not fit *)
+  | Bad_bss_item of string
+      (** a [Bss] section may contain only labels, [Space] and [Align] *)
+  | Overlapping_sections of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val program : Ast.program -> (Zelf.Binary.t * (string * int) list, error) result
+(** Assemble to a binary plus the symbol table (label, address).  The
+    symbol table is side-band output for tests and exploit construction;
+    it is {e not} stored in the binary — like CGC challenge binaries, ZBF
+    executables carry no symbols. *)
+
+val program_exn : Ast.program -> Zelf.Binary.t * (string * int) list
+(** Like {!program} but raises [Failure] with a rendered error. *)

@@ -1,0 +1,77 @@
+type target = Abs of int | Lab of string
+
+type width_hint = Auto | Force_short | Force_near
+
+type item =
+  | Insn of Zvm.Insn.t
+  | Jmp_to of width_hint * target
+  | Jcc_to of Zvm.Cond.t * width_hint * target
+  | Call_to of target
+  | Movi_lab of Zvm.Reg.t * target
+  | Leaa_lab of Zvm.Reg.t * target
+  | Leap_lab of Zvm.Reg.t * target
+  | Loada_lab of Zvm.Reg.t * target
+  | Storea_lab of target * Zvm.Reg.t
+  | Loadp_lab of Zvm.Reg.t * target
+  | Storep_lab of target * Zvm.Reg.t
+  | Jmpt_lab of Zvm.Reg.t * target
+  | Label of string
+  | Raw_bytes of bytes
+  | Word of target
+  | Ascii of string
+  | Asciiz of string
+  | Space of int
+  | Align of int
+
+type section_src = {
+  sec_name : string;
+  sec_kind : Zelf.Section.kind;
+  sec_vaddr : int;
+  items : item list;
+  bss_size : int;
+}
+
+type program = { entry : target; source_sections : section_src list }
+
+let min_size = function
+  | Insn i -> Zvm.Insn.size i
+  | Jmp_to (Force_near, _) -> 5
+  | Jmp_to (_, _) -> 2
+  | Jcc_to (_, Force_near, _) -> 5
+  | Jcc_to (_, _, _) -> 2
+  | Call_to _ -> 5
+  | Movi_lab _ | Leaa_lab _ | Leap_lab _ | Loada_lab _ | Storea_lab _ | Loadp_lab _
+  | Storep_lab _ | Jmpt_lab _ ->
+      6
+  | Label _ -> 0
+  | Raw_bytes b -> Bytes.length b
+  | Word _ -> 4
+  | Ascii s -> String.length s
+  | Asciiz s -> String.length s + 1
+  | Space n -> n
+  | Align _ -> 0
+
+let pp_target ppf = function
+  | Abs a -> Format.fprintf ppf "0x%x" a
+  | Lab l -> Format.fprintf ppf "%s" l
+
+let pp_item ppf = function
+  | Insn i -> Zvm.Insn.pp ppf i
+  | Jmp_to (_, t) -> Format.fprintf ppf "jmp %a" pp_target t
+  | Jcc_to (c, _, t) -> Format.fprintf ppf "j%s %a" (Zvm.Cond.to_string c) pp_target t
+  | Call_to t -> Format.fprintf ppf "call %a" pp_target t
+  | Movi_lab (r, t) -> Format.fprintf ppf "movi %a, %a" Zvm.Reg.pp r pp_target t
+  | Leaa_lab (r, t) -> Format.fprintf ppf "leaa %a, %a" Zvm.Reg.pp r pp_target t
+  | Leap_lab (r, t) -> Format.fprintf ppf "leap %a, %a" Zvm.Reg.pp r pp_target t
+  | Loada_lab (r, t) -> Format.fprintf ppf "loada %a, [%a]" Zvm.Reg.pp r pp_target t
+  | Storea_lab (t, r) -> Format.fprintf ppf "storea [%a], %a" pp_target t Zvm.Reg.pp r
+  | Loadp_lab (r, t) -> Format.fprintf ppf "loadp %a, [%a]" Zvm.Reg.pp r pp_target t
+  | Storep_lab (t, r) -> Format.fprintf ppf "storep [%a], %a" pp_target t Zvm.Reg.pp r
+  | Jmpt_lab (r, t) -> Format.fprintf ppf "jmpt %a, [%a]" Zvm.Reg.pp r pp_target t
+  | Label l -> Format.fprintf ppf "%s:" l
+  | Raw_bytes b -> Format.fprintf ppf ".byte (%d bytes)" (Bytes.length b)
+  | Word t -> Format.fprintf ppf ".word %a" pp_target t
+  | Ascii s -> Format.fprintf ppf ".ascii %S" s
+  | Asciiz s -> Format.fprintf ppf ".asciiz %S" s
+  | Space n -> Format.fprintf ppf ".space %d" n
+  | Align n -> Format.fprintf ppf ".align %d" n

@@ -1,0 +1,51 @@
+(** Assembly-level program representation.
+
+    Items are instructions and data directives whose operands may name
+    labels; {!Assemble} resolves labels to addresses and picks branch
+    encodings.  This is the representation in which challenge binaries,
+    synthetic workloads and test programs are authored. *)
+
+type target =
+  | Abs of int  (** a concrete address *)
+  | Lab of string  (** a label, resolved at assembly time *)
+
+type width_hint =
+  | Auto  (** relaxation chooses short when in range, near otherwise *)
+  | Force_short  (** assembly fails if the displacement does not fit *)
+  | Force_near
+
+type item =
+  | Insn of Zvm.Insn.t  (** an instruction with concrete operands *)
+  | Jmp_to of width_hint * target
+  | Jcc_to of Zvm.Cond.t * width_hint * target
+  | Call_to of target
+  | Movi_lab of Zvm.Reg.t * target  (** materialize a label's address *)
+  | Leaa_lab of Zvm.Reg.t * target
+  | Leap_lab of Zvm.Reg.t * target  (** PC-relative address formation of a label *)
+  | Loada_lab of Zvm.Reg.t * target
+  | Storea_lab of target * Zvm.Reg.t
+  | Loadp_lab of Zvm.Reg.t * target  (** PC-relative load of a label's cell *)
+  | Storep_lab of target * Zvm.Reg.t
+  | Jmpt_lab of Zvm.Reg.t * target  (** jump-table dispatch through a labelled table *)
+  | Label of string
+  | Raw_bytes of bytes  (** arbitrary bytes, e.g. data embedded in text *)
+  | Word of target  (** a 4-byte pointer cell *)
+  | Ascii of string
+  | Asciiz of string
+  | Space of int  (** zero-filled gap *)
+  | Align of int  (** pad with zero bytes to a multiple *)
+
+type section_src = {
+  sec_name : string;
+  sec_kind : Zelf.Section.kind;
+  sec_vaddr : int;
+  items : item list;  (** ignored for [Bss]; use [bss_size] *)
+  bss_size : int;  (** only meaningful for [Bss] sections *)
+}
+
+type program = { entry : target; source_sections : section_src list }
+
+val min_size : item -> int
+(** Smallest possible encoding of the item (branches measured short). *)
+
+val pp_item : Format.formatter -> item -> unit

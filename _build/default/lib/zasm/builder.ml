@@ -1,0 +1,84 @@
+type t = {
+  entry : string;
+  text_base : int;
+  rodata_base : int;
+  data_base : int;
+  bss_base : int;
+  mutable text_items : Ast.item list;  (* reversed *)
+  mutable rodata_items : Ast.item list;
+  mutable data_items : Ast.item list;
+  mutable bss_items : Ast.item list;
+  mutable counter : int;
+}
+
+let create ?(text_base = 0x10000) ?(rodata_base = 0x200000) ?(data_base = 0x300000)
+    ?(bss_base = 0x400000) ~entry () =
+  {
+    entry;
+    text_base;
+    rodata_base;
+    data_base;
+    bss_base;
+    text_items = [];
+    rodata_items = [];
+    data_items = [];
+    bss_items = [];
+    counter = 0;
+  }
+
+let fresh t stem =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s$%d" stem t.counter
+
+let text_item t item = t.text_items <- item :: t.text_items
+let insn t i = text_item t (Ast.Insn i)
+let insns t is = List.iter (insn t) is
+let label t l = text_item t (Ast.Label l)
+let jmp t ?(width = Ast.Auto) l = text_item t (Ast.Jmp_to (width, Ast.Lab l))
+let jcc t c ?(width = Ast.Auto) l = text_item t (Ast.Jcc_to (c, width, Ast.Lab l))
+let call t l = text_item t (Ast.Call_to (Ast.Lab l))
+let movi_lab t r l = text_item t (Ast.Movi_lab (r, Ast.Lab l))
+let leap_lab t r l = text_item t (Ast.Leap_lab (r, Ast.Lab l))
+let loadp_lab t r l = text_item t (Ast.Loadp_lab (r, Ast.Lab l))
+let jmpt_lab t r l = text_item t (Ast.Jmpt_lab (r, Ast.Lab l))
+let loada_lab t r l = text_item t (Ast.Loada_lab (r, Ast.Lab l))
+let storea_lab t l r = text_item t (Ast.Storea_lab (Ast.Lab l, r))
+
+let rodata_item t item = t.rodata_items <- item :: t.rodata_items
+let rodata_label t l = rodata_item t (Ast.Label l)
+let rodata_word t w = rodata_item t (Ast.Word w)
+let rodata_ascii t s = rodata_item t (Ast.Ascii s)
+let rodata_asciiz t s = rodata_item t (Ast.Asciiz s)
+
+let data_item t item = t.data_items <- item :: t.data_items
+let data_label t l = data_item t (Ast.Label l)
+let data_word t w = data_item t (Ast.Word w)
+
+let bss t name size =
+  t.bss_items <- Ast.Space size :: Ast.Label name :: t.bss_items
+
+let to_program t =
+  let section name kind vaddr items =
+    {
+      Ast.sec_name = name;
+      sec_kind = kind;
+      sec_vaddr = vaddr;
+      items = List.rev items;
+      bss_size = 0;
+    }
+  in
+  let sections =
+    List.filter
+      (fun (s : Ast.section_src) -> s.items <> [])
+      [
+        section ".text" Zelf.Section.Text t.text_base t.text_items;
+        section ".rodata" Zelf.Section.Rodata t.rodata_base t.rodata_items;
+        section ".data" Zelf.Section.Data t.data_base t.data_items;
+        section ".bss" Zelf.Section.Bss t.bss_base t.bss_items;
+      ]
+  in
+  { Ast.entry = Ast.Lab t.entry; source_sections = sections }
+
+let assemble t = Assemble.program (to_program t)
+
+let assemble_exn t = Assemble.program_exn (to_program t)

@@ -1,0 +1,58 @@
+(** Imperative program-construction eDSL on top of {!Ast}.
+
+    A builder owns four section cursors (text, rodata, data, bss) at
+    conventional load addresses and a gensym counter for fresh labels.
+    The challenge-binary and workload generators drive this API; tests use
+    it to author small programs inline. *)
+
+type t
+
+val create :
+  ?text_base:int ->
+  ?rodata_base:int ->
+  ?data_base:int ->
+  ?bss_base:int ->
+  entry:string ->
+  unit ->
+  t
+(** Defaults: text at [0x10000], rodata at [0x200000], data at [0x300000],
+    bss at [0x400000]. *)
+
+val fresh : t -> string -> string
+(** [fresh t stem] is a new unique label ["stem$n"]. *)
+
+(* Text-section emission. *)
+
+val insn : t -> Zvm.Insn.t -> unit
+val insns : t -> Zvm.Insn.t list -> unit
+val label : t -> string -> unit
+val jmp : t -> ?width:Ast.width_hint -> string -> unit
+val jcc : t -> Zvm.Cond.t -> ?width:Ast.width_hint -> string -> unit
+val call : t -> string -> unit
+val movi_lab : t -> Zvm.Reg.t -> string -> unit
+val leap_lab : t -> Zvm.Reg.t -> string -> unit
+val loadp_lab : t -> Zvm.Reg.t -> string -> unit
+val jmpt_lab : t -> Zvm.Reg.t -> string -> unit
+val loada_lab : t -> Zvm.Reg.t -> string -> unit
+val storea_lab : t -> string -> Zvm.Reg.t -> unit
+val text_item : t -> Ast.item -> unit
+(** Escape hatch for anything else, including raw data bytes in text. *)
+
+(* Data-section emission. *)
+
+val rodata_label : t -> string -> unit
+val rodata_word : t -> Ast.target -> unit
+val rodata_ascii : t -> string -> unit
+val rodata_asciiz : t -> string -> unit
+val rodata_item : t -> Ast.item -> unit
+val data_label : t -> string -> unit
+val data_word : t -> Ast.target -> unit
+val data_item : t -> Ast.item -> unit
+val bss : t -> string -> int -> unit
+(** [bss t name size] reserves [size] zeroed bytes under a label. *)
+
+val to_program : t -> Ast.program
+
+val assemble : t -> (Zelf.Binary.t * (string * int) list, Assemble.error) result
+
+val assemble_exn : t -> Zelf.Binary.t * (string * int) list

@@ -1,0 +1,301 @@
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+module Cond = Zvm.Cond
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Err of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Err s)) fmt
+
+(* -- lexing helpers -- *)
+
+let strip_comment line =
+  let cut c s = match String.index_opt s c with Some i -> String.sub s 0 i | None -> s in
+  cut ';' (cut '#' line)
+
+(* Split into tokens on whitespace and commas; brackets kept attached so
+   memory operands like [r1+4] stay one token. *)
+let tokens line =
+  line
+  |> String.map (fun c -> if c = ',' then ' ' else c)
+  |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_int s =
+  let s, neg = if String.length s > 0 && s.[0] = '-' then (String.sub s 1 (String.length s - 1), true) else (s, false) in
+  let v =
+    if String.length s = 3 && s.[0] = '\'' && s.[2] = '\'' then Some (Char.code s.[1])
+    else int_of_string_opt s
+  in
+  Option.map (fun v -> if neg then -v else v) v
+
+let reg_exn s =
+  match Reg.of_string s with Some r -> r | None -> err "expected register, got %S" s
+
+let target_of s =
+  match parse_int s with Some v -> Ast.Abs v | None -> Ast.Lab s
+
+let imm_exn s = match parse_int s with Some v -> v | None -> err "expected number, got %S" s
+
+(* Memory operand: [reg], [reg+disp], [reg-disp]. *)
+let mem_operand s =
+  let n = String.length s in
+  if n < 3 || s.[0] <> '[' || s.[n - 1] <> ']' then err "expected memory operand, got %S" s
+  else begin
+    let body = String.sub s 1 (n - 2) in
+    let split_at i = (String.sub body 0 i, String.sub body i (String.length body - i)) in
+    let base_s, disp_s =
+      match (String.index_opt body '+', String.index_opt body '-') with
+      | Some i, _ -> split_at i
+      | None, Some i -> split_at i
+      | None, None -> (body, "0")
+    in
+    let disp = match parse_int disp_s with Some v -> v | None -> err "bad displacement %S" disp_s in
+    (reg_exn base_s, disp)
+  end
+
+let width_of_suffix mnemonic =
+  match String.index_opt mnemonic '.' with
+  | None -> (mnemonic, Ast.Auto)
+  | Some i -> (
+      let base = String.sub mnemonic 0 i in
+      match String.sub mnemonic (i + 1) (String.length mnemonic - i - 1) with
+      | "s" -> (base, Ast.Force_short)
+      | "n" -> (base, Ast.Force_near)
+      | suffix -> err "unknown width suffix %S" suffix)
+
+let alu_of = function
+  | "add" -> Some Insn.Add
+  | "sub" -> Some Insn.Sub
+  | "mul" -> Some Insn.Mul
+  | "div" -> Some Insn.Div
+  | "mod" -> Some Insn.Mod
+  | "and" -> Some Insn.And
+  | "or" -> Some Insn.Or
+  | "xor" -> Some Insn.Xor
+  | "shl" -> Some Insn.Shl
+  | "shr" -> Some Insn.Shr
+  | _ -> None
+
+let alui_of = function
+  | "addi" -> Some Insn.Addi
+  | "subi" -> Some Insn.Subi
+  | "andi" -> Some Insn.Andi
+  | "ori" -> Some Insn.Ori
+  | "xori" -> Some Insn.Xori
+  | "muli" -> Some Insn.Muli
+  | _ -> None
+
+let string_literal raw =
+  (* The token list split on blanks, so re-join is handled by the caller
+     passing the raw remainder; here we parse a quoted literal with the
+     usual escapes. *)
+  let n = String.length raw in
+  if n < 2 || raw.[0] <> '"' || raw.[n - 1] <> '"' then err "expected string literal, got %S" raw
+  else begin
+    let buf = Buffer.create n in
+    let i = ref 1 in
+    while !i < n - 1 do
+      (if raw.[!i] = '\\' && !i + 1 < n - 1 then begin
+         (match raw.[!i + 1] with
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | '0' -> Buffer.add_char buf '\000'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '"' -> Buffer.add_char buf '"'
+         | c -> err "unknown escape \\%c" c);
+         incr i
+       end
+       else Buffer.add_char buf raw.[!i]);
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+(* -- per-line parsing -- *)
+
+let parse_insn mnemonic args =
+  let mnemonic, width = width_of_suffix mnemonic in
+  let jcc cond =
+    match args with [ t ] -> Ast.Jcc_to (cond, width, target_of t) | _ -> err "j<cc> label"
+  in
+  match (mnemonic, args) with
+  | "nop", [] -> Ast.Insn Insn.Nop
+  | "ret", [] -> Ast.Insn Insn.Ret
+  | "halt", [] -> Ast.Insn Insn.Halt
+  | "land", [] -> Ast.Insn Insn.Land
+  | "retland", [] -> Ast.Insn Insn.Retland
+  | "sys", [ n ] -> Ast.Insn (Insn.Sys (imm_exn n))
+  | "movi", [ r; v ] -> (
+      match parse_int v with
+      | Some imm -> Ast.Insn (Insn.Movi (reg_exn r, imm land 0xffffffff))
+      | None -> Ast.Movi_lab (reg_exn r, Ast.Lab v))
+  | "mov", [ rd; rs ] -> Ast.Insn (Insn.Mov (reg_exn rd, reg_exn rs))
+  | "load", [ rd; m ] ->
+      let base, disp = mem_operand m in
+      Ast.Insn (Insn.Load { dst = reg_exn rd; base; disp })
+  | "store", [ m; rs ] ->
+      let base, disp = mem_operand m in
+      Ast.Insn (Insn.Store { base; disp; src = reg_exn rs })
+  | "load8", [ rd; m ] ->
+      let base, disp = mem_operand m in
+      Ast.Insn (Insn.Load8 { dst = reg_exn rd; base; disp })
+  | "store8", [ m; rs ] ->
+      let base, disp = mem_operand m in
+      Ast.Insn (Insn.Store8 { base; disp; src = reg_exn rs })
+  | "shli", [ r; n ] -> Ast.Insn (Insn.Shli (reg_exn r, imm_exn n))
+  | "shri", [ r; n ] -> Ast.Insn (Insn.Shri (reg_exn r, imm_exn n))
+  | "not", [ r ] -> Ast.Insn (Insn.Not (reg_exn r))
+  | "neg", [ r ] -> Ast.Insn (Insn.Neg (reg_exn r))
+  | "cmp", [ a; b ] -> Ast.Insn (Insn.Cmp (reg_exn a, reg_exn b))
+  | "cmpi", [ r; v ] -> Ast.Insn (Insn.Cmpi (reg_exn r, imm_exn v land 0xffffffff))
+  | "test", [ a; b ] -> Ast.Insn (Insn.Test (reg_exn a, reg_exn b))
+  | "push", [ r ] -> Ast.Insn (Insn.Push (reg_exn r))
+  | "pop", [ r ] -> Ast.Insn (Insn.Pop (reg_exn r))
+  | "pushi", [ v ] -> Ast.Insn (Insn.Pushi (imm_exn v land 0xffffffff))
+  | "jmp", [ t ] -> Ast.Jmp_to (width, target_of t)
+  | "jeq", _ -> jcc Cond.Eq
+  | "jne", _ -> jcc Cond.Ne
+  | "jlt", _ -> jcc Cond.Lt
+  | "jge", _ -> jcc Cond.Ge
+  | "jgt", _ -> jcc Cond.Gt
+  | "jle", _ -> jcc Cond.Le
+  | "jult", _ -> jcc Cond.Ult
+  | "juge", _ -> jcc Cond.Uge
+  | "call", [ t ] -> Ast.Call_to (target_of t)
+  | "jmpr", [ r ] -> Ast.Insn (Insn.Jmpr (reg_exn r))
+  | "callr", [ r ] -> Ast.Insn (Insn.Callr (reg_exn r))
+  | "jmpt", [ r; t ] -> Ast.Jmpt_lab (reg_exn r, target_of t)
+  | "leap", [ r; t ] -> Ast.Leap_lab (reg_exn r, target_of t)
+  | "loadp", [ r; t ] -> Ast.Loadp_lab (reg_exn r, target_of t)
+  | "storep", [ t; r ] -> Ast.Storep_lab (target_of t, reg_exn r)
+  | "leaa", [ r; t ] -> Ast.Leaa_lab (reg_exn r, target_of t)
+  | "loada", [ r; t ] -> Ast.Loada_lab (reg_exn r, target_of t)
+  | "storea", [ t; r ] -> Ast.Storea_lab (target_of t, reg_exn r)
+  | op, [ a; b ] when alu_of op <> None ->
+      Ast.Insn (Insn.Alu (Option.get (alu_of op), reg_exn a, reg_exn b))
+  | op, [ r; v ] when alui_of op <> None ->
+      Ast.Insn (Insn.Alui (Option.get (alui_of op), reg_exn r, imm_exn v land 0xffffffff))
+  | op, _ -> err "unknown or malformed instruction %S" op
+
+type psec = {
+  mutable name : string;
+  mutable kind : Zelf.Section.kind;
+  mutable vaddr : int;
+  mutable items : Ast.item list;  (* reversed *)
+}
+
+let default_vaddr = function
+  | Zelf.Section.Text -> 0x10000
+  | Zelf.Section.Rodata -> 0x200000
+  | Zelf.Section.Data -> 0x300000
+  | Zelf.Section.Bss -> 0x400000
+
+let parse source =
+  let entry = ref "main" in
+  let sections : psec list ref = ref [] in
+  let current = ref None in
+  let section kind vaddr =
+    let s =
+      {
+        name = "." ^ Zelf.Section.kind_to_string kind;
+        kind;
+        vaddr;
+        items = [];
+      }
+    in
+    sections := s :: !sections;
+    current := Some s;
+    s
+  in
+  let item it =
+    let s =
+      match !current with Some s -> s | None -> section Zelf.Section.Text 0x10000
+    in
+    s.items <- it :: s.items
+  in
+  let lines = String.split_on_char '\n' source in
+  let lineno = ref 0 in
+  try
+    List.iter
+      (fun raw ->
+        incr lineno;
+        let line = String.trim (strip_comment raw) in
+        if line <> "" then begin
+          match tokens line with
+          | [] -> ()
+          | tok :: rest when String.length tok > 0 && tok.[0] = '.' -> (
+              match (tok, rest) with
+              | ".entry", [ l ] -> entry := l
+              | ".section", kind_s :: addr ->
+                  let kind =
+                    match kind_s with
+                    | "text" -> Zelf.Section.Text
+                    | "rodata" -> Zelf.Section.Rodata
+                    | "data" -> Zelf.Section.Data
+                    | "bss" -> Zelf.Section.Bss
+                    | k -> err "unknown section kind %S" k
+                  in
+                  let vaddr =
+                    match addr with
+                    | [] -> default_vaddr kind
+                    | [ a ] -> imm_exn a
+                    | _ -> err ".section takes a kind and an optional address"
+                  in
+                  ignore (section kind vaddr)
+              | ".word", [ t ] -> item (Ast.Word (target_of t))
+              | ".byte", bytes when bytes <> [] ->
+                  item
+                    (Ast.Raw_bytes
+                       (Bytes.of_string
+                          (String.concat ""
+                             (List.map (fun b -> String.make 1 (Char.chr (imm_exn b land 0xff))) bytes))))
+              | ".ascii", _ ->
+                  (* take the raw remainder after the directive *)
+                  let idx = String.index raw '"' in
+                  item (Ast.Ascii (string_literal (String.trim (String.sub raw idx (String.length raw - idx)))))
+              | ".asciiz", _ ->
+                  let idx = String.index raw '"' in
+                  item (Ast.Asciiz (string_literal (String.trim (String.sub raw idx (String.length raw - idx)))))
+              | ".space", [ n ] -> item (Ast.Space (imm_exn n))
+              | ".align", [ n ] -> item (Ast.Align (imm_exn n))
+              | d, _ -> err "unknown directive %S" d)
+          | [ label ] when String.length label > 1 && label.[String.length label - 1] = ':' ->
+              item (Ast.Label (String.sub label 0 (String.length label - 1)))
+          | label :: rest when String.length label > 1 && label.[String.length label - 1] = ':' ->
+              item (Ast.Label (String.sub label 0 (String.length label - 1)));
+              (match rest with
+              | mnemonic :: args -> item (parse_insn mnemonic args)
+              | [] -> ())
+          | mnemonic :: args -> item (parse_insn mnemonic args)
+        end)
+      lines;
+    let source_sections =
+      List.rev_map
+        (fun s ->
+          {
+            Ast.sec_name = s.name;
+            sec_kind = s.kind;
+            sec_vaddr = s.vaddr;
+            items = List.rev s.items;
+            bss_size = 0;
+          })
+        !sections
+    in
+    Ok { Ast.entry = Ast.Lab !entry; source_sections }
+  with
+  | Err message -> Error { line = !lineno; message }
+  | Invalid_argument message | Failure message -> Error { line = !lineno; message }
+  | Not_found -> Error { line = !lineno; message = "malformed directive" }
+
+let assemble_string source =
+  match parse source with
+  | Error e -> Error (Format.asprintf "%a" pp_error e)
+  | Ok program -> (
+      match Assemble.program program with
+      | Ok r -> Ok r
+      | Error e -> Error (Assemble.error_to_string e))

@@ -1,0 +1,41 @@
+(** Textual assembly front end.
+
+    A pragmatic line-based syntax over {!Ast}; what [ziprtool asm]
+    consumes and the quickstart example is written in.
+
+    {v
+    ; comment                    # comment
+    .section text 0x10000        ; or rodata/data/bss with load address
+    .entry main
+
+    main:
+        movi r0, 42
+        cmpi r0, 'q'
+        jeq  done                ; jeq.s / jeq.n force a width
+        call fn
+        jmpt r3, table
+        ret
+
+    .section rodata 0x200000
+    table:
+        .word fn                 ; labels or numbers
+        .byte 0x68 0x90
+        .ascii "hi"  / .asciiz "hi"
+        .space 64
+        .align 16
+    v}
+
+    Numbers are decimal, [0x]-hex or a quoted character; [movi r0, label]
+    materializes a label's address. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.program, error) result
+(** Parse a full program.  Sections default to [.section text 0x10000] if
+    no directive appears before the first item; the entry defaults to
+    ["main"]. *)
+
+val assemble_string : string -> (Zelf.Binary.t * (string * int) list, string) result
+(** Parse then assemble; errors rendered as strings. *)

@@ -1,0 +1,1 @@
+lib/zelf/binary.ml: Bytes Char Format List Printf Section String Zipr_util

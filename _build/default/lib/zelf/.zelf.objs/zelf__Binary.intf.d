@@ -1,0 +1,1 @@
+lib/zelf/binary.mli: Format Section

@@ -1,0 +1,1 @@
+lib/zelf/image.ml: Binary List Section Zvm

@@ -1,0 +1,1 @@
+lib/zelf/image.mli: Binary Zvm

@@ -1,0 +1,1 @@
+lib/zelf/section.ml: Bytes Format

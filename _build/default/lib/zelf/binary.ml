@@ -1,0 +1,154 @@
+module B = Zipr_util.Bytebuf
+
+type t = { entry : int; sections : Section.t list }
+
+type parse_error = Bad_magic | Bad_checksum | Bad_section of string | Truncated_file
+
+let pp_parse_error ppf = function
+  | Bad_magic -> Format.fprintf ppf "bad magic"
+  | Bad_checksum -> Format.fprintf ppf "bad checksum"
+  | Bad_section s -> Format.fprintf ppf "bad section: %s" s
+  | Truncated_file -> Format.fprintf ppf "truncated file"
+
+let magic = "ZBF1"
+
+let create ~entry sections =
+  let sorted = List.sort (fun a b -> compare a.Section.vaddr b.Section.vaddr) sections in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Section.vend a > b.Section.vaddr then
+          invalid_arg
+            (Format.asprintf "Binary.create: sections overlap: %a and %a" Section.pp a
+               Section.pp b);
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  { entry; sections = sorted }
+
+(* Adler-32, enough integrity checking to catch corrupted emission. *)
+let adler32 b =
+  let a = ref 1 and bsum = ref 0 in
+  Bytes.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      bsum := (!bsum + !a) mod 65521)
+    b;
+  (!bsum lsl 16) lor !a
+
+let serialize t =
+  let buf = B.create ~capacity:4096 () in
+  B.string buf magic;
+  B.u32 buf t.entry;
+  B.u32 buf (List.length t.sections);
+  List.iter
+    (fun (s : Section.t) ->
+      B.u32 buf (String.length s.name);
+      B.string buf s.name;
+      B.u8 buf (Section.kind_code s.kind);
+      B.u32 buf s.vaddr;
+      B.u32 buf s.size;
+      if s.kind <> Section.Bss then B.blit_bytes buf s.data)
+    t.sections;
+  let body = B.contents buf in
+  B.u32 buf (adler32 body);
+  B.contents buf
+
+let parse b =
+  let pos = ref 0 in
+  let len = Bytes.length b in
+  let need n = !pos + n <= len in
+  let u8 () =
+    let v = Char.code (Bytes.get b !pos) in
+    incr pos;
+    v
+  in
+  let u32 () =
+    let v0 = u8 () and v1 = u8 () and v2 = u8 () and v3 = u8 () in
+    v0 lor (v1 lsl 8) lor (v2 lsl 16) lor (v3 lsl 24)
+  in
+  let str n =
+    let s = Bytes.sub_string b !pos n in
+    pos := !pos + n;
+    s
+  in
+  try
+    if not (need 12) then Error Truncated_file
+    else if str 4 <> magic then Error Bad_magic
+    else begin
+      let entry = u32 () in
+      let nsections = u32 () in
+      if nsections > 1024 then Error (Bad_section "unreasonable section count")
+      else begin
+        let sections = ref [] in
+        let err = ref None in
+        (try
+           for _ = 1 to nsections do
+             if not (need 4) then raise Exit;
+             let name_len = u32 () in
+             if name_len > 4096 || not (need (name_len + 9)) then raise Exit;
+             let name = str name_len in
+             let kind_code = u8 () in
+             let vaddr = u32 () in
+             let size = u32 () in
+             match Section.kind_of_code kind_code with
+             | None ->
+                 err := Some (Bad_section (Printf.sprintf "%s: bad kind %d" name kind_code));
+                 raise Exit
+             | Some Section.Bss -> sections := Section.make_bss ~name ~vaddr ~size :: !sections
+             | Some kind ->
+                 if not (need size) then raise Exit;
+                 let data = Bytes.sub b !pos size in
+                 pos := !pos + size;
+                 sections := Section.make ~name ~kind ~vaddr data :: !sections
+           done
+         with Exit -> if !err = None then err := Some Truncated_file);
+        match !err with
+        | Some e -> Error e
+        | None ->
+            if not (need 4) then Error Truncated_file
+            else begin
+              let body = Bytes.sub b 0 !pos in
+              let checksum = u32 () in
+              if checksum <> adler32 body then Error Bad_checksum
+              else
+                match create ~entry (List.rev !sections) with
+                | t -> Ok t
+                | exception Invalid_argument msg -> Error (Bad_section msg)
+            end
+      end
+    end
+  with Invalid_argument _ -> Error Truncated_file
+
+let file_size t = Bytes.length (serialize t)
+
+let find_section t name = List.find_opt (fun (s : Section.t) -> s.name = name) t.sections
+
+let text t =
+  match List.find_opt Section.is_code t.sections with
+  | Some s -> s
+  | None -> raise Not_found
+
+let section_at t addr = List.find_opt (fun s -> Section.contains s addr) t.sections
+
+let read8 t addr =
+  match section_at t addr with
+  | None -> None
+  | Some s ->
+      if s.kind = Section.Bss then Some 0
+      else Some (Char.code (Bytes.get s.data (addr - s.vaddr)))
+
+let read32 t addr =
+  match (read8 t addr, read8 t (addr + 1), read8 t (addr + 2), read8 t (addr + 3)) with
+  | Some a, Some b, Some c, Some d -> Some (a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24))
+  | _ -> None
+
+let min_vaddr t =
+  List.fold_left (fun acc (s : Section.t) -> min acc s.vaddr) max_int t.sections
+
+let max_vend t = List.fold_left (fun acc s -> max acc (Section.vend s)) 0 t.sections
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>entry=0x%x@,%a@]" t.entry
+    (Format.pp_print_list Section.pp)
+    t.sections

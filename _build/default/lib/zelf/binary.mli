@@ -1,0 +1,55 @@
+(** The ZBF ("ZVM binary format") executable container.
+
+    ZBF plays the role ELF plays for real Zipr: it is what the rewriter
+    parses, what it emits, and what the on-disk file-size metric of the
+    CGC evaluation is measured on.  The format is deliberately simple —
+    magic, entry point, a section table, section contents, and a trailing
+    checksum — but like ELF it stores full section images, so address-space
+    fragmentation produced by a careless rewriter directly costs file
+    bytes.
+
+    Wire format (all integers little-endian 32-bit):
+    {v
+      "ZBF1"  entry  nsections
+      per section: name_len name kind vaddr size [contents unless bss]
+      checksum (Adler-32 of everything preceding)
+    v} *)
+
+type t = { entry : int; sections : Section.t list }
+
+val create : entry:int -> Section.t list -> t
+(** Validates that sections do not overlap; raises [Invalid_argument] if
+    they do. *)
+
+type parse_error =
+  | Bad_magic
+  | Bad_checksum
+  | Bad_section of string
+  | Truncated_file
+
+val pp_parse_error : Format.formatter -> parse_error -> unit
+
+val serialize : t -> bytes
+
+val parse : bytes -> (t, parse_error) result
+
+val file_size : t -> int
+(** On-disk size: [Bytes.length (serialize t)]. *)
+
+val find_section : t -> string -> Section.t option
+
+val text : t -> Section.t
+(** The first [Text] section.  Raises [Not_found] if there is none. *)
+
+val section_at : t -> int -> Section.t option
+(** The section containing an address. *)
+
+val read8 : t -> int -> int option
+(** Read a byte through the section map (bss reads as 0). *)
+
+val read32 : t -> int -> int option
+
+val min_vaddr : t -> int
+val max_vend : t -> int
+
+val pp : Format.formatter -> t -> unit

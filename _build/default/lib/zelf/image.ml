@@ -1,0 +1,18 @@
+let load mem (b : Binary.t) =
+  List.iter
+    (fun (s : Section.t) ->
+      match s.kind with
+      | Section.Bss -> Zvm.Memory.map mem ~addr:s.vaddr ~len:s.size
+      | _ -> Zvm.Memory.load_bytes mem ~addr:s.vaddr s.data)
+    b.sections
+
+let vm_of ?random_seed (b : Binary.t) ~input =
+  let mem = Zvm.Memory.create () in
+  load mem b;
+  Zvm.Vm.create ?random_seed ~mem ~entry:b.entry ~input ()
+
+let boot ?stack_top ?stack_pages ?random_seed ?fuel (b : Binary.t) ~input =
+  let mem = Zvm.Memory.create () in
+  load mem b;
+  let vm = Zvm.Vm.create ?stack_top ?stack_pages ?random_seed ~mem ~entry:b.entry ~input () in
+  Zvm.Vm.run ?fuel vm

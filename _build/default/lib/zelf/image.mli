@@ -1,0 +1,20 @@
+(** Loading ZBF binaries into VM memory. *)
+
+val load : Zvm.Memory.t -> Binary.t -> unit
+(** Map and initialize every section at its load address.  [Bss] sections
+    map zero-filled pages. *)
+
+val boot :
+  ?stack_top:int ->
+  ?stack_pages:int ->
+  ?random_seed:int ->
+  ?fuel:int ->
+  Binary.t ->
+  input:string ->
+  Zvm.Vm.result
+(** Convenience one-shot: load the binary into a fresh memory, run it on
+    [input], and return the transcript. *)
+
+val vm_of : ?random_seed:int -> Binary.t -> input:string -> Zvm.Vm.t
+(** Load into fresh memory and return the ready-to-run VM (for callers
+    that want stepping or post-mortem inspection). *)

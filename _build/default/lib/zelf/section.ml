@@ -1,0 +1,34 @@
+type kind = Text | Rodata | Data | Bss
+
+type t = { name : string; kind : kind; vaddr : int; data : bytes; size : int }
+
+let make ~name ~kind ~vaddr data =
+  if kind = Bss then invalid_arg "Section.make: use make_bss for bss sections";
+  { name; kind; vaddr; data; size = Bytes.length data }
+
+let make_bss ~name ~vaddr ~size = { name; kind = Bss; vaddr; data = Bytes.empty; size }
+
+let vend t = t.vaddr + t.size
+
+let contains t addr = addr >= t.vaddr && addr < vend t
+
+let is_code t = t.kind = Text
+
+let kind_code = function Text -> 0 | Rodata -> 1 | Data -> 2 | Bss -> 3
+
+let kind_of_code = function
+  | 0 -> Some Text
+  | 1 -> Some Rodata
+  | 2 -> Some Data
+  | 3 -> Some Bss
+  | _ -> None
+
+let kind_to_string = function
+  | Text -> "text"
+  | Rodata -> "rodata"
+  | Data -> "data"
+  | Bss -> "bss"
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s) [0x%x,0x%x) %d bytes" t.name (kind_to_string t.kind) t.vaddr
+    (vend t) t.size

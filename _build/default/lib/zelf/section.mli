@@ -1,0 +1,35 @@
+(** Sections of a ZBF binary.
+
+    A section is a named, typed range of the program's address space.
+    [Text] holds machine code, [Rodata] read-only data (string literals,
+    jump tables, function-pointer tables), [Data] initialized writable
+    data, and [Bss] zero-initialized writable data that occupies no file
+    bytes. *)
+
+type kind = Text | Rodata | Data | Bss
+
+type t = {
+  name : string;
+  kind : kind;
+  vaddr : int;  (** load address *)
+  data : bytes;  (** contents; empty for [Bss] *)
+  size : int;  (** in-memory size; equals [Bytes.length data] except for [Bss] *)
+}
+
+val make : name:string -> kind:kind -> vaddr:int -> bytes -> t
+(** A progbits section whose memory size is its content length. *)
+
+val make_bss : name:string -> vaddr:int -> size:int -> t
+
+val vend : t -> int
+(** One past the last address of the section. *)
+
+val contains : t -> int -> bool
+(** Is the address inside [\[vaddr, vend)]? *)
+
+val is_code : t -> bool
+
+val kind_code : kind -> int
+val kind_of_code : int -> kind option
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

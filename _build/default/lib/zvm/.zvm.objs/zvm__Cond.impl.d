@@ -1,0 +1,1 @@
+lib/zvm/cond.ml: Array Format Printf String

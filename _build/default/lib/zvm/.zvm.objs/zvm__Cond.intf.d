@@ -1,0 +1,1 @@
+lib/zvm/cond.mli: Format

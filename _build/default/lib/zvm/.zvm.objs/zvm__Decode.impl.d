@@ -1,0 +1,1 @@
+lib/zvm/decode.ml: Bytes Char Cond Format Insn List Reg

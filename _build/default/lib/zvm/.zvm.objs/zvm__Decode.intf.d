@@ -1,0 +1,1 @@
+lib/zvm/decode.mli: Format Insn

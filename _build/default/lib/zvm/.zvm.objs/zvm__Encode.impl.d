@@ -1,0 +1,1 @@
+lib/zvm/encode.ml: Cond Insn List Printf Reg Zipr_util

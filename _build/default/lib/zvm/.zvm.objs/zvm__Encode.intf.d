@@ -1,0 +1,1 @@
+lib/zvm/encode.mli: Insn Zipr_util

@@ -1,0 +1,1 @@
+lib/zvm/insn.ml: Cond Format Reg

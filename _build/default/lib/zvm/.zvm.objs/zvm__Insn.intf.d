@@ -1,0 +1,1 @@
+lib/zvm/insn.mli: Cond Format Reg

@@ -1,0 +1,1 @@
+lib/zvm/memory.ml: Bytes Char Hashtbl Option

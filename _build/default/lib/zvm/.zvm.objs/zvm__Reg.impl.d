@@ -1,0 +1,1 @@
+lib/zvm/reg.ml: Array Format Int Printf String

@@ -1,0 +1,1 @@
+lib/zvm/reg.mli: Format

@@ -1,0 +1,1 @@
+lib/zvm/trace.ml: Array Format Insn List Vm

@@ -1,0 +1,1 @@
+lib/zvm/trace.mli: Format Insn Vm

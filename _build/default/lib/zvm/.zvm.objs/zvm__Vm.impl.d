@@ -1,0 +1,1 @@
+lib/zvm/vm.ml: Array Buffer Char Cond Decode Format Insn Memory Reg String Syscall Zipr_util

@@ -1,0 +1,1 @@
+lib/zvm/vm.mli: Decode Format Insn Memory Reg

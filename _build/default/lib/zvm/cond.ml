@@ -1,0 +1,66 @@
+type t = Eq | Ne | Lt | Ge | Gt | Le | Ult | Uge
+
+let all = [| Eq; Ne; Lt; Ge; Gt; Le; Ult; Uge |]
+
+let code = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Gt -> 4
+  | Le -> 5
+  | Ult -> 6
+  | Uge -> 7
+
+let of_code i = if i >= 0 && i < 8 then Some all.(i) else None
+
+let of_code_exn i =
+  match of_code i with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Cond.of_code_exn: %d" i)
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+  | Gt -> Le
+  | Le -> Gt
+  | Ult -> Uge
+  | Uge -> Ult
+
+let eval t ~eq ~lt ~ult =
+  match t with
+  | Eq -> eq
+  | Ne -> not eq
+  | Lt -> lt
+  | Ge -> not lt
+  | Gt -> (not lt) && not eq
+  | Le -> lt || eq
+  | Ult -> ult
+  | Uge -> not ult
+
+let to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Gt -> "gt"
+  | Le -> "le"
+  | Ult -> "ult"
+  | Uge -> "uge"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "lt" -> Some Lt
+  | "ge" -> Some Ge
+  | "gt" -> Some Gt
+  | "le" -> Some Le
+  | "ult" -> Some Ult
+  | "uge" -> Some Uge
+  | _ -> None
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)
+let equal a b = code a = code b

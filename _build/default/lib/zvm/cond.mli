@@ -1,0 +1,26 @@
+(** Branch conditions evaluated against the flags set by [cmp]/[cmpi]/[test].
+
+    Signed comparisons use [Lt]/[Ge]/[Gt]/[Le]; unsigned use [Ult]/[Uge].
+    The condition code is the low three bits of the conditional-branch
+    opcode, mirroring x86's [Jcc] opcode families. *)
+
+type t = Eq | Ne | Lt | Ge | Gt | Le | Ult | Uge
+
+val code : t -> int
+(** Encoding, 0-7. *)
+
+val of_code : int -> t option
+val of_code_exn : int -> t
+
+val negate : t -> t
+(** The condition that holds exactly when [t] does not. *)
+
+val eval : t -> eq:bool -> lt:bool -> ult:bool -> bool
+(** Evaluate against comparison outcomes: [eq] (operands equal), [lt]
+    (signed less-than), [ult] (unsigned less-than). *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val all : t array

@@ -1,0 +1,28 @@
+(** Binary decoder for ZVM instructions.
+
+    The decoder is total over byte sequences: every input either decodes to
+    an instruction with its length or produces a descriptive error.  As on
+    x86, many data bytes decode into valid instructions, which is what
+    makes code/data disambiguation genuinely hard for the disassemblers
+    built on top of this module. *)
+
+type error =
+  | Bad_opcode of int  (** first byte is not an opcode *)
+  | Bad_register of int  (** register field out of range *)
+  | Truncated  (** instruction extends past the available bytes *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val decode : fetch:(int -> int option) -> int -> (Insn.t * int, error) result
+(** [decode ~fetch addr] decodes one instruction whose first byte is at
+    [addr].  [fetch a] returns the byte at address [a], or [None] if [a] is
+    not readable.  On success, returns the instruction and its encoded
+    length. *)
+
+val decode_bytes : bytes -> pos:int -> (Insn.t * int, error) result
+(** Decode from a byte string at offset [pos]. *)
+
+val decode_all : bytes -> (Insn.t list, int * error) result
+(** Decode a byte string as a dense instruction sequence; on failure,
+    reports the offset of the undecodable instruction. *)

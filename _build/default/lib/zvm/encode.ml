@@ -1,0 +1,126 @@
+module B = Zipr_util.Bytebuf
+open Insn
+
+let op_pushi = 0x68
+let op_nop = 0x90
+let op_jmp_short = 0xeb
+let op_jmp_near = 0xe9
+let op_ret = 0xc3
+let op_land = 0x61
+let op_retland = 0x62
+
+let alu_opcode = function
+  | Add -> 0x20
+  | Sub -> 0x21
+  | Mul -> 0x22
+  | Div -> 0x23
+  | Mod -> 0x24
+  | And -> 0x25
+  | Or -> 0x26
+  | Xor -> 0x27
+  | Shl -> 0x28
+  | Shr -> 0x29
+
+let alui_opcode = function
+  | Addi -> 0x30
+  | Subi -> 0x31
+  | Andi -> 0x32
+  | Ori -> 0x33
+  | Xori -> 0x34
+  | Muli -> 0x35
+
+let opcode = function
+  | Movi _ -> 0x10
+  | Mov _ -> 0x11
+  | Load _ -> 0x12
+  | Store _ -> 0x13
+  | Load8 _ -> 0x14
+  | Store8 _ -> 0x15
+  | Alu (op, _, _) -> alu_opcode op
+  | Not _ -> 0x2a
+  | Neg _ -> 0x2b
+  | Alui (op, _, _) -> alui_opcode op
+  | Shli _ -> 0x36
+  | Shri _ -> 0x37
+  | Cmp _ -> 0x40
+  | Cmpi _ -> 0x41
+  | Test _ -> 0x42
+  | Push _ -> 0x50
+  | Pop _ -> 0x51
+  | Jcc (c, Near, _) -> 0x58 + Cond.code c
+  | Sys _ -> 0x60
+  | Land -> op_land
+  | Retland -> op_retland
+  | Pushi _ -> op_pushi
+  | Jcc (c, Short, _) -> 0x70 + Cond.code c
+  | Nop -> op_nop
+  | Leap _ -> 0xa1
+  | Loadp _ -> 0xa2
+  | Storep _ -> 0xa3
+  | Leaa _ -> 0xa4
+  | Loada _ -> 0xa5
+  | Storea _ -> 0xa6
+  | Ret -> op_ret
+  | Call _ -> 0xe8
+  | Jmp (Near, _) -> op_jmp_near
+  | Jmp (Short, _) -> op_jmp_short
+  | Halt -> 0xf4
+  | Jmpt _ -> 0xfd
+  | Callr _ -> 0xfe
+  | Jmpr _ -> 0xff
+
+let rel8 buf d =
+  if d < -128 || d > 127 then
+    invalid_arg (Printf.sprintf "Encode: short displacement %d out of range" d);
+  B.u8 buf (d land 0xff)
+
+let regpair buf a b = B.u8 buf ((Reg.index a lsl 4) lor Reg.index b)
+let reg1 buf r = B.u8 buf (Reg.index r lsl 4)
+
+let encode buf i =
+  B.u8 buf (opcode i);
+  match i with
+  | Movi (r, v) | Alui (_, r, v) | Cmpi (r, v) ->
+      B.u8 buf (Reg.index r);
+      B.u32 buf v
+  | Mov (rd, rs) | Alu (_, rd, rs) | Cmp (rd, rs) | Test (rd, rs) -> regpair buf rd rs
+  | Load { dst; base; disp } | Load8 { dst; base; disp } ->
+      regpair buf dst base;
+      B.i32 buf disp
+  | Store { base; disp; src } | Store8 { base; disp; src } ->
+      regpair buf base src;
+      B.i32 buf disp
+  | Shli (r, v) | Shri (r, v) ->
+      B.u8 buf (Reg.index r);
+      B.u8 buf v
+  | Not r | Neg r | Push r | Pop r | Callr r | Jmpr r -> reg1 buf r
+  | Pushi v -> B.u32 buf v
+  | Jcc (_, Short, d) | Jmp (Short, d) -> rel8 buf d
+  | Jcc (_, Near, d) | Jmp (Near, d) | Call d -> B.i32 buf d
+  | Jmpt (r, a) ->
+      B.u8 buf (Reg.index r);
+      B.u32 buf a
+  | Sys n -> B.u8 buf n
+  | Leap (r, d) | Loadp (r, d) ->
+      B.u8 buf (Reg.index r);
+      B.i32 buf d
+  | Storep (d, r) ->
+      B.u8 buf (Reg.index r);
+      B.i32 buf d
+  | Leaa (r, a) | Loada (r, a) ->
+      B.u8 buf (Reg.index r);
+      B.u32 buf a
+  | Storea (a, r) ->
+      B.u8 buf (Reg.index r);
+      B.u32 buf a
+  | Ret | Halt | Nop | Land | Retland -> ()
+
+let to_bytes i =
+  let buf = B.create ~capacity:8 () in
+  encode buf i;
+  B.contents buf
+
+let encode_all is =
+  let buf = B.create () in
+  List.iter (encode buf) is;
+  B.contents buf

@@ -1,0 +1,33 @@
+(** Binary encoder for ZVM instructions.
+
+    The encoding is little-endian.  Immediates are masked to 32 bits;
+    signed displacements are two's-complement.  [encode] raises
+    [Invalid_argument] if a short branch displacement does not fit in a
+    signed byte, mirroring an assembler's range check. *)
+
+val opcode : Insn.t -> int
+(** First byte of the instruction's encoding. *)
+
+val encode : Zipr_util.Bytebuf.t -> Insn.t -> unit
+(** Append the encoding of one instruction. *)
+
+val to_bytes : Insn.t -> bytes
+(** Encoding of a single instruction. *)
+
+val encode_all : Insn.t list -> bytes
+(** Concatenated encodings. *)
+
+(* Opcode constants shared with the decoder, the sled builder and tests. *)
+
+val op_pushi : int  (** [0x68], the sled push. *)
+
+val op_nop : int  (** [0x90], the sled filler. *)
+
+val op_jmp_short : int  (** [0xeb] *)
+
+val op_jmp_near : int  (** [0xe9] *)
+
+val op_ret : int  (** [0xc3] *)
+
+val op_land : int
+val op_retland : int

@@ -1,0 +1,162 @@
+type width = Short | Near
+
+type alu = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr
+
+type alui = Addi | Subi | Andi | Ori | Xori | Muli
+
+type t =
+  | Movi of Reg.t * int
+  | Mov of Reg.t * Reg.t
+  | Load of { dst : Reg.t; base : Reg.t; disp : int }
+  | Store of { base : Reg.t; disp : int; src : Reg.t }
+  | Load8 of { dst : Reg.t; base : Reg.t; disp : int }
+  | Store8 of { base : Reg.t; disp : int; src : Reg.t }
+  | Alu of alu * Reg.t * Reg.t
+  | Alui of alui * Reg.t * int
+  | Shli of Reg.t * int
+  | Shri of Reg.t * int
+  | Not of Reg.t
+  | Neg of Reg.t
+  | Cmp of Reg.t * Reg.t
+  | Cmpi of Reg.t * int
+  | Test of Reg.t * Reg.t
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Pushi of int
+  | Jcc of Cond.t * width * int
+  | Jmp of width * int
+  | Call of int
+  | Jmpr of Reg.t
+  | Callr of Reg.t
+  | Jmpt of Reg.t * int
+  | Ret
+  | Halt
+  | Nop
+  | Land
+  | Retland
+  | Sys of int
+  | Leap of Reg.t * int
+  | Loadp of Reg.t * int
+  | Storep of int * Reg.t
+  | Leaa of Reg.t * int
+  | Loada of Reg.t * int
+  | Storea of int * Reg.t
+
+let size = function
+  | Movi _ -> 6
+  | Mov _ -> 2
+  | Load _ | Store _ | Load8 _ | Store8 _ -> 6
+  | Alu _ -> 2
+  | Alui _ -> 6
+  | Shli _ | Shri _ -> 3
+  | Not _ | Neg _ -> 2
+  | Cmp _ -> 2
+  | Cmpi _ -> 6
+  | Test _ -> 2
+  | Push _ | Pop _ -> 2
+  | Pushi _ -> 5
+  | Jcc (_, Short, _) -> 2
+  | Jcc (_, Near, _) -> 5
+  | Jmp (Short, _) -> 2
+  | Jmp (Near, _) -> 5
+  | Call _ -> 5
+  | Jmpr _ | Callr _ -> 2
+  | Jmpt _ -> 6
+  | Ret | Halt | Nop | Land | Retland -> 1
+  | Sys _ -> 2
+  | Leap _ | Loadp _ | Storep _ -> 6
+  | Leaa _ | Loada _ | Storea _ -> 6
+
+let is_control_flow = function
+  | Jcc _ | Jmp _ | Call _ | Jmpr _ | Callr _ | Jmpt _ | Ret | Halt -> true
+  | _ -> false
+
+let has_fallthrough = function
+  | Jmp _ | Jmpr _ | Jmpt _ | Ret | Halt -> false
+  | _ -> true
+
+let is_indirect = function
+  | Jmpr _ | Callr _ | Jmpt _ | Ret -> true
+  | _ -> false
+
+let static_target ~at i =
+  match i with
+  | Jcc (_, _, disp) | Jmp (_, disp) | Call disp -> Some (at + size i + disp)
+  | _ -> None
+
+let with_displacement i disp =
+  match i with
+  | Jcc (c, w, _) -> Jcc (c, w, disp)
+  | Jmp (w, _) -> Jmp (w, disp)
+  | Call _ -> Call disp
+  | _ -> invalid_arg "Insn.with_displacement: not a direct branch"
+
+let reads_pc = function
+  | Leap _ | Loadp _ | Storep _ -> true
+  | _ -> false
+
+let equal (a : t) (b : t) = a = b
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let alui_name = function
+  | Addi -> "addi"
+  | Subi -> "subi"
+  | Andi -> "andi"
+  | Ori -> "ori"
+  | Xori -> "xori"
+  | Muli -> "muli"
+
+let width_name = function Short -> ".s" | Near -> ""
+
+let pp ppf i =
+  let p fmt = Format.fprintf ppf fmt in
+  match i with
+  | Movi (r, v) -> p "movi %a, 0x%x" Reg.pp r v
+  | Mov (rd, rs) -> p "mov %a, %a" Reg.pp rd Reg.pp rs
+  | Load { dst; base; disp } -> p "load %a, [%a%+d]" Reg.pp dst Reg.pp base disp
+  | Store { base; disp; src } -> p "store [%a%+d], %a" Reg.pp base disp Reg.pp src
+  | Load8 { dst; base; disp } -> p "load8 %a, [%a%+d]" Reg.pp dst Reg.pp base disp
+  | Store8 { base; disp; src } -> p "store8 [%a%+d], %a" Reg.pp base disp Reg.pp src
+  | Alu (op, rd, rs) -> p "%s %a, %a" (alu_name op) Reg.pp rd Reg.pp rs
+  | Alui (op, r, v) -> p "%s %a, 0x%x" (alui_name op) Reg.pp r v
+  | Shli (r, v) -> p "shli %a, %d" Reg.pp r v
+  | Shri (r, v) -> p "shri %a, %d" Reg.pp r v
+  | Not r -> p "not %a" Reg.pp r
+  | Neg r -> p "neg %a" Reg.pp r
+  | Cmp (ra, rb) -> p "cmp %a, %a" Reg.pp ra Reg.pp rb
+  | Cmpi (r, v) -> p "cmpi %a, 0x%x" Reg.pp r v
+  | Test (ra, rb) -> p "test %a, %a" Reg.pp ra Reg.pp rb
+  | Push r -> p "push %a" Reg.pp r
+  | Pop r -> p "pop %a" Reg.pp r
+  | Pushi v -> p "pushi 0x%x" v
+  | Jcc (c, w, d) -> p "j%s%s %+d" (Cond.to_string c) (width_name w) d
+  | Jmp (w, d) -> p "jmp%s %+d" (width_name w) d
+  | Call d -> p "call %+d" d
+  | Jmpr r -> p "jmpr %a" Reg.pp r
+  | Callr r -> p "callr %a" Reg.pp r
+  | Jmpt (r, a) -> p "jmpt %a, [0x%x]" Reg.pp r a
+  | Ret -> p "ret"
+  | Halt -> p "halt"
+  | Nop -> p "nop"
+  | Land -> p "land"
+  | Retland -> p "retland"
+  | Sys n -> p "sys %d" n
+  | Leap (r, d) -> p "leap %a, pc%+d" Reg.pp r d
+  | Loadp (r, d) -> p "loadp %a, [pc%+d]" Reg.pp r d
+  | Storep (d, r) -> p "storep [pc%+d], %a" d Reg.pp r
+  | Leaa (r, a) -> p "leaa %a, 0x%x" Reg.pp r a
+  | Loada (r, a) -> p "loada %a, [0x%x]" Reg.pp r a
+  | Storea (a, r) -> p "storea [0x%x], %a" a Reg.pp r
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,103 @@
+(** The ZVM instruction set.
+
+    ZVM is a synthetic, variable-length (1-7 byte) ISA designed so that
+    every property the Zipr rewriting algorithms depend on in x86 is
+    present:
+
+    - both a 2-byte short jump ([Jmp (Short, rel8)]) and a 5-byte near jump
+      ([Jmp (Near, rel32)]), so references can be {e constrained} and need
+      expansion, chaining and relaxation;
+    - a 5-byte push-immediate (opcode [0x68]) and a 1-byte nop ([0x90]),
+      so the paper's dense-reference {e sleds} work byte-for-byte;
+    - PC-relative control flow and PC-relative data access ([Leap],
+      [Loadp], [Storep]) that the mandatory transformations must rewrite;
+    - indirect control flow through registers ([Jmpr], [Callr]) and jump
+      tables ([Jmpt]);
+    - a 1-byte [Ret] (opcode [0xc3], unusable for resolving references,
+      exactly as footnote 1 of the paper notes for x86).
+
+    Immediates and addresses are 32-bit values carried in OCaml [int]s;
+    encoders mask to 32 bits and the VM performs 32-bit wraparound
+    arithmetic.  Branch displacements are signed and relative to the
+    address {e after} the branch instruction, as on x86. *)
+
+type width = Short | Near
+(** Displacement width of a direct branch: [Short] is a signed 8-bit
+    displacement (2-byte instruction), [Near] a signed 32-bit displacement
+    (5-byte instruction). *)
+
+type alu = Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr
+(** Register-register ALU operations.  [Div]/[Mod] are unsigned and fault
+    on a zero divisor.  Shift counts are taken modulo 32. *)
+
+type alui = Addi | Subi | Andi | Ori | Xori | Muli
+(** Register-immediate ALU operations (32-bit immediate). *)
+
+type t =
+  | Movi of Reg.t * int  (** [r := imm32] *)
+  | Mov of Reg.t * Reg.t  (** [rd := rs] *)
+  | Load of { dst : Reg.t; base : Reg.t; disp : int }  (** 32-bit load *)
+  | Store of { base : Reg.t; disp : int; src : Reg.t }  (** 32-bit store *)
+  | Load8 of { dst : Reg.t; base : Reg.t; disp : int }  (** zero-extending byte load *)
+  | Store8 of { base : Reg.t; disp : int; src : Reg.t }  (** byte store *)
+  | Alu of alu * Reg.t * Reg.t  (** [rd := rd op rs]; sets flags *)
+  | Alui of alui * Reg.t * int  (** [r := r op imm]; sets flags *)
+  | Shli of Reg.t * int  (** [r := r lsl imm8] *)
+  | Shri of Reg.t * int  (** [r := r lsr imm8] *)
+  | Not of Reg.t
+  | Neg of Reg.t
+  | Cmp of Reg.t * Reg.t  (** set flags from [ra - rb] *)
+  | Cmpi of Reg.t * int  (** set flags from [r - imm] *)
+  | Test of Reg.t * Reg.t  (** set flags from [ra land rb] *)
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Pushi of int  (** opcode [0x68]; the sled building block *)
+  | Jcc of Cond.t * width * int  (** conditional branch, signed displacement *)
+  | Jmp of width * int  (** unconditional branch *)
+  | Call of int  (** push return address; 32-bit displacement *)
+  | Jmpr of Reg.t  (** indirect jump to the address in a register *)
+  | Callr of Reg.t  (** indirect call *)
+  | Jmpt of Reg.t * int  (** [pc := mem32\[table + r*4\]]: jump-table dispatch *)
+  | Ret
+  | Halt
+  | Nop
+  | Land  (** CFI landing marker for call/jump targets; executes as nop *)
+  | Retland  (** CFI landing marker for return sites; executes as nop *)
+  | Sys of int  (** system call, number in the imm8 operand *)
+  | Leap of Reg.t * int  (** [r := pc_next + disp]: PC-relative address formation *)
+  | Loadp of Reg.t * int  (** [r := mem32\[pc_next + disp\]] *)
+  | Storep of int * Reg.t  (** [mem32\[pc_next + disp\] := r] *)
+  | Leaa of Reg.t * int  (** [r := addr32]: absolute address formation *)
+  | Loada of Reg.t * int  (** [r := mem32\[addr32\]] *)
+  | Storea of int * Reg.t  (** [mem32\[addr32\] := r] *)
+
+val size : t -> int
+(** Encoded size in bytes (1-7). *)
+
+val is_control_flow : t -> bool
+(** Does the instruction (potentially) transfer control somewhere other
+    than the next instruction?  [Call] counts; [Sys] does not. *)
+
+val has_fallthrough : t -> bool
+(** Can execution continue at the next sequential instruction?  False for
+    [Jmp], [Jmpr], [Jmpt], [Ret], [Halt]. *)
+
+val is_indirect : t -> bool
+(** [Jmpr], [Callr], [Jmpt] and [Ret]: control flow whose target is
+    computed at run time. *)
+
+val static_target : at:int -> t -> int option
+(** [static_target ~at i] is the branch-target address of a direct
+    control-flow instruction located at address [at], or [None]. *)
+
+val with_displacement : t -> int -> t
+(** Replace the displacement of a direct control-flow instruction
+    ([Jmp]/[Jcc]/[Call]); raises [Invalid_argument] otherwise. *)
+
+val reads_pc : t -> bool
+(** PC-relative non-control instructions ([Leap]/[Loadp]/[Storep]) that the
+    mandatory transformation must rewrite before relocation. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

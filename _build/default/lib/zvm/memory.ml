@@ -1,0 +1,104 @@
+let page_size = 4096
+let page_bits = 12
+
+type page = { data : bytes; mutable touched : bool }
+
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable touched_count : int;
+}
+
+let create () = { pages = Hashtbl.create 64; touched_count = 0 }
+
+let page_of t addr = Hashtbl.find_opt t.pages (addr lsr page_bits)
+
+let touch t p =
+  if not p.touched then begin
+    p.touched <- true;
+    t.touched_count <- t.touched_count + 1
+  end
+
+let map t ~addr ~len =
+  if len > 0 then begin
+    let first = addr lsr page_bits in
+    let last = (addr + len - 1) lsr page_bits in
+    for pn = first to last do
+      if not (Hashtbl.mem t.pages pn) then
+        Hashtbl.add t.pages pn { data = Bytes.make page_size '\000'; touched = false }
+    done
+  end
+
+let is_mapped t addr = Option.is_some (page_of t addr)
+
+let read8 t addr =
+  match page_of t addr with
+  | None -> None
+  | Some p ->
+      touch t p;
+      Some (Char.code (Bytes.get p.data (addr land (page_size - 1))))
+
+let write8 t addr v =
+  match page_of t addr with
+  | None -> false
+  | Some p ->
+      touch t p;
+      Bytes.set p.data (addr land (page_size - 1)) (Char.chr (v land 0xff));
+      true
+
+let peek8 t addr =
+  match page_of t addr with
+  | None -> None
+  | Some p -> Some (Char.code (Bytes.get p.data (addr land (page_size - 1))))
+
+let read32 t addr =
+  match (read8 t addr, read8 t (addr + 1), read8 t (addr + 2), read8 t (addr + 3)) with
+  | Some b0, Some b1, Some b2, Some b3 -> Some (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+  | _ -> None
+
+let write32 t addr v =
+  write8 t addr v
+  && write8 t (addr + 1) (v lsr 8)
+  && write8 t (addr + 2) (v lsr 16)
+  && write8 t (addr + 3) (v lsr 24)
+
+let read_block t ~addr ~len =
+  let out = Bytes.create len in
+  let ok = ref true in
+  for i = 0 to len - 1 do
+    match read8 t (addr + i) with
+    | Some b -> Bytes.set out i (Char.chr b)
+    | None -> ok := false
+  done;
+  if !ok then Some out else None
+
+let write_block t ~addr b =
+  let ok = ref true in
+  for i = 0 to Bytes.length b - 1 do
+    if not (write8 t (addr + i) (Char.code (Bytes.get b i))) then ok := false
+  done;
+  !ok
+
+let peek_block t ~addr ~len =
+  let out = Bytes.create len in
+  let ok = ref true in
+  for i = 0 to len - 1 do
+    match peek8 t (addr + i) with
+    | Some b -> Bytes.set out i (Char.chr b)
+    | None -> ok := false
+  done;
+  if !ok then Some out else None
+
+(* Loading marks pages touched; callers that care about residency (the VM
+   loader) call [reset_residency] once setup is complete, so only
+   program-driven touches are counted. *)
+let load_bytes t ~addr b =
+  map t ~addr ~len:(Bytes.length b);
+  ignore (write_block t ~addr b)
+
+let touched_pages t = t.touched_count
+
+let mapped_pages t = Hashtbl.length t.pages
+
+let reset_residency t =
+  Hashtbl.iter (fun _ p -> p.touched <- false) t.pages;
+  t.touched_count <- 0

@@ -1,0 +1,54 @@
+(** Paged, sparse VM memory with residency accounting.
+
+    Memory is a 32-bit address space of 4-KiB pages, materialized on
+    demand for {e mapped} regions only; access to an unmapped address is a
+    fault (reported to the VM as [None]).  Every page touched by a read,
+    write or instruction fetch is recorded; the peak count of touched
+    pages is the simulated maximum resident set size (MaxRSS), the memory
+    metric of the paper's CGC evaluation (Figure 6). *)
+
+type t
+
+val page_size : int
+(** 4096. *)
+
+val create : unit -> t
+(** Empty memory: nothing mapped, nothing resident. *)
+
+val map : t -> addr:int -> len:int -> unit
+(** Make [\[addr, addr+len)] accessible (zero-filled).  Page-granular:
+    the enclosing pages become mapped. *)
+
+val is_mapped : t -> int -> bool
+
+val load_bytes : t -> addr:int -> bytes -> unit
+(** Map and initialize a region with the given bytes. *)
+
+val read8 : t -> int -> int option
+(** [None] if the address is unmapped.  Counts residency. *)
+
+val write8 : t -> int -> int -> bool
+(** [false] if the address is unmapped.  Counts residency. *)
+
+val read32 : t -> int -> int option
+(** Little-endian 32-bit read. *)
+
+val write32 : t -> int -> int -> bool
+
+val read_block : t -> addr:int -> len:int -> bytes option
+val write_block : t -> addr:int -> bytes -> bool
+
+val peek8 : t -> int -> int option
+(** Read without counting residency (for inspection by tests and tools). *)
+
+val peek_block : t -> addr:int -> len:int -> bytes option
+
+val touched_pages : t -> int
+(** Number of distinct pages touched so far: the simulated MaxRSS in
+    pages. *)
+
+val mapped_pages : t -> int
+(** Number of mapped pages (the address-space footprint). *)
+
+val reset_residency : t -> unit
+(** Forget residency history (not contents); used between poller runs. *)

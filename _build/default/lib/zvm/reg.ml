@@ -1,0 +1,50 @@
+type t = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | SP
+
+let index = function
+  | R0 -> 0
+  | R1 -> 1
+  | R2 -> 2
+  | R3 -> 3
+  | R4 -> 4
+  | R5 -> 5
+  | R6 -> 6
+  | R7 -> 7
+  | SP -> 8
+
+let all = [| R0; R1; R2; R3; R4; R5; R6; R7; SP |]
+let general = [| R0; R1; R2; R3; R4; R5; R6; R7 |]
+
+let of_index i = if i >= 0 && i < Array.length all then Some all.(i) else None
+
+let of_index_exn i =
+  match of_index i with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Reg.of_index_exn: %d" i)
+
+let to_string = function
+  | R0 -> "r0"
+  | R1 -> "r1"
+  | R2 -> "r2"
+  | R3 -> "r3"
+  | R4 -> "r4"
+  | R5 -> "r5"
+  | R6 -> "r6"
+  | R7 -> "r7"
+  | SP -> "sp"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "r0" -> Some R0
+  | "r1" -> Some R1
+  | "r2" -> Some R2
+  | "r3" -> Some R3
+  | "r4" -> Some R4
+  | "r5" -> Some R5
+  | "r6" -> Some R6
+  | "r7" -> Some R7
+  | "sp" -> Some SP
+  | _ -> None
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+let equal a b = index a = index b
+let compare a b = Int.compare (index a) (index b)

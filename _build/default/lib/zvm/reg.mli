@@ -1,0 +1,34 @@
+(** ZVM register file: eight general-purpose registers and a stack pointer.
+
+    The calling convention used by the in-tree assembler and code
+    generators passes arguments in [R0]-[R3], returns results in [R0], and
+    treats [R4]-[R6] as callee-saved scratch.  [R7] is a caller-saved
+    temporary.  [SP] is the hardware stack pointer used implicitly by
+    [push]/[pop]/[call]/[ret]. *)
+
+type t = R0 | R1 | R2 | R3 | R4 | R5 | R6 | R7 | SP
+
+val index : t -> int
+(** Encoding index, 0-8. *)
+
+val of_index : int -> t option
+(** Inverse of {!index}. *)
+
+val of_index_exn : int -> t
+(** Like {!of_index} but raises [Invalid_argument] on a bad index. *)
+
+val all : t array
+(** All registers in index order. *)
+
+val general : t array
+(** The general-purpose registers [R0]-[R7], excluding [SP]. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Case-insensitive parse, e.g. ["r3"] or ["SP"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,31 @@
+type t = Terminate | Transmit | Receive | Allocate | Deallocate | Random | Fdwait
+
+let all = [ Terminate; Transmit; Receive; Allocate; Deallocate; Random; Fdwait ]
+
+let number = function
+  | Terminate -> 0
+  | Transmit -> 1
+  | Receive -> 2
+  | Allocate -> 3
+  | Deallocate -> 4
+  | Random -> 5
+  | Fdwait -> 6
+
+let of_number = function
+  | 0 -> Some Terminate
+  | 1 -> Some Transmit
+  | 2 -> Some Receive
+  | 3 -> Some Allocate
+  | 4 -> Some Deallocate
+  | 5 -> Some Random
+  | 6 -> Some Fdwait
+  | _ -> None
+
+let to_string = function
+  | Terminate -> "terminate"
+  | Transmit -> "transmit"
+  | Receive -> "receive"
+  | Allocate -> "allocate"
+  | Deallocate -> "deallocate"
+  | Random -> "random"
+  | Fdwait -> "fdwait"

@@ -1,0 +1,20 @@
+(** The DECREE-like system-call interface.
+
+    The DARPA CGC ran challenge binaries on DECREE, a restricted Linux
+    derivative with only seven system calls and no filesystem or network
+    access.  ZVM exposes the same seven-call surface; this is what makes a
+    poller's interaction with a binary a pure, replayable transcript. *)
+
+type t =
+  | Terminate  (** [r0] = exit status; ends execution *)
+  | Transmit  (** [r0]=fd (ignored), [r1]=buf, [r2]=len; returns bytes written in [r0] *)
+  | Receive  (** [r0]=fd (ignored), [r1]=buf, [r2]=len; returns bytes read in [r0], 0 at EOF *)
+  | Allocate  (** [r0]=len; returns the address of fresh zeroed pages in [r0] *)
+  | Deallocate  (** [r0]=addr, [r1]=len; accepted and ignored (pages stay mapped) *)
+  | Random  (** [r0]=buf, [r1]=len; fills from the VM's seeded stream; returns len *)
+  | Fdwait  (** immediately "ready"; returns 0 *)
+
+val number : t -> int
+val of_number : int -> t option
+val to_string : t -> string
+val all : t list

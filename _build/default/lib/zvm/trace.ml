@@ -1,0 +1,68 @@
+type t = {
+  ring : (int * Insn.t) array;
+  capacity : int;
+  mutable total : int;
+  mutable last_pc : int;
+  mutable last_len : int;
+}
+
+let create ?(capacity = 4096) () =
+  { ring = Array.make capacity (0, Insn.Nop); capacity; total = 0; last_pc = -1; last_len = 0 }
+
+let on_step t ~pc insn =
+  t.ring.(t.total mod t.capacity) <- (pc, insn);
+  t.total <- t.total + 1;
+  t.last_pc <- pc;
+  t.last_len <- Insn.size insn
+
+let run ?fuel ?capacity vm =
+  let t = create ?capacity () in
+  let result = Vm.run ?fuel ~on_step:(fun ~pc insn -> on_step t ~pc insn) vm in
+  (result, t)
+
+let length t = t.total
+
+let steps t =
+  let n = min t.total t.capacity in
+  let first = t.total - n in
+  List.init n (fun i -> t.ring.((first + i) mod t.capacity))
+
+let branch_targets t =
+  let rec walk prev = function
+    | [] -> []
+    | (pc, insn) :: rest -> (
+        match prev with
+        | Some (ppc, pinsn) when pc <> ppc + Insn.size pinsn ->
+            pc :: walk (Some (pc, insn)) rest
+        | _ -> walk (Some (pc, insn)) rest)
+  in
+  walk None (steps t)
+
+let pp ppf t =
+  List.iter (fun (pc, insn) -> Format.fprintf ppf "0x%x: %s@." pc (Insn.to_string insn)) (steps t)
+
+(* Instruction shape: displacements, branch widths and code addresses
+   legitimately change under rewriting; operation and registers do not. *)
+let shape insn =
+  let open Insn in
+  match insn with
+  | Jcc (c, _, _) -> Jcc (c, Near, 0)
+  | Jmp (_, _) -> Jmp (Near, 0)
+  | Call _ -> Call 0
+  | Pushi _ -> Pushi 0
+  | Movi (r, _) -> Movi (r, 0)
+  | Leaa (r, _) -> Leaa (r, 0)
+  | Jmpt (r, _) -> Jmpt (r, 0)
+  | other -> other
+
+let divergence a b =
+  let sa = steps a and sb = steps b in
+  let rec go i = function
+    | [], [] -> None
+    | [], s :: _ -> Some (i, None, Some s)
+    | s :: _, [] -> Some (i, Some s, None)
+    | ((_, ia) as xa) :: ra, ((_, ib) as xb) :: rb ->
+        if Insn.equal (shape ia) (shape ib) then go (i + 1) (ra, rb)
+        else Some (i, Some xa, Some xb)
+  in
+  go 0 (sa, sb)

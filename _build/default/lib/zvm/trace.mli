@@ -1,0 +1,42 @@
+(** Execution tracing.
+
+    A bounded ring of executed (pc, instruction) pairs plus counters, fed
+    from {!Vm.run}'s [on_step] hook.  The debugging workhorse for failed
+    rewrites: run original and rewritten binaries side by side and diff
+    where their paths diverge. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 most-recent steps. *)
+
+val on_step : t -> pc:int -> Insn.t -> unit
+(** The hook to pass to {!Vm.run}. *)
+
+val run : ?fuel:int -> ?capacity:int -> Vm.t -> Vm.result * t
+(** Convenience: run a VM with tracing attached. *)
+
+val steps : t -> (int * Insn.t) list
+(** The retained tail of the execution, oldest first. *)
+
+val length : t -> int
+(** Total steps observed (may exceed the retained capacity). *)
+
+val branch_targets : t -> int list
+(** PCs that were reached non-sequentially (taken branches, calls,
+    returns, indirect transfers), oldest first, within the retained
+    tail. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per retained step. *)
+
+val divergence : t -> t -> (int * (int * Insn.t) option * (int * Insn.t) option) option
+(** [divergence a b] is the first index (within the retained tails) where
+    the two traces' instruction {e shapes} differ — displacements, branch
+    widths and code addresses are expected to change under rewriting, so
+    only the operation and registers are compared — together with the
+    differing steps.  A heuristic: a rewrite also {e inserts} reference
+    jumps and markers, so when comparing original vs rewritten runs the
+    first divergence frequently flags a benign insertion; it still pins
+    down where the paths part.  Meaningful only when both traces retained
+    their full history. *)

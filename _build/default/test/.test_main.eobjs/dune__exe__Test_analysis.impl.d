@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Disasm Irdb List Printf Testprogs Zasm Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_cgc.ml: Alcotest Bytes Cgc List Printf String Transforms Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Bytes Cgc List String Zelf Zipr Zipr_util Zvm

@@ -1,0 +1,1 @@
+test/test_disasm.ml: Alcotest Buffer Bytes Disasm Format List Option Zasm Zelf Zvm

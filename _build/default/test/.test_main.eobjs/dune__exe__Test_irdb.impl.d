@@ -1,0 +1,1 @@
+test/test_irdb.ml: Alcotest Bytes Irdb List String Testprogs Transforms Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_jumptable_rewrite.ml: Alcotest Cgc List Printf Testprogs Transforms Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Char String Transforms Zasm Zelf Zipr Zvm

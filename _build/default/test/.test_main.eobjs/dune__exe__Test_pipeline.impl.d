@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Bytes List Printf Testprogs Transforms Zasm Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Cgc List String Testprogs Zasm Zelf Zvm

@@ -1,0 +1,1 @@
+test/test_props.ml: Bytes Cgc Irdb List Printf QCheck QCheck_alcotest Transforms Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_reassemble_units.ml: Alcotest Bytes Char Irdb List Zelf Zipr Zvm

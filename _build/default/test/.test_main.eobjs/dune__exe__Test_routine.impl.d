@@ -1,0 +1,1 @@
+test/test_routine.ml: Alcotest Bytes Irdb List Testprogs Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_superset.ml: Alcotest Array Buffer Disasm Format Hashtbl List Testprogs Zelf Zvm

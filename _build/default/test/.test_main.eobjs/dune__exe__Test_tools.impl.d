@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Bytes Irdb List Printf Testprogs Transforms Zelf Zipr Zvm

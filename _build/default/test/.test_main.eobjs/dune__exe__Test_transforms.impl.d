@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest List Printf String Testprogs Transforms Zasm Zelf Zipr Zvm

@@ -1,0 +1,1 @@
+test/test_zasm.ml: Alcotest Assemble Ast Builder Bytes Char List Zasm Zelf Zvm

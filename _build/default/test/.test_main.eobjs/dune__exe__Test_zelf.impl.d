@@ -1,0 +1,1 @@
+test/test_zelf.ml: Alcotest Binary Bytes Char Image List Section Zelf Zipr_util Zvm

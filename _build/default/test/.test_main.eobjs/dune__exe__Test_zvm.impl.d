@@ -1,0 +1,1 @@
+test/test_zvm.ml: Alcotest Array Bytes Cond Decode Encode Insn List Memory QCheck QCheck_alcotest Reg Vm Zipr_util Zvm

@@ -1,0 +1,1 @@
+test/test_zvm_semantics.ml: Alcotest Cond Encode Insn List Memory Printf Reg Vm Zvm

@@ -1,0 +1,175 @@
+(* Tests for the analyses: pinned addresses, jump tables, CFG, functions. *)
+
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+module Ibt = Analysis.Ibt
+
+let build_and_aggregate b =
+  let binary, symbols = Zasm.Builder.assemble_exn b in
+  (binary, symbols, Disasm.Aggregate.run binary)
+
+let reasons_at pins addr =
+  match List.assoc_opt addr (Ibt.pins pins) with
+  | Some rs -> List.map Ibt.reason_to_string rs
+  | None -> []
+
+let test_entry_pinned () =
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.label b "main";
+  Zasm.Builder.insn b Insn.Halt;
+  let binary, symbols, agg = build_and_aggregate b in
+  let pins = Ibt.compute binary agg in
+  Alcotest.(check bool) "entry pinned" true (Ibt.is_pinned pins (List.assoc "main" symbols));
+  Alcotest.(check bool) "entry reason" true
+    (List.mem "entry" (reasons_at pins (List.assoc "main" symbols)))
+
+let test_data_scan_pins () =
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.rodata_label b "tbl";
+  Zasm.Builder.rodata_word b (Zasm.Ast.Lab "fn");
+  Zasm.Builder.label b "main";
+  Zasm.Builder.insn b Insn.Halt;
+  Zasm.Builder.label b "fn";
+  Zasm.Builder.insn b Insn.Ret;
+  let binary, symbols, agg = build_and_aggregate b in
+  let pins = Ibt.compute binary agg in
+  Alcotest.(check bool) "fn pinned via data" true
+    (List.mem "data-scan" (reasons_at pins (List.assoc "fn" symbols)))
+
+let test_code_immediate_pins () =
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.label b "main";
+  Zasm.Builder.movi_lab b Reg.R4 "fn";
+  Zasm.Builder.insn b (Insn.Callr Reg.R4);
+  Zasm.Builder.insn b Insn.Halt;
+  Zasm.Builder.label b "fn";
+  Zasm.Builder.insn b Insn.Ret;
+  let binary, symbols, agg = build_and_aggregate b in
+  let pins = Ibt.compute binary agg in
+  Alcotest.(check bool) "fn pinned via immediate" true
+    (List.mem "code-immediate" (reasons_at pins (List.assoc "fn" symbols)))
+
+let test_after_call_pins_configurable () =
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.label b "main";
+  Zasm.Builder.call b "fn";
+  Zasm.Builder.label b "after";
+  Zasm.Builder.insn b Insn.Halt;
+  Zasm.Builder.label b "fn";
+  Zasm.Builder.insn b Insn.Ret;
+  let binary, symbols, agg = build_and_aggregate b in
+  let after = List.assoc "after" symbols in
+  let conservative = Ibt.compute binary agg in
+  Alcotest.(check bool) "after-call pinned by default" true
+    (List.mem "after-call" (reasons_at conservative after));
+  let relaxed = Ibt.compute ~config:{ Ibt.pin_after_calls = false } binary agg in
+  Alcotest.(check bool) "not pinned when disabled" true
+    (not (List.mem "after-call" (reasons_at relaxed after)))
+
+let test_jump_table_discovery () =
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.rodata_label b "jt";
+  Zasm.Builder.rodata_word b (Zasm.Ast.Lab "c0");
+  Zasm.Builder.rodata_word b (Zasm.Ast.Lab "c1");
+  Zasm.Builder.label b "main";
+  Zasm.Builder.insn b (Insn.Movi (Reg.R1, 0));
+  Zasm.Builder.jmpt_lab b Reg.R1 "jt";
+  Zasm.Builder.label b "c0";
+  Zasm.Builder.insn b Insn.Halt;
+  Zasm.Builder.label b "c1";
+  Zasm.Builder.insn b Insn.Halt;
+  let binary, symbols, agg = build_and_aggregate b in
+  let tables = Analysis.Jumptable.find binary agg in
+  Alcotest.(check int) "one table" 1 (List.length tables);
+  let t = List.hd tables in
+  Alcotest.(check int) "table addr" (List.assoc "jt" symbols) t.Analysis.Jumptable.table_addr;
+  Alcotest.(check (list int)) "entries"
+    [ List.assoc "c0" symbols; List.assoc "c1" symbols ]
+    t.Analysis.Jumptable.entries;
+  let pins = Ibt.compute binary agg in
+  Alcotest.(check bool) "entries pinned" true
+    (List.mem "jump-table" (reasons_at pins (List.assoc "c1" symbols)))
+
+let test_pin_superset_property () =
+  (* B subset-of P: every address actually reached indirectly at run time
+     must be pinned.  Exercise the dispatch program and collect runtime
+     indirect targets with a trace, then compare. *)
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let agg = Disasm.Aggregate.run binary in
+  let pins = Ibt.compute binary agg in
+  let runtime_ibts = ref [] in
+  let mem = Zvm.Memory.create () in
+  Zelf.Image.load mem binary;
+  let vm = Zvm.Vm.create ~mem ~entry:binary.Zelf.Binary.entry ~input:"012f0f1q" () in
+  let prev_indirect = ref false in
+  let _ =
+    Zvm.Vm.run
+      ~on_step:(fun ~pc insn ->
+        if !prev_indirect then runtime_ibts := pc :: !runtime_ibts;
+        prev_indirect := (match insn with Insn.Jmpr _ | Insn.Callr _ | Insn.Jmpt _ -> true | _ -> false))
+      vm
+  in
+  List.iter
+    (fun tgt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "runtime IBT 0x%x pinned" tgt)
+        true (Ibt.is_pinned pins tgt))
+    (List.sort_uniq compare !runtime_ibts)
+
+let test_funcid_and_cfg () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let ir = Zipr.Ir_construction.build binary in
+  let db = ir.Zipr.Ir_construction.db in
+  (* fib program: main plus the fib function at least. *)
+  Alcotest.(check bool) "at least two functions" true (List.length (Irdb.Db.funcs db) >= 2);
+  let cfg = Analysis.Cfg.build db in
+  let blocks = Analysis.Cfg.blocks cfg in
+  Alcotest.(check bool) "several blocks" true (List.length blocks >= 4);
+  (* every block body is non-empty and owned *)
+  List.iter
+    (fun (bl : Analysis.Cfg.block) ->
+      Alcotest.(check bool) "non-empty" true (bl.Analysis.Cfg.body <> []);
+      Alcotest.(check bool) "head in body" true (List.mem bl.Analysis.Cfg.head bl.Analysis.Cfg.body))
+    blocks
+
+let test_cfg_reachable () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let ir = Zipr.Ir_construction.build binary in
+  let db = ir.Zipr.Ir_construction.db in
+  let reach = Analysis.Cfg.reachable_from db (Irdb.Db.entry db) in
+  Alcotest.(check bool) "reaches many rows" true (List.length reach > 10)
+
+let suite =
+  [
+    Alcotest.test_case "entry pinned" `Quick test_entry_pinned;
+    Alcotest.test_case "data-scan pins" `Quick test_data_scan_pins;
+    Alcotest.test_case "code-immediate pins" `Quick test_code_immediate_pins;
+    Alcotest.test_case "after-call config" `Quick test_after_call_pins_configurable;
+    Alcotest.test_case "jump tables" `Quick test_jump_table_discovery;
+    Alcotest.test_case "B subset P at runtime" `Quick test_pin_superset_property;
+    Alcotest.test_case "funcid + cfg" `Quick test_funcid_and_cfg;
+    Alcotest.test_case "cfg reachability" `Quick test_cfg_reachable;
+  ]
+
+let test_pin_audit_clean_and_dirty () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let agg = Disasm.Aggregate.run binary in
+  let pins = Ibt.compute binary agg in
+  let report = Analysis.Pin_audit.audit binary pins ~inputs:[ "012f0f1q"; "" ] in
+  Alcotest.(check bool) "superset holds" true (Analysis.Pin_audit.ok report);
+  Alcotest.(check bool) "targets observed" true (List.length report.Analysis.Pin_audit.observed >= 3);
+  (* With an artificially empty pin set, every observed target is flagged. *)
+  let empty = Ibt.compute ~config:{ Ibt.pin_after_calls = false } binary agg in
+  ignore empty;
+  let fake_pins =
+    Ibt.compute
+      (Zelf.Binary.create ~entry:binary.Zelf.Binary.entry
+         [ Zelf.Section.make ~name:".text" ~kind:Zelf.Section.Text ~vaddr:0x10000 (Zvm.Encode.to_bytes Zvm.Insn.Halt) ])
+      (Disasm.Aggregate.run
+         (Zelf.Binary.create ~entry:0x10000
+            [ Zelf.Section.make ~name:".text" ~kind:Zelf.Section.Text ~vaddr:0x10000 (Zvm.Encode.to_bytes Zvm.Insn.Halt) ]))
+  in
+  let dirty = Analysis.Pin_audit.audit binary fake_pins ~inputs:[ "012q" ] in
+  Alcotest.(check bool) "misses flagged" false (Analysis.Pin_audit.ok dirty)
+
+let suite = suite @ [ Alcotest.test_case "pin audit" `Quick test_pin_audit_clean_and_dirty ]

@@ -1,0 +1,229 @@
+(* Tests for the CGC evaluation substrate: generator, pollers, PoVs,
+   corpus, scoring. *)
+
+module Vm = Zvm.Vm
+
+let test_generator_deterministic () =
+  let b1, _ = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  let b2, _ = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  Alcotest.(check bytes) "identical binaries" (Zelf.Binary.serialize b1) (Zelf.Binary.serialize b2)
+
+let test_generator_seed_sensitivity () =
+  let b1, _ = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  let b2, _ = Cgc.Cb_gen.generate ~seed:10 Cgc.Cb_gen.default_profile in
+  Alcotest.(check bool) "different binaries" true
+    (Zelf.Binary.serialize b1 <> Zelf.Binary.serialize b2)
+
+let test_generated_cb_runs () =
+  let binary, meta = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  Alcotest.(check bool) "has commands" true (meta.Cgc.Cb_gen.commands <> []);
+  let r = Zelf.Image.boot binary ~input:"q" in
+  Alcotest.(check bool) "clean quit" true (r.Vm.stop = Vm.Exited 0);
+  let r2 = Zelf.Image.boot binary ~input:"" in
+  Alcotest.(check bool) "EOF quits" true (r2.Vm.stop = Vm.Exited 0)
+
+let test_every_command_responds () =
+  let binary, meta = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  List.iter
+    (fun c ->
+      let input = (match c with 'p' | 'd' -> Printf.sprintf "%c\x01q" c | _ -> Printf.sprintf "%cq" c) in
+      let r = Zelf.Image.boot binary ~input in
+      Alcotest.(check bool)
+        (Printf.sprintf "command %c exits cleanly" c)
+        true
+        (r.Vm.stop = Vm.Exited 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "command %c produces output" c)
+        true
+        (String.length r.Vm.output > 0))
+    meta.Cgc.Cb_gen.commands
+
+let test_poller_determinism () =
+  let _, meta = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  let p1 = Cgc.Poller.generate meta ~seed:5 ~count:6 in
+  let p2 = Cgc.Poller.generate meta ~seed:5 ~count:6 in
+  Alcotest.(check (list string)) "same scripts"
+    (List.map (fun s -> s.Cgc.Poller.input) p1)
+    (List.map (fun s -> s.Cgc.Poller.input) p2)
+
+let test_pollers_do_not_crash_original () =
+  let binary, meta = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  let pollers = Cgc.Poller.generate meta ~seed:5 ~count:20 in
+  List.iter
+    (fun s ->
+      let r = Cgc.Poller.run binary s in
+      match r.Vm.stop with
+      | Vm.Exited 0 -> ()
+      | stop ->
+          Alcotest.failf "poller %S crashed the original: %s" s.Cgc.Poller.input
+            (Vm.stop_to_string stop))
+    pollers
+
+let test_functional_check_catches_divergence () =
+  let binary, meta = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  let pollers = Cgc.Poller.generate meta ~seed:5 ~count:6 in
+  (* Self-comparison passes. *)
+  let self = Cgc.Poller.functional_check ~orig:binary ~rewritten:binary pollers in
+  Alcotest.(check int) "self passes" self.Cgc.Poller.total self.Cgc.Poller.passed;
+  (* A corrupted clone diverges: halt at the entry point. *)
+  let text = Zelf.Binary.text binary in
+  let data = Bytes.copy text.Zelf.Section.data in
+  Bytes.set data 0 '\xf4';
+  let corrupted =
+    Zelf.Binary.create ~entry:binary.Zelf.Binary.entry
+      (List.map
+         (fun (s : Zelf.Section.t) ->
+           if Zelf.Section.is_code s then
+             Zelf.Section.make ~name:s.Zelf.Section.name ~kind:Zelf.Section.Text
+               ~vaddr:s.Zelf.Section.vaddr data
+           else s)
+         binary.Zelf.Binary.sections)
+  in
+  let diff = Cgc.Poller.functional_check ~orig:binary ~rewritten:corrupted pollers in
+  Alcotest.(check bool) "divergence detected" true (diff.Cgc.Poller.passed < diff.Cgc.Poller.total)
+
+let test_pov_exploits_original () =
+  let binary, meta = Cgc.Cb_gen.generate ~seed:9 Cgc.Cb_gen.default_profile in
+  match Cgc.Pov.attempt binary meta with
+  | Some Cgc.Pov.Exploited -> ()
+  | Some (Cgc.Pov.Blocked w) -> Alcotest.failf "unexpectedly blocked: %s" w
+  | Some (Cgc.Pov.Inconclusive w) -> Alcotest.failf "inconclusive: %s" w
+  | None -> Alcotest.fail "profile should be vulnerable"
+
+let test_pov_none_without_vuln () =
+  let profile = { Cgc.Cb_gen.default_profile with Cgc.Cb_gen.vuln = false } in
+  let binary, meta = Cgc.Cb_gen.generate ~seed:9 profile in
+  Alcotest.(check bool) "no pov" true (Cgc.Pov.attempt binary meta = None)
+
+let test_corpus_properties () =
+  Alcotest.(check int) "62 CBs" 62 Cgc.Corpus.size;
+  let p47 = Cgc.Corpus.profile_for 47 ~master_seed:2016 in
+  Alcotest.(check bool) "CB 47 pathological" true p47.Cgc.Cb_gen.pathological;
+  let e = Cgc.Corpus.entry 7 in
+  Alcotest.(check string) "names" "CB_07" e.Cgc.Corpus.name;
+  Alcotest.(check bool) "pollers included" true (e.Cgc.Corpus.pollers <> [])
+
+let test_corpus_deterministic () =
+  let a = Cgc.Corpus.entry 12 and b = Cgc.Corpus.entry 12 in
+  Alcotest.(check bytes) "same binary"
+    (Zelf.Binary.serialize a.Cgc.Corpus.binary)
+    (Zelf.Binary.serialize b.Cgc.Corpus.binary)
+
+let test_score_formulas () =
+  let ov = { Cgc.Score.size_pct = 10.0; exec_pct = 3.0; mem_pct = 2.0 } in
+  let e = { Cgc.Score.name = "t"; ov; functionality = 1.0; pov_blocked = Some true } in
+  (* Within every threshold: availability 1, security 2. *)
+  Alcotest.(check (float 1e-9)) "availability" 1.0 (Cgc.Score.availability e);
+  Alcotest.(check (float 1e-9)) "security" 2.0 (Cgc.Score.security e);
+  Alcotest.(check (float 1e-9)) "total" 2.0 (Cgc.Score.total e);
+  let bad =
+    {
+      e with
+      Cgc.Score.ov = { Cgc.Score.size_pct = 40.0; exec_pct = 25.0; mem_pct = 5.0 };
+      pov_blocked = Some false;
+    }
+  in
+  Alcotest.(check bool) "overheads penalized" true (Cgc.Score.availability bad < 1.0);
+  Alcotest.(check (float 1e-9)) "exploited security" 1.0 (Cgc.Score.security bad)
+
+let test_pathological_cb_behaviour () =
+  (* The Figure-6 outlier: under the optimized layout it must still be
+     functional, but its CFI rewrite should show the worst relative
+     resource behaviour (fragmentation -> overflow). *)
+  let e = Cgc.Corpus.entry 47 in
+  let r =
+    Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] e.Cgc.Corpus.binary
+  in
+  let chk =
+    Cgc.Poller.functional_check ~orig:e.Cgc.Corpus.binary
+      ~rewritten:r.Zipr.Pipeline.rewritten e.Cgc.Corpus.pollers
+  in
+  Alcotest.(check int) "still functional" chk.Cgc.Poller.total chk.Cgc.Poller.passed;
+  Alcotest.(check bool) "many pins" true (r.Zipr.Pipeline.stats.Zipr.Reassemble.pins_total > 30)
+
+let suite =
+  [
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "generator seed-sensitive" `Quick test_generator_seed_sensitivity;
+    Alcotest.test_case "generated CB runs" `Quick test_generated_cb_runs;
+    Alcotest.test_case "every command responds" `Quick test_every_command_responds;
+    Alcotest.test_case "poller determinism" `Quick test_poller_determinism;
+    Alcotest.test_case "pollers are benign" `Quick test_pollers_do_not_crash_original;
+    Alcotest.test_case "functional check" `Quick test_functional_check_catches_divergence;
+    Alcotest.test_case "pov exploits original" `Quick test_pov_exploits_original;
+    Alcotest.test_case "pov absent without vuln" `Quick test_pov_none_without_vuln;
+    Alcotest.test_case "corpus properties" `Quick test_corpus_properties;
+    Alcotest.test_case "corpus deterministic" `Quick test_corpus_deterministic;
+    Alcotest.test_case "score formulas" `Quick test_score_formulas;
+    Alcotest.test_case "pathological CB" `Quick test_pathological_cb_behaviour;
+  ]
+
+let test_fptr_vuln_end_to_end () =
+  let profile = { Cgc.Cb_gen.default_profile with Cgc.Cb_gen.vuln_fptr = true } in
+  let binary, meta = Cgc.Cb_gen.generate ~seed:77 profile in
+  Alcotest.(check int) "two PoVs" 2 (List.length (Cgc.Pov.povs meta));
+  (* Both exploit the original... *)
+  List.iter
+    (fun (kind, o) ->
+      Alcotest.(check bool) (kind ^ " exploits original") true (o = Cgc.Pov.Exploited))
+    (Cgc.Pov.attempt_all binary meta);
+  (* ...and CFI blocks both, through different checks (ret vs callr). *)
+  let rc = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Cfi.transform ] binary in
+  List.iter
+    (fun (kind, o) ->
+      Alcotest.(check bool)
+        (kind ^ " blocked by CFI")
+        true
+        (match o with Cgc.Pov.Blocked _ -> true | _ -> false))
+    (Cgc.Pov.attempt_all rc.Zipr.Pipeline.rewritten meta);
+  (* Benign pollers (including 'b' uploads and 'x' dispatches) pass. *)
+  let pollers = Cgc.Poller.generate meta ~seed:3 ~count:8 in
+  let chk =
+    Cgc.Poller.functional_check ~orig:binary ~rewritten:rc.Zipr.Pipeline.rewritten pollers
+  in
+  Alcotest.(check int) "cfi functionality" chk.Cgc.Poller.total chk.Cgc.Poller.passed
+
+let suite = suite @ [ Alcotest.test_case "fptr vuln end-to-end" `Quick test_fptr_vuln_end_to_end ]
+
+let test_corpus_regression_sweep () =
+  (* The CGC experiment in miniature, as a regression gate: a slice of the
+     corpus must rewrite cleanly under both configurations, preserve every
+     poller transcript, leave the PoVs working under Null and blocked
+     under CFI. *)
+  List.iter
+    (fun i ->
+      let e = Cgc.Corpus.entry i in
+      let orig = e.Cgc.Corpus.binary in
+      let rn = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] orig in
+      let rc = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Cfi.transform ] orig in
+      let cn =
+        Cgc.Poller.functional_check ~orig ~rewritten:rn.Zipr.Pipeline.rewritten
+          e.Cgc.Corpus.pollers
+      in
+      let cc =
+        Cgc.Poller.functional_check ~orig ~rewritten:rc.Zipr.Pipeline.rewritten
+          e.Cgc.Corpus.pollers
+      in
+      Alcotest.(check int) (e.Cgc.Corpus.name ^ " null pollers") cn.Cgc.Poller.total
+        cn.Cgc.Poller.passed;
+      Alcotest.(check int) (e.Cgc.Corpus.name ^ " cfi pollers") cc.Cgc.Poller.total
+        cc.Cgc.Poller.passed;
+      List.iter
+        (fun (kind, o) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s still exploits null rewrite" e.Cgc.Corpus.name kind)
+            true (o = Cgc.Pov.Exploited))
+        (Cgc.Pov.attempt_all rn.Zipr.Pipeline.rewritten e.Cgc.Corpus.meta);
+      List.iter
+        (fun (kind, o) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s blocked by cfi" e.Cgc.Corpus.name kind)
+            true
+            (match o with Cgc.Pov.Blocked _ -> true | _ -> false))
+        (Cgc.Pov.attempt_all rc.Zipr.Pipeline.rewritten e.Cgc.Corpus.meta))
+    (* A deliberately tricky slice: jump tables off and on, islands,
+       hidden code, dense pins, PIC, fptr vuln, and the pathological CB. *)
+    [ 0; 1; 3; 5; 8; 13; 14; 21; 47 ]
+
+let suite =
+  suite @ [ Alcotest.test_case "corpus regression sweep" `Slow test_corpus_regression_sweep ]

@@ -1,0 +1,148 @@
+(* Tests for the disassemblers and the conservative aggregation. *)
+
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+
+let binary_of_text ?(extra = []) ?(entry = 0x1000) code =
+  Zelf.Binary.create ~entry
+    (Zelf.Section.make ~name:".text" ~kind:Zelf.Section.Text ~vaddr:0x1000 code :: extra)
+
+let test_linear_covers_clean_code () =
+  let code = Zvm.Encode.encode_all Insn.[ Movi (Reg.R0, 1); Nop; Ret ] in
+  let lin = Disasm.Linear.sweep (binary_of_text code) in
+  Alcotest.(check (option int)) "first insn" (Some 0x1000) (Disasm.Linear.covering_start lin 0x1000);
+  Alcotest.(check (option int)) "mid insn covered" (Some 0x1000)
+    (Disasm.Linear.covering_start lin 0x1003);
+  Alcotest.(check (option int)) "nop" (Some 0x1006) (Disasm.Linear.covering_start lin 0x1006);
+  Alcotest.(check bool) "no data" false (Disasm.Linear.is_data lin 0x1000)
+
+let test_linear_resyncs_on_bad_byte () =
+  (* 0x00 is not an opcode: linear marks it data and resumes next byte. *)
+  let buf = Buffer.create 16 in
+  Buffer.add_bytes buf (Zvm.Encode.to_bytes Insn.Nop);
+  Buffer.add_char buf '\x00';
+  Buffer.add_bytes buf (Zvm.Encode.to_bytes Insn.Ret);
+  let lin = Disasm.Linear.sweep (binary_of_text (Buffer.to_bytes buf)) in
+  Alcotest.(check bool) "bad byte is data" true (Disasm.Linear.is_data lin 0x1001);
+  Alcotest.(check (option int)) "resynced" (Some 0x1002) (Disasm.Linear.covering_start lin 0x1002)
+
+let test_recursive_stops_at_flow_end () =
+  (* ret; then unreferenced junk that decodes fine. *)
+  let code = Zvm.Encode.encode_all Insn.[ Ret; Movi (Reg.R7, 0xbad); Halt ] in
+  let rec_ = Disasm.Recursive.traverse (binary_of_text code) in
+  Alcotest.(check bool) "entry reached" true (Disasm.Recursive.reached rec_ 0x1000);
+  Alcotest.(check bool) "dead not reached" false (Disasm.Recursive.reached rec_ 0x1001)
+
+let test_recursive_follows_calls_and_branches () =
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.label b "main";
+  Zasm.Builder.call b "f";
+  Zasm.Builder.jmp b "end";
+  Zasm.Builder.label b "f";
+  Zasm.Builder.insn b (Insn.Ret);
+  Zasm.Builder.label b "end";
+  Zasm.Builder.insn b (Insn.Halt);
+  let binary, symbols = Zasm.Builder.assemble_exn b in
+  let rec_ = Disasm.Recursive.traverse binary in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (l ^ " reached") true
+        (Disasm.Recursive.reached rec_ (List.assoc l symbols)))
+    [ "main"; "f"; "end" ]
+
+let test_recursive_seeds_from_data_scan () =
+  (* A function referenced only from a rodata pointer table. *)
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.rodata_label b "tbl";
+  Zasm.Builder.rodata_word b (Zasm.Ast.Lab "only_via_table");
+  Zasm.Builder.label b "main";
+  Zasm.Builder.insn b Insn.Halt;
+  Zasm.Builder.label b "only_via_table";
+  Zasm.Builder.insn b (Insn.Movi (Reg.R0, 3));
+  Zasm.Builder.insn b (Insn.Ret);
+  let binary, symbols = Zasm.Builder.assemble_exn b in
+  let rec_ = Disasm.Recursive.traverse binary in
+  Alcotest.(check bool) "table target reached" true
+    (Disasm.Recursive.reached rec_ (List.assoc "only_via_table" symbols))
+
+let test_scan_for_text_addresses () =
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.rodata_label b "tbl";
+  Zasm.Builder.rodata_word b (Zasm.Ast.Lab "main");
+  Zasm.Builder.rodata_word b (Zasm.Ast.Abs 0xdeadbeef);
+  Zasm.Builder.label b "main";
+  Zasm.Builder.insn b Insn.Halt;
+  let binary, symbols = Zasm.Builder.assemble_exn b in
+  let hits = Disasm.Recursive.scan_for_text_addresses binary in
+  Alcotest.(check bool) "finds main" true (List.mem (List.assoc "main" symbols) hits);
+  Alcotest.(check bool) "ignores non-text" true (not (List.mem 0xdeadbeef hits))
+
+let test_aggregate_case1_code () =
+  let code = Zvm.Encode.encode_all Insn.[ Movi (Reg.R0, 1); Halt ] in
+  let agg = Disasm.Aggregate.run (binary_of_text code) in
+  Alcotest.(check (option Alcotest.string)) "all code" (Some "code")
+    (Option.map
+       (Format.asprintf "%a" Disasm.Aggregate.pp_verdict)
+       (Disasm.Aggregate.verdict_at agg 0x1000));
+  let codeb, datab, ambb = Disasm.Aggregate.stats agg in
+  Alcotest.(check int) "code bytes" (Bytes.length code) codeb;
+  Alcotest.(check int) "no data" 0 datab;
+  Alcotest.(check int) "no ambiguity" 0 ambb
+
+let test_aggregate_undecodable_is_data () =
+  let buf = Buffer.create 8 in
+  Buffer.add_bytes buf (Zvm.Encode.to_bytes Insn.Halt);
+  Buffer.add_string buf "\x00\x01\x02";
+  let agg = Disasm.Aggregate.run (binary_of_text (Buffer.to_bytes buf)) in
+  Alcotest.(check (option Alcotest.string)) "junk is data" (Some "data")
+    (Option.map
+       (Format.asprintf "%a" Disasm.Aggregate.pp_verdict)
+       (Disasm.Aggregate.verdict_at agg 0x1001))
+
+let test_aggregate_linear_only_is_ambiguous () =
+  (* Code after a halt: decodes under linear sweep, unreached by recursive
+     traversal — paper case 4, conservatively ambiguous. *)
+  let code = Zvm.Encode.encode_all Insn.[ Halt; Movi (Reg.R7, 1); Ret ] in
+  let agg = Disasm.Aggregate.run (binary_of_text code) in
+  Alcotest.(check (option Alcotest.string)) "dead code ambiguous" (Some "ambiguous")
+    (Option.map
+       (Format.asprintf "%a" Disasm.Aggregate.pp_verdict)
+       (Disasm.Aggregate.verdict_at agg 0x1001));
+  Alcotest.(check bool) "range extracted" true (Disasm.Aggregate.ambiguous_ranges agg <> [])
+
+let test_aggregate_boundary_disagreement () =
+  (* Force a misaligned decode: entry jumps into the middle of what linear
+     sweep reads from the start.  Construct bytes so linear decodes a
+     6-byte movi at 0x1000 while the program entry (0x1002) decodes
+     something else inside it. *)
+  let buf = Buffer.create 16 in
+  (* movi r0, imm where imm bytes themselves decode as instructions *)
+  Buffer.add_bytes buf (Zvm.Encode.to_bytes (Insn.Movi (Reg.R0, 0x90909090)));
+  Buffer.add_bytes buf (Zvm.Encode.to_bytes Insn.Halt);
+  let binary = binary_of_text ~entry:0x1002 (Buffer.to_bytes buf) in
+  let agg = Disasm.Aggregate.run binary in
+  (* The overlap region must not be called conclusive code for both. *)
+  let _, _, ambb = Disasm.Aggregate.stats agg in
+  Alcotest.(check bool) "some ambiguity" true (ambb > 0);
+  Alcotest.(check bool) "warning recorded" true (agg.Disasm.Aggregate.warnings <> [])
+
+let test_aggregate_code_starts_sorted () =
+  let code = Zvm.Encode.encode_all Insn.[ Nop; Nop; Halt ] in
+  let agg = Disasm.Aggregate.run (binary_of_text code) in
+  let starts = Disasm.Aggregate.code_starts agg in
+  Alcotest.(check (list int)) "starts" [ 0x1000; 0x1001; 0x1002 ] starts
+
+let suite =
+  [
+    Alcotest.test_case "linear covers code" `Quick test_linear_covers_clean_code;
+    Alcotest.test_case "linear resync" `Quick test_linear_resyncs_on_bad_byte;
+    Alcotest.test_case "recursive stops" `Quick test_recursive_stops_at_flow_end;
+    Alcotest.test_case "recursive follows flow" `Quick test_recursive_follows_calls_and_branches;
+    Alcotest.test_case "recursive data-scan seeds" `Quick test_recursive_seeds_from_data_scan;
+    Alcotest.test_case "text address scan" `Quick test_scan_for_text_addresses;
+    Alcotest.test_case "aggregate case 1" `Quick test_aggregate_case1_code;
+    Alcotest.test_case "aggregate data" `Quick test_aggregate_undecodable_is_data;
+    Alcotest.test_case "aggregate case 4" `Quick test_aggregate_linear_only_is_ambiguous;
+    Alcotest.test_case "aggregate disagreement" `Quick test_aggregate_boundary_disagreement;
+    Alcotest.test_case "aggregate starts" `Quick test_aggregate_code_starts_sorted;
+  ]

@@ -1,0 +1,87 @@
+(* Tests for jump-table rewriting: the statically-modelled-IBT
+   optimization, including its relocation machinery. *)
+
+module Vm = Zvm.Vm
+
+let rewrite_with ?config transforms binary =
+  (Zipr.Pipeline.rewrite ?config ~transforms binary).Zipr.Pipeline.rewritten
+
+let check_same ~name ~inputs orig rewritten =
+  List.iter
+    (fun input ->
+      let a = Zelf.Image.boot orig ~input in
+      let b = Zelf.Image.boot rewritten ~input in
+      Alcotest.(check string) (name ^ " output") a.Vm.output b.Vm.output;
+      Alcotest.(check string) (name ^ " status") (Vm.stop_to_string a.Vm.stop)
+        (Vm.stop_to_string b.Vm.stop))
+    inputs
+
+let test_preserves_dispatch_semantics () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let rw = rewrite_with [ Transforms.Jumptable_rewrite.transform ] binary in
+  check_same ~name:"jt rewrite" ~inputs:[ "012q"; "201q"; "f0f1q"; "" ] binary rw
+
+let test_adds_relocated_table_section () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let rw = rewrite_with [ Transforms.Jumptable_rewrite.transform ] binary in
+  match Zelf.Binary.find_section rw (Transforms.Jumptable_rewrite.section_prefix ^ "0") with
+  | Some s ->
+      Alcotest.(check bool) "table has entries" true (s.Zelf.Section.size >= 12);
+      (* Every entry must point at a valid instruction in the rewritten
+         text (a land marker, in fact). *)
+      let n = s.Zelf.Section.size / 4 in
+      for i = 0 to n - 1 do
+        match Zelf.Binary.read32 rw (s.Zelf.Section.vaddr + (4 * i)) with
+        | Some target -> (
+            match Zelf.Binary.read8 rw target with
+            | Some byte ->
+                Alcotest.(check int)
+                  (Printf.sprintf "entry %d lands on a marker" i)
+                  Zvm.Encode.op_land byte
+            | None -> Alcotest.failf "entry %d points outside the binary" i)
+        | None -> Alcotest.fail "table unreadable"
+      done
+  | None -> Alcotest.fail "no relocated table section"
+
+let test_dispatch_skips_pin_indirection () =
+  (* With the table rewritten, dispatch should land directly on moved
+     code: fewer executed instructions than the pin-jump path. *)
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let plain = rewrite_with [ Transforms.Null.transform ] binary in
+  let jtrw = rewrite_with [ Transforms.Jumptable_rewrite.transform ] binary in
+  let input = "0120120120q" in
+  let orig = Zelf.Image.boot binary ~input in
+  let p = Zelf.Image.boot plain ~input in
+  let j = Zelf.Image.boot jtrw ~input in
+  Alcotest.(check string) "plain output" orig.Vm.output p.Vm.output;
+  Alcotest.(check string) "jtrw output" orig.Vm.output j.Vm.output;
+  (* The land markers cost 1 instruction per dispatch; the pin jump path
+     costs a jump per dispatch.  Cycles must not regress. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no cycle regression (%d <= %d)" j.Vm.cycles p.Vm.cycles)
+    true
+    (j.Vm.cycles <= p.Vm.cycles)
+
+let test_composes_with_cfi () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let rw =
+    rewrite_with [ Transforms.Jumptable_rewrite.transform; Transforms.Cfi.transform ] binary
+  in
+  check_same ~name:"jt+cfi" ~inputs:[ "012q"; "f0f1q" ] binary rw
+
+let test_composes_on_corpus_cb () =
+  let e = Cgc.Corpus.entry 2 in
+  let rw = rewrite_with [ Transforms.Jumptable_rewrite.transform ] e.Cgc.Corpus.binary in
+  let chk =
+    Cgc.Poller.functional_check ~orig:e.Cgc.Corpus.binary ~rewritten:rw e.Cgc.Corpus.pollers
+  in
+  Alcotest.(check int) "all pollers pass" chk.Cgc.Poller.total chk.Cgc.Poller.passed
+
+let suite =
+  [
+    Alcotest.test_case "preserves dispatch" `Quick test_preserves_dispatch_semantics;
+    Alcotest.test_case "relocated table section" `Quick test_adds_relocated_table_section;
+    Alcotest.test_case "skips pin indirection" `Quick test_dispatch_skips_pin_indirection;
+    Alcotest.test_case "composes with cfi" `Quick test_composes_with_cfi;
+    Alcotest.test_case "works on corpus CB" `Quick test_composes_on_corpus_cb;
+  ]

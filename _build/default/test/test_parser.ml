@@ -1,0 +1,179 @@
+(* Tests for the textual assembly parser. *)
+
+let assemble_and_run ?(input = "") src =
+  match Zasm.Parser.assemble_string src with
+  | Error e -> Alcotest.failf "assembly failed: %s" e
+  | Ok (binary, _) -> Zelf.Image.boot binary ~input
+
+let exit_code (r : Zvm.Vm.result) =
+  match r.Zvm.Vm.stop with
+  | Zvm.Vm.Exited n -> n
+  | s -> Alcotest.failf "expected exit, got %s" (Zvm.Vm.stop_to_string s)
+
+let test_minimal () =
+  let r = assemble_and_run {|
+main:
+    movi r0, 42
+    sys 0
+|} in
+  Alcotest.(check int) "exit" 42 (exit_code r)
+
+let test_arithmetic_and_branches () =
+  let r =
+    assemble_and_run
+      {|
+; sum 1..10 with a loop
+.entry main
+main:
+    movi r0, 0
+    movi r1, 10
+loop:
+    add r0, r1
+    subi r1, 1
+    cmpi r1, 0
+    jne loop
+    sys 0
+|}
+  in
+  Alcotest.(check int) "sum" 55 (exit_code r)
+
+let test_sections_and_data () =
+  let r =
+    assemble_and_run
+      {|
+.section rodata 0x200000
+value:
+    .word 1234
+msg:
+    .asciiz "hi\n"
+.section text 0x10000
+main:
+    loada r0, value
+    sys 0
+|}
+  in
+  Alcotest.(check int) "constant" 1234 (exit_code r)
+
+let test_io () =
+  let r =
+    assemble_and_run ~input:"A"
+      {|
+.section bss 0x400000
+buf:
+    .space 16
+.section text 0x10000
+main:
+    movi r0, 0
+    movi r1, buf
+    movi r2, 1
+    sys 2
+    movi r0, 1
+    movi r1, buf
+    movi r2, 1
+    sys 1
+    movi r0, 0
+    sys 0
+|}
+  in
+  Alcotest.(check string) "echo" "A" r.Zvm.Vm.output
+
+let test_call_and_mem () =
+  let r =
+    assemble_and_run
+      {|
+main:
+    movi r4, 7
+    call double
+    mov r0, r4
+    sys 0
+double:
+    add r4, r4
+    ret
+|}
+  in
+  Alcotest.(check int) "doubled" 14 (exit_code r)
+
+let test_width_suffixes () =
+  let r = assemble_and_run {|
+main:
+    jmp.n next
+next:
+    movi r0, 1
+    sys 0
+|} in
+  Alcotest.(check int) "near jump" 1 (exit_code r)
+
+let test_char_literals_and_mem_operands () =
+  let r =
+    assemble_and_run
+      {|
+.section data 0x300000
+cell:
+    .word 0
+.section text 0x10000
+main:
+    movi r1, cell
+    movi r2, 'z'
+    store [r1+0], r2
+    load r0, [r1]
+    sys 0
+|}
+  in
+  Alcotest.(check int) "char stored" (Char.code 'z') (exit_code r)
+
+let test_parse_error_reported () =
+  match Zasm.Parser.parse "main:\n    frobnicate r0\n" with
+  | Error e -> Alcotest.(check int) "line number" 2 e.Zasm.Parser.line
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_undefined_label_reported () =
+  match Zasm.Parser.assemble_string "main:\n    jmp nowhere\n" with
+  | Error msg ->
+      Alcotest.(check bool) "mentions label" true
+        (let rec scan i =
+           i + 7 <= String.length msg && (String.sub msg i 7 = "nowhere" || scan (i + 1))
+         in
+         scan 0)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_parsed_program_survives_rewriting () =
+  match
+    Zasm.Parser.assemble_string
+      {|
+.section rodata 0x200000
+table:
+    .word case0
+    .word case1
+.section text 0x10000
+main:
+    movi r3, 1
+    jmpt r3, table
+case0:
+    movi r0, 10
+    sys 0
+case1:
+    movi r0, 11
+    sys 0
+|}
+  with
+  | Error e -> Alcotest.failf "assembly failed: %s" e
+  | Ok (binary, _) ->
+      let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] binary in
+      let orig = Zelf.Image.boot binary ~input:"" in
+      let rewr = Zelf.Image.boot r.Zipr.Pipeline.rewritten ~input:"" in
+      Alcotest.(check string) "same status" (Zvm.Vm.stop_to_string orig.Zvm.Vm.stop)
+        (Zvm.Vm.stop_to_string rewr.Zvm.Vm.stop)
+
+let suite =
+  [
+    Alcotest.test_case "minimal" `Quick test_minimal;
+    Alcotest.test_case "arithmetic/branches" `Quick test_arithmetic_and_branches;
+    Alcotest.test_case "sections/data" `Quick test_sections_and_data;
+    Alcotest.test_case "io" `Quick test_io;
+    Alcotest.test_case "call/mem" `Quick test_call_and_mem;
+    Alcotest.test_case "width suffixes" `Quick test_width_suffixes;
+    Alcotest.test_case "char literals" `Quick test_char_literals_and_mem_operands;
+    Alcotest.test_case "parse error line" `Quick test_parse_error_reported;
+    Alcotest.test_case "undefined label" `Quick test_undefined_label_reported;
+    Alcotest.test_case "parsed program rewrites" `Quick test_parsed_program_survives_rewriting;
+  ]

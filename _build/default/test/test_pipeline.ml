@@ -1,0 +1,187 @@
+(* End-to-end rewriting tests: for structurally rich programs, the
+   Null-transformed binary must produce identical transcripts, and the
+   security transforms must behave as advertised. *)
+
+module Vm = Zvm.Vm
+
+let run_binary ?(input = "") binary = Zelf.Image.boot binary ~input
+
+let transcript (r : Vm.result) = (r.Vm.output, r.Vm.stop)
+
+let rewrite ?(config = Zipr.Pipeline.default_config) ?(transforms = [ Transforms.Null.transform ])
+    binary =
+  Zipr.Pipeline.rewrite ~config ~transforms binary
+
+let check_equivalent ?(inputs = [ "" ]) ~name binary rewritten =
+  List.iter
+    (fun input ->
+      let orig = run_binary ~input binary in
+      let rewr = run_binary ~input rewritten in
+      Alcotest.(check string)
+        (Printf.sprintf "%s output on %S" name input)
+        orig.Vm.output rewr.Vm.output;
+      Alcotest.(check string)
+        (Printf.sprintf "%s status on %S" name input)
+        (Vm.stop_to_string orig.Vm.stop) (Vm.stop_to_string rewr.Vm.stop))
+    inputs
+
+let strategies =
+  [ ("naive", Zipr.Placement.naive); ("optimized", Zipr.Placement.optimized); ("random", Zipr.Placement.random) ]
+
+let config_of strategy = { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy }
+
+(* -- null-transform equivalence across programs and strategies -- *)
+
+let test_null_fib () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  List.iter
+    (fun (sname, strategy) ->
+      let r = rewrite ~config:(config_of strategy) binary in
+      check_equivalent ~name:("fib/" ^ sname)
+        ~inputs:[ "\x00"; "\x01"; "\x07"; "\x0b"; "\xff" ]
+        binary r.Zipr.Pipeline.rewritten)
+    strategies
+
+let test_null_dispatch () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  List.iter
+    (fun (sname, strategy) ->
+      let r = rewrite ~config:(config_of strategy) binary in
+      check_equivalent ~name:("dispatch/" ^ sname)
+        ~inputs:[ "q"; "012q"; "f0f1q"; "210f1z9q"; "" ]
+        binary r.Zipr.Pipeline.rewritten)
+    strategies
+
+let test_null_island () =
+  let binary, _ = Testprogs.island_binary () in
+  List.iter
+    (fun (sname, strategy) ->
+      let r = rewrite ~config:(config_of strategy) binary in
+      check_equivalent ~name:("island/" ^ sname) binary r.Zipr.Pipeline.rewritten)
+    strategies
+
+let test_null_dense_pins () =
+  let binary, _ = Testprogs.assemble (Testprogs.dense_pins_program ()) in
+  List.iter
+    (fun (sname, strategy) ->
+      let r = rewrite ~config:(config_of strategy) binary in
+      check_equivalent ~name:("dense/" ^ sname) binary r.Zipr.Pipeline.rewritten)
+    strategies
+
+let test_null_vuln_benign () =
+  let binary, _ = Testprogs.assemble (Testprogs.vuln_program ()) in
+  let r = rewrite binary in
+  check_equivalent ~name:"vuln benign" ~inputs:[ "\x05hello" ] binary r.Zipr.Pipeline.rewritten
+
+(* -- structural assertions -- *)
+
+let test_island_has_fixed_ranges () =
+  let binary, _ = Testprogs.island_binary () in
+  let r = rewrite binary in
+  Alcotest.(check bool)
+    "ambiguous ranges found" true
+    (List.length r.Zipr.Pipeline.ir.Zipr.Ir_construction.fixed_ranges > 0)
+
+let test_dense_pins_use_sled () =
+  let binary, _ = Testprogs.assemble (Testprogs.dense_pins_program ()) in
+  let r = rewrite binary in
+  Alcotest.(check bool) "sled built" true (r.Zipr.Pipeline.stats.Zipr.Reassemble.sleds >= 1);
+  Alcotest.(check bool) "sled has 2 entries" true
+    (r.Zipr.Pipeline.stats.Zipr.Reassemble.sled_entries >= 2)
+
+let test_pins_exist () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let r = rewrite binary in
+  let stats = r.Zipr.Pipeline.stats in
+  (* entry + 3 jump-table cases + 2 function pointers at least *)
+  Alcotest.(check bool) "pins found" true (stats.Zipr.Reassemble.pins_total >= 6)
+
+let test_rewritten_binary_parses () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let r = rewrite binary in
+  let bytes = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten in
+  match Zelf.Binary.parse bytes with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rewritten binary does not parse: %a" Zelf.Binary.pp_parse_error e
+
+let test_double_rewrite () =
+  (* Rewriting the rewritten binary must still work: the output is a
+     well-formed input. *)
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let r1 = rewrite binary in
+  let r2 = rewrite r1.Zipr.Pipeline.rewritten in
+  check_equivalent ~name:"double rewrite" ~inputs:[ "\x07" ] binary r2.Zipr.Pipeline.rewritten
+
+let test_file_size_overhead_reasonable () =
+  (* On a compiler-shaped program of realistic density, the optimized
+     layout must beat the CGC 20% file-size threshold. *)
+  let binary, _ = Testprogs.assemble (Testprogs.big_program ~nfuncs:60 ()) in
+  let r = rewrite binary in
+  let orig = Zelf.Binary.file_size binary in
+  let rewr = Zelf.Binary.file_size r.Zipr.Pipeline.rewritten in
+  let overhead = float_of_int (rewr - orig) /. float_of_int orig *. 100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.1f%% < 20%%" overhead)
+    true (overhead < 20.0);
+  check_equivalent ~name:"big program" binary r.Zipr.Pipeline.rewritten
+
+let test_random_layouts_differ () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let cfg seed =
+    { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = Zipr.Placement.random; seed }
+  in
+  let r1 = rewrite ~config:(cfg 1) binary in
+  let r2 = rewrite ~config:(cfg 2) binary in
+  let t1 = (Zelf.Binary.text r1.Zipr.Pipeline.rewritten).Zelf.Section.data in
+  let t2 = (Zelf.Binary.text r2.Zipr.Pipeline.rewritten).Zelf.Section.data in
+  Alcotest.(check bool) "diverse layouts" true (t1 <> t2);
+  (* Both still behave identically to the original. *)
+  check_equivalent ~name:"random seed 1" ~inputs:[ "012q" ] binary r1.Zipr.Pipeline.rewritten;
+  check_equivalent ~name:"random seed 2" ~inputs:[ "012q" ] binary r2.Zipr.Pipeline.rewritten
+
+let test_unreachable_code_kept_conservatively () =
+  (* Code that only linear sweep can see (never reached by recursive
+     traversal, never referenced) is paper case 4: it might be data that
+     happens to decode, so it must be kept, fixed, at its original
+     address — never relocated, never dropped. *)
+  let b = Zasm.Builder.create ~entry:"main" () in
+  Zasm.Builder.label b "main";
+  Zasm.Builder.insn b (Zvm.Insn.Movi (Zvm.Reg.R0, 0));
+  Zasm.Builder.insn b (Zvm.Insn.Sys 0);
+  Zasm.Builder.insn b Zvm.Insn.Halt;
+  Zasm.Builder.label b "dead";
+  for _ = 1 to 50 do
+    Zasm.Builder.insn b (Zvm.Insn.Movi (Zvm.Reg.R7, 0xdead))
+  done;
+  Zasm.Builder.insn b (Zvm.Insn.Ret);
+  let binary, symbols = Zasm.Builder.assemble_exn b in
+  let r = rewrite binary in
+  let dead_addr = List.assoc "dead" symbols in
+  let fixed = r.Zipr.Pipeline.ir.Zipr.Ir_construction.fixed_ranges in
+  Alcotest.(check bool) "dead body inside a fixed range" true
+    (List.exists (fun (lo, hi) -> dead_addr >= lo && dead_addr < hi) fixed);
+  (* The bytes must be preserved verbatim in the output. *)
+  let orig_text = Zelf.Binary.text binary in
+  let new_text = Zelf.Binary.text r.Zipr.Pipeline.rewritten in
+  let off = dead_addr - orig_text.Zelf.Section.vaddr in
+  Alcotest.(check bytes) "dead bytes preserved"
+    (Bytes.sub orig_text.Zelf.Section.data off 30)
+    (Bytes.sub new_text.Zelf.Section.data off 30);
+  check_equivalent ~name:"conservative keep" binary r.Zipr.Pipeline.rewritten
+
+let suite =
+  [
+    Alcotest.test_case "null fib (3 strategies)" `Quick test_null_fib;
+    Alcotest.test_case "null dispatch (3 strategies)" `Quick test_null_dispatch;
+    Alcotest.test_case "null island (3 strategies)" `Quick test_null_island;
+    Alcotest.test_case "null dense pins (3 strategies)" `Quick test_null_dense_pins;
+    Alcotest.test_case "null vuln benign" `Quick test_null_vuln_benign;
+    Alcotest.test_case "island fixed ranges" `Quick test_island_has_fixed_ranges;
+    Alcotest.test_case "dense pins sled" `Quick test_dense_pins_use_sled;
+    Alcotest.test_case "pins exist" `Quick test_pins_exist;
+    Alcotest.test_case "rewritten parses" `Quick test_rewritten_binary_parses;
+    Alcotest.test_case "double rewrite" `Quick test_double_rewrite;
+    Alcotest.test_case "file size overhead" `Quick test_file_size_overhead_reasonable;
+    Alcotest.test_case "random layouts differ" `Quick test_random_layouts_differ;
+    Alcotest.test_case "unreachable code kept" `Quick test_unreachable_code_kept_conservatively;
+  ]

@@ -1,0 +1,64 @@
+(* Tests for the assembly printer: listings must reparse and preserve
+   behaviour (decoder -> printer -> parser -> assembler cross-check). *)
+
+let roundtrip binary =
+  let listing = Zasm.Printer.program_listing binary in
+  match Zasm.Parser.assemble_string listing with
+  | Error msg -> Alcotest.failf "listing did not reassemble: %s\n%s" msg listing
+  | Ok (binary', _) -> binary'
+
+let check_behaviour ~name ~inputs binary binary' =
+  List.iter
+    (fun input ->
+      let a = Zelf.Image.boot binary ~input in
+      let b = Zelf.Image.boot binary' ~input in
+      Alcotest.(check string) (name ^ " output") a.Zvm.Vm.output b.Zvm.Vm.output;
+      Alcotest.(check string) (name ^ " status")
+        (Zvm.Vm.stop_to_string a.Zvm.Vm.stop)
+        (Zvm.Vm.stop_to_string b.Zvm.Vm.stop))
+    inputs
+
+let test_roundtrip_fib () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let binary' = roundtrip binary in
+  check_behaviour ~name:"fib" ~inputs:[ "\x05"; "\x0b" ] binary binary'
+
+let test_roundtrip_dispatch () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let binary' = roundtrip binary in
+  check_behaviour ~name:"dispatch" ~inputs:[ "012f0f1q"; "" ] binary binary'
+
+let test_roundtrip_generated_cb () =
+  let binary, meta = Cgc.Cb_gen.generate ~seed:21 Cgc.Cb_gen.default_profile in
+  let binary' = roundtrip binary in
+  let pollers = Cgc.Poller.generate meta ~seed:2 ~count:4 in
+  let chk = Cgc.Poller.functional_check ~orig:binary ~rewritten:binary' pollers in
+  Alcotest.(check int) "pollers agree" chk.Cgc.Poller.total chk.Cgc.Poller.passed
+
+let test_roundtrip_preserves_entry_and_sizes () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let binary' = roundtrip binary in
+  Alcotest.(check int) "entry" binary.Zelf.Binary.entry binary'.Zelf.Binary.entry;
+  let t = Zelf.Binary.text binary and t' = Zelf.Binary.text binary' in
+  Alcotest.(check int) "text size" t.Zelf.Section.size t'.Zelf.Section.size
+
+let test_listing_is_labelled () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let listing = Zasm.Printer.section_listing binary in
+  let contains needle =
+    let nl = String.length needle and hl = String.length listing in
+    let rec go i = i + nl <= hl && (String.sub listing i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has section header" true (contains ".section text");
+  Alcotest.(check bool) "has labels" true (contains ":");
+  Alcotest.(check bool) "has a call" true (contains "call L")
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip fib" `Quick test_roundtrip_fib;
+    Alcotest.test_case "roundtrip dispatch" `Quick test_roundtrip_dispatch;
+    Alcotest.test_case "roundtrip generated CB" `Quick test_roundtrip_generated_cb;
+    Alcotest.test_case "entry/sizes preserved" `Quick test_roundtrip_preserves_entry_and_sizes;
+    Alcotest.test_case "listing labelled" `Quick test_listing_is_labelled;
+  ]

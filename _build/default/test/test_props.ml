@@ -1,0 +1,211 @@
+(* Property-based tests over the whole pipeline.
+
+   The headline invariant is the paper's correctness claim: for any
+   program the generator can produce and any input, the Null-transformed
+   rewrite has an identical I/O transcript.  Random profiles exercise
+   jump tables, function pointers, islands, hidden code, dense pins and
+   PIC addressing in random combinations. *)
+
+module Vm = Zvm.Vm
+
+let profile_gen =
+  QCheck.Gen.(
+    let* n_handlers = int_range 1 6 in
+    let* n_helpers = int_range 0 8 in
+    let* body_ops = int_range 2 40 in
+    let* loop_iters = int_range 1 60 in
+    let* use_jump_table = bool in
+    let* n_fptrs = oneofl [ 0; 2; 3 ] in
+    let* data_islands = int_range 0 2 in
+    let* hidden_funcs = int_range 0 1 in
+    let* dense_pair = bool in
+    let* vuln_fptr = bool in
+    let* pic = bool in
+    let* mem_span = oneofl [ 0; 64; 512 ] in
+    return
+      {
+        Cgc.Cb_gen.n_handlers;
+        n_helpers;
+        body_ops;
+        loop_iters;
+        use_jump_table;
+        n_fptrs;
+        data_islands;
+        hidden_funcs;
+        dense_pair;
+        vuln = true;
+        vuln_fptr;
+        pathological = false;
+        mem_span;
+        pic;
+      })
+
+let print_profile (p : Cgc.Cb_gen.profile) =
+  Printf.sprintf
+    "{handlers=%d helpers=%d ops=%d iters=%d jt=%b fptrs=%d islands=%d hidden=%d dense=%b vfp=%b pic=%b span=%d}"
+    p.Cgc.Cb_gen.n_handlers p.Cgc.Cb_gen.n_helpers p.Cgc.Cb_gen.body_ops p.Cgc.Cb_gen.loop_iters
+    p.Cgc.Cb_gen.use_jump_table p.Cgc.Cb_gen.n_fptrs p.Cgc.Cb_gen.data_islands
+    p.Cgc.Cb_gen.hidden_funcs p.Cgc.Cb_gen.dense_pair p.Cgc.Cb_gen.vuln_fptr p.Cgc.Cb_gen.pic p.Cgc.Cb_gen.mem_span
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, p, pseed) -> Printf.sprintf "seed=%d pollers=%d %s" seed pseed (print_profile p))
+    QCheck.Gen.(
+      let* seed = int_range 1 100000 in
+      let* p = profile_gen in
+      let* pseed = int_range 1 100000 in
+      return (seed, p, pseed))
+
+let transcripts_equal binary rewritten scripts =
+  let chk = Cgc.Poller.functional_check ~orig:binary ~rewritten scripts in
+  chk.Cgc.Poller.passed = chk.Cgc.Poller.total
+
+let null_equivalence strategy (seed, profile, pseed) =
+  let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+  let scripts = Cgc.Poller.generate meta ~seed:pseed ~count:3 in
+  let config = { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy } in
+  let r = Zipr.Pipeline.rewrite ~config ~transforms:[ Transforms.Null.transform ] binary in
+  transcripts_equal binary r.Zipr.Pipeline.rewritten scripts
+
+let test_null_equiv_optimized =
+  QCheck.Test.make ~name:"null rewrite preserves transcripts (optimized)" ~count:40 arb_case
+    (null_equivalence Zipr.Placement.optimized)
+
+let test_null_equiv_naive =
+  QCheck.Test.make ~name:"null rewrite preserves transcripts (naive)" ~count:25 arb_case
+    (null_equivalence Zipr.Placement.naive)
+
+let test_null_equiv_random =
+  QCheck.Test.make ~name:"null rewrite preserves transcripts (random)" ~count:25 arb_case
+    (null_equivalence Zipr.Placement.random)
+
+let test_cfi_equiv_and_blocks =
+  QCheck.Test.make ~name:"CFI preserves transcripts and blocks the PoV" ~count:25 arb_case
+    (fun (seed, profile, pseed) ->
+      let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+      let scripts = Cgc.Poller.generate meta ~seed:pseed ~count:3 in
+      let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Cfi.transform ] binary in
+      transcripts_equal binary r.Zipr.Pipeline.rewritten scripts
+      && Cgc.Pov.attempt r.Zipr.Pipeline.rewritten meta
+         <> Some Cgc.Pov.Exploited)
+
+let test_stack_pad_equiv =
+  QCheck.Test.make ~name:"stack padding preserves transcripts" ~count:20 arb_case
+    (fun (seed, profile, pseed) ->
+      let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+      let scripts = Cgc.Poller.generate meta ~seed:pseed ~count:3 in
+      let r =
+        Zipr.Pipeline.rewrite
+          ~transforms:[ Transforms.Stack_pad.make ~seed:(seed + 1) () ]
+          binary
+      in
+      transcripts_equal binary r.Zipr.Pipeline.rewritten scripts)
+
+let test_canary_equiv =
+  QCheck.Test.make ~name:"canaries preserve transcripts" ~count:20 arb_case
+    (fun (seed, profile, pseed) ->
+      let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+      let scripts = Cgc.Poller.generate meta ~seed:pseed ~count:3 in
+      let r =
+        Zipr.Pipeline.rewrite ~transforms:[ Transforms.Canary.make ~seed:(seed + 2) () ] binary
+      in
+      transcripts_equal binary r.Zipr.Pipeline.rewritten scripts)
+
+let test_file_size_bounded =
+  QCheck.Test.make ~name:"null rewrite stays within the CGC size threshold" ~count:25 arb_case
+    (fun (seed, profile, _) ->
+      let binary, _ = Cgc.Cb_gen.generate ~seed profile in
+      let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] binary in
+      let orig = Zelf.Binary.file_size binary in
+      let rewr = Zelf.Binary.file_size r.Zipr.Pipeline.rewritten in
+      (* The 20%% CGC threshold is meaningful for realistically sized
+         binaries; a tiny adversarial program's fixed costs (sled
+         dispatch, islands) can exceed it, so allow an absolute floor. *)
+      rewr - orig < max 600 (orig / 5))
+
+let test_rewritten_reparses =
+  QCheck.Test.make ~name:"rewritten binaries serialize and reparse" ~count:25 arb_case
+    (fun (seed, profile, _) ->
+      let binary, _ = Cgc.Cb_gen.generate ~seed profile in
+      let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] binary in
+      match Zelf.Binary.parse (Zelf.Binary.serialize r.Zipr.Pipeline.rewritten) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      test_null_equiv_optimized;
+      test_null_equiv_naive;
+      test_null_equiv_random;
+      test_cfi_equiv_and_blocks;
+      test_stack_pad_equiv;
+      test_canary_equiv;
+      test_file_size_bounded;
+      test_rewritten_reparses;
+    ]
+
+let test_shadow_stack_equiv =
+  QCheck.Test.make ~name:"shadow stack preserves transcripts" ~count:15 arb_case
+    (fun (seed, profile, pseed) ->
+      let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+      let scripts = Cgc.Poller.generate meta ~seed:pseed ~count:3 in
+      let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Shadow_stack.transform ] binary in
+      transcripts_equal binary r.Zipr.Pipeline.rewritten scripts)
+
+let test_jtrw_equiv =
+  QCheck.Test.make ~name:"jump-table rewriting preserves transcripts" ~count:15 arb_case
+    (fun (seed, profile, pseed) ->
+      let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+      let scripts = Cgc.Poller.generate meta ~seed:pseed ~count:3 in
+      let r =
+        Zipr.Pipeline.rewrite ~transforms:[ Transforms.Jumptable_rewrite.transform ] binary
+      in
+      transcripts_equal binary r.Zipr.Pipeline.rewritten scripts)
+
+let test_diversity_stack_equiv =
+  QCheck.Test.make ~name:"stirring + nop-pad preserve transcripts under random placement"
+    ~count:15 arb_case
+    (fun (seed, profile, pseed) ->
+      let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+      let scripts = Cgc.Poller.generate meta ~seed:pseed ~count:3 in
+      let config =
+        { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = Zipr.Placement.random; seed }
+      in
+      let r =
+        Zipr.Pipeline.rewrite ~config
+          ~transforms:
+            [ Transforms.Stirring.make ~p:0.7 ~seed (); Transforms.Nop_pad.make ~seed () ]
+          binary
+      in
+      transcripts_equal binary r.Zipr.Pipeline.rewritten scripts)
+
+let test_irdb_stays_valid =
+  QCheck.Test.make ~name:"IRDB invariants hold through IR construction + CFI" ~count:15 arb_case
+    (fun (seed, profile, _) ->
+      let binary, _ = Cgc.Cb_gen.generate ~seed profile in
+      let ir = Zipr.Ir_construction.build binary in
+      Zipr.Transform.apply_all [ Transforms.Cfi.transform ] ir.Zipr.Ir_construction.db;
+      Irdb.Db.validate ir.Zipr.Ir_construction.db = [])
+
+let test_decode_never_raises =
+  QCheck.Test.make ~name:"decoder is total over random bytes" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 16))
+    (fun s ->
+      let b = Bytes.of_string s in
+      match Zvm.Decode.decode_bytes b ~pos:0 with
+      | Ok (insn, len) ->
+          len >= 1 && len <= Bytes.length b
+          && Bytes.equal (Zvm.Encode.to_bytes insn) (Bytes.sub b 0 len)
+      | Error _ -> true)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        test_shadow_stack_equiv;
+        test_jtrw_equiv;
+        test_diversity_stack_equiv;
+        test_irdb_stays_valid;
+        test_decode_never_raises;
+      ]

@@ -1,0 +1,168 @@
+(* Tests for the tooling layer: execution tracing, post-rewrite
+   verification, and IRDB persistence. *)
+
+module Db = Irdb.Db
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+
+(* -- Trace -- *)
+
+let test_trace_records_steps () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let vm = Zelf.Image.vm_of binary ~input:"\x05" in
+  let result, trace = Zvm.Trace.run vm in
+  Alcotest.(check bool) "completed" true (result.Zvm.Vm.stop = Zvm.Vm.Exited 0);
+  Alcotest.(check int) "trace length = retired" result.Zvm.Vm.insns (Zvm.Trace.length trace);
+  let steps = Zvm.Trace.steps trace in
+  Alcotest.(check bool) "starts at entry" true
+    (match steps with (pc, _) :: _ -> pc = binary.Zelf.Binary.entry | [] -> false)
+
+let test_trace_ring_bounded () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let vm = Zelf.Image.vm_of binary ~input:"\x0b" in
+  let result, trace = Zvm.Trace.run ~capacity:16 vm in
+  Alcotest.(check bool) "observed more than kept" true (Zvm.Trace.length trace > 16);
+  Alcotest.(check int) "kept capacity" 16 (List.length (Zvm.Trace.steps trace));
+  ignore result
+
+let test_trace_branch_targets () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let vm = Zelf.Image.vm_of binary ~input:"\x03" in
+  let _, trace = Zvm.Trace.run vm in
+  (* fib(3): the loop runs 3 times -> at least 3 non-sequential arrivals. *)
+  Alcotest.(check bool) "taken branches seen" true (List.length (Zvm.Trace.branch_targets trace) >= 3)
+
+let test_trace_divergence_same_and_different () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let run input =
+    let vm = Zelf.Image.vm_of binary ~input in
+    snd (Zvm.Trace.run vm)
+  in
+  let a = run "\x05" and b = run "\x05" in
+  Alcotest.(check bool) "identical runs agree" true (Zvm.Trace.divergence a b = None);
+  let c = run "\x06" in
+  (* Different loop counts diverge somewhere (one trace extends the other
+     or an instruction differs). *)
+  Alcotest.(check bool) "different inputs diverge" true (Zvm.Trace.divergence a c <> None)
+
+(* -- Verify -- *)
+
+let test_verify_accepts_good_rewrite () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] binary in
+  let report =
+    Zipr.Verify.full ~orig:binary ~ir:r.Zipr.Pipeline.ir ~rewritten:r.Zipr.Pipeline.rewritten
+      ~inputs:[ "012q"; "f0f1q"; "" ] ()
+  in
+  if not (Zipr.Verify.ok report) then
+    Alcotest.failf "unexpected issues: %a" Zipr.Verify.pp_report report;
+  Alcotest.(check bool) "many checks ran" true (report.Zipr.Verify.checks_run > 20)
+
+let test_verify_accepts_cfi_rewrite () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Cfi.transform ] binary in
+  let report =
+    Zipr.Verify.full ~orig:binary ~ir:r.Zipr.Pipeline.ir ~rewritten:r.Zipr.Pipeline.rewritten
+      ~inputs:[ "012q" ] ()
+  in
+  if not (Zipr.Verify.ok report) then
+    Alcotest.failf "unexpected issues: %a" Zipr.Verify.pp_report report
+
+let test_verify_catches_corruption () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] binary in
+  let good = r.Zipr.Pipeline.rewritten in
+  (* Corrupt a data section: the data-segment check must notice. *)
+  let corrupted =
+    Zelf.Binary.create ~entry:good.Zelf.Binary.entry
+      (List.map
+         (fun (s : Zelf.Section.t) ->
+           if s.Zelf.Section.kind = Zelf.Section.Rodata then begin
+             let d = Bytes.copy s.Zelf.Section.data in
+             Bytes.set d 0 '\xff';
+             Zelf.Section.make ~name:s.Zelf.Section.name ~kind:s.Zelf.Section.kind
+               ~vaddr:s.Zelf.Section.vaddr d
+           end
+           else s)
+         good.Zelf.Binary.sections)
+  in
+  let report = Zipr.Verify.structural ~orig:binary ~ir:r.Zipr.Pipeline.ir ~rewritten:corrupted in
+  Alcotest.(check bool) "corruption flagged" false (Zipr.Verify.ok report)
+
+let test_verify_catches_transcript_divergence () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let other, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let report = Zipr.Verify.transcripts ~orig:binary ~rewritten:other [ "\x05" ] in
+  Alcotest.(check bool) "divergence flagged" false (Zipr.Verify.ok report)
+
+(* -- IRDB persistence -- *)
+
+let test_irdb_roundtrip () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let ir = Zipr.Ir_construction.build binary in
+  let db = ir.Zipr.Ir_construction.db in
+  let text = Irdb.Dump.serialize db in
+  match Irdb.Dump.deserialize ~orig:binary text with
+  | Error msg -> Alcotest.failf "deserialize failed: %s" msg
+  | Ok db' ->
+      Alcotest.(check int) "row count" (Db.count db) (Db.count db');
+      Alcotest.(check int) "entry" (Db.entry db) (Db.entry db');
+      Alcotest.(check int) "functions" (List.length (Db.funcs db)) (List.length (Db.funcs db'));
+      Alcotest.(check (list (pair int int))) "pins" (Db.pinned_addresses db)
+        (Db.pinned_addresses db');
+      (* Marked pins survive. *)
+      List.iter
+        (fun (addr, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mark at 0x%x" addr)
+            (Db.pin_is_marked db addr) (Db.pin_is_marked db' addr))
+        (Db.pinned_addresses db);
+      (* Spot-check instructions and links row by row. *)
+      List.iter
+        (fun id ->
+          let a = Db.row db id and b = Db.row db' id in
+          Alcotest.(check bool) "insn" true (Zvm.Insn.equal a.Db.insn b.Db.insn);
+          Alcotest.(check (option int)) "ft" a.Db.fallthrough b.Db.fallthrough;
+          Alcotest.(check (option int)) "tgt" a.Db.target b.Db.target;
+          Alcotest.(check bool) "fixed" a.Db.fixed b.Db.fixed)
+        (Db.ids db)
+
+let test_irdb_roundtrip_then_rewrite () =
+  (* The real point of persistence: reassembling from a restored IRDB
+     must produce a working binary. *)
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let ir = Zipr.Ir_construction.build binary in
+  let text = Irdb.Dump.serialize ir.Zipr.Ir_construction.db in
+  match Irdb.Dump.deserialize ~orig:binary text with
+  | Error msg -> Alcotest.failf "deserialize failed: %s" msg
+  | Ok db' ->
+      let ir' = { ir with Zipr.Ir_construction.db = db' } in
+      let rewritten, _stats = Zipr.Reassemble.run ir' in
+      let input = "012f0f1q" in
+      let a = Zelf.Image.boot binary ~input in
+      let b = Zelf.Image.boot rewritten ~input in
+      Alcotest.(check string) "same output" a.Zvm.Vm.output b.Zvm.Vm.output
+
+let test_irdb_deserialize_rejects_garbage () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  (match Irdb.Dump.deserialize ~orig:binary "R 0 zz - - - - 0 -" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad hex accepted");
+  match Irdb.Dump.deserialize ~orig:binary "R 0 90 7 - - - 0 -" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "dangling link accepted"
+
+let suite =
+  [
+    Alcotest.test_case "trace records" `Quick test_trace_records_steps;
+    Alcotest.test_case "trace ring bounded" `Quick test_trace_ring_bounded;
+    Alcotest.test_case "trace branch targets" `Quick test_trace_branch_targets;
+    Alcotest.test_case "trace divergence" `Quick test_trace_divergence_same_and_different;
+    Alcotest.test_case "verify good rewrite" `Quick test_verify_accepts_good_rewrite;
+    Alcotest.test_case "verify cfi rewrite" `Quick test_verify_accepts_cfi_rewrite;
+    Alcotest.test_case "verify catches corruption" `Quick test_verify_catches_corruption;
+    Alcotest.test_case "verify catches divergence" `Quick test_verify_catches_transcript_divergence;
+    Alcotest.test_case "irdb roundtrip" `Quick test_irdb_roundtrip;
+    Alcotest.test_case "irdb restore+rewrite" `Quick test_irdb_roundtrip_then_rewrite;
+    Alcotest.test_case "irdb rejects garbage" `Quick test_irdb_deserialize_rejects_garbage;
+  ]

@@ -1,0 +1,186 @@
+(* Tests for the zipr_util support library. *)
+
+module Rng = Zipr_util.Rng
+module Bytebuf = Zipr_util.Bytebuf
+module Iset = Zipr_util.Interval_set
+module Hex = Zipr_util.Hex
+module Histogram = Zipr_util.Histogram
+module Stats = Zipr_util.Stats
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10);
+    let w = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "in closed range" true (w >= 5 && w <= 9)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_bytebuf_roundtrip () =
+  let b = Bytebuf.create () in
+  Bytebuf.u8 b 0xab;
+  Bytebuf.u16 b 0x1234;
+  Bytebuf.u32 b 0xdeadbeef;
+  Alcotest.(check int) "length" 7 (Bytebuf.length b);
+  Alcotest.(check int) "u8" 0xab (Bytebuf.get_u8 b 0);
+  Alcotest.(check int) "u32" 0xdeadbeef (Bytebuf.get_u32 b 3)
+
+let test_bytebuf_patch () =
+  let b = Bytebuf.create () in
+  Bytebuf.u32 b 0;
+  Bytebuf.u32 b 0;
+  Bytebuf.patch_u32 b 4 0xcafebabe;
+  Alcotest.(check int) "patched" 0xcafebabe (Bytebuf.get_u32 b 4);
+  Alcotest.(check int) "untouched" 0 (Bytebuf.get_u32 b 0)
+
+let test_bytebuf_patch_out_of_range () =
+  let b = Bytebuf.create () in
+  Bytebuf.u8 b 1;
+  Alcotest.check_raises "patch past end" (Invalid_argument "Bytebuf: position 0+4 out of range [0,1)")
+    (fun () -> Bytebuf.patch_u32 b 0 5)
+
+let test_bytebuf_i32_negative () =
+  let b = Bytebuf.create () in
+  Bytebuf.i32 b (-2);
+  Alcotest.(check int) "two's complement" 0xfffffffe (Bytebuf.get_u32 b 0)
+
+let test_iset_add_coalesce () =
+  let s = Iset.empty in
+  let s = Iset.add s ~lo:10 ~hi:20 in
+  let s = Iset.add s ~lo:20 ~hi:30 in
+  Alcotest.(check (list (pair int int))) "coalesced" [ (10, 30) ] (Iset.intervals s);
+  let s = Iset.add s ~lo:5 ~hi:12 in
+  Alcotest.(check (list (pair int int))) "extended" [ (5, 30) ] (Iset.intervals s)
+
+let test_iset_remove_split () =
+  let s = Iset.add Iset.empty ~lo:0 ~hi:100 in
+  let s = Iset.remove s ~lo:40 ~hi:60 in
+  Alcotest.(check (list (pair int int))) "split" [ (0, 40); (60, 100) ] (Iset.intervals s);
+  Alcotest.(check int) "total" 80 (Iset.total s)
+
+let test_iset_mem () =
+  let s = Iset.add (Iset.add Iset.empty ~lo:0 ~hi:10) ~lo:20 ~hi:30 in
+  Alcotest.(check bool) "in first" true (Iset.mem s 5);
+  Alcotest.(check bool) "gap" false (Iset.mem s 15);
+  Alcotest.(check bool) "boundary lo" true (Iset.mem s 20);
+  Alcotest.(check bool) "boundary hi" false (Iset.mem s 30)
+
+let test_iset_contains_range () =
+  let s = Iset.add Iset.empty ~lo:10 ~hi:20 in
+  Alcotest.(check bool) "inside" true (Iset.contains_range s ~lo:12 ~hi:18);
+  Alcotest.(check bool) "exact" true (Iset.contains_range s ~lo:10 ~hi:20);
+  Alcotest.(check bool) "spills" false (Iset.contains_range s ~lo:15 ~hi:25)
+
+let test_iset_first_fit () =
+  let s = Iset.add (Iset.add Iset.empty ~lo:0 ~hi:4) ~lo:10 ~hi:100 in
+  Alcotest.(check (option int)) "skips small gap" (Some 10) (Iset.first_fit s ~size:8);
+  Alcotest.(check (option int)) "uses small gap" (Some 0) (Iset.first_fit s ~size:3);
+  Alcotest.(check (option int)) "none" None (Iset.first_fit s ~size:1000)
+
+let test_iset_fit_in_window () =
+  let s = Iset.add Iset.empty ~lo:50 ~hi:200 in
+  Alcotest.(check (option int)) "window hit" (Some 60) (Iset.fit_in_window s ~lo:60 ~hi:80 ~size:10);
+  Alcotest.(check (option int)) "window too small" None
+    (Iset.fit_in_window s ~lo:60 ~hi:65 ~size:10);
+  Alcotest.(check (option int)) "clamped to member" (Some 50)
+    (Iset.fit_in_window s ~lo:0 ~hi:100 ~size:10)
+
+let test_iset_best_fit_near () =
+  let s = Iset.add (Iset.add Iset.empty ~lo:0 ~hi:20) ~lo:1000 ~hi:1020 in
+  Alcotest.(check (option int)) "near low" (Some 10) (Iset.best_fit_near s ~center:10 ~size:5);
+  Alcotest.(check (option int)) "near high" (Some 1000) (Iset.best_fit_near s ~center:990 ~size:5)
+
+let test_iset_qcheck_total =
+  QCheck.Test.make ~name:"interval add/remove preserves point membership" ~count:500
+    QCheck.(
+      pair (small_list (pair (int_bound 200) (int_bound 50))) (small_list (pair (int_bound 200) (int_bound 50))))
+    (fun (adds, removes) ->
+      let model = Array.make 300 false in
+      let s = ref Zipr_util.Interval_set.empty in
+      List.iter
+        (fun (lo, len) ->
+          s := Zipr_util.Interval_set.add !s ~lo ~hi:(lo + len);
+          for i = lo to lo + len - 1 do
+            model.(i) <- true
+          done)
+        adds;
+      List.iter
+        (fun (lo, len) ->
+          s := Zipr_util.Interval_set.remove !s ~lo ~hi:(lo + len);
+          for i = lo to lo + len - 1 do
+            model.(i) <- false
+          done)
+        removes;
+      let ok = ref true in
+      for i = 0 to 299 do
+        if Zipr_util.Interval_set.mem !s i <> model.(i) then ok := false
+      done;
+      !ok)
+
+let test_hex_roundtrip () =
+  let b = Bytes.of_string "\x00\x01\xfe\xff" in
+  Alcotest.(check string) "encode" "0001feff" (Hex.of_bytes b);
+  Alcotest.(check bytes) "decode" b (Hex.to_bytes "0001feff")
+
+let test_histogram_bins () =
+  let h = Histogram.paper_bins () in
+  List.iter (Histogram.add h) [ -1.0; 2.0; 3.0; 7.0; 15.0; 30.0; 80.0 ];
+  Alcotest.(check (array int)) "bin counts" [| 1; 2; 1; 1; 1; 1 |] (Histogram.counts h);
+  Alcotest.(check int) "total" 7 (Histogram.count h)
+
+let test_histogram_labels () =
+  let h = Histogram.paper_bins () in
+  Alcotest.(check (list string)) "labels"
+    [ "< 0%"; "0-5%"; "5-10%"; "10-20%"; "20-50%"; ">= 50%" ]
+    (Histogram.labels h)
+
+let test_stats_basics () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "overhead" 50.0 (Stats.overhead_pct ~baseline:2.0 ~measured:3.0);
+  Alcotest.(check (float 1e-9)) "overhead zero base" 0.0 (Stats.overhead_pct ~baseline:0.0 ~measured:3.0)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "bytebuf roundtrip" `Quick test_bytebuf_roundtrip;
+    Alcotest.test_case "bytebuf patch" `Quick test_bytebuf_patch;
+    Alcotest.test_case "bytebuf patch range" `Quick test_bytebuf_patch_out_of_range;
+    Alcotest.test_case "bytebuf i32" `Quick test_bytebuf_i32_negative;
+    Alcotest.test_case "interval coalesce" `Quick test_iset_add_coalesce;
+    Alcotest.test_case "interval remove" `Quick test_iset_remove_split;
+    Alcotest.test_case "interval mem" `Quick test_iset_mem;
+    Alcotest.test_case "interval contains_range" `Quick test_iset_contains_range;
+    Alcotest.test_case "interval first_fit" `Quick test_iset_first_fit;
+    Alcotest.test_case "interval window fit" `Quick test_iset_fit_in_window;
+    Alcotest.test_case "interval best_fit_near" `Quick test_iset_best_fit_near;
+    QCheck_alcotest.to_alcotest test_iset_qcheck_total;
+    Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+    Alcotest.test_case "histogram bins" `Quick test_histogram_bins;
+    Alcotest.test_case "histogram labels" `Quick test_histogram_labels;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+  ]

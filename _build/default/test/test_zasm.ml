@@ -1,0 +1,239 @@
+(* Tests for the assembler: label resolution, relaxation, data directives. *)
+
+open Zasm
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+module Cond = Zvm.Cond
+
+let exit_status = function
+  | Zvm.Vm.Exited n -> n
+  | s -> Alcotest.failf "expected exit, got %s" (Zvm.Vm.stop_to_string s)
+
+let run_builder ?(input = "") b =
+  let binary, _symbols = Builder.assemble_exn b in
+  Zelf.Image.boot binary ~input
+
+let test_simple_program () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.insn b (Insn.Movi (Reg.R0, 5));
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.R0, 37));
+  Builder.insn b (Insn.Sys 0);
+  let result = run_builder b in
+  Alcotest.(check int) "exit" 42 (exit_status result.Zvm.Vm.stop)
+
+let test_forward_and_backward_branches () =
+  let b = Builder.create ~entry:"main" () in
+  (* Loop: r0 = 10 decremented to 0. *)
+  Builder.label b "main";
+  Builder.insn b (Insn.Movi (Reg.R0, 10));
+  Builder.insn b (Insn.Movi (Reg.R1, 0));
+  Builder.label b "loop";
+  Builder.insn b (Insn.Cmpi (Reg.R0, 0));
+  Builder.jcc b Cond.Eq "done";
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.R1, 1));
+  Builder.insn b (Insn.Alui (Insn.Subi, Reg.R0, 1));
+  Builder.jmp b "loop";
+  Builder.label b "done";
+  Builder.insn b (Insn.Mov (Reg.R0, Reg.R1));
+  Builder.insn b (Insn.Sys 0);
+  let result = run_builder b in
+  Alcotest.(check int) "ten iterations" 10 (exit_status result.Zvm.Vm.stop)
+
+let test_relaxation_grows_long_branches () =
+  (* A branch over >127 bytes of code must be emitted in near form; the
+     assembled program must still run correctly. *)
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.jmp b "far";
+  for _ = 1 to 60 do
+    Builder.insn b (Insn.Movi (Reg.R7, 1))
+  done;
+  Builder.label b "far";
+  Builder.insn b (Insn.Movi (Reg.R0, 1));
+  Builder.insn b (Insn.Sys 0);
+  let binary, symbols = Builder.assemble_exn b in
+  let result = Zelf.Image.boot binary ~input:"" in
+  Alcotest.(check int) "runs" 1 (exit_status result.Zvm.Vm.stop);
+  (* The jump at "main" must be the 5-byte form: "far" is 360 bytes away. *)
+  let main_addr = List.assoc "main" symbols in
+  let text = Zelf.Binary.text binary in
+  let opcode = Char.code (Bytes.get text.Zelf.Section.data (main_addr - text.Zelf.Section.vaddr)) in
+  Alcotest.(check int) "near jmp opcode" 0xe9 opcode
+
+let test_short_branch_stays_short () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.jmp b "next";
+  Builder.label b "next";
+  Builder.insn b (Insn.Sys 0);
+  let binary, symbols = Builder.assemble_exn b in
+  let main_addr = List.assoc "main" symbols in
+  let text = Zelf.Binary.text binary in
+  let opcode = Char.code (Bytes.get text.Zelf.Section.data (main_addr - text.Zelf.Section.vaddr)) in
+  Alcotest.(check int) "short jmp opcode" 0xeb opcode
+
+let test_force_short_out_of_range_errors () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.jmp b ~width:Ast.Force_short "far";
+  for _ = 1 to 60 do
+    Builder.insn b (Insn.Nop)
+  done;
+  (* pad well past 127 bytes *)
+  for _ = 1 to 30 do
+    Builder.insn b (Insn.Movi (Reg.R0, 0))
+  done;
+  Builder.label b "far";
+  Builder.insn b (Insn.Sys 0);
+  match Builder.assemble b with
+  | Error (Assemble.Branch_out_of_range _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Assemble.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected out-of-range error"
+
+let test_undefined_label () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.jmp b "nowhere";
+  match Builder.assemble b with
+  | Error (Assemble.Undefined_label "nowhere") -> ()
+  | _ -> Alcotest.fail "expected undefined label"
+
+let test_duplicate_label () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.label b "main";
+  Builder.insn b (Insn.Halt);
+  match Builder.assemble b with
+  | Error (Assemble.Duplicate_label "main") -> ()
+  | _ -> Alcotest.fail "expected duplicate label"
+
+let test_call_and_function () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.call b "double";
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "double";
+  Builder.insn b (Insn.Movi (Reg.R0, 21));
+  Builder.insn b (Insn.Alu (Insn.Add, Reg.R0, Reg.R0));
+  Builder.insn b (Insn.Ret);
+  let result = run_builder b in
+  Alcotest.(check int) "double 21" 42 (exit_status result.Zvm.Vm.stop)
+
+let test_rodata_and_loada () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.rodata_label b "value";
+  Builder.rodata_word b (Ast.Abs 123);
+  Builder.label b "main";
+  Builder.loada_lab b Reg.R0 "value";
+  Builder.insn b (Insn.Sys 0);
+  let result = run_builder b in
+  Alcotest.(check int) "loaded constant" 123 (exit_status result.Zvm.Vm.stop)
+
+let test_jump_table_dispatch () =
+  (* A switch over r0 in {0,1,2} via jmpt through a rodata table. *)
+  let b = Builder.create ~entry:"main" () in
+  Builder.rodata_label b "table";
+  Builder.rodata_word b (Ast.Lab "case0");
+  Builder.rodata_word b (Ast.Lab "case1");
+  Builder.rodata_word b (Ast.Lab "case2");
+  Builder.label b "main";
+  Builder.insn b (Insn.Movi (Reg.R1, 1));
+  Builder.jmpt_lab b Reg.R1 "table";
+  Builder.label b "case0";
+  Builder.insn b (Insn.Movi (Reg.R0, 100));
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "case1";
+  Builder.insn b (Insn.Movi (Reg.R0, 101));
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "case2";
+  Builder.insn b (Insn.Movi (Reg.R0, 102));
+  Builder.insn b (Insn.Sys 0);
+  let result = run_builder b in
+  Alcotest.(check int) "case 1 taken" 101 (exit_status result.Zvm.Vm.stop)
+
+let test_function_pointer_call () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.movi_lab b Reg.R4 "target";
+  Builder.insn b (Insn.Callr Reg.R4);
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "target";
+  Builder.insn b (Insn.Movi (Reg.R0, 77));
+  Builder.insn b (Insn.Ret);
+  let result = run_builder b in
+  Alcotest.(check int) "indirect call" 77 (exit_status result.Zvm.Vm.stop)
+
+let test_pc_relative_leap () =
+  (* leap computes the address of a nearby label; jmpr lands there. *)
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.leap_lab b Reg.R3 "next";
+  Builder.insn b (Insn.Jmpr Reg.R3);
+  Builder.insn b (Insn.Halt);
+  Builder.label b "next";
+  Builder.insn b (Insn.Movi (Reg.R0, 9));
+  Builder.insn b (Insn.Sys 0);
+  let result = run_builder b in
+  Alcotest.(check int) "leap target" 9 (exit_status result.Zvm.Vm.stop)
+
+let test_pc_relative_loadp () =
+  (* loadp reads a table embedded in the text section. *)
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.loadp_lab b Reg.R0 "embedded";
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "embedded";
+  Builder.text_item b (Ast.Word (Ast.Abs 55));
+  let result = run_builder b in
+  Alcotest.(check int) "embedded constant" 55 (exit_status result.Zvm.Vm.stop)
+
+let test_bss_reservation () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.bss b "buffer" 256;
+  Builder.label b "main";
+  Builder.movi_lab b Reg.R1 "buffer";
+  Builder.insn b (Insn.Movi (Reg.R2, 7));
+  Builder.insn b (Insn.Store { base = Reg.R1; disp = 0; src = Reg.R2 });
+  Builder.insn b (Insn.Load { dst = Reg.R0; base = Reg.R1; disp = 0 });
+  Builder.insn b (Insn.Sys 0);
+  let result = run_builder b in
+  Alcotest.(check int) "bss read/write" 7 (exit_status result.Zvm.Vm.stop)
+
+let test_align_directive () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.insn b Insn.Nop;
+  Builder.text_item b (Ast.Align 16);
+  Builder.label b "aligned";
+  Builder.insn b (Insn.Sys 0);
+  let _, symbols = Builder.assemble_exn b in
+  Alcotest.(check int) "aligned" 0 (List.assoc "aligned" symbols mod 16)
+
+let test_symbols_reported () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  Builder.insn b (Insn.Sys 0);
+  let _, symbols = Builder.assemble_exn b in
+  Alcotest.(check (option int)) "main at text base" (Some 0x10000)
+    (List.assoc_opt "main" symbols)
+
+let suite =
+  [
+    Alcotest.test_case "simple program" `Quick test_simple_program;
+    Alcotest.test_case "branches" `Quick test_forward_and_backward_branches;
+    Alcotest.test_case "relaxation grows" `Quick test_relaxation_grows_long_branches;
+    Alcotest.test_case "short stays short" `Quick test_short_branch_stays_short;
+    Alcotest.test_case "force short errors" `Quick test_force_short_out_of_range_errors;
+    Alcotest.test_case "undefined label" `Quick test_undefined_label;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "call/function" `Quick test_call_and_function;
+    Alcotest.test_case "rodata + loada" `Quick test_rodata_and_loada;
+    Alcotest.test_case "jump table" `Quick test_jump_table_dispatch;
+    Alcotest.test_case "function pointer" `Quick test_function_pointer_call;
+    Alcotest.test_case "pc-relative leap" `Quick test_pc_relative_leap;
+    Alcotest.test_case "pc-relative loadp" `Quick test_pc_relative_loadp;
+    Alcotest.test_case "bss" `Quick test_bss_reservation;
+    Alcotest.test_case "align" `Quick test_align_directive;
+    Alcotest.test_case "symbols" `Quick test_symbols_reported;
+  ]

@@ -1,0 +1,120 @@
+(* Tests for the ZBF binary container. *)
+
+open Zelf
+
+let mk_text bytes_hex = Section.make ~name:".text" ~kind:Section.Text ~vaddr:0x1000 (Zipr_util.Hex.to_bytes bytes_hex)
+
+let sample () =
+  Binary.create ~entry:0x1000
+    [
+      mk_text "f4";
+      Section.make ~name:".data" ~kind:Section.Data ~vaddr:0x300000 (Bytes.of_string "hello");
+      Section.make_bss ~name:".bss" ~vaddr:0x400000 ~size:4096;
+    ]
+
+let test_serialize_parse_roundtrip () =
+  let b = sample () in
+  let bytes = Binary.serialize b in
+  match Binary.parse bytes with
+  | Error e -> Alcotest.failf "parse failed: %a" Binary.pp_parse_error e
+  | Ok b' ->
+      Alcotest.(check int) "entry" b.Binary.entry b'.Binary.entry;
+      Alcotest.(check int) "section count" (List.length b.Binary.sections)
+        (List.length b'.Binary.sections);
+      let t = Binary.text b' in
+      Alcotest.(check int) "text vaddr" 0x1000 t.Section.vaddr;
+      Alcotest.(check bytes) "text contents" (Zipr_util.Hex.to_bytes "f4") t.Section.data
+
+let test_parse_bad_magic () =
+  match Binary.parse (Bytes.of_string "NOPE00000000") with
+  | Error Binary.Bad_magic -> ()
+  | _ -> Alcotest.fail "expected bad magic"
+
+let test_parse_corrupted_checksum () =
+  let bytes = Binary.serialize (sample ()) in
+  (* Flip the text section's single content byte (offset 30: after magic,
+     entry, count, and the ".text" section header), leaving the checksum
+     stale. *)
+  Bytes.set bytes 30 '\xff';
+  match Binary.parse bytes with
+  | Error Binary.Bad_checksum -> ()
+  | Ok _ -> Alcotest.fail "corruption not detected"
+  | Error e -> Alcotest.failf "unexpected error: %a" Binary.pp_parse_error e
+
+let test_parse_truncated () =
+  let bytes = Binary.serialize (sample ()) in
+  match Binary.parse (Bytes.sub bytes 0 (Bytes.length bytes - 8)) with
+  | Error (Binary.Truncated_file | Binary.Bad_checksum) -> ()
+  | _ -> Alcotest.fail "expected truncation error"
+
+let test_overlap_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Binary.create ~entry:0
+            [
+              Section.make ~name:"a" ~kind:Section.Text ~vaddr:0x1000 (Bytes.make 16 'x');
+              Section.make ~name:"b" ~kind:Section.Data ~vaddr:0x1008 (Bytes.make 16 'y');
+            ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_read_through_sections () =
+  let b = sample () in
+  Alcotest.(check (option int)) "text byte" (Some 0xf4) (Binary.read8 b 0x1000);
+  Alcotest.(check (option int)) "data byte" (Some (Char.code 'h')) (Binary.read8 b 0x300000);
+  Alcotest.(check (option int)) "bss reads zero" (Some 0) (Binary.read8 b 0x400010);
+  Alcotest.(check (option int)) "hole" None (Binary.read8 b 0x2000)
+
+let test_file_size_counts_contents () =
+  let small = Binary.create ~entry:0x1000 [ mk_text "f4" ] in
+  let big =
+    Binary.create ~entry:0x1000
+      [ Section.make ~name:".text" ~kind:Section.Text ~vaddr:0x1000 (Bytes.make 10000 '\x90') ]
+  in
+  Alcotest.(check bool) "bigger text, bigger file" true
+    (Binary.file_size big > Binary.file_size small + 9000)
+
+let test_bss_costs_no_file_bytes () =
+  let without = Binary.create ~entry:0x1000 [ mk_text "f4" ] in
+  let with_bss =
+    Binary.create ~entry:0x1000 [ mk_text "f4"; Section.make_bss ~name:".bss" ~vaddr:0x400000 ~size:1_000_000 ]
+  in
+  Alcotest.(check bool) "bss nearly free" true
+    (Binary.file_size with_bss < Binary.file_size without + 64)
+
+let test_image_boot_runs () =
+  (* movi r0, 7; sys 0  => exit 7 *)
+  let code = Zvm.Encode.encode_all Zvm.Insn.[ Movi (Zvm.Reg.R0, 7); Sys 0 ] in
+  let b = Binary.create ~entry:0x1000 [ Section.make ~name:".text" ~kind:Section.Text ~vaddr:0x1000 code ] in
+  let result = Image.boot b ~input:"" in
+  Alcotest.(check bool) "exit 7" true (result.Zvm.Vm.stop = Zvm.Vm.Exited 7)
+
+let test_image_loads_bss_zeroed () =
+  let code =
+    Zvm.Encode.encode_all
+      Zvm.Insn.[ Loada (Zvm.Reg.R0, 0x400000); Sys 0 ]
+  in
+  let b =
+    Binary.create ~entry:0x1000
+      [
+        Section.make ~name:".text" ~kind:Section.Text ~vaddr:0x1000 code;
+        Section.make_bss ~name:".bss" ~vaddr:0x400000 ~size:4096;
+      ]
+  in
+  let result = Image.boot b ~input:"" in
+  Alcotest.(check bool) "bss zero" true (result.Zvm.Vm.stop = Zvm.Vm.Exited 0)
+
+let suite =
+  [
+    Alcotest.test_case "serialize/parse roundtrip" `Quick test_serialize_parse_roundtrip;
+    Alcotest.test_case "bad magic" `Quick test_parse_bad_magic;
+    Alcotest.test_case "checksum detects corruption" `Quick test_parse_corrupted_checksum;
+    Alcotest.test_case "truncated file" `Quick test_parse_truncated;
+    Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+    Alcotest.test_case "read through sections" `Quick test_read_through_sections;
+    Alcotest.test_case "file size tracks contents" `Quick test_file_size_counts_contents;
+    Alcotest.test_case "bss costs no file bytes" `Quick test_bss_costs_no_file_bytes;
+    Alcotest.test_case "image boot" `Quick test_image_boot_runs;
+    Alcotest.test_case "image bss zeroed" `Quick test_image_loads_bss_zeroed;
+  ]

@@ -1,0 +1,196 @@
+(* Exhaustive ZVM semantic coverage: every ALU operation, every condition
+   code, and addressing modes, table-driven. *)
+
+open Zvm
+
+let run_insns ?(regs = []) insns =
+  let code = Encode.encode_all (insns @ [ Insn.Halt ]) in
+  let mem = Memory.create () in
+  Memory.load_bytes mem ~addr:0x1000 code;
+  Memory.map mem ~addr:0x300000 ~len:8192;
+  let vm = Vm.create ~mem ~entry:0x1000 ~input:"" () in
+  List.iter (fun (r, v) -> Vm.set_reg vm r v) regs;
+  let result = Vm.run ~fuel:10_000 vm in
+  (match result.Vm.stop with
+  | Vm.Halted -> ()
+  | s -> Alcotest.failf "program did not halt: %s" (Vm.stop_to_string s));
+  vm
+
+let test_alu_table () =
+  let cases =
+    [
+      (Insn.Add, 7, 5, 12);
+      (Insn.Add, 0xffffffff, 1, 0);
+      (Insn.Sub, 5, 7, 0xfffffffe);
+      (Insn.Mul, 0x10000, 0x10000, 0);
+      (Insn.Mul, 6, 7, 42);
+      (Insn.Div, 42, 5, 8);
+      (Insn.Div, 0xffffffff, 2, 0x7fffffff);
+      (Insn.Mod, 42, 5, 2);
+      (Insn.And, 0xff00ff00, 0x0ff00ff0, 0x0f000f00);
+      (Insn.Or, 0xf0f0f0f0, 0x0f0f0f0f, 0xffffffff);
+      (Insn.Xor, 0xaaaaaaaa, 0xffffffff, 0x55555555);
+      (Insn.Shl, 1, 31, 0x80000000);
+      (Insn.Shl, 1, 33, 2);  (* count mod 32 *)
+      (Insn.Shr, 0x80000000, 31, 1);
+      (Insn.Shr, 0xffffffff, 4, 0x0fffffff);
+    ]
+  in
+  List.iter
+    (fun (op, a, b, expected) ->
+      let vm =
+        run_insns ~regs:[ (Reg.R1, a); (Reg.R2, b) ] [ Insn.Alu (op, Reg.R1, Reg.R2) ]
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "%s 0x%x 0x%x" (Insn.to_string (Insn.Alu (op, Reg.R1, Reg.R2))) a b)
+        expected (Vm.reg vm Reg.R1))
+    cases
+
+let test_alui_table () =
+  let cases =
+    [
+      (Insn.Addi, 10, 5, 15);
+      (Insn.Subi, 10, 15, 0xfffffffb);
+      (Insn.Andi, 0xdeadbeef, 0xffff, 0xbeef);
+      (Insn.Ori, 0xf0, 0x0f, 0xff);
+      (Insn.Xori, 0xff, 0x0f, 0xf0);
+      (Insn.Muli, 100, 100, 10000);
+    ]
+  in
+  List.iter
+    (fun (op, a, imm, expected) ->
+      let vm = run_insns ~regs:[ (Reg.R3, a) ] [ Insn.Alui (op, Reg.R3, imm) ] in
+      Alcotest.(check int)
+        (Printf.sprintf "%s" (Insn.to_string (Insn.Alui (op, Reg.R3, imm))))
+        expected (Vm.reg vm Reg.R3))
+    cases
+
+let test_not_neg_shifts () =
+  let vm = run_insns ~regs:[ (Reg.R1, 0x0f0f0f0f) ] [ Insn.Not Reg.R1 ] in
+  Alcotest.(check int) "not" 0xf0f0f0f0 (Vm.reg vm Reg.R1);
+  let vm = run_insns ~regs:[ (Reg.R1, 5) ] [ Insn.Neg Reg.R1 ] in
+  Alcotest.(check int) "neg" 0xfffffffb (Vm.reg vm Reg.R1);
+  let vm = run_insns ~regs:[ (Reg.R1, 3) ] [ Insn.Shli (Reg.R1, 4) ] in
+  Alcotest.(check int) "shli" 48 (Vm.reg vm Reg.R1);
+  let vm = run_insns ~regs:[ (Reg.R1, 48) ] [ Insn.Shri (Reg.R1, 4) ] in
+  Alcotest.(check int) "shri" 3 (Vm.reg vm Reg.R1)
+
+(* Condition codes: run cmp a b then a conditional near branch over a
+   marker write; check whether it was taken. *)
+let branch_taken cond a b =
+  let vm =
+    run_insns
+      ~regs:[ (Reg.R1, a); (Reg.R2, b); (Reg.R7, 0) ]
+      [
+        Insn.Cmp (Reg.R1, Reg.R2);
+        Insn.Jcc (cond, Insn.Near, 6);  (* skip the movi below *)
+        Insn.Movi (Reg.R7, 1);
+      ]
+  in
+  Vm.reg vm Reg.R7 = 0
+
+let test_condition_codes () =
+  let minus_one = 0xffffffff in
+  let checks =
+    [
+      (Cond.Eq, 5, 5, true);
+      (Cond.Eq, 5, 6, false);
+      (Cond.Ne, 5, 6, true);
+      (Cond.Lt, minus_one, 1, true);  (* signed: -1 < 1 *)
+      (Cond.Lt, 1, minus_one, false);
+      (Cond.Ge, 1, minus_one, true);
+      (Cond.Gt, 7, 3, true);
+      (Cond.Gt, 3, 3, false);
+      (Cond.Le, 3, 3, true);
+      (Cond.Ult, 1, minus_one, true);  (* unsigned: 1 < 0xffffffff *)
+      (Cond.Ult, minus_one, 1, false);
+      (Cond.Uge, minus_one, 1, true);
+    ]
+  in
+  List.iter
+    (fun (cond, a, b, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s 0x%x 0x%x" (Cond.to_string cond) a b)
+        expected (branch_taken cond a b))
+    checks
+
+let test_test_instruction () =
+  let vm =
+    run_insns
+      ~regs:[ (Reg.R1, 0xf0); (Reg.R2, 0x0f); (Reg.R7, 0) ]
+      [
+        Insn.Test (Reg.R1, Reg.R2);
+        Insn.Jcc (Cond.Eq, Insn.Near, 6);
+        Insn.Movi (Reg.R7, 1);
+      ]
+  in
+  Alcotest.(check int) "disjoint masks -> zero -> taken" 0 (Vm.reg vm Reg.R7)
+
+let test_memory_addressing () =
+  let vm =
+    run_insns
+      ~regs:[ (Reg.R1, 0x300010); (Reg.R2, 0xcafe) ]
+      [
+        Insn.Store { base = Reg.R1; disp = 16; src = Reg.R2 };
+        Insn.Load { dst = Reg.R3; base = Reg.R1; disp = 16 };
+        Insn.Store8 { base = Reg.R1; disp = -4; src = Reg.R2 };
+        Insn.Load8 { dst = Reg.R4; base = Reg.R1; disp = -4 };
+      ]
+  in
+  Alcotest.(check int) "32-bit roundtrip" 0xcafe (Vm.reg vm Reg.R3);
+  Alcotest.(check int) "8-bit truncates" 0xfe (Vm.reg vm Reg.R4)
+
+let test_absolute_addressing () =
+  let vm =
+    run_insns ~regs:[ (Reg.R2, 0x1234) ]
+      [
+        Insn.Storea (0x300020, Reg.R2);
+        Insn.Loada (Reg.R3, 0x300020);
+        Insn.Leaa (Reg.R4, 0x300020);
+      ]
+  in
+  Alcotest.(check int) "storea/loada" 0x1234 (Vm.reg vm Reg.R3);
+  Alcotest.(check int) "leaa" 0x300020 (Vm.reg vm Reg.R4)
+
+let test_pc_relative_execution () =
+  (* leap/loadp/storep against a cell just after the code. *)
+  let insns =
+    [
+      Insn.Leap (Reg.R1, 20);  (* some address after this instruction *)
+      Insn.Storep (32, Reg.R1);  (* park a value PC-relatively too *)
+    ]
+  in
+  let vm = run_insns insns in
+  (* leap: r1 = pc_next + 20 where pc_next = 0x1000 + 6 *)
+  Alcotest.(check int) "leap computes" (0x1000 + 6 + 20) (Vm.reg vm Reg.R1)
+
+let test_sp_is_a_register () =
+  let vm = run_insns [ Insn.Mov (Reg.R1, Reg.SP); Insn.Alui (Insn.Subi, Reg.SP, 16); Insn.Mov (Reg.R2, Reg.SP) ] in
+  Alcotest.(check int) "sp arithmetic" 16 (Vm.reg vm Reg.R1 - Vm.reg vm Reg.R2)
+
+let test_flags_from_alu_result () =
+  (* sub to zero sets eq; a negative result sets lt. *)
+  let vm =
+    run_insns
+      ~regs:[ (Reg.R1, 5); (Reg.R2, 5); (Reg.R7, 0) ]
+      [
+        Insn.Alu (Insn.Sub, Reg.R1, Reg.R2);
+        Insn.Jcc (Cond.Eq, Insn.Near, 6);
+        Insn.Movi (Reg.R7, 1);
+      ]
+  in
+  Alcotest.(check int) "zero result -> eq" 0 (Vm.reg vm Reg.R7)
+
+let suite =
+  [
+    Alcotest.test_case "alu table" `Quick test_alu_table;
+    Alcotest.test_case "alui table" `Quick test_alui_table;
+    Alcotest.test_case "not/neg/shifts" `Quick test_not_neg_shifts;
+    Alcotest.test_case "condition codes" `Quick test_condition_codes;
+    Alcotest.test_case "test instruction" `Quick test_test_instruction;
+    Alcotest.test_case "memory addressing" `Quick test_memory_addressing;
+    Alcotest.test_case "absolute addressing" `Quick test_absolute_addressing;
+    Alcotest.test_case "pc-relative execution" `Quick test_pc_relative_execution;
+    Alcotest.test_case "sp register" `Quick test_sp_is_a_register;
+    Alcotest.test_case "alu flags" `Quick test_flags_from_alu_result;
+  ]

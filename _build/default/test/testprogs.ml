@@ -1,0 +1,362 @@
+(* Shared test programs: small but structurally rich binaries used by the
+   pipeline, transform and property tests.  Each returns a Builder; tests
+   assemble and run them. *)
+
+open Zasm
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+module Cond = Zvm.Cond
+
+let assemble b = Builder.assemble_exn b
+
+(* Reads one byte n, computes fib(n mod 12) iteratively, transmits the
+   result byte, exits 0. *)
+let fib_program () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.bss b "buf" 16;
+  Builder.label b "main";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.movi_lab b Reg.R1 "buf";
+  Builder.insn b (Insn.Movi (Reg.R2, 1));
+  Builder.insn b (Insn.Sys 2);
+  Builder.movi_lab b Reg.R1 "buf";
+  Builder.insn b (Insn.Load8 { dst = Reg.R0; base = Reg.R1; disp = 0 });
+  Builder.insn b (Insn.Movi (Reg.R1, 12));
+  Builder.insn b (Insn.Alu (Insn.Mod, Reg.R0, Reg.R1));
+  Builder.call b "fib";
+  Builder.movi_lab b Reg.R1 "buf";
+  Builder.insn b (Insn.Store8 { base = Reg.R1; disp = 0; src = Reg.R0 });
+  Builder.insn b (Insn.Movi (Reg.R0, 1));
+  Builder.insn b (Insn.Movi (Reg.R2, 1));
+  Builder.insn b (Insn.Sys 1);
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "fib";
+  Builder.insn b (Insn.Movi (Reg.R4, 0));
+  Builder.insn b (Insn.Movi (Reg.R5, 1));
+  Builder.label b "fib_loop";
+  Builder.insn b (Insn.Cmpi (Reg.R0, 0));
+  Builder.jcc b Cond.Eq "fib_done";
+  Builder.insn b (Insn.Mov (Reg.R6, Reg.R5));
+  Builder.insn b (Insn.Alu (Insn.Add, Reg.R5, Reg.R4));
+  Builder.insn b (Insn.Mov (Reg.R4, Reg.R6));
+  Builder.insn b (Insn.Alui (Insn.Subi, Reg.R0, 1));
+  Builder.jmp b "fib_loop";
+  Builder.label b "fib_done";
+  Builder.insn b (Insn.Mov (Reg.R0, Reg.R4));
+  Builder.insn b (Insn.Ret);
+  b
+
+(* Emits the shared "print nul-terminated string at r1" routine. *)
+let emit_print b =
+  Builder.label b "print";
+  Builder.insn b (Insn.Mov (Reg.R4, Reg.R1));
+  Builder.label b "print_len";
+  Builder.insn b (Insn.Load8 { dst = Reg.R5; base = Reg.R4; disp = 0 });
+  Builder.insn b (Insn.Cmpi (Reg.R5, 0));
+  Builder.jcc b Cond.Eq "print_go";
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.R4, 1));
+  Builder.jmp b "print_len";
+  Builder.label b "print_go";
+  Builder.insn b (Insn.Mov (Reg.R2, Reg.R4));
+  Builder.insn b (Insn.Alu (Insn.Sub, Reg.R2, Reg.R1));
+  Builder.insn b (Insn.Movi (Reg.R0, 1));
+  Builder.insn b (Insn.Sys 1);
+  Builder.insn b (Insn.Ret)
+
+(* Command dispatcher: reads command bytes in a loop; '0'..'2' dispatch
+   through a jump table, 'f' reads a second byte and calls through a
+   function-pointer table, 'q' (or EOF) quits.  Handlers print distinct
+   strings. *)
+let dispatch_program () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.bss b "buf" 64;
+  Builder.rodata_label b "jt";
+  Builder.rodata_word b (Ast.Lab "case_a");
+  Builder.rodata_word b (Ast.Lab "case_b");
+  Builder.rodata_word b (Ast.Lab "case_c");
+  Builder.rodata_label b "fptrs";
+  Builder.rodata_word b (Ast.Lab "fn_x");
+  Builder.rodata_word b (Ast.Lab "fn_y");
+  Builder.rodata_label b "msg_a";
+  Builder.rodata_asciiz b "alpha\n";
+  Builder.rodata_label b "msg_b";
+  Builder.rodata_asciiz b "bravo\n";
+  Builder.rodata_label b "msg_c";
+  Builder.rodata_asciiz b "charlie\n";
+  Builder.rodata_label b "msg_x";
+  Builder.rodata_asciiz b "xray\n";
+  Builder.rodata_label b "msg_y";
+  Builder.rodata_asciiz b "yankee\n";
+  Builder.rodata_label b "msg_q";
+  Builder.rodata_asciiz b "bye\n";
+  Builder.label b "main";
+  Builder.label b "loop";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.movi_lab b Reg.R1 "buf";
+  Builder.insn b (Insn.Movi (Reg.R2, 1));
+  Builder.insn b (Insn.Sys 2);
+  Builder.insn b (Insn.Cmpi (Reg.R0, 0));
+  Builder.jcc b Cond.Eq "quit";
+  Builder.movi_lab b Reg.R1 "buf";
+  Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+  Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'q'));
+  Builder.jcc b Cond.Eq "quit";
+  Builder.insn b (Insn.Cmpi (Reg.R3, Char.code 'f'));
+  Builder.jcc b Cond.Eq "fcall";
+  Builder.insn b (Insn.Cmpi (Reg.R3, Char.code '0'));
+  Builder.jcc b Cond.Lt "loop";
+  Builder.insn b (Insn.Cmpi (Reg.R3, Char.code '2'));
+  Builder.jcc b Cond.Gt "loop";
+  Builder.insn b (Insn.Alui (Insn.Subi, Reg.R3, Char.code '0'));
+  Builder.jmpt_lab b Reg.R3 "jt";
+  Builder.label b "case_a";
+  Builder.movi_lab b Reg.R1 "msg_a";
+  Builder.call b "print";
+  Builder.jmp b "loop";
+  Builder.label b "case_b";
+  Builder.movi_lab b Reg.R1 "msg_b";
+  Builder.call b "print";
+  Builder.jmp b "loop";
+  Builder.label b "case_c";
+  Builder.movi_lab b Reg.R1 "msg_c";
+  Builder.call b "print";
+  Builder.jmp b "loop";
+  Builder.label b "fcall";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.movi_lab b Reg.R1 "buf";
+  Builder.insn b (Insn.Movi (Reg.R2, 1));
+  Builder.insn b (Insn.Sys 2);
+  Builder.movi_lab b Reg.R1 "buf";
+  Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+  Builder.insn b (Insn.Alui (Insn.Andi, Reg.R3, 1));
+  Builder.insn b (Insn.Shli (Reg.R3, 2));
+  Builder.movi_lab b Reg.R4 "fptrs";
+  Builder.insn b (Insn.Alu (Insn.Add, Reg.R4, Reg.R3));
+  Builder.insn b (Insn.Load { dst = Reg.R4; base = Reg.R4; disp = 0 });
+  Builder.insn b (Insn.Callr Reg.R4);
+  Builder.jmp b "loop";
+  Builder.label b "fn_x";
+  Builder.movi_lab b Reg.R1 "msg_x";
+  Builder.call b "print";
+  Builder.insn b (Insn.Ret);
+  Builder.label b "fn_y";
+  Builder.movi_lab b Reg.R1 "msg_y";
+  Builder.call b "print";
+  Builder.insn b (Insn.Ret);
+  Builder.label b "quit";
+  Builder.movi_lab b Reg.R1 "msg_q";
+  Builder.call b "print";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys 0);
+  emit_print b;
+  b
+
+(* Data embedded in the text section, plus a computed ("hidden") jump the
+   recursive disassembler cannot follow: the target address is split into
+   two immediates so no single constant is a text address.  The hidden
+   region must survive as an ambiguous fixed range. *)
+let island_program () =
+  let b = Builder.create ~entry:"main" () in
+  let split = 0x7000000 in
+  Builder.label b "main";
+  (* Print the embedded island string via PC-relative addressing. *)
+  Builder.leap_lab b Reg.R1 "island";
+  Builder.call b "print";
+  (* Computed jump to the hidden code. *)
+  Builder.movi_lab b Reg.R4 "hidden_minus";
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.R4, split));
+  Builder.insn b (Insn.Jmpr Reg.R4);
+  (* Embedded data island (mostly non-decodable bytes). *)
+  Builder.label b "island";
+  Builder.text_item b (Ast.Asciiz "island!\n");
+  Builder.text_item b (Ast.Raw_bytes (Bytes.of_string "\x00\x01\x02\x03\xfc\xfb"));
+  (* Hidden code: linear sweep sees it, recursive traversal cannot. *)
+  Builder.label b "hidden";
+  Builder.leap_lab b Reg.R1 "hidden_msg";
+  Builder.call b "print";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "hidden_msg";
+  Builder.text_item b (Ast.Asciiz "hidden\n");
+  emit_print b;
+  (* hidden_minus = hidden - split, materialized via rodata arithmetic:
+     we can't express label arithmetic in the assembler, so store the
+     adjusted constant as data and load it. *)
+  b, split
+
+(* island_program needs label arithmetic (hidden - split); build it by
+   assembling once to learn addresses, then substituting the constant. *)
+let island_binary () =
+  let b, split = island_program () in
+  (* First pass: place a dummy constant to learn the layout. *)
+  let b1 = b in
+  let probe = Builder.to_program b1 in
+  let patched =
+    (* Replace the Movi_lab "hidden_minus" item with a concrete Movi of
+       (addr(hidden) - split) once known. *)
+    let _, symbols =
+      Assemble.program_exn
+        {
+          probe with
+          Ast.source_sections =
+            List.map
+              (fun (s : Ast.section_src) ->
+                {
+                  s with
+                  Ast.items =
+                    List.map
+                      (function
+                        | Ast.Movi_lab (r, Ast.Lab "hidden_minus") ->
+                            Ast.Insn (Insn.Movi (r, 0))
+                        | item -> item)
+                      s.Ast.items;
+                })
+              probe.Ast.source_sections;
+        }
+    in
+    let hidden = List.assoc "hidden" symbols in
+    {
+      probe with
+      Ast.source_sections =
+        List.map
+          (fun (s : Ast.section_src) ->
+            {
+              s with
+              Ast.items =
+                List.map
+                  (function
+                    | Ast.Movi_lab (r, Ast.Lab "hidden_minus") ->
+                        Ast.Insn (Insn.Movi (r, (hidden - split) land 0xffffffff))
+                    | item -> item)
+                  s.Ast.items;
+            })
+          probe.Ast.source_sections;
+    }
+  in
+  Assemble.program_exn patched
+
+(* Two 1-byte instructions at consecutive addresses, both address-taken
+   through a function-pointer table: their pins are 1 byte apart, forcing
+   a sled.  Calling through both pointers must behave identically before
+   and after rewriting. *)
+let dense_pins_program () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.rodata_label b "targets";
+  Builder.rodata_word b (Ast.Lab "t0");
+  Builder.rodata_word b (Ast.Lab "t1");
+  Builder.rodata_label b "msg0";
+  Builder.rodata_asciiz b "t0!";
+  Builder.rodata_label b "msg1";
+  Builder.rodata_asciiz b "t1!";
+  Builder.label b "main";
+  (* call *targets[0] *)
+  Builder.loada_lab b Reg.R4 "targets";
+  Builder.insn b (Insn.Callr Reg.R4);
+  Builder.movi_lab b Reg.R1 "msg0";
+  Builder.call b "print";
+  (* call *targets[1] *)
+  Builder.movi_lab b Reg.R4 "targets";
+  Builder.insn b (Insn.Load { dst = Reg.R4; base = Reg.R4; disp = 4 });
+  Builder.insn b (Insn.Callr Reg.R4);
+  Builder.movi_lab b Reg.R1 "msg1";
+  Builder.call b "print";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys 0);
+  (* Dense targets: t0 is a 1-byte nop directly followed by t1. *)
+  Builder.label b "t0";
+  Builder.insn b Insn.Nop;
+  Builder.label b "t1";
+  Builder.insn b (Insn.Movi (Reg.R7, 0x5151));
+  Builder.insn b (Insn.Ret);
+  emit_print b;
+  b
+
+(* A vulnerable challenge-binary-in-miniature: reads a length byte, then
+   that many bytes into a 48-byte stack buffer with no bounds check.  A
+   long enough input overwrites the return address. *)
+let vuln_program () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.bss b "nbuf" 4;
+  Builder.rodata_label b "msg_ok";
+  Builder.rodata_asciiz b "ok\n";
+  Builder.label b "main";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.movi_lab b Reg.R1 "nbuf";
+  Builder.insn b (Insn.Movi (Reg.R2, 1));
+  Builder.insn b (Insn.Sys 2);
+  Builder.movi_lab b Reg.R1 "nbuf";
+  Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+  Builder.call b "handler";
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys 0);
+  Builder.label b "handler";
+  Builder.insn b (Insn.Alui (Insn.Subi, Reg.SP, 48));
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Mov (Reg.R1, Reg.SP));
+  Builder.insn b (Insn.Mov (Reg.R2, Reg.R3));
+  Builder.insn b (Insn.Sys 2);
+  Builder.movi_lab b Reg.R1 "msg_ok";
+  Builder.call b "print";
+  Builder.insn b (Insn.Alui (Insn.Addi, Reg.SP, 48));
+  Builder.insn b (Insn.Ret);
+  emit_print b;
+  b
+
+(* A larger, compiler-shaped program: [nfuncs] small functions, each with
+   a tight internal loop, all called in sequence from main.  Used for
+   overhead measurements where a toy program's fixed costs would
+   dominate. *)
+let big_program ?(nfuncs = 40) () =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  for i = 0 to nfuncs - 1 do
+    Builder.insn b (Insn.Movi (Reg.R0, i));
+    Builder.call b (Printf.sprintf "f%d" i)
+  done;
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys 0);
+  for i = 0 to nfuncs - 1 do
+    Builder.label b (Printf.sprintf "f%d" i);
+    Builder.insn b (Insn.Movi (Reg.R4, 3 + (i mod 5)));
+    Builder.insn b (Insn.Movi (Reg.R5, 0));
+    Builder.label b (Printf.sprintf "f%d_loop" i);
+    Builder.insn b (Insn.Alu (Insn.Add, Reg.R5, Reg.R0));
+    Builder.insn b (Insn.Alui (Insn.Xori, Reg.R5, i));
+    Builder.insn b (Insn.Alui (Insn.Subi, Reg.R4, 1));
+    Builder.insn b (Insn.Cmpi (Reg.R4, 0));
+    Builder.jcc b Cond.Ne (Printf.sprintf "f%d_loop" i);
+    Builder.insn b (Insn.Mov (Reg.R0, Reg.R5));
+    Builder.insn b (Insn.Ret)
+  done;
+  b
+
+(* Stack layout under the default VM: main's call pushes at
+   stack_top - 4, handler's frame starts 48 below. *)
+let vuln_buffer_addr = 0xbfff_f000 - 4 - 48
+
+(* Exploit payload: shellcode at the buffer start, the string it
+   transmits near the end, and the return-address overwrite in the last
+   4 bytes.  The shellcode transmits "PWN!" and exits 42. *)
+let vuln_exploit () =
+  let open Zipr_util in
+  let buf = Bytebuf.create () in
+  let shell =
+    Zvm.Encode.encode_all
+      [
+        Insn.Movi (Reg.R0, 1);
+        Insn.Movi (Reg.R1, vuln_buffer_addr + 36);
+        Insn.Movi (Reg.R2, 4);
+        Insn.Sys 1;
+        Insn.Movi (Reg.R0, 42);
+        Insn.Sys 0;
+      ]
+  in
+  Bytebuf.blit_bytes buf shell;
+  Bytebuf.zeros buf (36 - Bytes.length shell);
+  Bytebuf.string buf "PWN!";
+  Bytebuf.zeros buf (48 - Bytebuf.length buf);
+  Bytebuf.u32 buf vuln_buffer_addr;
+  let payload = Bytebuf.to_string buf in
+  (* length byte + payload *)
+  String.make 1 (Char.chr (String.length payload)) ^ payload
