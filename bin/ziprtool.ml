@@ -307,7 +307,88 @@ let audit_cmd =
        ~doc:"Check B \xe2\x8a\x86 P dynamically: run the binary and verify every observed indirect target is pinned.")
     Term.(const run $ inputs $ seed $ input_file)
 
+(* -- fuzz -- *)
+
+let fuzz_cmd =
+  let cases =
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of fuzz cases.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Master seed.") in
+  let max_steps =
+    Arg.(
+      value
+      & opt int 2_000_000
+      & info [ "max-steps" ] ~docv:"K"
+          ~doc:"Instruction budget per execution of the original binary.")
+  in
+  let structural =
+    Arg.(
+      value & flag
+      & info [ "structural" ] ~doc:"Also run the structural verifier on every rewrite.")
+  in
+  let inject =
+    Arg.(
+      value & flag
+      & info [ "inject-skip-pin" ]
+          ~doc:
+            "Harness self-test: deliberately skip one pin per rewrite; the fuzzer must \
+             report failures.")
+  in
+  let repro_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-dir" ] ~docv:"DIR"
+          ~doc:"Write each minimized reproducer as a zasm file into this directory.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.") in
+  let run cases seed max_steps structural inject repro_dir quiet =
+    let opts =
+      {
+        Fuzz.Driver.default_options with
+        Fuzz.Driver.cases = max 0 cases;
+        seed;
+        max_steps;
+        structural;
+        fault = (if inject then Some Fuzz.Driver.Skip_pin else None);
+      }
+    in
+    let log = if quiet then fun _ -> () else fun msg -> Printf.eprintf "%s\n%!" msg in
+    let summary = Fuzz.Driver.run ~log opts in
+    print_string (Fuzz.Driver.render_summary summary);
+    (match repro_dir with
+    | Some dir when summary.Fuzz.Driver.failures <> [] ->
+        (* create the directory and any missing parents *)
+        let rec ensure_dir d =
+          if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+            ensure_dir (Filename.dirname d);
+            Sys.mkdir d 0o755
+          end
+        in
+        ensure_dir dir;
+        List.iter
+          (fun (f : Fuzz.Driver.failure) ->
+            let path = Filename.concat dir (Printf.sprintf "case-%d.zasm" f.Fuzz.Driver.case) in
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc f.Fuzz.Driver.repro_zasm);
+            Printf.printf "reproducer: %s\n" path)
+          summary.Fuzz.Driver.failures
+    | _ -> ());
+    if summary.Fuzz.Driver.failures = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential-execution fuzzing: generate programs, rewrite under random \
+          configurations, and demand semantic equivalence.")
+    Term.(const run $ cases $ seed $ max_steps $ structural $ inject $ repro_dir $ quiet)
+
 let () =
   let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in
   let info = Cmd.info "ziprtool" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ asm_cmd; gen_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd; audit_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ asm_cmd; gen_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd; audit_cmd; fuzz_cmd ]))

@@ -48,6 +48,28 @@ let rec follow binary addr budget =
     | Some _ -> Some addr
     | None -> None
 
+(* Walk a sled from one of its entries: a chain of push-immediates and
+   no-op-equivalent filler must reach the 5-byte dispatch jump, and that
+   jump must land on decodable code (§II-C2).  Returns an error message
+   on any malformed step. *)
+let sled_walk binary entry =
+  let rec go addr budget =
+    if budget = 0 then Error (Printf.sprintf "walk from 0x%x does not terminate" entry)
+    else
+      match decodes binary addr with
+      | Some (Zvm.Insn.Jmp _) -> (
+          match follow binary addr 32 with
+          | Some final when in_code binary final -> Ok final
+          | Some final -> Error (Printf.sprintf "dispatch lands outside code (0x%x)" final)
+          | None -> Error (Printf.sprintf "dispatch jump at 0x%x lands on junk" addr))
+      | Some ((Zvm.Insn.Pushi _ | Zvm.Insn.Nop | Zvm.Insn.Land | Zvm.Insn.Retland) as i) ->
+          go (addr + Zvm.Insn.size i) (budget - 1)
+      | Some i ->
+          Error (Printf.sprintf "unexpected %s inside sled at 0x%x" (Zvm.Insn.to_string i) addr)
+      | None -> Error (Printf.sprintf "undecodable sled byte at 0x%x" addr)
+  in
+  go entry 64
+
 let structural ~orig ~(ir : Ir_construction.t) ~rewritten =
   let ctx = { issues = []; checks = 0 } in
   (* 1. Serialization roundtrip. *)
@@ -113,8 +135,18 @@ let structural ~orig ~(ir : Ir_construction.t) ~rewritten =
                       "pin 0x%x resolves outside code (0x%x)" addr final
                 | None ->
                     check ctx "pin-reference" false "pin 0x%x has an unfollowable reference" addr)
+            | Some (Zvm.Insn.Pushi v) when
+                (match (Db.row db rid).Db.insn with
+                 | Zvm.Insn.Pushi v' -> v' <> v
+                 | _ -> true) -> (
+                (* Sled entry (the pinned row's own instruction is not this
+                   push, so the push must be sled bytes): walk the sled to
+                   its dispatch jump and check where dispatch lands. *)
+                match sled_walk rewritten ref_at with
+                | Ok _ -> check ctx "sled-dispatch" true ""
+                | Error msg -> check ctx "sled-dispatch" false "pin 0x%x: %s" addr msg)
             | Some (Zvm.Insn.Pushi _) ->
-                (* Sled entry; the walk is validated by construction. *)
+                (* Colocated: the pinned push-immediate itself sits here. *)
                 check ctx "pin-reference" true ""
             | Some _ ->
                 (* Colocated: the pinned instruction itself sits here. *)
@@ -127,19 +159,45 @@ let structural ~orig ~(ir : Ir_construction.t) ~rewritten =
     "entry 0x%x does not decode" rewritten.Zelf.Binary.entry;
   { issues = List.rev ctx.issues; checks_run = ctx.checks }
 
+type exec = {
+  stop : Zvm.Vm.stop;
+  output : string;
+  syscalls : int list;
+  insns : int;
+}
+
+let execute ?fuel binary ~input =
+  let vm = Zelf.Image.vm_of binary ~input in
+  let syscalls = ref [] in
+  let on_step ~pc:_ insn =
+    match insn with Zvm.Insn.Sys n -> syscalls := n :: !syscalls | _ -> ()
+  in
+  let r = Zvm.Vm.run ?fuel ~on_step vm in
+  {
+    stop = r.Zvm.Vm.stop;
+    output = r.Zvm.Vm.output;
+    syscalls = List.rev !syscalls;
+    insns = r.Zvm.Vm.insns;
+  }
+
 let transcripts ?fuel ~orig ~rewritten inputs =
   let ctx = { issues = []; checks = 0 } in
   List.iter
     (fun input ->
-      let a = Zelf.Image.boot ?fuel orig ~input in
-      let b = Zelf.Image.boot ?fuel rewritten ~input in
+      let a = execute ?fuel orig ~input in
+      let b = execute ?fuel rewritten ~input in
       check ctx "transcript"
-        (a.Zvm.Vm.output = b.Zvm.Vm.output && Zvm.Vm.equal_stop a.Zvm.Vm.stop b.Zvm.Vm.stop)
+        (a.output = b.output && Zvm.Vm.equal_stop a.stop b.stop)
         "divergence on %S: %s %S vs %s %S" input
-        (Zvm.Vm.stop_to_string a.Zvm.Vm.stop)
-        a.Zvm.Vm.output
-        (Zvm.Vm.stop_to_string b.Zvm.Vm.stop)
-        b.Zvm.Vm.output)
+        (Zvm.Vm.stop_to_string a.stop)
+        a.output
+        (Zvm.Vm.stop_to_string b.stop)
+        b.output;
+      check ctx "syscall-trace"
+        (a.syscalls = b.syscalls)
+        "syscall sequences differ on %S: [%s] vs [%s]" input
+        (String.concat ";" (List.map string_of_int a.syscalls))
+        (String.concat ";" (List.map string_of_int b.syscalls)))
     inputs;
   { issues = List.rev ctx.issues; checks_run = ctx.checks }
 

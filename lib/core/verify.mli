@@ -15,7 +15,8 @@
     - every movable pinned address decodes to a control transfer (or a
       pin-prologue instruction reaching one), and following the reference
       stays within the program's code;
-    - the dispatch jump of every sled lands on decodable code;
+    - every sled entry walks (push-immediates over no-op filler) to the
+      sled's dispatch jump, and that jump lands on decodable code;
     - chained/expanded references do not point outside the code regions.
 
     Optionally, a transcript check runs the supplied inputs through both
@@ -36,9 +37,23 @@ val structural :
   report
 (** All static checks. *)
 
+type exec = {
+  stop : Zvm.Vm.stop;
+  output : string;
+  syscalls : int list;  (** system-call numbers in execution order *)
+  insns : int;  (** retired instructions *)
+}
+(** An execution profile: everything dynamic equivalence compares. *)
+
+val execute : ?fuel:int -> Zelf.Binary.t -> input:string -> exec
+(** Boot the binary on [input] and record its observable behaviour,
+    including the ordered system-call trace (the differential-execution
+    building block; the fuzz harness layers on this). *)
+
 val transcripts :
   ?fuel:int -> orig:Zelf.Binary.t -> rewritten:Zelf.Binary.t -> string list -> report
-(** Dynamic equivalence over the given inputs. *)
+(** Dynamic equivalence over the given inputs: output bytes, stop status
+    and the ordered system-call trace must all agree. *)
 
 val full :
   ?fuel:int ->

@@ -1,0 +1,30 @@
+type verdict = Equivalent | Undecided | Diverged of string
+
+let stop_kind = function
+  | Zvm.Vm.Halted -> "halted"
+  | Zvm.Vm.Exited n -> Printf.sprintf "exit %d" n
+  | Zvm.Vm.Fault (Zvm.Vm.Decode_fault _) -> "decode-fault"
+  | Zvm.Vm.Fault (Zvm.Vm.Mem_fault _) -> "mem-fault"
+  | Zvm.Vm.Fault (Zvm.Vm.Div_fault _) -> "div-fault"
+  | Zvm.Vm.Fault (Zvm.Vm.Bad_syscall _) -> "bad-syscall"
+  | Zvm.Vm.Fault Zvm.Vm.Fuel_exhausted -> "hang"
+
+let render_trace t =
+  String.concat ";" (List.map string_of_int t)
+
+let compare_on ?(fuel = 2_000_000) ~orig ~rewritten input =
+  let a = Zipr.Verify.execute ~fuel orig ~input in
+  if a.Zipr.Verify.stop = Zvm.Vm.Fault Zvm.Vm.Fuel_exhausted then Undecided
+  else
+    let b = Zipr.Verify.execute ~fuel:((2 * fuel) + 4096) rewritten ~input in
+    let ka = stop_kind a.Zipr.Verify.stop and kb = stop_kind b.Zipr.Verify.stop in
+    if ka <> kb then Diverged (Printf.sprintf "stop: %s vs %s" ka kb)
+    else if a.Zipr.Verify.output <> b.Zipr.Verify.output then
+      Diverged
+        (Printf.sprintf "output: %S vs %S" a.Zipr.Verify.output b.Zipr.Verify.output)
+    else if a.Zipr.Verify.syscalls <> b.Zipr.Verify.syscalls then
+      Diverged
+        (Printf.sprintf "syscall trace: [%s] vs [%s]"
+           (render_trace a.Zipr.Verify.syscalls)
+           (render_trace b.Zipr.Verify.syscalls))
+    else Equivalent

@@ -1,0 +1,25 @@
+(** Differential execution of an original/rewritten binary pair.
+
+    Both binaries run in the ZVM on the same input; the comparison covers
+    exit status, transmitted output and the ordered system-call trace
+    (via {!Zipr.Verify.execute}).  Two deliberate asymmetries:
+
+    - the rewritten binary gets roughly double the instruction budget,
+      since reference jumps, sleds and chained hops legitimately retire
+      extra instructions;
+    - faults compare by {e kind}, not by faulting address — a rewrite
+      moves code, so pc values and (under stack diversity) stack
+      addresses differ even between equivalent executions. *)
+
+type verdict =
+  | Equivalent
+  | Undecided  (** the original exhausted its budget; nothing to compare *)
+  | Diverged of string  (** human-readable mismatch description *)
+
+val stop_kind : Zvm.Vm.stop -> string
+(** Address-insensitive rendering of a stop ("exit 0", "mem-fault", ...). *)
+
+val compare_on :
+  ?fuel:int -> orig:Zelf.Binary.t -> rewritten:Zelf.Binary.t -> string -> verdict
+(** [compare_on ~orig ~rewritten input] with [fuel] (default 2 million)
+    as the original's budget. *)

@@ -1,0 +1,273 @@
+module Rng = Zipr_util.Rng
+module Builder = Zasm.Builder
+module Insn = Zvm.Insn
+module Reg = Zvm.Reg
+module Cond = Zvm.Cond
+
+type web_params = {
+  web_seed : int;
+  blocks : int;
+  obs_stubs : int;
+  dense_pairs : int;
+  islands : int;
+  jumptable : bool;
+}
+
+type spec =
+  | Profile of { gen_seed : int; profile : Cgc.Cb_gen.profile }
+  | Web of web_params
+
+(* -- sampling -- *)
+
+let random_profile rng =
+  {
+    Cgc.Cb_gen.n_handlers = Rng.int_in rng 1 5;
+    n_helpers = Rng.int_in rng 0 6;
+    body_ops = Rng.int_in rng 2 30;
+    loop_iters = Rng.int_in rng 1 40;
+    use_jump_table = Rng.bool rng;
+    n_fptrs = Rng.choose rng [| 0; 2; 3 |];
+    data_islands = Rng.int_in rng 0 2;
+    hidden_funcs = Rng.int_in rng 0 1;
+    dense_pair = Rng.bool rng;
+    vuln = true;
+    vuln_fptr = Rng.bool rng;
+    pathological = Rng.chance rng 0.15;
+    mem_span = Rng.choose rng [| 0; 64; 256 |];
+    pic = Rng.bool rng;
+  }
+
+let random_web rng =
+  {
+    web_seed = Rng.int_in rng 1 1_000_000;
+    blocks = Rng.int_in rng 1 8;
+    obs_stubs = Rng.int_in rng 0 4;
+    dense_pairs = Rng.int_in rng 0 2;
+    islands = Rng.int_in rng 0 2;
+    jumptable = Rng.bool rng;
+  }
+
+let random_spec rng =
+  if Rng.chance rng 0.55 then
+    Profile { gen_seed = Rng.int_in rng 1 1_000_000; profile = random_profile rng }
+  else Web (random_web rng)
+
+(* -- web construction -- *)
+
+let island_lbl k = Printf.sprintf "island_%d" k
+let web_lbl k = Printf.sprintf "web_%d" k
+let stub_lbl k = Printf.sprintf "stub_%d" k
+
+(* Island bytes are drawn from 0x01..0x0f: no such byte is a valid opcode
+   (so the disassemblers agree the range is data) and no 4-byte window of
+   such bytes forms a word inside the text span (so the data scan cannot
+   conjure spurious pins out of island contents — word values start at
+   0x01010101, far above any text address). *)
+let island_bytes rng n =
+  let d = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set d i (Char.chr (1 + Rng.int rng 15))
+  done;
+  d
+
+let build_web (w : web_params) =
+  let rng = Rng.create w.web_seed in
+  let b = Builder.create ~entry:"main" () in
+  let n_stubs = w.obs_stubs + (2 * w.dense_pairs) in
+  Builder.label b "main";
+  Builder.insn b (Insn.Movi (Reg.R6, Rng.int rng 0xffffff));
+  Builder.label b "loop";
+  (* receive one byte; r0 = count, 0 at EOF *)
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.movi_lab b Reg.R1 "iobuf";
+  Builder.insn b (Insn.Movi (Reg.R2, 1));
+  Builder.insn b (Insn.Sys (Zvm.Syscall.number Zvm.Syscall.Receive));
+  Builder.insn b (Insn.Cmpi (Reg.R0, 0));
+  Builder.jcc b Cond.Eq "done";
+  Builder.movi_lab b Reg.R1 "iobuf";
+  Builder.insn b (Insn.Load8 { dst = Reg.R3; base = Reg.R1; disp = 0 });
+  (* live islands: their contents feed the accumulator *)
+  for k = 0 to w.islands - 1 do
+    Builder.loada_lab b Reg.R5 (island_lbl k);
+    Builder.insn b (Insn.Alu (Insn.Xor, Reg.R6, Reg.R5))
+  done;
+  (* dense dispatch: call a stub selected by the input byte *)
+  if n_stubs > 0 then begin
+    Builder.insn b (Insn.Mov (Reg.R4, Reg.R3));
+    Builder.insn b (Insn.Movi (Reg.R5, n_stubs));
+    Builder.insn b (Insn.Alu (Insn.Mod, Reg.R4, Reg.R5));
+    Builder.insn b (Insn.Shli (Reg.R4, 2));
+    Builder.movi_lab b Reg.R1 "stub_table";
+    Builder.insn b (Insn.Alu (Insn.Add, Reg.R1, Reg.R4));
+    Builder.insn b (Insn.Load { dst = Reg.R2; base = Reg.R1; disp = 0 });
+    Builder.insn b (Insn.Callr Reg.R2)
+  end;
+  (* enter the branch web *)
+  Builder.insn b (Insn.Mov (Reg.R5, Reg.R3));
+  if w.jumptable && w.blocks > 1 then begin
+    Builder.insn b (Insn.Mov (Reg.R4, Reg.R3));
+    Builder.insn b (Insn.Movi (Reg.R7, w.blocks));
+    Builder.insn b (Insn.Alu (Insn.Mod, Reg.R4, Reg.R7));
+    Builder.jmpt_lab b Reg.R4 "web_table"
+  end
+  else Builder.jmp b (web_lbl 0);
+  (* Acyclic web: block i only branches to blocks j > i or to web_out, so
+     every path terminates.  Physical order is shuffled so the short
+     branches span randomized distances. *)
+  let order = Array.init w.blocks (fun i -> i) in
+  Rng.shuffle rng order;
+  let target_after rng i =
+    if i + 1 >= w.blocks then "web_out"
+    else if Rng.chance rng 0.3 then "web_out"
+    else web_lbl (Rng.int_in rng (i + 1) (w.blocks - 1))
+  in
+  Array.iter
+    (fun i ->
+      Builder.label b (web_lbl i);
+      Builder.insn b (Insn.Alui (Insn.Xori, Reg.R6, Rng.int rng 0xffff));
+      Builder.insn b (Insn.Alui (Insn.Addi, Reg.R5, Rng.int_in rng 1 9));
+      Builder.insn b (Insn.Cmpi (Reg.R5, Rng.int rng 300));
+      Builder.jcc b (Rng.choose rng [| Cond.Eq; Cond.Ne; Cond.Lt; Cond.Ge; Cond.Ult |])
+        (target_after rng i);
+      Builder.jmp b (target_after rng i))
+    order;
+  Builder.label b "web_out";
+  Builder.jmp b (if w.dense_pairs > 0 then "filler_0" else "loop");
+  Builder.label b "done";
+  (* transmit the accumulator, then exit 0 *)
+  Builder.storea_lab b "acc" Reg.R6;
+  Builder.insn b (Insn.Movi (Reg.R0, 1));
+  Builder.movi_lab b Reg.R1 "acc";
+  Builder.insn b (Insn.Movi (Reg.R2, 4));
+  Builder.insn b (Insn.Sys (Zvm.Syscall.number Zvm.Syscall.Transmit));
+  Builder.insn b (Insn.Movi (Reg.R0, 0));
+  Builder.insn b (Insn.Sys (Zvm.Syscall.number Zvm.Syscall.Terminate));
+  (* observable stubs mutate the accumulator *)
+  for k = 0 to w.obs_stubs - 1 do
+    Builder.label b (stub_lbl k);
+    Builder.insn b (Insn.Alui (Insn.Xori, Reg.R6, 0x1000 + (0x111 * k)));
+    Builder.insn b Insn.Ret
+  done;
+  (* Dense pin pairs: two address-taken 1-byte ret stubs back to back
+     (pins 1 byte apart force a sled), each followed by a reachable
+     filler block so the sled's tail-and-dispatch footprint lands on
+     movable code rather than on the end of text or a fixed range.  The
+     filler blocks chain web_out back to the loop, so they are live code
+     for the recursive disassembler. *)
+  for k = 0 to w.dense_pairs - 1 do
+    Builder.label b (stub_lbl (w.obs_stubs + (2 * k)));
+    Builder.insn b Insn.Ret;
+    Builder.label b (stub_lbl (w.obs_stubs + (2 * k) + 1));
+    Builder.insn b Insn.Ret;
+    Builder.label b (Printf.sprintf "filler_%d" k);
+    for _ = 1 to 4 do
+      Builder.insn b (Insn.Alui (Insn.Xori, Reg.R7, Rng.int rng 0xffff))
+    done;
+    Builder.jmp b (if k + 1 < w.dense_pairs then Printf.sprintf "filler_%d" (k + 1) else "loop")
+  done;
+  (* data islands embedded in text, jumped over and read by the loop *)
+  for k = 0 to w.islands - 1 do
+    let skip = Printf.sprintf "skip_island_%d" k in
+    Builder.jmp b skip;
+    Builder.label b (island_lbl k);
+    Builder.text_item b (Zasm.Ast.Raw_bytes (island_bytes rng (4 + Rng.int rng 9)));
+    Builder.label b skip
+  done;
+  (* final safety net: anything falling past the islands halts *)
+  Builder.insn b Insn.Halt;
+  (* rodata tables *)
+  if n_stubs > 0 then begin
+    Builder.rodata_label b "stub_table";
+    for k = 0 to n_stubs - 1 do
+      Builder.rodata_word b (Zasm.Ast.Lab (stub_lbl k))
+    done
+  end;
+  if w.jumptable && w.blocks > 1 then begin
+    Builder.rodata_label b "web_table";
+    for k = 0 to w.blocks - 1 do
+      Builder.rodata_word b (Zasm.Ast.Lab (web_lbl k))
+    done
+  end;
+  Builder.bss b "iobuf" 4;
+  Builder.bss b "acc" 4;
+  match Builder.assemble b with
+  | Ok (binary, _) -> binary
+  | Error e -> failwith (Format.asprintf "web generator: %a" Zasm.Assemble.pp_error e)
+
+let web_inputs (w : web_params) =
+  let rng = Rng.create (w.web_seed * 131 + 7) in
+  let one () = Bytes.to_string (Rng.bytes rng (Rng.int_in rng 1 12)) in
+  [ ""; one (); one (); one () ]
+
+(* -- building -- *)
+
+let build = function
+  | Profile { gen_seed; profile } ->
+      let binary, meta = Cgc.Cb_gen.generate ~seed:gen_seed profile in
+      let scripts = Cgc.Poller.generate meta ~seed:((gen_seed * 31) + 13) ~count:3 in
+      (binary, "" :: List.map (fun s -> s.Cgc.Poller.input) scripts)
+  | Web w -> (build_web w, web_inputs w)
+
+(* -- shrinking -- *)
+
+let shrink_profile gen_seed (p : Cgc.Cb_gen.profile) =
+  let mk profile = Profile { gen_seed; profile } in
+  let acc = ref [] in
+  let add c = acc := c :: !acc in
+  let num v floor set =
+    if v > floor then begin
+      add (mk (set floor));
+      if v > floor + 1 then add (mk (set ((v + floor) / 2)))
+    end
+  in
+  let flag v set = if v then add (mk (set false)) in
+  num p.Cgc.Cb_gen.n_handlers 1 (fun v -> { p with Cgc.Cb_gen.n_handlers = v });
+  num p.Cgc.Cb_gen.n_helpers 0 (fun v -> { p with Cgc.Cb_gen.n_helpers = v });
+  num p.Cgc.Cb_gen.body_ops 2 (fun v -> { p with Cgc.Cb_gen.body_ops = v });
+  num p.Cgc.Cb_gen.loop_iters 1 (fun v -> { p with Cgc.Cb_gen.loop_iters = v });
+  num p.Cgc.Cb_gen.n_fptrs 0 (fun v -> { p with Cgc.Cb_gen.n_fptrs = v });
+  num p.Cgc.Cb_gen.data_islands 0 (fun v -> { p with Cgc.Cb_gen.data_islands = v });
+  num p.Cgc.Cb_gen.hidden_funcs 0 (fun v -> { p with Cgc.Cb_gen.hidden_funcs = v });
+  num p.Cgc.Cb_gen.mem_span 0 (fun v -> { p with Cgc.Cb_gen.mem_span = v });
+  flag p.Cgc.Cb_gen.use_jump_table (fun v -> { p with Cgc.Cb_gen.use_jump_table = v });
+  flag p.Cgc.Cb_gen.dense_pair (fun v -> { p with Cgc.Cb_gen.dense_pair = v });
+  flag p.Cgc.Cb_gen.vuln_fptr (fun v -> { p with Cgc.Cb_gen.vuln_fptr = v });
+  flag p.Cgc.Cb_gen.pathological (fun v -> { p with Cgc.Cb_gen.pathological = v });
+  flag p.Cgc.Cb_gen.pic (fun v -> { p with Cgc.Cb_gen.pic = v });
+  List.rev !acc
+
+let shrink_web (w : web_params) =
+  let mk w = Web w in
+  let acc = ref [] in
+  let add c = acc := c :: !acc in
+  let num v floor set =
+    if v > floor then begin
+      add (mk (set floor));
+      if v > floor + 1 then add (mk (set ((v + floor) / 2)))
+    end
+  in
+  num w.blocks 1 (fun v -> { w with blocks = v });
+  num w.obs_stubs 0 (fun v -> { w with obs_stubs = v });
+  num w.dense_pairs 0 (fun v -> { w with dense_pairs = v });
+  num w.islands 0 (fun v -> { w with islands = v });
+  if w.jumptable then add (mk { w with jumptable = false });
+  List.rev !acc
+
+let shrink = function
+  | Profile { gen_seed; profile } -> shrink_profile gen_seed profile
+  | Web w -> shrink_web w
+
+(* -- rendering -- *)
+
+let describe = function
+  | Profile { gen_seed; profile = p } ->
+      Printf.sprintf
+        "profile seed=%d handlers=%d helpers=%d ops=%d iters=%d jt=%b fptrs=%d islands=%d \
+         hidden=%d dense=%b vfp=%b path=%b span=%d pic=%b"
+        gen_seed p.Cgc.Cb_gen.n_handlers p.Cgc.Cb_gen.n_helpers p.Cgc.Cb_gen.body_ops
+        p.Cgc.Cb_gen.loop_iters p.Cgc.Cb_gen.use_jump_table p.Cgc.Cb_gen.n_fptrs
+        p.Cgc.Cb_gen.data_islands p.Cgc.Cb_gen.hidden_funcs p.Cgc.Cb_gen.dense_pair
+        p.Cgc.Cb_gen.vuln_fptr p.Cgc.Cb_gen.pathological p.Cgc.Cb_gen.mem_span p.Cgc.Cb_gen.pic
+  | Web w ->
+      Printf.sprintf "web seed=%d blocks=%d obs=%d pairs=%d islands=%d jt=%b" w.web_seed
+        w.blocks w.obs_stubs w.dense_pairs w.islands w.jumptable

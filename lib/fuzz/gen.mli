@@ -1,0 +1,47 @@
+(** Seeded random program generation for the differential fuzzer.
+
+    Two families of test programs, both deterministic in their spec:
+
+    - {b Profile} cases reuse the challenge-binary generator with a
+      randomly sampled {!Cgc.Cb_gen.profile} — jump tables, function
+      pointers, data islands, hidden code, dense pin pairs and PIC
+      addressing in random combinations, driven by benign poller scripts.
+    - {b Web} cases are built directly on {!Zasm.Builder} and concentrate
+      the pathological shapes the paper's §IV-B worries about: a table of
+      address-taken stubs packed {e adjacently} (1-byte-apart pins that
+      force sleds), live data islands inside the text section (the program
+      reads them, so a clobbered island changes output), and an acyclic
+      web of short-range branches whose path depends on the input byte.
+
+    A spec is a pure value: {!build} is referentially transparent, which
+    is what makes greedy shrinking and reproducer dumps possible. *)
+
+type web_params = {
+  web_seed : int;
+  blocks : int;  (** branch-web blocks, >= 1 *)
+  obs_stubs : int;  (** observable (accumulator-mutating) stubs *)
+  dense_pairs : int;
+      (** pairs of adjacent 1-byte [ret] stubs — pins 1 byte apart, each
+          pair forcing a sled; each pair is followed by live filler code
+          so the sled footprint has movable bytes to consume *)
+  islands : int;  (** live data islands embedded in text *)
+  jumptable : bool;  (** dispatch into the web through a [jmpt] table *)
+}
+
+type spec =
+  | Profile of { gen_seed : int; profile : Cgc.Cb_gen.profile }
+  | Web of web_params
+
+val random_spec : Zipr_util.Rng.t -> spec
+
+val build : spec -> Zelf.Binary.t * string list
+(** The program and its benign input set.  Deterministic: equal specs
+    yield byte-identical binaries and identical inputs.  Raises [Failure]
+    if the generated program does not assemble (a generator bug — the
+    driver reports it as a finding). *)
+
+val shrink : spec -> spec list
+(** Strictly smaller candidate specs, most aggressive first. *)
+
+val describe : spec -> string
+(** One-line rendering, stable across runs (embedded in reproducers). *)

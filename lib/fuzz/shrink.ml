@@ -1,0 +1,36 @@
+let greedy ~budget ~check ~candidates x =
+  let used = ref 0 in
+  let try_one c =
+    if !used >= budget then false
+    else begin
+      incr used;
+      check c
+    end
+  in
+  let rec fix x =
+    match List.find_opt try_one (candidates x) with
+    | Some c when !used <= budget -> fix c
+    | _ -> x
+  in
+  (* bind before reading [used]: tuple components evaluate right to
+     left, and the counter must observe the completed fixpoint *)
+  let minimized = fix x in
+  (minimized, !used)
+
+let shrink_string s =
+  let n = String.length s in
+  if n = 0 then []
+  else
+    let halves =
+      if n >= 2 then [ String.sub s 0 (n / 2); String.sub s (n / 2) (n - (n / 2)) ] else []
+    in
+    let deletions =
+      (* drop one character at up to 8 evenly spread positions *)
+      let step = max 1 (n / 8) in
+      let rec go i acc =
+        if i >= n then List.rev acc
+        else go (i + step) ((String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)) :: acc)
+      in
+      go 0 []
+    in
+    ("" :: halves) @ deletions

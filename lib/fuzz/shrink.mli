@@ -1,0 +1,15 @@
+(** Greedy delta-debugging core.
+
+    [greedy ~budget ~check ~candidates x] repeatedly replaces [x] by the
+    first candidate that still satisfies [check] (i.e. still fails),
+    until no candidate does or [budget] check evaluations have been
+    spent.  Returns the minimized value and the number of checks used.
+    [check x] is assumed true on entry and is never re-evaluated on the
+    current value. *)
+
+val greedy :
+  budget:int -> check:('a -> bool) -> candidates:('a -> 'a list) -> 'a -> 'a * int
+
+val shrink_string : string -> string list
+(** Candidate reductions of an input string: empty, halves, and
+    single-character deletions (capped), most aggressive first. *)

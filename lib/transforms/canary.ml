@@ -59,17 +59,48 @@ let apply ~seed db =
             Db.iter db (fun r -> if r.Db.fallthrough = Some f.Db.entry then found := true);
             !found
           in
+          (* A pinned row past the entry is a potential second entry: an
+             indirect arrival there would skip the canary push but still
+             run the check before ret.  Return sites (a call's
+             fallthrough) are exempt — control only reaches them after
+             the prologue has already pushed the cookie. *)
+          let return_sites =
+            let sites = Hashtbl.create 8 in
+            Db.iter db (fun r ->
+                match r.Db.insn with
+                | Insn.Call _ | Insn.Callr _ -> (
+                    match r.Db.fallthrough with
+                    | Some t -> Hashtbl.replace sites t ()
+                    | None -> ())
+                | _ -> ());
+            sites
+          in
+          let has_secondary_entry =
+            List.exists
+              (fun id ->
+                id <> f.Db.entry
+                && (not (Hashtbl.mem return_sites id))
+                &&
+                match Db.row db id with
+                | exception Not_found -> false
+                | r -> r.Db.pinned <> None)
+              (Db.func_insns db f.Db.fid)
+          in
           (* Only instrument functions that actually return: the canary
              must be popped on every exit path we can see. *)
           if
             (not entry_row.Db.fixed)
             && (not entry_is_loop_head)
             && (not entry_is_fallthrough_target)
+            && (not has_secondary_entry)
             && (not (escapes_function db f.Db.fid))
             && rets <> []
           then begin
             let cookie = Int64.to_int (Int64.logand (Rng.bits64 rng) 0x7fffffffL) in
-            ignore (Db.insert_before db f.Db.entry (Insn.Pushi cookie));
+            (* Rets first, entry last: if the entry row is itself a ret
+               (single-instruction function), insert_before steals its
+               identity, and instrumenting the entry first would land the
+               check sequence in front of the cookie push. *)
             List.iter
               (fun ret ->
                 (* push r0; load r0,[sp+4]; cmpi; jne violation; pop r0;
@@ -83,7 +114,8 @@ let apply ~seed db =
                 Db.set_target db !cur (Some violation);
                 add (Insn.Pop Reg.R0);
                 add (Insn.Alui (Insn.Addi, Reg.SP, 4)))
-              rets
+              rets;
+            ignore (Db.insert_before db f.Db.entry (Insn.Pushi cookie))
           end)
     (Db.funcs db)
 

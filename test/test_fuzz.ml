@@ -1,0 +1,98 @@
+(* Bounded deterministic smoke tests for the differential fuzzing
+   harness.  Small case counts keep the suite fast; the heavier runs live
+   in CI (`ziprtool fuzz --cases 100`) and in the acceptance sweep. *)
+
+module Driver = Fuzz.Driver
+module Gen = Fuzz.Gen
+module Shrink = Fuzz.Shrink
+
+let opts cases seed = { Driver.default_options with Driver.cases; seed }
+
+(* The seed pipeline must survive a bounded random sweep with zero
+   divergences. *)
+let test_clean_run_green () =
+  let s = Driver.run (opts 40 1) in
+  Alcotest.(check int) "cases" 40 s.Driver.cases_run;
+  Alcotest.(check int) "no failures" 0 (List.length s.Driver.failures);
+  Alcotest.(check bool) "executed inputs" true (s.Driver.inputs_compared > 0)
+
+(* Same options => byte-identical summary. *)
+let test_deterministic () =
+  let a = Driver.run (opts 25 42) and b = Driver.run (opts 25 42) in
+  Alcotest.(check string) "same summary" (Driver.render_summary a)
+    (Driver.render_summary b)
+
+let test_seed_matters () =
+  (* Different seeds explore different specs (the summary alone can
+     coincide on green runs, so compare the sampled case streams). *)
+  let stream seed =
+    let rng = Zipr_util.Rng.create seed in
+    List.init 25 (fun _ -> Gen.describe (Gen.random_spec (Zipr_util.Rng.split rng)))
+  in
+  Alcotest.(check bool) "different cases" true (stream 1 <> stream 2)
+
+(* Injecting a skipped pin must be caught, minimized, and dumped as a
+   reproducer that reparses. *)
+let test_catches_injected_fault () =
+  let o = { (opts 10 9) with Driver.fault = Some Driver.Skip_pin } in
+  let s = Driver.run o in
+  Alcotest.(check bool) "failures reported" true (List.length s.Driver.failures > 0);
+  List.iter
+    (fun (f : Driver.failure) ->
+      Alcotest.(check bool) "reason non-empty" true (String.length f.Driver.reason > 0);
+      Alcotest.(check bool) "reproducer reparses" true
+        (match Zasm.Parser.assemble_string f.Driver.repro_zasm with
+        | Ok _ -> true
+        | Error _ -> false))
+    s.Driver.failures
+
+(* The structural verifier adds checks but no false alarms on the seed
+   pipeline. *)
+let test_structural_clean () =
+  let o = { (opts 15 5) with Driver.structural = true } in
+  let s = Driver.run o in
+  Alcotest.(check int) "no failures" 0 (List.length s.Driver.failures)
+
+(* Gen.build is referentially transparent: same spec => same binary and
+   inputs.  This is the property the shrinker and reproducers rely on. *)
+let test_build_pure () =
+  let rng = Zipr_util.Rng.create 77 in
+  for _ = 1 to 10 do
+    let spec = Gen.random_spec rng in
+    let b1, i1 = Gen.build spec and b2, i2 = Gen.build spec in
+    Alcotest.(check bool) "same binary" true
+      ((Zelf.Binary.text b1).Zelf.Section.data = (Zelf.Binary.text b2).Zelf.Section.data);
+    Alcotest.(check bool) "same inputs" true (i1 = i2)
+  done
+
+(* Shrink candidates must be strictly smaller in at least one dimension,
+   and greedy shrinking terminates within budget. *)
+let test_shrink_terminates () =
+  let check n = n > 10 in
+  let candidates n = if n > 0 then [ n / 2; n - 1 ] else [] in
+  let minimized, used = Shrink.greedy ~budget:100 ~check ~candidates 1000 in
+  Alcotest.(check int) "fixpoint" 11 minimized;
+  Alcotest.(check bool) "budget respected" true (used <= 100);
+  Alcotest.(check bool) "counted tests" true (used > 0)
+
+let test_shrink_string_shrinks () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "strictly shorter" true
+            (String.length c < String.length s))
+        (Shrink.shrink_string s))
+    [ "a"; "ab"; "hello world"; String.make 100 'x' ]
+
+let suite =
+  [
+    Alcotest.test_case "clean run green" `Slow test_clean_run_green;
+    Alcotest.test_case "deterministic" `Slow test_deterministic;
+    Alcotest.test_case "seed matters" `Slow test_seed_matters;
+    Alcotest.test_case "catches injected fault" `Slow test_catches_injected_fault;
+    Alcotest.test_case "structural clean" `Slow test_structural_clean;
+    Alcotest.test_case "build is pure" `Quick test_build_pure;
+    Alcotest.test_case "shrink terminates" `Quick test_shrink_terminates;
+    Alcotest.test_case "shrink_string shrinks" `Quick test_shrink_string_shrinks;
+  ]

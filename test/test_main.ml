@@ -22,4 +22,7 @@ let () =
       ("coverage", Test_coverage.suite);
       ("cgc", Test_cgc.suite);
       ("properties", Test_props.suite);
+      ("struct-properties", Test_struct_props.suite);
+      ("verify-regressions", Test_verify_regress.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

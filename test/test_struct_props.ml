@@ -1,0 +1,187 @@
+(* Seeded model-based property tests for the two structures the
+   reassembler's space accounting stands on: Util.Interval_set and
+   Core.Memspace.  Each test replays a long random operation sequence
+   (driven by Zipr_util.Rng, so failures are reproducible from the seed
+   in the test name) against a boolean-array reference model. *)
+
+module Iset = Zipr_util.Interval_set
+module Rng = Zipr_util.Rng
+
+let universe = 512
+
+(* -- Interval_set vs. boolean-array model -- *)
+
+let model_total model = Array.fold_left (fun n b -> if b then n + 1 else n) 0 model
+
+let model_intervals model =
+  let acc = ref [] and start = ref None in
+  for i = 0 to Array.length model do
+    let on = i < Array.length model && model.(i) in
+    match (!start, on) with
+    | None, true -> start := Some i
+    | Some s, false ->
+        acc := (s, i) :: !acc;
+        start := None
+    | _ -> ()
+  done;
+  List.rev !acc
+
+let random_range rng =
+  let lo = Rng.int rng universe in
+  let hi = lo + Rng.int rng (universe - lo + 1) in
+  (lo, hi)
+
+let run_interval_set_ops seed ops =
+  let rng = Rng.create seed in
+  let model = Array.make universe false in
+  let set = ref Iset.empty in
+  for step = 1 to ops do
+    let lo, hi = random_range rng in
+    if Rng.bool rng then begin
+      set := Iset.add !set ~lo ~hi;
+      for i = lo to hi - 1 do
+        model.(i) <- true
+      done
+    end
+    else begin
+      set := Iset.remove !set ~lo ~hi;
+      for i = lo to hi - 1 do
+        model.(i) <- false
+      done
+    end;
+    (* Invariant: membership agrees pointwise (spot-check 16 points). *)
+    for _ = 1 to 16 do
+      let p = Rng.int rng universe in
+      if Iset.mem !set p <> model.(p) then
+        Alcotest.failf "seed %d step %d: mem %d disagrees" seed step p
+    done;
+    (* Invariant: total equals the model's population count. *)
+    if Iset.total !set <> model_total model then
+      Alcotest.failf "seed %d step %d: total %d, model %d" seed step (Iset.total !set)
+        (model_total model);
+    (* Invariant: members are exactly the model's maximal runs — this is
+       both correctness and the coalesced/disjoint representation
+       invariant (sorted, non-overlapping, non-adjacent). *)
+    if Iset.intervals !set <> model_intervals model then
+      Alcotest.failf "seed %d step %d: interval lists disagree" seed step
+  done;
+  (* Round-trip: rebuild from the member list; must be identical. *)
+  let rebuilt =
+    List.fold_left (fun s (lo, hi) -> Iset.add s ~lo ~hi) Iset.empty (Iset.intervals !set)
+  in
+  Alcotest.(check (list (pair int int)))
+    "round-trip through intervals" (Iset.intervals !set) (Iset.intervals rebuilt)
+
+let test_interval_set_model () =
+  List.iter (fun seed -> run_interval_set_ops seed 200) [ 11; 22; 33 ]
+
+(* union/subtract algebra on random operand pairs *)
+let test_interval_set_algebra () =
+  let rng = Rng.create 44 in
+  for _ = 1 to 200 do
+    let lo1, hi1 = random_range rng and lo2, hi2 = random_range rng in
+    let a = Iset.add Iset.empty ~lo:lo1 ~hi:hi1 in
+    let ab = Iset.add a ~lo:lo2 ~hi:hi2 in
+    (* adding is monotone and bounded by the sum of lengths *)
+    Alcotest.(check bool) "union grows" true (Iset.total ab >= Iset.total a);
+    Alcotest.(check bool) "union bounded" true
+      (Iset.total ab <= Iset.total a + max 0 (hi2 - lo2));
+    (* subtracting what was added of the second operand restores the
+       first minus any overlap: total is the inclusion-exclusion value *)
+    let diff = Iset.remove ab ~lo:lo2 ~hi:hi2 in
+    let expected = Iset.total a - (let l = max lo1 lo2 and h = min hi1 hi2 in max 0 (h - l)) in
+    Alcotest.(check int) "subtract = inclusion-exclusion" expected (Iset.total diff);
+    (* removing everything empties the set *)
+    Alcotest.(check bool) "remove all" true
+      (Iset.is_empty (Iset.remove ab ~lo:0 ~hi:universe))
+  done
+
+(* -- Memspace vs. allocation model -- *)
+
+let test_memspace_model () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let text_lo = 0x1000 and text_hi = 0x1000 + universe in
+      let ms =
+        Zipr.Memspace.create ~overflow_cap:4096 ~text_lo ~text_hi
+          ~overflow_base:0x100000 ()
+      in
+      (* model: one flag per text byte, true = free *)
+      let free = Array.make universe true in
+      let model_free_bytes () = Array.fold_left (fun n b -> if b then n + 1 else n) 0 free in
+      let allocated = ref [] in
+      for step = 1 to 300 do
+        let size = Rng.int_in rng 1 24 in
+        match Rng.int rng 3 with
+        | 0 -> (
+            (* allocate: must return a block that the model says is free,
+               and must not overlap any outstanding allocation *)
+            match Zipr.Memspace.alloc_text_first ms ~size with
+            | None ->
+                (* the model must agree there is no run of [size] free bytes *)
+                let rec has_run i run =
+                  if run >= size then true
+                  else if i >= universe then false
+                  else if free.(i) then has_run (i + 1) (run + 1)
+                  else has_run (i + 1) 0
+                in
+                if has_run 0 0 then
+                  Alcotest.failf "seed %d step %d: alloc failed with %d free run" seed step size
+            | Some addr ->
+                let off = addr - text_lo in
+                if off < 0 || off + size > universe then
+                  Alcotest.failf "seed %d step %d: alloc outside text" seed step;
+                for i = off to off + size - 1 do
+                  if not free.(i) then
+                    Alcotest.failf "seed %d step %d: alloc overlaps at %d" seed step i;
+                  free.(i) <- false
+                done;
+                List.iter
+                  (fun (lo, hi) ->
+                    if addr < hi && addr + size > lo then
+                      Alcotest.failf "seed %d step %d: overlapping allocations" seed step)
+                  !allocated;
+                allocated := (addr, addr + size) :: !allocated)
+        | 1 -> (
+            (* free a previously allocated block *)
+            match !allocated with
+            | [] -> ()
+            | l ->
+                let n = Rng.int rng (List.length l) in
+                let lo, hi = List.nth l n in
+                Zipr.Memspace.release ms ~lo ~hi;
+                for i = lo - text_lo to hi - text_lo - 1 do
+                  free.(i) <- true
+                done;
+                allocated := List.filteri (fun i _ -> i <> n) l)
+        | _ ->
+            (* conservation + agreement probes *)
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d step %d free bytes" seed step)
+              (model_free_bytes ())
+              (Zipr.Memspace.text_free_bytes ms);
+            let lo = text_lo + Rng.int rng universe in
+            let hi = min text_hi (lo + Rng.int_in rng 1 16) in
+            let model_is_free =
+              let rec go i = i >= hi - text_lo || (free.(i) && go (i + 1)) in
+              go (lo - text_lo)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "seed %d step %d is_free [0x%x,0x%x)" seed step lo hi)
+              model_is_free
+              (Zipr.Memspace.is_free ms ~lo ~hi)
+      done;
+      (* conservation at the end: allocated + free covers the text span *)
+      let outstanding = List.fold_left (fun n (lo, hi) -> n + (hi - lo)) 0 !allocated in
+      Alcotest.(check int) "free + allocated = span"
+        (universe - outstanding)
+        (Zipr.Memspace.text_free_bytes ms))
+    [ 5; 6; 7 ]
+
+let suite =
+  [
+    Alcotest.test_case "interval_set vs model" `Quick test_interval_set_model;
+    Alcotest.test_case "interval_set algebra" `Quick test_interval_set_algebra;
+    Alcotest.test_case "memspace vs model" `Quick test_memspace_model;
+  ]

@@ -1,0 +1,198 @@
+(* Regression tests for Zipr.Verify.structural: one deliberate corruption
+   per failure class, applied to an otherwise good rewrite.  Each test
+   asserts both that verification fails AND that the failure is reported
+   under the expected check name — a verifier that flags the corruption
+   for the wrong reason is still a regression. *)
+
+module Db = Irdb.Db
+module Insn = Zvm.Insn
+
+(* A profile with every shape the checks exercise: a dense pin pair (so a
+   sled exists), data islands (data-in-text ranges), and function
+   pointers (movable pins reached by reference jumps). *)
+let rich_profile =
+  {
+    Cgc.Cb_gen.default_profile with
+    Cgc.Cb_gen.n_fptrs = 3;
+    data_islands = 2;
+    dense_pair = true;
+    vuln = false;
+  }
+
+let rewrite () =
+  let binary, _ = Cgc.Cb_gen.generate ~seed:1234 rich_profile in
+  let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] binary in
+  (binary, r)
+
+(* Rebuild [binary] with [bytes] written at [addr] in the text section. *)
+let patch_text binary addr bytes =
+  Zelf.Binary.create ~entry:binary.Zelf.Binary.entry
+    (List.map
+       (fun (s : Zelf.Section.t) ->
+         if Zelf.Section.is_code s && Zelf.Section.contains s addr then begin
+           let d = Bytes.copy s.Zelf.Section.data in
+           List.iteri
+             (fun i b ->
+               let off = addr - s.Zelf.Section.vaddr + i in
+               if off >= 0 && off < Bytes.length d then Bytes.set d off (Char.chr b))
+             bytes;
+           Zelf.Section.make ~name:s.Zelf.Section.name ~kind:s.Zelf.Section.kind
+             ~vaddr:s.Zelf.Section.vaddr d
+         end
+         else s)
+       binary.Zelf.Binary.sections)
+
+let decode_at binary addr =
+  match Zvm.Decode.decode ~fetch:(Zelf.Binary.read8 binary) addr with
+  | Ok (i, len) -> Some (i, len)
+  | Error _ -> None
+
+let issues_named name report =
+  List.filter (fun (i : Zipr.Verify.issue) -> i.Zipr.Verify.check = name)
+    report.Zipr.Verify.issues
+
+let verify ~orig ~(r : Zipr.Pipeline.result) rewritten =
+  Zipr.Verify.structural ~orig ~ir:r.Zipr.Pipeline.ir ~rewritten
+
+let check_flagged name report =
+  Alcotest.(check bool) "verification fails" false (Zipr.Verify.ok report);
+  Alcotest.(check bool)
+    (Printf.sprintf "failure reported as %s" name)
+    true
+    (issues_named name report <> [])
+
+(* Movable pins whose rewritten bytes are a reference jump. *)
+let reference_pins (r : Zipr.Pipeline.result) =
+  let db = r.Zipr.Pipeline.ir.Zipr.Ir_construction.db in
+  List.filter_map
+    (fun (addr, rid) ->
+      let movable =
+        match Db.row db rid with row -> not row.Db.fixed | exception Not_found -> false
+      in
+      if not movable then None
+      else
+        match decode_at r.Zipr.Pipeline.rewritten addr with
+        | Some (Insn.Jmp (w, _), len) -> Some (addr, w, len)
+        | _ -> None)
+    (Db.pinned_addresses db)
+
+(* 1. Missing pin: the rewriter "forgot" to emit a reference jump — the
+   pinned address holds garbage that does not even decode. *)
+let test_missing_pin () =
+  let orig, r = rewrite () in
+  let pins = reference_pins r in
+  Alcotest.(check bool) "test premise: movable reference pins exist" true (pins <> []);
+  let addr, _, _ = List.hd pins in
+  let sane = verify ~orig ~r r.Zipr.Pipeline.rewritten in
+  Alcotest.(check bool) "good rewrite verifies" true (Zipr.Verify.ok sane);
+  (* 0x00 is an invalid opcode in the zvm encoding. *)
+  let corrupted = patch_text r.Zipr.Pipeline.rewritten addr [ 0x00 ] in
+  check_flagged "pin-decodes" (verify ~orig ~r corrupted)
+
+(* 2. Clobbered data-in-text: a byte inside a data range changed. *)
+let test_clobbered_data_in_text () =
+  let orig, r = rewrite () in
+  let ranges = r.Zipr.Pipeline.ir.Zipr.Ir_construction.data_ranges in
+  Alcotest.(check bool) "test premise: data-in-text ranges exist" true (ranges <> []);
+  let lo, _ = List.hd ranges in
+  let old = Option.value (Zelf.Binary.read8 r.Zipr.Pipeline.rewritten lo) ~default:0 in
+  let corrupted = patch_text r.Zipr.Pipeline.rewritten lo [ old lxor 0xff ] in
+  check_flagged "data-in-text" (verify ~orig ~r corrupted)
+
+(* Sled entries: movable pins whose rewritten bytes decode as a
+   push-immediate that is NOT the pinned row's own instruction. *)
+let sled_entries (r : Zipr.Pipeline.result) =
+  let db = r.Zipr.Pipeline.ir.Zipr.Ir_construction.db in
+  List.filter_map
+    (fun (addr, rid) ->
+      match Db.row db rid with
+      | exception Not_found -> None
+      | row ->
+          if row.Db.fixed then None
+          else (
+            match decode_at r.Zipr.Pipeline.rewritten addr with
+            | Some (Insn.Pushi v, _) -> (
+                match row.Db.insn with
+                | Insn.Pushi v' when v' = v -> None
+                | _ -> Some addr)
+            | _ -> None))
+    (Db.pinned_addresses db)
+
+(* Walk from a sled entry to its dispatch jump, as the verifier does. *)
+let rec find_dispatch binary addr budget =
+  if budget = 0 then None
+  else
+    match decode_at binary addr with
+    | Some (Insn.Jmp _, len) -> Some (addr, len)
+    | Some ((Insn.Pushi _ | Insn.Nop | Insn.Land | Insn.Retland), len) ->
+        find_dispatch binary (addr + len) (budget - 1)
+    | _ -> None
+
+(* 3. Sled dispatch landing on junk: redirect the sled's dispatch jump
+   into the middle of an instruction (or otherwise undecodable bytes). *)
+let test_sled_dispatch_junk () =
+  let orig, r = rewrite () in
+  let entries = sled_entries r in
+  Alcotest.(check bool) "test premise: sled entries exist (dense pair)" true (entries <> []);
+  let entry = List.hd entries in
+  match find_dispatch r.Zipr.Pipeline.rewritten entry 64 with
+  | None -> Alcotest.fail "test premise: sled has a dispatch jump"
+  | Some (jaddr, jlen) ->
+      (* Scan forward from the jump for a displacement whose target does
+         not decode; the original program always has one (e.g. inside a
+         multi-byte immediate). *)
+      let retarget disp =
+        let next = jaddr + jlen + disp in
+        match decode_at r.Zipr.Pipeline.rewritten next with
+        | Some ((Insn.Jmp _ | Insn.Pushi _ | Insn.Nop | Insn.Land | Insn.Retland), _) ->
+            (* Would still look like a sled step or a chain: not junk. *)
+            None
+        | Some _ -> None
+        | None -> Some disp
+      in
+      let rec search d = if d > 200 then None else
+        match retarget d with Some d -> Some d | None -> search (d + 1) in
+      (match search 1 with
+      | None -> Alcotest.fail "test premise: no undecodable target nearby"
+      | Some disp ->
+          (* 5-byte near jump: e9 + 32-bit LE displacement. *)
+          let corrupted =
+            patch_text r.Zipr.Pipeline.rewritten jaddr
+              [
+                0xe9;
+                disp land 0xff;
+                (disp lsr 8) land 0xff;
+                (disp lsr 16) land 0xff;
+                (disp lsr 24) land 0xff;
+              ]
+          in
+          check_flagged "sled-dispatch" (verify ~orig ~r corrupted))
+
+(* 4. Out-of-range chained reference: a pin's reference jump points far
+   outside the text section. *)
+let test_out_of_range_reference () =
+  let orig, r = rewrite () in
+  let pins = reference_pins r in
+  Alcotest.(check bool) "test premise: movable reference pins exist" true (pins <> []);
+  let addr, _, _ = List.hd pins in
+  (* Jump 1 MiB past anything mapped: follow() must flag the escape. *)
+  let disp = 0x100000 in
+  let corrupted =
+    patch_text r.Zipr.Pipeline.rewritten addr
+      [
+        0xe9;
+        disp land 0xff;
+        (disp lsr 8) land 0xff;
+        (disp lsr 16) land 0xff;
+        (disp lsr 24) land 0xff;
+      ]
+  in
+  check_flagged "pin-reference" (verify ~orig ~r corrupted)
+
+let suite =
+  [
+    Alcotest.test_case "missing pin" `Quick test_missing_pin;
+    Alcotest.test_case "clobbered data-in-text" `Quick test_clobbered_data_in_text;
+    Alcotest.test_case "sled dispatch junk" `Quick test_sled_dispatch_junk;
+    Alcotest.test_case "out-of-range reference" `Quick test_out_of_range_reference;
+  ]
