@@ -121,35 +121,37 @@ let split_to_fit db t ~capacity =
   match t.rows with
   | [] | [ _ ] -> None
   | _ ->
-      (* Greedy prefix: keep adding rows while prefix + connector fits. *)
-      let rec take rows acc_size acc_rows =
+      (* Greedy prefix (kept reversed): add rows while prefix + connector
+         fits. *)
+      let rec take rows acc_size rev_prefix =
         match rows with
-        | [] -> (List.rev acc_rows, [])
+        | [] -> (rev_prefix, [])
         | id :: rest ->
             let s = normalized_size (Db.row db id).Db.insn in
             if acc_size + s + connector_size <= capacity then
-              take rest (acc_size + s) (id :: acc_rows)
-            else (List.rev acc_rows, rows)
+              take rest (acc_size + s) (id :: rev_prefix)
+            else (rev_prefix, rows)
       in
-      let prefix, rest = take t.rows 0 [] in
+      let rev_prefix, rest = take t.rows 0 [] in
       (* A call must keep its successor adjacent: the pushed return
          address is the byte after the call, and landing on a connector
          jump instead of the real continuation breaks return-address
-         invariants (and CFI return markers). *)
-      let rec trim prefix rest =
-        match List.rev prefix with
-        | last :: _
+         invariants (and CFI return markers).  The prefix is still
+         reversed here, so backing off over a run of trailing calls is one
+         pass with no re-reversal or filtering per step. *)
+      let rec trim rev_prefix rest =
+        match rev_prefix with
+        | last :: before
           when (match (Db.row db last).Db.insn with
                | Zvm.Insn.Call _ | Zvm.Insn.Callr _ -> true
                | _ -> false) ->
-            let prefix' = List.filteri (fun i _ -> i < List.length prefix - 1) prefix in
-            trim prefix' (last :: rest)
-        | _ -> (prefix, rest)
+            trim before (last :: rest)
+        | _ -> (rev_prefix, rest)
       in
-      let prefix, rest = trim prefix rest in
-      (match (prefix, rest) with
+      let rev_prefix, rest = trim rev_prefix rest in
+      (match (List.rev rev_prefix, rest) with
       | [], _ | _, [] -> None  (* nothing fits, or nothing left to split off *)
-      | _, rest_head :: _ ->
+      | prefix, rest_head :: _ ->
           Some ({ rows = prefix; ending = Connect rest_head }, rest_head))
 
 let pp db ppf t =

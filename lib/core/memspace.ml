@@ -5,28 +5,61 @@ module Rng = Zipr_util.Rng
    binary only pays for the high-water mark actually written. *)
 let default_overflow_span = 1 lsl 28
 
+type counters = { queries : int; hits : int }
+
 type t = {
   text_lo : int;
   text_hi : int;
   overflow_base : int;
-  mutable free : Iset.t;
+  mutable free : Iset.t;  (* the whole address space *)
+  mutable text_free : Iset.t;  (* [free] clipped to the text span *)
   mutable overflow_cursor : int;
+  mutable queries : int;
+  mutable hits : int;
 }
 
 let create ?(overflow_cap = default_overflow_span) ~text_lo ~text_hi ~overflow_base () =
   let free = Iset.add Iset.empty ~lo:text_lo ~hi:text_hi in
   let free = Iset.add free ~lo:overflow_base ~hi:(overflow_base + overflow_cap) in
-  { text_lo; text_hi; overflow_base; free; overflow_cursor = overflow_base }
+  {
+    text_lo;
+    text_hi;
+    overflow_base;
+    free;
+    text_free = Iset.add Iset.empty ~lo:text_lo ~hi:text_hi;
+    overflow_cursor = overflow_base;
+    queries = 0;
+    hits = 0;
+  }
 
 let text_lo t = t.text_lo
 let text_hi t = t.text_hi
 let overflow_base t = t.overflow_base
 
-let reserve t ~lo ~hi = t.free <- Iset.remove t.free ~lo ~hi
+(* The text-clipped mirror set is what keeps every text-gap query (near,
+   random, largest, totals) from rescanning and re-clipping the whole
+   free map: reservations and releases maintain it incrementally. *)
+let reserve t ~lo ~hi =
+  t.free <- Iset.remove t.free ~lo ~hi;
+  let tlo = max lo t.text_lo and thi = min hi t.text_hi in
+  if thi > tlo then t.text_free <- Iset.remove t.text_free ~lo:tlo ~hi:thi
 
-let release t ~lo ~hi = t.free <- Iset.add t.free ~lo ~hi
+let release t ~lo ~hi =
+  t.free <- Iset.add t.free ~lo ~hi;
+  let tlo = max lo t.text_lo and thi = min hi t.text_hi in
+  if thi > tlo then t.text_free <- Iset.add t.text_free ~lo:tlo ~hi:thi
 
 let is_free t ~lo ~hi = Iset.contains_range t.free ~lo ~hi
+
+let counters t = { queries = t.queries; hits = t.hits }
+
+let query t = t.queries <- t.queries + 1
+
+let tally t = function
+  | Some _ as r ->
+      t.hits <- t.hits + 1;
+      r
+  | None -> None
 
 let take t addr size =
   reserve t ~lo:addr ~hi:(addr + size);
@@ -34,63 +67,58 @@ let take t addr size =
   addr
 
 let alloc_first t ~size =
+  query t;
   match Iset.first_fit t.free ~size with
-  | Some a -> take t a size
+  | Some a ->
+      t.hits <- t.hits + 1;
+      take t a size
   | None -> invalid_arg "Memspace.alloc_first: overflow exhausted"
 
 let alloc_text_first t ~size =
-  match Iset.fit_in_window t.free ~lo:t.text_lo ~hi:t.text_hi ~size with
+  query t;
+  match tally t (Iset.first_fit t.text_free ~size) with
   | Some a -> Some (take t a size)
   | None -> None
 
 let alloc_in_window t ~lo ~hi ~size =
-  match Iset.fit_in_window t.free ~lo ~hi ~size with
+  query t;
+  match tally t (Iset.fit_in_window t.free ~lo ~hi ~size) with
   | Some a -> Some (take t a size)
   | None -> None
 
-let text_gaps t =
-  Iset.fold
-    (fun lo hi acc ->
-      let lo = max lo t.text_lo and hi = min hi t.text_hi in
-      if hi > lo then (lo, hi) :: acc else acc)
-    t.free []
-  |> List.rev
+let text_gaps t = Iset.intervals t.text_free
+
+let find_text_gap t ~f = Iset.find_map f t.text_free
 
 let alloc_near t ~center ~size =
-  let best = ref None in
-  List.iter
-    (fun (lo, hi) ->
-      if hi - lo >= size then begin
-        let a = max lo (min center (hi - size)) in
-        let d = abs (a - center) in
-        match !best with
-        | Some (_, bd) when bd <= d -> ()
-        | _ -> best := Some (a, d)
-      end)
-    (text_gaps t);
-  Option.map (fun (a, _) -> take t a size) !best
+  query t;
+  match tally t (Iset.best_fit_near t.text_free ~center ~size) with
+  | Some a -> Some (take t a size)
+  | None -> None
 
 let alloc_random_text t ~rng ~size =
-  let candidates = List.filter (fun (lo, hi) -> hi - lo >= size) (text_gaps t) in
-  match candidates with
-  | [] -> None
-  | _ ->
-      let lo, hi = Rng.choose_list rng candidates in
-      let slack = hi - lo - size in
-      let a = lo + if slack = 0 then 0 else Rng.int rng (slack + 1) in
-      Some (take t a size)
+  query t;
+  match Iset.fitting_count t.text_free ~size with
+  | 0 -> None
+  | n -> (
+      match Iset.kth_fit t.text_free ~size ~k:(Rng.int rng n) with
+      | None -> assert false
+      | Some (lo, hi) ->
+          t.hits <- t.hits + 1;
+          let slack = hi - lo - size in
+          let a = lo + if slack = 0 then 0 else Rng.int rng (slack + 1) in
+          Some (take t a size))
 
 let alloc_overflow t ~size =
+  query t;
   match Iset.first_fit_at_or_after t.free ~pos:t.overflow_cursor ~size with
-  | Some a -> take t a size
+  | Some a ->
+      t.hits <- t.hits + 1;
+      take t a size
   | None -> invalid_arg "Memspace.alloc_overflow: overflow exhausted"
 
-let largest_text_gap t =
-  List.fold_left
-    (fun acc (lo, hi) ->
-      match acc with
-      | Some (blo, bhi) when bhi - blo >= hi - lo -> acc
-      | _ -> Some (lo, hi))
-    None (text_gaps t)
+let largest_text_gap t = Iset.largest t.text_free
 
-let text_free_bytes t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 (text_gaps t)
+let text_free_bytes t = Iset.total t.text_free
+
+let text_gap_count t = Iset.count t.text_free

@@ -7,7 +7,14 @@
     consumes the rest.  Placement strategies query this structure;
     reservations and releases keep it exact, which is what lets the
     optimized layout give back the 3 bytes of a pin slot that relaxation
-    kept short (§III). *)
+    kept short (§III).
+
+    Two augmented interval trees back the accounting: the full free map,
+    and a mirror clipped to the original text span that is maintained
+    incrementally on every reserve/release.  All placement queries are
+    [O(log gaps)] (see {!Zipr_util.Interval_set}); none rebuild a gap
+    list.  Every [alloc_*] call also bumps a query/hit counter pair so
+    the reassembler can report allocator traffic ({!counters}). *)
 
 type t
 
@@ -49,9 +56,25 @@ val alloc_overflow : t -> size:int -> int
 (** Force placement in the overflow area. *)
 
 val largest_text_gap : t -> (int * int) option
-(** Biggest free text-span interval, for dollop splitting decisions. *)
+(** Biggest free text-span interval, for dollop splitting decisions.
+    [O(log gaps)]. *)
 
 val text_free_bytes : t -> int
+(** Free bytes inside the original text span.  [O(1)]. *)
+
+val text_gap_count : t -> int
+(** Number of free text-span intervals.  [O(1)]. *)
 
 val text_gaps : t -> (int * int) list
-(** Free intervals clipped to the text span, ascending. *)
+(** Free intervals clipped to the text span, ascending.  [O(gaps)] —
+    prefer {!find_text_gap} on hot paths. *)
+
+val find_text_gap : t -> f:(int -> int -> 'a option) -> 'a option
+(** First [Some] produced by [f lo hi] over the ascending text gaps,
+    stopping early. *)
+
+type counters = { queries : int; hits : int }
+
+val counters : t -> counters
+(** Cumulative allocator traffic: one query per [alloc_*] call, one hit
+    per call that found space. *)

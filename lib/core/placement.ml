@@ -28,21 +28,23 @@ let page_size = 4096
 (* Smallest fragment the optimized layout will split a dollop into. *)
 let min_split_capacity = 64
 
-(* Free text gaps restricted to pages that already hold pins. *)
-let pinned_page_gaps ctx =
-  List.filter_map
-    (fun (lo, hi) ->
+(* First free text gap whose leading pinned-page portion holds [size]
+   bytes.  Scans gaps in ascending order and stops at the first match —
+   no gap list is materialized. *)
+let first_pinned_page_gap ctx ~size =
+  Memspace.find_text_gap ctx.space ~f:(fun glo ghi ->
       (* Clip the gap to its pinned-page portions; take the first such
          portion big enough to be useful. *)
       let rec first_pinned_run a =
-        if a >= hi then None
+        if a >= ghi then None
         else
           let page = a / page_size in
-          if ctx.pinned_page page then Some (a, min hi ((page + 1) * page_size))
+          if ctx.pinned_page page then Some (a, min ghi ((page + 1) * page_size))
           else first_pinned_run ((page + 1) * page_size)
       in
-      first_pinned_run lo)
-    (Memspace.text_gaps ctx.space)
+      match first_pinned_run glo with
+      | Some (lo, hi) when hi - lo >= size -> Some lo
+      | _ -> None)
 
 let optimized =
   let decide ctx req =
@@ -58,11 +60,9 @@ let optimized =
     in
     (* 2. A gap on a page that already contains pinned addresses. *)
     let on_pinned_page () =
-      let candidates = pinned_page_gaps ctx in
-      let fitting = List.filter (fun (lo, hi) -> hi - lo >= req.size) candidates in
-      match fitting with
-      | (lo, _) :: _ -> Memspace.alloc_in_window ctx.space ~lo ~hi:(lo + req.size) ~size:req.size
-      | [] -> None
+      match first_pinned_page_gap ctx ~size:req.size with
+      | Some lo -> Memspace.alloc_in_window ctx.space ~lo ~hi:(lo + req.size) ~size:req.size
+      | None -> None
     in
     (* 3. Anywhere in the original text span. *)
     let in_text () = Memspace.alloc_text_first ctx.space ~size:req.size in

@@ -12,6 +12,10 @@ type stats = {
   chain_hops : int;
   dollops_placed : int;
   dollops_split : int;
+  layouts_computed : int;
+  layout_reuses : int;
+  alloc_queries : int;
+  alloc_hits : int;
   overflow_bytes : int;
   text_free_bytes : int;
   warnings : string list;
@@ -40,6 +44,9 @@ type state = {
   udr : (site * Db.insn_id) Queue.t;
   pin_sites : (int, site) Hashtbl.t;  (* pin address -> its reference slot *)
   cancelled : (int, unit) Hashtbl.t;  (* opcode_at of sites resolved natively *)
+  dcache : (Db.insn_id, Dollop.t * Dollop.placed_insn list * int) Hashtbl.t;
+      (* head row -> built dollop and its layout, reusable while every
+         row in it is still homeless *)
   rng : Rng.t;
   strategy : Placement.t;
   pinned_page : int -> bool;
@@ -52,6 +59,8 @@ type state = {
   mutable chain_hops : int;
   mutable dollops_placed : int;
   mutable dollops_split : int;
+  mutable layouts_computed : int;
+  mutable layout_reuses : int;
   mutable warnings : string list;
 }
 
@@ -127,9 +136,32 @@ let patch_or_enqueue st site tgt =
 
 (* -- dollop emission -- *)
 
-(* Emit a laid-out dollop at [start]; returns one past its last byte. *)
-let emit_dollop st (d : Dollop.t) start =
-  let placed, total = Dollop.layout st.db d in
+let layout_counted st d =
+  st.layouts_computed <- st.layouts_computed + 1;
+  Dollop.layout st.db d
+
+(* Build the dollop headed at [rid] and lay it out, once: the result is
+   threaded from the placement decision through emission, and cached so a
+   row revisited across the drain loop (e.g. a failed colocation attempt
+   followed by ordinary placement) does not pay for a second relaxation
+   fixpoint.  A cached entry is valid only while every row in it is still
+   homeless — homes only ever accrue, so a stale entry is simply rebuilt. *)
+let build_and_layout st rid =
+  match Hashtbl.find_opt st.dcache rid with
+  | Some ((d, _, _) as entry)
+    when List.for_all (fun id -> not (has_home st id)) d.Dollop.rows ->
+      st.layout_reuses <- st.layout_reuses + 1;
+      entry
+  | _ ->
+      let d = Dollop.build st.db ~has_home:(has_home st) rid in
+      let placed, total = layout_counted st d in
+      let entry = (d, placed, total) in
+      Hashtbl.replace st.dcache rid entry;
+      entry
+
+(* Emit a dollop at [start] from its precomputed layout; returns one past
+   its last byte. *)
+let emit_dollop st (d : Dollop.t) ~placed ~total start =
   let body_end = ref start in
   List.iter
     (fun (p : Dollop.placed_insn) ->
@@ -171,11 +203,11 @@ let emit_dollop st (d : Dollop.t) start =
   st.dollops_placed <- st.dollops_placed + 1;
   start + total
 
-(* Place the dollop containing [rid] somewhere, per the strategy, and
-   return nothing: [st.m] gains homes for every row emitted. *)
-let place_dollop st rid ~referent =
-  let d = Dollop.build st.db ~has_home:(has_home st) rid in
-  let _, dsize = Dollop.layout st.db d in
+(* Place the dollop [(d, placed, dsize)] containing [rid] somewhere, per
+   the strategy, and return nothing: [st.m] gains homes for every row
+   emitted.  The layout computed for the sizing decision is the one
+   emitted — no second [Dollop.layout] pass. *)
+let place_dollop st ~referent (d, placed, dsize) =
   let min_prefix =
     match d.Dollop.rows with
     | [] -> Dollop.connector_size
@@ -185,26 +217,27 @@ let place_dollop st rid ~referent =
   let ctx =
     { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page }
   in
-  let emit_releasing d addr reserved =
-    let endp = emit_dollop st d addr in
+  let emit_releasing d ~placed ~total addr reserved =
+    let endp = emit_dollop st d ~placed ~total addr in
     if endp < addr + reserved then Memspace.release st.space ~lo:endp ~hi:(addr + reserved)
   in
   match st.strategy.Placement.decide ctx { Placement.size = dsize; referent; min_prefix } with
-  | Placement.Place_at addr -> emit_releasing d addr dsize
+  | Placement.Place_at addr -> emit_releasing d ~placed ~total:dsize addr dsize
   | Placement.Place_split { addr; capacity } -> (
       if capacity >= dsize then
         (* The fragment turned out big enough after all. *)
-        emit_releasing d addr capacity
+        emit_releasing d ~placed ~total:dsize addr capacity
       else
         match Dollop.split_to_fit st.db d ~capacity with
         | Some (prefix, _rest_head) ->
-            emit_releasing prefix addr capacity;
+            let pplaced, ptotal = layout_counted st prefix in
+            emit_releasing prefix ~placed:pplaced ~total:ptotal addr capacity;
             st.dollops_split <- st.dollops_split + 1
         | None ->
             (* Could not split usefully; give the fragment back and spill. *)
             Memspace.release st.space ~lo:addr ~hi:(addr + capacity);
             let a = Memspace.alloc_overflow st.space ~size:dsize in
-            emit_releasing d a dsize)
+            emit_releasing d ~placed ~total:dsize a dsize)
 
 (* -- sled dispatch synthesis (paper II-C2) -- *)
 
@@ -221,15 +254,26 @@ let place_dollop st rid ~referent =
 let synth_dispatch st (sled : Sled.t) =
   let open Zvm in
   let entries = sled.Sled.entries in
-  (* Group by top word, preserving entry order. *)
+  (* Group by top word, preserving entry order.  Hashtbl-keyed reversed
+     accumulators keep this linear in the entry count; the old
+     assoc-list-with-rebuild version was quadratic and dominated sled
+     synthesis on dense pin clusters. *)
   let groups =
-    List.fold_left
-      (fun acc e ->
-        let top = List.hd e.Sled.words in
-        match List.assoc_opt top acc with
-        | Some _ -> List.map (fun (t, es) -> if t = top then (t, es @ [ e ]) else (t, es)) acc
-        | None -> acc @ [ (top, [ e ]) ])
-      [] entries
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun e ->
+        match e.Sled.words with
+        | [] -> fail "sled entry at 0x%x pushes no words" e.Sled.pin_addr
+        | top :: _ -> (
+            match Hashtbl.find_opt tbl top with
+            | Some cell -> cell := e :: !cell
+            | None ->
+                let cell = ref [ e ] in
+                Hashtbl.add tbl top cell;
+                order := top :: !order))
+      entries;
+    List.rev_map (fun top -> (top, List.rev !(Hashtbl.find tbl top))) !order
   in
   let handler_lbl e = Printf.sprintf "h%x" e.Sled.pin_addr in
   let sub_lbl top = Printf.sprintf "g%x" (top land 0xffffff) in
@@ -259,7 +303,11 @@ let synth_dispatch st (sled : Sled.t) =
           ins (Insn.Load { dst = Reg.R0; base = Reg.SP; disp = 8 });
           List.iter
             (fun e ->
-              ins (Insn.Cmpi (Reg.R0, List.nth e.Sled.words 1));
+              (match e.Sled.words with
+              | _ :: second :: _ -> ins (Insn.Cmpi (Reg.R0, second))
+              | _ ->
+                  fail "sled entry at 0x%x lacks a second discriminating word"
+                    e.Sled.pin_addr);
               jcc_to Cond.Eq (handler_lbl e))
             members;
           ins Insn.Halt)
@@ -436,12 +484,10 @@ let plan_pins st pins text_hi =
    is cancelled.  This is how a Null-transformed, unfragmented function
    reassembles back onto its original bytes with zero overhead (the
    [B = P] ideal of §II-A2). *)
-let try_colocate st site rid =
+let try_colocate st site (d : Dollop.t) ~placed ~dsize =
   let pin_addr = site.pin_addr in
   let plen = site.opcode_at - pin_addr in
   let slot_extent (s : site) = (s.opcode_at - s.pin_addr) + if s.reserved_long then 5 else 2 in
-  let d = Dollop.build st.db ~has_home:(has_home st) rid in
-  let placed, dsize = Dollop.layout st.db d in
   let lo = pin_addr and hi = pin_addr + plen + dsize in
   let body_lo = pin_addr + plen in
   let covered =
@@ -473,7 +519,7 @@ let try_colocate st site rid =
       Memspace.reserve st.space ~lo ~hi;
       let body_at = emit_prologue st pin_addr in
       assert (body_at = body_lo);
-      ignore (emit_dollop st d body_at);
+      ignore (emit_dollop st d ~placed ~total:dsize body_at);
       List.iter (fun (_, s) -> Hashtbl.replace st.cancelled s.opcode_at ()) covered;
       st.pins_colocated <- st.pins_colocated + 1 + List.length covered;
       true
@@ -492,12 +538,14 @@ let drain st =
       match Hashtbl.find_opt st.m rid with
       | Some addr -> patch st site addr ~depth:16
       | None ->
+          let d, placed, dsize = build_and_layout st rid in
           let colocated =
-            st.strategy.Placement.colocate_at_pin && site.is_pin && try_colocate st site rid
+            st.strategy.Placement.colocate_at_pin && site.is_pin
+            && try_colocate st site d ~placed ~dsize
           in
           if not colocated then begin
             let referent = if site.short then Some site.opcode_at else None in
-            place_dollop st rid ~referent;
+            place_dollop st ~referent (d, placed, dsize);
             match Hashtbl.find_opt st.m rid with
             | Some addr -> patch st site addr ~depth:16
             | None -> fail "dollop placement failed to give row %d a home" rid
@@ -542,6 +590,7 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
       udr = Queue.create ();
       pin_sites = Hashtbl.create 64;
       cancelled = Hashtbl.create 16;
+      dcache = Hashtbl.create 64;
       rng = Rng.create seed;
       strategy;
       pinned_page = (fun p -> Hashtbl.mem pinned_pages p);
@@ -554,6 +603,8 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
       chain_hops = 0;
       dollops_placed = 0;
       dollops_split = 0;
+      layouts_computed = 0;
+      layout_reuses = 0;
       warnings = [];
     }
   in
@@ -598,7 +649,7 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
   List.iter
     (fun (r : Db.reloc) ->
       if not (Hashtbl.mem st.m r.Db.reloc_target) then begin
-        place_dollop st r.Db.reloc_target ~referent:None;
+        place_dollop st ~referent:None (build_and_layout st r.Db.reloc_target);
         drain st
       end)
     relocs;
@@ -662,6 +713,7 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
     Zelf.Binary.create ~entry:binary.Zelf.Binary.entry
       (sections @ overflow_sections @ List.map finalize_added (Db.added_sections db))
   in
+  let alloc = Memspace.counters space in
   let stats =
     {
       pins_total = List.length pins_all;
@@ -674,6 +726,10 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
       chain_hops = st.chain_hops;
       dollops_placed = st.dollops_placed;
       dollops_split = st.dollops_split;
+      layouts_computed = st.layouts_computed;
+      layout_reuses = st.layout_reuses;
+      alloc_queries = alloc.Memspace.queries;
+      alloc_hits = alloc.Memspace.hits;
       overflow_bytes = Codebuf.overflow_used buf;
       text_free_bytes = Memspace.text_free_bytes space;
       warnings = List.rev st.warnings;
@@ -684,8 +740,9 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>pins=%d (long=%d short=%d colocated=%d)@,sleds=%d entries=%d@,expansions=%d \
-     chain-hops=%d@,dollops placed=%d split=%d@,overflow=%d bytes, text free=%d bytes@,%d \
-     warnings@]"
+     chain-hops=%d@,dollops placed=%d split=%d@,layouts=%d (reused %d)@,alloc queries=%d \
+     hits=%d@,overflow=%d bytes, text free=%d bytes@,%d warnings@]"
     s.pins_total s.pin_slots_long s.pin_slots_short s.pins_colocated s.sleds s.sled_entries
-    s.slot_expansions s.chain_hops s.dollops_placed s.dollops_split s.overflow_bytes
-    s.text_free_bytes (List.length s.warnings)
+    s.slot_expansions s.chain_hops s.dollops_placed s.dollops_split s.layouts_computed
+    s.layout_reuses s.alloc_queries s.alloc_hits s.overflow_bytes s.text_free_bytes
+    (List.length s.warnings)

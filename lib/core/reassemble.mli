@@ -38,6 +38,12 @@ type stats = {
   chain_hops : int;
   dollops_placed : int;
   dollops_split : int;
+  layouts_computed : int;
+      (** [Dollop.layout] fixpoints run; one per placed dollop plus one per
+          split prefix — never one for sizing and another for emission *)
+  layout_reuses : int;  (** cached build+layout results served from the drain cache *)
+  alloc_queries : int;  (** [Memspace.alloc_*] calls issued *)
+  alloc_hits : int;  (** those that found space *)
   overflow_bytes : int;
   text_free_bytes : int;  (** free bytes left inside the original text span *)
   warnings : string list;

@@ -4,7 +4,14 @@
     address space with one of these: placing a dollop removes an interval,
     giving bytes back (e.g. relaxing a 5-byte reservation down to a 2-byte
     jump) re-inserts one.  Intervals are [\[lo, hi)]; adjacent and
-    overlapping intervals are coalesced on insertion. *)
+    overlapping intervals are coalesced on insertion.
+
+    The representation is an AVL tree keyed on interval start, augmented
+    per subtree with the member count, total bytes, and maximum member
+    width, so the placement queries ({!first_fit}, {!fit_in_window},
+    {!best_fit_near}, ...) run in [O(log n)] by pruning any subtree whose
+    widest member is below the requested size; {!total} and {!count} are
+    [O(1)].  Fit queries treat a non-positive [size] as 1. *)
 
 type t
 
@@ -27,7 +34,10 @@ val contains_range : t -> lo:int -> hi:int -> bool
 (** Is the whole of [\[lo, hi)] inside a single member interval? *)
 
 val total : t -> int
-(** Sum of member lengths. *)
+(** Sum of member lengths.  [O(1)]. *)
+
+val count : t -> int
+(** Number of member intervals.  [O(1)]. *)
 
 val intervals : t -> (int * int) list
 (** Members in increasing order. *)
@@ -40,16 +50,32 @@ val first_fit_at_or_after : t -> pos:int -> size:int -> int option
 
 val best_fit_near : t -> center:int -> size:int -> int option
 (** Free start address for a [size]-byte block minimizing distance to
-    [center]. *)
+    [center]; ties resolve to the lower address. *)
 
 val fit_in_window : t -> lo:int -> hi:int -> size:int -> int option
 (** Free start address [a] with [lo <= a] and [a + size <= hi], preferring
     the lowest such [a]. *)
 
 val largest : t -> (int * int) option
-(** The member with the most bytes, if any. *)
+(** The member with the most bytes (lowest-addressed on ties), if any. *)
+
+val fitting_count : t -> size:int -> int
+(** How many members are at least [size] bytes wide.  [O(matches + log n)]. *)
+
+val kth_fit : t -> size:int -> k:int -> (int * int) option
+(** The [k]-th (0-based, ascending) member at least [size] bytes wide.
+    Subtrees without a fit are pruned, so selection visits only fitting
+    regions of the tree. *)
 
 val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 (** [fold f t acc] folds [f lo hi] over members in increasing order. *)
 
+val find_map : (int -> int -> 'a option) -> t -> 'a option
+(** First [Some] produced by [f lo hi] over members in increasing order,
+    stopping early. *)
+
 val pp : Format.formatter -> t -> unit
+
+val invariants : t -> string list
+(** Structural self-check (balance, augmentation, ordering); empty when
+    healthy.  For the property tests. *)

@@ -206,6 +206,39 @@ let test_sled_body_simulates_everywhere () =
     (fun e -> Alcotest.(check bool) "pushes" true (Zipr.Sled.depth e >= 1))
     sled.Zipr.Sled.entries
 
+(* -- Reassembly layout and allocator accounting -- *)
+
+(* The single-pass layout contract: sizing and emission share one
+   [Dollop.layout] result, so the count of layouts run is exactly one per
+   placed dollop plus one per split prefix — under every strategy.  Also
+   pins down determinism: two rewrites of the same workload with the same
+   seed are byte-identical, which is what licenses swapping the allocator
+   implementation underneath. *)
+let test_one_layout_per_dollop_and_determinism () =
+  let w = Workloads.Synthetic.libc_like ~tests:1 () in
+  List.iter
+    (fun (strategy : Zipr.Placement.t) ->
+      let config = { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy } in
+      let run () =
+        Zipr.Pipeline.rewrite ~config ~transforms:[ Transforms.Null.transform ]
+          w.Workloads.Synthetic.binary
+      in
+      let r1 = run () and r2 = run () in
+      let s = r1.Zipr.Pipeline.stats in
+      let name = strategy.Zipr.Placement.name in
+      Alcotest.(check int)
+        (name ^ ": one layout per placed or split dollop")
+        (s.Zipr.Reassemble.dollops_placed + s.Zipr.Reassemble.dollops_split)
+        s.Zipr.Reassemble.layouts_computed;
+      Alcotest.(check bool) (name ^ ": allocator was queried") true
+        (s.Zipr.Reassemble.alloc_queries > 0);
+      Alcotest.(check bool) (name ^ ": hits bounded by queries") true
+        (s.Zipr.Reassemble.alloc_hits <= s.Zipr.Reassemble.alloc_queries);
+      Alcotest.(check string) (name ^ ": rewrite is deterministic")
+        (Digest.to_hex (Digest.bytes (Zelf.Binary.serialize r1.Zipr.Pipeline.rewritten)))
+        (Digest.to_hex (Digest.bytes (Zelf.Binary.serialize r2.Zipr.Pipeline.rewritten))))
+    [ Zipr.Placement.naive; Zipr.Placement.optimized; Zipr.Placement.random ]
+
 let suite =
   [
     Alcotest.test_case "memspace reserve/release" `Quick test_memspace_reserve_release;
@@ -222,4 +255,6 @@ let suite =
     Alcotest.test_case "sled triple merge" `Quick test_sled_triple_with_gap;
     Alcotest.test_case "sled single rejected" `Quick test_sled_single_pin_rejected;
     Alcotest.test_case "sled simulation" `Quick test_sled_body_simulates_everywhere;
+    Alcotest.test_case "one layout per dollop, deterministic" `Quick
+      test_one_layout_per_dollop_and_determinism;
   ]

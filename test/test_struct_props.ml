@@ -31,6 +31,70 @@ let random_range rng =
   let hi = lo + Rng.int rng (universe - lo + 1) in
   (lo, hi)
 
+(* Naive references for the positional queries, computed by linear scan
+   over the ascending interval list — the semantics the O(log n) tree
+   queries must reproduce exactly, tie-breaking included. *)
+
+let naive_first_fit ivs ~size =
+  List.find_map (fun (lo, hi) -> if hi - lo >= size then Some lo else None) ivs
+
+let naive_first_fit_at_or_after ivs ~pos ~size =
+  List.find_map
+    (fun (lo, hi) ->
+      let a = max lo pos in
+      if hi - a >= size then Some a else None)
+    ivs
+
+let naive_fit_in_window ivs ~lo ~hi ~size =
+  List.find_map
+    (fun (glo, ghi) ->
+      let a = max glo lo and b = min ghi hi in
+      if b - a >= size then Some a else None)
+    ivs
+
+(* Lowest-addressed candidate among those minimizing distance to
+   [center]: candidates ascend with the interval list, so keeping the
+   first strict improvement reproduces the tree's d1 <= d2 tie-break. *)
+let naive_best_fit_near ivs ~center ~size =
+  List.fold_left
+    (fun best (glo, ghi) ->
+      if ghi - glo < size then best
+      else
+        let a = max glo (min center (ghi - size)) in
+        let d = abs (a - center) in
+        match best with Some (_, bd) when bd <= d -> best | _ -> Some (a, d))
+    None ivs
+  |> Option.map fst
+
+let naive_largest ivs =
+  List.fold_left
+    (fun best (lo, hi) ->
+      match best with Some (blo, bhi) when bhi - blo >= hi - lo -> Some (blo, bhi) | _ -> Some (lo, hi))
+    None ivs
+
+let check_queries seed step rng set ivs =
+  let chk name expected got =
+    Alcotest.(check (option int)) (Printf.sprintf "seed %d step %d %s" seed step name) expected got
+  in
+  let size = Rng.int_in rng 1 32 in
+  let pos = Rng.int rng universe in
+  let wlo = Rng.int rng universe in
+  let whi = wlo + Rng.int rng (universe - wlo + 1) in
+  let center = Rng.int rng universe in
+  chk "first_fit" (naive_first_fit ivs ~size) (Iset.first_fit set ~size);
+  chk "first_fit_at_or_after"
+    (naive_first_fit_at_or_after ivs ~pos ~size)
+    (Iset.first_fit_at_or_after set ~pos ~size);
+  chk "fit_in_window"
+    (naive_fit_in_window ivs ~lo:wlo ~hi:whi ~size)
+    (Iset.fit_in_window set ~lo:wlo ~hi:whi ~size);
+  chk "best_fit_near"
+    (naive_best_fit_near ivs ~center ~size)
+    (Iset.best_fit_near set ~center ~size);
+  Alcotest.(check (option (pair int int)))
+    (Printf.sprintf "seed %d step %d largest" seed step)
+    (naive_largest ivs) (Iset.largest set)
+
 let run_interval_set_ops seed ops =
   let rng = Rng.create seed in
   let model = Array.make universe false in
@@ -62,8 +126,17 @@ let run_interval_set_ops seed ops =
     (* Invariant: members are exactly the model's maximal runs — this is
        both correctness and the coalesced/disjoint representation
        invariant (sorted, non-overlapping, non-adjacent). *)
-    if Iset.intervals !set <> model_intervals model then
-      Alcotest.failf "seed %d step %d: interval lists disagree" seed step
+    let ivs = model_intervals model in
+    if Iset.intervals !set <> ivs then
+      Alcotest.failf "seed %d step %d: interval lists disagree" seed step;
+    (* Invariant: the tree's structural self-checks (balance, ordering,
+       augmented count/bytes/max-width) hold after every operation. *)
+    (match Iset.invariants !set with
+    | [] -> ()
+    | vs -> Alcotest.failf "seed %d step %d: %s" seed step (String.concat "; " vs));
+    (* The positional fit queries agree with the naive linear-scan
+       references, tie-breaking included. *)
+    check_queries seed step rng !set ivs
   done;
   (* Round-trip: rebuild from the member list; must be identical. *)
   let rebuilt =
@@ -95,6 +168,46 @@ let test_interval_set_algebra () =
     Alcotest.(check bool) "remove all" true
       (Iset.is_empty (Iset.remove ab ~lo:0 ~hi:universe))
   done
+
+(* Adjacency coalescing: the representation keeps maximal runs, so adds
+   that touch (but do not overlap) existing members must merge, removes
+   must split, and the fit queries must see the merged extents — these
+   are exactly the shapes that stress the tree's delete/reinsert path. *)
+let test_interval_set_adjacency () =
+  let ivs = Iset.intervals in
+  let inv name s =
+    match Iset.invariants s with
+    | [] -> ()
+    | vs -> Alcotest.failf "%s: %s" name (String.concat "; " vs)
+  in
+  let s = Iset.add Iset.empty ~lo:0 ~hi:10 in
+  let s = Iset.add s ~lo:10 ~hi:20 in
+  inv "right-adjacent" s;
+  Alcotest.(check (list (pair int int))) "right-adjacent coalesces" [ (0, 20) ] (ivs s);
+  let s = Iset.add s ~lo:30 ~hi:40 in
+  let s = Iset.add s ~lo:20 ~hi:30 in
+  inv "bridge" s;
+  Alcotest.(check (list (pair int int))) "bridging add coalesces all three" [ (0, 40) ] (ivs s);
+  (* A fit spanning what used to be three members only exists because
+     the seams coalesced. *)
+  Alcotest.(check (option int)) "fit across seams" (Some 5)
+    (Iset.first_fit_at_or_after s ~pos:5 ~size:30);
+  Alcotest.(check (option int)) "window across seams" (Some 8)
+    (Iset.fit_in_window s ~lo:8 ~hi:40 ~size:30);
+  Alcotest.(check (option int)) "near clamps into merged run" (Some 10)
+    (Iset.best_fit_near s ~center:25 ~size:30);
+  let s = Iset.remove s ~lo:15 ~hi:25 in
+  inv "split" s;
+  Alcotest.(check (list (pair int int))) "interior remove splits" [ (0, 15); (25, 40) ] (ivs s);
+  Alcotest.(check (option int)) "no fit across the hole" None
+    (Iset.fit_in_window s ~lo:0 ~hi:40 ~size:16);
+  let s = Iset.add s ~lo:15 ~hi:25 in
+  inv "rejoin" s;
+  Alcotest.(check (list (pair int int))) "re-add rejoins" [ (0, 40) ] (ivs s);
+  let s' = Iset.add s ~lo:7 ~hi:7 in
+  Alcotest.(check (list (pair int int))) "empty add is a no-op" (ivs s) (ivs s');
+  let s' = Iset.add s ~lo:5 ~hi:35 in
+  Alcotest.(check (list (pair int int))) "covered add is idempotent" (ivs s) (ivs s')
 
 (* -- Memspace vs. allocation model -- *)
 
@@ -183,5 +296,6 @@ let suite =
   [
     Alcotest.test_case "interval_set vs model" `Quick test_interval_set_model;
     Alcotest.test_case "interval_set algebra" `Quick test_interval_set_algebra;
+    Alcotest.test_case "interval_set adjacency" `Quick test_interval_set_adjacency;
     Alcotest.test_case "memspace vs model" `Quick test_memspace_model;
   ]
