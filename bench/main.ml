@@ -188,9 +188,11 @@ let e1 () =
 
 (* [--json] makes throughput also write BENCH_throughput.json (per-workload
    timings, dollop counts and allocator traffic) for CI trend tracking;
-   [--small] drops the 5x jvm-like workload so the smoke run stays cheap. *)
+   [--small] drops the 5x jvm-like workload so the smoke run stays cheap;
+   [--jobs N] sets the worker-domain count for the corpus section. *)
 let json_mode = ref false
 let small_mode = ref false
+let jobs = ref 1
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -202,6 +204,91 @@ let json_escape s =
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+(* The corpus section of the throughput experiment: the same workloads at
+   several generation seeds, rewritten through [Parallel.Corpus].
+
+   [speedup_vs_serial] is the {e schedule} speedup: the serial run's
+   wall-clock divided by the parallel schedule's critical path, where the
+   critical path charges each shard the serially-measured durations of
+   the binaries it processed.  On a machine with at least [jobs] cores
+   this equals the wall-clock speedup (minus queue overhead); on fewer
+   cores — CI runners are often single-core — the domains time-share and
+   raw wall-clock measures the scheduler, not the rewriter, so we report
+   both and label them. *)
+let corpus_section () =
+  let open Workloads.Synthetic in
+  let gens =
+    if !small_mode then
+      [ (fun ~seed -> libc_like ~seed ~tests:0 ()); (fun ~seed -> apache_like ~seed ~tests:0 ()) ]
+    else
+      [
+        (fun ~seed -> libc_like ~seed ~tests:0 ());
+        (fun ~seed -> jvm_like ~seed ~tests:0 ());
+        (fun ~seed -> apache_like ~seed ~tests:0 ());
+        (fun ~seed -> apache_like ~pic:true ~seed ~tests:0 ());
+        (fun ~seed -> frag_like ~seed ~tests:0 ());
+      ]
+  in
+  let seeds = [ 11; 12; 13 ] in
+  let items =
+    List.concat_map
+      (fun gen ->
+        List.map
+          (fun seed ->
+            let w = gen ~seed in
+            {
+              Parallel.Corpus.name = Printf.sprintf "%s#%d" w.name seed;
+              data = Zelf.Binary.serialize w.binary;
+            })
+          seeds)
+      gens
+  in
+  let corpus_seed = 7 in
+  let transforms = [ Transforms.Null.transform ] in
+  let serial = Parallel.Corpus.rewrite_all ~jobs:1 ~transforms ~corpus_seed items in
+  let par =
+    if !jobs <= 1 then serial
+    else Parallel.Corpus.rewrite_all ~jobs:!jobs ~transforms ~corpus_seed items
+  in
+  (* Critical path of the parallel schedule, charged at serial prices. *)
+  let serial_elapsed =
+    let a = Array.make (List.length items) 0.0 in
+    List.iter (fun (e : Parallel.Corpus.entry) -> a.(e.index) <- e.elapsed_s) serial.entries;
+    a
+  in
+  let per_shard = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Parallel.Corpus.entry) ->
+      let cur = try Hashtbl.find per_shard e.worker with Not_found -> 0.0 in
+      Hashtbl.replace per_shard e.worker (cur +. serial_elapsed.(e.index)))
+    par.entries;
+  let critical_path_s = Hashtbl.fold (fun _ s acc -> max s acc) per_shard 0.0 in
+  let speedup =
+    if !jobs <= 1 || critical_path_s <= 0.0 then 1.0
+    else serial.wall_clock_s /. critical_path_s
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Parallel.Corpus.entry) (b : Parallel.Corpus.entry) ->
+        match (a.result, b.result) with
+        | Ok x, Ok y -> Bytes.equal x.rewritten y.rewritten
+        | Error x, Error y -> x = y
+        | _ -> false)
+      serial.entries par.entries
+  in
+  say "-- corpus: %d binaries, %d worker domain(s) --" (List.length items) !jobs;
+  Format.printf "%a@." Parallel.Corpus.pp_report par;
+  say "serial wall clock     %10.4f s" serial.wall_clock_s;
+  say "parallel wall clock   %10.4f s  (measured on this machine's cores)"
+    par.Parallel.Corpus.wall_clock_s;
+  say "critical path         %10.4f s  (parallel schedule at serial per-binary cost)"
+    critical_path_s;
+  say "speedup vs serial     %10.2fx  (schedule speedup = serial wall clock / critical path)"
+    speedup;
+  say "outputs vs serial     %s" (if identical then "byte-identical" else "DIVERGED");
+  if not identical then failwith "corpus outputs diverged between serial and parallel runs";
+  (serial, par, critical_path_s, speedup, List.length items)
 
 let throughput () =
   say "== Throughput: rewriter processing time vs binary size (§IV-A) ==";
@@ -228,6 +315,7 @@ let throughput () =
         (w.Workloads.Synthetic.name, text_bytes, t, s))
       specs
   in
+  let serial, par, critical_path_s, speedup, n_items = corpus_section () in
   if !json_mode then begin
     let oc = open_out "BENCH_throughput.json" in
     let field fmt = Printf.fprintf oc fmt in
@@ -247,9 +335,32 @@ let throughput () =
         field "      \"alloc_queries\": %d, \"alloc_hits\": %d }" s.Zipr.Reassemble.alloc_queries
           s.Zipr.Reassemble.alloc_hits)
       rows;
-    field "\n  ]\n}\n";
+    field "\n  ],\n";
+    field "  \"jobs\": %d,\n  \"corpus_items\": %d,\n" !jobs n_items;
+    field "  \"serial_wall_clock_s\": %.6f,\n  \"wall_clock_s\": %.6f,\n"
+      serial.Parallel.Corpus.wall_clock_s par.Parallel.Corpus.wall_clock_s;
+    field "  \"critical_path_s\": %.6f,\n  \"speedup_vs_serial\": %.3f,\n" critical_path_s
+      speedup;
+    let ms = par.Parallel.Corpus.merged_stats in
+    field "  \"corpus\": {\n    \"ok\": %d, \"failed\": %d,\n" par.Parallel.Corpus.ok
+      par.Parallel.Corpus.failed;
+    field "    \"queue_wait_total_s\": %.6f, \"queue_wait_max_s\": %.6f,\n"
+      par.Parallel.Corpus.queue_wait_total_s par.Parallel.Corpus.queue_wait_max_s;
+    field "    \"merged\": { \"dollops_placed\": %d, \"dollops_split\": %d, \"layouts_computed\": %d, \"layout_reuses\": %d, \"alloc_queries\": %d, \"alloc_hits\": %d },\n"
+      ms.Zipr.Reassemble.dollops_placed ms.Zipr.Reassemble.dollops_split
+      ms.Zipr.Reassemble.layouts_computed ms.Zipr.Reassemble.layout_reuses
+      ms.Zipr.Reassemble.alloc_queries ms.Zipr.Reassemble.alloc_hits;
+    field "    \"shards\": [";
+    List.iteri
+      (fun i (w : Parallel.Pool.worker_stat) ->
+        field "%s\n      { \"worker\": %d, \"tasks_run\": %d, \"busy_s\": %.6f }"
+          (if i = 0 then "" else ",")
+          w.Parallel.Pool.worker w.Parallel.Pool.tasks_run w.Parallel.Pool.busy_s)
+      par.Parallel.Corpus.shards;
+    field "\n    ]\n  }\n}\n";
     close_out oc;
-    say "wrote BENCH_throughput.json (%d workloads)" (List.length rows)
+    say "wrote BENCH_throughput.json (%d workloads, corpus of %d at --jobs %d)"
+      (List.length rows) n_items !jobs
   end;
   say "(paper: libc 1.6MB in under 6 min; libjvm 12MB in under 58 min; Apache 624K in 71 s —";
   say " i.e. roughly linear in binary size, which the rows above should reproduce in shape)"
@@ -582,13 +693,26 @@ let experiments =
 
 let () =
   let argv = List.tl (Array.to_list Sys.argv) in
-  let flags, names = List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") argv in
-  List.iter
-    (function
-      | "--json" -> json_mode := true
-      | "--small" -> small_mode := true
-      | f -> say "unknown flag %S; available: --json, --small" f)
-    flags;
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--json" :: rest ->
+        json_mode := true;
+        parse names rest
+    | "--small" :: rest ->
+        small_mode := true;
+        parse names rest
+    | "--jobs" :: n :: rest ->
+        jobs := max 1 (int_of_string n);
+        parse names rest
+    | f :: rest when String.length f > 7 && String.sub f 0 7 = "--jobs=" ->
+        jobs := max 1 (int_of_string (String.sub f 7 (String.length f - 7)));
+        parse names rest
+    | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
+        say "unknown flag %S; available: --json, --small, --jobs N" f;
+        parse names rest
+    | name :: rest -> parse (name :: names) rest
+  in
+  let names = parse [] argv in
   let requested = match names with [] -> List.map fst experiments | _ -> names in
   List.iter
     (fun name ->

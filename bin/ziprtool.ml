@@ -342,7 +342,15 @@ let fuzz_cmd =
           ~doc:"Write each minimized reproducer as a zasm file into this directory.")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.") in
-  let run cases seed max_steps structural inject repro_dir quiet =
+  let fuzz_jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for case execution. The summary, reproducers and failure \
+             ordering are identical for every value.")
+  in
+  let run cases seed max_steps structural inject repro_dir quiet jobs =
     let opts =
       {
         Fuzz.Driver.default_options with
@@ -351,6 +359,7 @@ let fuzz_cmd =
         max_steps;
         structural;
         fault = (if inject then Some Fuzz.Driver.Skip_pin else None);
+        jobs = max 1 jobs;
       }
     in
     let log = if quiet then fun _ -> () else fun msg -> Printf.eprintf "%s\n%!" msg in
@@ -383,7 +392,114 @@ let fuzz_cmd =
        ~doc:
          "Differential-execution fuzzing: generate programs, rewrite under random \
           configurations, and demand semantic equivalence.")
-    Term.(const run $ cases $ seed $ max_steps $ structural $ inject $ repro_dir $ quiet)
+    Term.(
+      const run $ cases $ seed $ max_steps $ structural $ inject $ repro_dir $ quiet
+      $ fuzz_jobs)
+
+(* -- batch -- *)
+
+let batch_cmd =
+  let indir = Arg.(required & pos 0 (some dir) None & info [] ~docv:"INDIR") in
+  let outdir = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTDIR") in
+  let transforms =
+    Arg.(
+      value
+      & opt (list string) [ "null" ]
+      & info [ "t"; "transform" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf "Comma-separated transforms, applied in order. Available: %s."
+               (String.concat ", " transform_names)))
+  in
+  let placement =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) Zipr.Placement.names)) "optimized"
+      & info [ "placement" ] ~doc:"Dollop placement strategy.")
+  in
+  let corpus_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Corpus seed. Each binary's layout seed derives from (seed, index); outputs \
+             do not depend on $(b,--jobs).")
+  in
+  let batch_jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let ext =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ext" ] ~docv:"EXT" ~doc:"Only process files with this extension (e.g. .zbf).")
+  in
+  let run tnames placement corpus_seed jobs ext indir outdir =
+    let unknown = List.filter (fun n -> transform_of_name n = None) tnames in
+    if unknown <> [] then begin
+      Printf.eprintf "error: unknown transforms: %s\n" (String.concat ", " unknown);
+      1
+    end
+    else begin
+      let files =
+        Sys.readdir indir |> Array.to_list
+        |> List.filter (fun f ->
+               (not (Sys.is_directory (Filename.concat indir f)))
+               && match ext with Some e -> Filename.check_suffix f e | None -> true)
+        |> List.sort compare
+      in
+      if files = [] then begin
+        Printf.eprintf "error: no input files in %s\n" indir;
+        1
+      end
+      else begin
+        let items =
+          List.map
+            (fun f ->
+              {
+                Parallel.Corpus.name = f;
+                data = Bytes.of_string (read_file (Filename.concat indir f));
+              })
+            files
+        in
+        let config =
+          {
+            Zipr.Pipeline.default_config with
+            Zipr.Pipeline.placement = Option.get (Zipr.Placement.by_name placement);
+          }
+        in
+        let transforms = List.filter_map transform_of_name tnames in
+        let report =
+          Parallel.Corpus.rewrite_all ~jobs:(max 1 jobs) ~config ~transforms ~corpus_seed
+            items
+        in
+        let rec ensure_dir d =
+          if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+            ensure_dir (Filename.dirname d);
+            Sys.mkdir d 0o755
+          end
+        in
+        ensure_dir outdir;
+        List.iter
+          (fun (e : Parallel.Corpus.entry) ->
+            match e.Parallel.Corpus.result with
+            | Ok o ->
+                write_file (Filename.concat outdir e.Parallel.Corpus.name)
+                  o.Parallel.Corpus.rewritten
+            | Error msg -> Printf.eprintf "%s: FAILED: %s\n" e.Parallel.Corpus.name msg)
+          report.Parallel.Corpus.entries;
+        Format.printf "%a@." Parallel.Corpus.pp_report report;
+        if report.Parallel.Corpus.failed = 0 then 0 else 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Rewrite every binary in a directory in parallel. Failures are isolated per \
+          file: a binary that does not parse or fails to rewrite is reported and the \
+          batch continues (exit 1 if any failed).")
+    Term.(
+      const run $ transforms $ placement $ corpus_seed $ batch_jobs $ ext $ indir $ outdir)
 
 let () =
   let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in
@@ -391,4 +507,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ asm_cmd; gen_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd; audit_cmd; fuzz_cmd ]))
+          [
+            asm_cmd; gen_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd; audit_cmd; fuzz_cmd;
+            batch_cmd;
+          ]))

@@ -20,6 +20,15 @@ type result = {
   timing : timing;
 }
 
+let zero_timing = { ir_construction_s = 0.0; transformation_s = 0.0; reassembly_s = 0.0 }
+
+let add_timing a b =
+  {
+    ir_construction_s = a.ir_construction_s +. b.ir_construction_s;
+    transformation_s = a.transformation_s +. b.transformation_s;
+    reassembly_s = a.reassembly_s +. b.reassembly_s;
+  }
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
@@ -37,10 +46,18 @@ let rewrite ?(config = default_config) ~transforms binary =
   in
   { rewritten; ir; stats; timing = { ir_construction_s; transformation_s; reassembly_s } }
 
+let try_rewrite ?config ~transforms binary =
+  match rewrite ?config ~transforms binary with
+  | r -> Ok r
+  | exception Reassemble.Failure_ msg -> Error ("reassembly failed: " ^ msg)
+  | exception Stdlib.Failure msg -> Error ("pipeline failure: " ^ msg)
+  | exception Invalid_argument msg -> Error ("pipeline invalid argument: " ^ msg)
+  | exception Not_found -> Error "pipeline failure: lookup failed (Not_found)"
+
 let rewrite_bytes ?config ~transforms raw =
   match Zelf.Binary.parse raw with
   | Error e -> Error (Format.asprintf "parse error: %a" Zelf.Binary.pp_parse_error e)
-  | Ok binary -> (
-      match rewrite ?config ~transforms binary with
-      | r -> Ok (Zelf.Binary.serialize r.rewritten)
-      | exception Reassemble.Failure_ msg -> Error ("reassembly failed: " ^ msg))
+  | Ok binary ->
+      Result.map
+        (fun r -> Zelf.Binary.serialize r.rewritten)
+        (try_rewrite ?config ~transforms binary)

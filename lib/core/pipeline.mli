@@ -16,6 +16,13 @@ type timing = {
   reassembly_s : float;
 }
 
+val zero_timing : timing
+(** The identity of {!add_timing}. *)
+
+val add_timing : timing -> timing -> timing
+(** Per-phase sum; commutative, so a corpus aggregate is independent of
+    completion order. *)
+
 type result = {
   rewritten : Zelf.Binary.t;
   ir : Ir_construction.t;
@@ -28,10 +35,21 @@ val rewrite :
 (** Rewrite a binary.  Raises {!Reassemble.Failure_} on unrecoverable
     reassembly problems. *)
 
+val try_rewrite :
+  ?config:config ->
+  transforms:Transform.t list ->
+  Zelf.Binary.t ->
+  (result, string) Stdlib.result
+(** Total variant of {!rewrite}: {!Reassemble.Failure_} and the pipeline's
+    internal exception families ([Failure], [Invalid_argument],
+    [Not_found]) are rendered into the [Error] branch, so one bad binary
+    in a batch reports instead of aborting the corpus. *)
+
 val rewrite_bytes :
   ?config:config ->
   transforms:Transform.t list ->
   bytes ->
   (bytes, string) Stdlib.result
-(** File-level convenience: parse, rewrite, serialize; errors are
-    rendered. *)
+(** File-level convenience: parse, rewrite, serialize.  Total like
+    {!try_rewrite}: parse errors and pipeline exceptions are rendered
+    into [Error], never raised. *)

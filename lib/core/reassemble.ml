@@ -21,6 +21,48 @@ type stats = {
   warnings : string list;
 }
 
+let zero_stats =
+  {
+    pins_total = 0;
+    pin_slots_long = 0;
+    pin_slots_short = 0;
+    pins_colocated = 0;
+    sleds = 0;
+    sled_entries = 0;
+    slot_expansions = 0;
+    chain_hops = 0;
+    dollops_placed = 0;
+    dollops_split = 0;
+    layouts_computed = 0;
+    layout_reuses = 0;
+    alloc_queries = 0;
+    alloc_hits = 0;
+    overflow_bytes = 0;
+    text_free_bytes = 0;
+    warnings = [];
+  }
+
+let merge_stats a b =
+  {
+    pins_total = a.pins_total + b.pins_total;
+    pin_slots_long = a.pin_slots_long + b.pin_slots_long;
+    pin_slots_short = a.pin_slots_short + b.pin_slots_short;
+    pins_colocated = a.pins_colocated + b.pins_colocated;
+    sleds = a.sleds + b.sleds;
+    sled_entries = a.sled_entries + b.sled_entries;
+    slot_expansions = a.slot_expansions + b.slot_expansions;
+    chain_hops = a.chain_hops + b.chain_hops;
+    dollops_placed = a.dollops_placed + b.dollops_placed;
+    dollops_split = a.dollops_split + b.dollops_split;
+    layouts_computed = a.layouts_computed + b.layouts_computed;
+    layout_reuses = a.layout_reuses + b.layout_reuses;
+    alloc_queries = a.alloc_queries + b.alloc_queries;
+    alloc_hits = a.alloc_hits + b.alloc_hits;
+    overflow_bytes = a.overflow_bytes + b.overflow_bytes;
+    text_free_bytes = a.text_free_bytes + b.text_free_bytes;
+    warnings = a.warnings @ b.warnings;
+  }
+
 exception Failure_ of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Failure_ s)) fmt
@@ -229,10 +271,30 @@ let place_dollop st ~referent (d, placed, dsize) =
         emit_releasing d ~placed ~total:dsize addr capacity
       else
         match Dollop.split_to_fit st.db d ~capacity with
-        | Some (prefix, _rest_head) ->
+        | Some (prefix, rest_head) ->
             let pplaced, ptotal = layout_counted st prefix in
             emit_releasing prefix ~placed:pplaced ~total:ptotal addr capacity;
-            st.dollops_split <- st.dollops_split + 1
+            st.dollops_split <- st.dollops_split + 1;
+            (* The prefix's connector is about to demand the remainder, and
+               we already know its shape: the split point cuts [d]'s
+               fallthrough chain, so the rest is the suffix of [d.rows]
+               with [d]'s original ending — rebuilding it from the IRDB
+               would walk the same chain to the same stopping point (homes
+               only accrue, and the drain-cache validity check rebuilds if
+               any suffix row gains one first).  Cache it laid-out so the
+               revisit is a [layout_reuses] hit instead of a second
+               build-and-relax pass. *)
+            let rec suffix_from = function
+              | id :: _ as rows when id = rest_head -> rows
+              | _ :: tl -> suffix_from tl
+              | [] -> []
+            in
+            (match suffix_from d.Dollop.rows with
+            | [] -> ()
+            | rows ->
+                let rest = { Dollop.rows; ending = d.Dollop.ending } in
+                let rplaced, rtotal = layout_counted st rest in
+                Hashtbl.replace st.dcache rest_head (rest, rplaced, rtotal))
         | None ->
             (* Could not split usefully; give the fragment back and spill. *)
             Memspace.release st.space ~lo:addr ~hi:(addr + capacity);

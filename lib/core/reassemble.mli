@@ -40,14 +40,32 @@ type stats = {
   dollops_split : int;
   layouts_computed : int;
       (** [Dollop.layout] fixpoints run; one per placed dollop plus one per
-          split prefix — never one for sizing and another for emission *)
-  layout_reuses : int;  (** cached build+layout results served from the drain cache *)
+          split prefix — never one for sizing and another for emission.
+          Each split also precomputes its remainder's layout into the
+          drain cache; the remainder's later placement then reuses it
+          instead of computing its own, so the identity
+          [layouts_computed = dollops_placed + dollops_split] still holds
+          unless a cached remainder goes stale (a row of it was placed
+          first by another reference), which costs one extra layout *)
+  layout_reuses : int;
+      (** cached build+layout results served from the drain cache — split
+          remainders revisited by their prefix's connector reference *)
   alloc_queries : int;  (** [Memspace.alloc_*] calls issued *)
   alloc_hits : int;  (** those that found space *)
   overflow_bytes : int;
   text_free_bytes : int;  (** free bytes left inside the original text span *)
   warnings : string list;
 }
+
+val zero_stats : stats
+(** The identity of {!merge_stats}: all counters zero, no warnings. *)
+
+val merge_stats : stats -> stats -> stats
+(** Pointwise sum.  [(stats, merge_stats, zero_stats)] is a monoid, and
+    every counter merge is commutative, so a corpus-level aggregate is
+    independent of the order per-binary results arrive in; only
+    [warnings] concatenates left-to-right, which callers wanting a
+    deterministic report get by folding in binary-index order. *)
 
 exception Failure_ of string
 (** Unrecoverable reassembly failure (pin slot collision, unchainable

@@ -22,6 +22,7 @@ type options = {
   fault : fault option;
   structural : bool;
   shrink_budget : int;
+  jobs : int;
 }
 
 let default_options =
@@ -32,6 +33,7 @@ let default_options =
     fault = None;
     structural = false;
     shrink_budget = 120;
+    jobs = 1;
   }
 
 type failure = {
@@ -273,23 +275,25 @@ let repro_listing (spec, cfg, input) reason =
 
 (* -- the main loop -- *)
 
-let run ?(log = fun _ -> ()) opts =
-  let master = Rng.create opts.seed in
+(* One whole case — generation, rewrite, differential executions, and on
+   failure the full minimization — as a pure function of its own RNG.
+   This is the unit the parallel driver shards: per-case counters merge
+   by summation, per-case verdicts assemble in case order, so the summary
+   is identical whatever the worker count. *)
+let run_case opts log case rng =
   let counters = { rewrites = 0; inputs = 0 } in
-  let failures = ref [] in
-  for case = 0 to opts.cases - 1 do
-    let rng = Rng.split master in
-    let spec = Gen.random_spec rng in
-    let cfg = random_cfg rng in
-    (match check_case opts counters spec cfg with
-    | None -> ()
+  let spec = Gen.random_spec rng in
+  let cfg = random_cfg rng in
+  let failure =
+    match check_case opts counters spec cfg with
+    | None -> None
     | Some (input, reason) ->
         log (Printf.sprintf "case %d FAILED: %s (minimizing...)" case reason);
         let (min_spec, min_cfg, min_input), shrink_tests =
           minimize opts counters spec cfg input
         in
         let min_reason = failure_reason opts counters (min_spec, min_cfg, min_input) in
-        failures :=
+        Some
           {
             case;
             spec;
@@ -303,16 +307,46 @@ let run ?(log = fun _ -> ()) opts =
             shrink_tests;
             repro_zasm = repro_listing (min_spec, min_cfg, min_input) min_reason;
           }
-          :: !failures);
-    if (case + 1) mod 50 = 0 then
-      log
-        (Printf.sprintf "%d/%d cases, %d failures" (case + 1) opts.cases
-           (List.length !failures))
-  done;
+  in
+  (counters, failure)
+
+let run ?(log = fun _ -> ()) opts =
+  (* Case streams derive from the master serially, before any fan-out, so
+     case [i] sees the same RNG under every [jobs] value. *)
+  let master = Rng.create opts.seed in
+  let case_rngs = Array.init (max 0 opts.cases) (fun _ -> Rng.split master) in
+  let results =
+    if opts.jobs <= 1 then
+      Array.mapi
+        (fun case rng ->
+          let r = run_case opts log case rng in
+          (match r with
+          | _, Some _ | _, None ->
+              if (case + 1) mod 50 = 0 then
+                log (Printf.sprintf "%d/%d cases" (case + 1) opts.cases));
+          r)
+        case_rngs
+    else
+      let timed, _, _ =
+        Parallel.Pool.map ~jobs:opts.jobs
+          (fun (case, rng) -> run_case opts log case rng)
+          (Array.mapi (fun case rng -> (case, rng)) case_rngs)
+      in
+      Array.map (fun t -> t.Parallel.Pool.value) timed
+  in
+  let rewrites = ref 0 and inputs = ref 0 and failures = ref [] in
+  (* Case order, not completion order: failure ordering is part of the
+     deterministic surface. *)
+  Array.iter
+    (fun (c, f) ->
+      rewrites := !rewrites + c.rewrites;
+      inputs := !inputs + c.inputs;
+      match f with Some f -> failures := f :: !failures | None -> ())
+    results;
   {
-    cases_run = opts.cases;
-    rewrites = counters.rewrites;
-    inputs_compared = counters.inputs;
+    cases_run = max 0 opts.cases;
+    rewrites = !rewrites;
+    inputs_compared = !inputs;
     failures = List.rev !failures;
   }
 

@@ -39,10 +39,18 @@ type options = {
   fault : fault option;
   structural : bool;  (** also run {!Zipr.Verify.structural} per case *)
   shrink_budget : int;  (** max re-tests spent minimizing one failure *)
+  jobs : int;
+      (** worker domains for case execution.  Every case's RNG stream is
+          split off the master serially before any fan-out, each case
+          (including its minimization) runs against only its own stream,
+          and verdicts reassemble in case order — so the summary,
+          including reproducers and failure ordering, is identical for
+          every [jobs] value. *)
 }
 
 val default_options : options
-(** 100 cases, seed 1, 2M steps, no fault, no structural, budget 120. *)
+(** 100 cases, seed 1, 2M steps, no fault, no structural, budget 120,
+    1 job. *)
 
 type failure = {
   case : int;

@@ -1,0 +1,136 @@
+module Rng = Zipr_util.Rng
+
+type item = { name : string; data : bytes }
+
+type outcome = {
+  rewritten : bytes;
+  stats : Zipr.Reassemble.stats;
+  timing : Zipr.Pipeline.timing;
+}
+
+type entry = {
+  index : int;
+  name : string;
+  seed : int;
+  result : (outcome, string) Stdlib.result;
+  elapsed_s : float;
+  queue_wait_s : float;
+  worker : int;
+}
+
+type report = {
+  jobs : int;
+  corpus_seed : int;
+  entries : entry list;
+  ok : int;
+  failed : int;
+  merged_stats : Zipr.Reassemble.stats;
+  merged_timing : Zipr.Pipeline.timing;
+  rewrite_total_s : float;
+  wall_clock_s : float;
+  queue_wait_total_s : float;
+  queue_wait_max_s : float;
+  shards : Pool.worker_stat list;
+}
+
+(* The per-item task: total by construction.  [Pipeline.try_rewrite]
+   renders pipeline exceptions; parse errors are rendered here; both
+   leave the worker alive for the next item. *)
+let rewrite_one ~config ~transforms ~corpus_seed (index, it) =
+  let seed = Rng.derive ~corpus_seed ~index in
+  let config = { config with Zipr.Pipeline.seed } in
+  let result =
+    match Zelf.Binary.parse it.data with
+    | Error e ->
+        Error (Format.asprintf "parse error: %a" Zelf.Binary.pp_parse_error e)
+    | Ok binary ->
+        Result.map
+          (fun (r : Zipr.Pipeline.result) ->
+            {
+              rewritten = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten;
+              stats = r.Zipr.Pipeline.stats;
+              timing = r.Zipr.Pipeline.timing;
+            })
+          (Zipr.Pipeline.try_rewrite ~config ~transforms binary)
+  in
+  (seed, result)
+
+let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transforms = [])
+    ~corpus_seed items =
+  let arr = Array.of_list items in
+  let t0 = Unix.gettimeofday () in
+  let timed, shards, qstats =
+    Pool.map ~jobs
+      (rewrite_one ~config ~transforms ~corpus_seed)
+      (Array.mapi (fun i it -> (i, it)) arr)
+  in
+  let wall_clock_s = Unix.gettimeofday () -. t0 in
+  let entries =
+    List.init (Array.length arr) (fun index ->
+        let t = timed.(index) in
+        let seed, result = t.Pool.value in
+        {
+          index;
+          name = arr.(index).name;
+          seed;
+          result;
+          elapsed_s = t.Pool.elapsed_s;
+          queue_wait_s = t.Pool.queue_wait_s;
+          worker = t.Pool.worker;
+        })
+  in
+  (* Fold in index order: the stats/timing merges are commutative, but
+     warning lists concatenate, and index order makes the report a pure
+     function of the inputs. *)
+  let ok, failed, merged_stats, merged_timing, rewrite_total_s =
+    List.fold_left
+      (fun (ok, failed, ms, mt, tot) e ->
+        match e.result with
+        | Ok o ->
+            ( ok + 1,
+              failed,
+              Zipr.Reassemble.merge_stats ms o.stats,
+              Zipr.Pipeline.add_timing mt o.timing,
+              tot +. e.elapsed_s )
+        | Error _ -> (ok, failed + 1, ms, mt, tot +. e.elapsed_s))
+      (0, 0, Zipr.Reassemble.zero_stats, Zipr.Pipeline.zero_timing, 0.0)
+      entries
+  in
+  {
+    jobs = max 1 jobs;
+    corpus_seed;
+    entries;
+    ok;
+    failed;
+    merged_stats;
+    merged_timing;
+    rewrite_total_s;
+    wall_clock_s;
+    queue_wait_total_s = qstats.Pool.wait_total_s;
+    queue_wait_max_s = qstats.Pool.wait_max_s;
+    shards = Array.to_list shards;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>corpus: %d binaries, %d ok, %d failed (jobs=%d, corpus-seed=%d)@,\
+     wall %.3fs, serial-equivalent %.3fs, queue wait total %.3fs max %.3fs@,\
+     merged: %a@,\
+     merged timing: ir %.3fs transform %.3fs reassembly %.3fs@,"
+    (r.ok + r.failed) r.ok r.failed r.jobs r.corpus_seed r.wall_clock_s r.rewrite_total_s
+    r.queue_wait_total_s r.queue_wait_max_s Zipr.Reassemble.pp_stats r.merged_stats
+    r.merged_timing.Zipr.Pipeline.ir_construction_s
+    r.merged_timing.Zipr.Pipeline.transformation_s
+    r.merged_timing.Zipr.Pipeline.reassembly_s;
+  List.iter
+    (fun (s : Pool.worker_stat) ->
+      Format.fprintf ppf "shard %d: %d binaries, busy %.3fs@," s.Pool.worker s.Pool.tasks_run
+        s.Pool.busy_s)
+    r.shards;
+  List.iter
+    (fun e ->
+      match e.result with
+      | Error msg -> Format.fprintf ppf "FAILED %s (index %d): %s@," e.name e.index msg
+      | Ok _ -> ())
+    r.entries;
+  Format.fprintf ppf "@]"

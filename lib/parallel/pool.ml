@@ -1,0 +1,143 @@
+type worker_stat = { worker : int; tasks_run : int; busy_s : float }
+
+type queue_stats = { wait_total_s : float; wait_max_s : float }
+
+type job = { run : worker:int -> wait_s:float -> unit; submitted_at : float }
+
+type t = {
+  jobs : int;
+  capacity : int;
+  queue : job Queue.t;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+  mutable wait_total_s : float;
+  mutable wait_max_s : float;
+  mutable first_error : exn option;
+  stats : worker_stat array;  (* slot [w] written only by worker [w] *)
+  mutable domains : unit Domain.t list;
+}
+
+let now () = Unix.gettimeofday ()
+
+let worker_loop t w =
+  let tasks = ref 0 and busy = ref 0.0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closed and drained *)
+    else begin
+      let job = Queue.pop t.queue in
+      let wait_s = now () -. job.submitted_at in
+      t.wait_total_s <- t.wait_total_s +. wait_s;
+      if wait_s > t.wait_max_s then t.wait_max_s <- wait_s;
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      let t0 = now () in
+      (try job.run ~worker:w ~wait_s
+       with e ->
+         (* Record and keep going: one poisoned task must not wedge the
+            feeder (blocked on [not_full]) or starve later tasks. *)
+         Mutex.lock t.mutex;
+         if t.first_error = None then t.first_error <- Some e;
+         Mutex.unlock t.mutex);
+      busy := !busy +. (now () -. t0);
+      incr tasks;
+      loop ()
+    end
+  in
+  loop ();
+  t.stats.(w) <- { worker = w; tasks_run = !tasks; busy_s = !busy }
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      capacity = 2 * jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      closed = false;
+      wait_total_s = 0.0;
+      wait_max_s = 0.0;
+      first_error = None;
+      stats = Array.init jobs (fun worker -> { worker; tasks_run = 0; busy_s = 0.0 });
+      domains = [];
+    }
+  in
+  t.domains <- List.init jobs (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  t
+
+let submit t run =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  while Queue.length t.queue >= t.capacity do
+    Condition.wait t.not_full t.mutex
+  done;
+  Queue.add { run; submitted_at = now () } t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- [];
+  (match t.first_error with Some e -> raise e | None -> ());
+  (Array.copy t.stats, { wait_total_s = t.wait_total_s; wait_max_s = t.wait_max_s })
+
+type 'b timed = { value : 'b; elapsed_s : float; queue_wait_s : float; worker : int }
+
+let map ~jobs f arr =
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then begin
+    (* Inline serial path: same results, worker 0, no queueing. *)
+    let busy = ref 0.0 in
+    let out =
+      Array.map
+        (fun x ->
+          let t0 = now () in
+          let value = f x in
+          let elapsed_s = now () -. t0 in
+          busy := !busy +. elapsed_s;
+          { value; elapsed_s; queue_wait_s = 0.0; worker = 0 })
+        arr
+    in
+    ( out,
+      [| { worker = 0; tasks_run = n; busy_s = !busy } |],
+      { wait_total_s = 0.0; wait_max_s = 0.0 } )
+  end
+  else begin
+    let results = Array.make n None in
+    let t = create ~jobs:(min jobs n) in
+    Array.iteri
+      (fun i x ->
+        submit t (fun ~worker ~wait_s ->
+            let t0 = now () in
+            let value = f x in
+            let elapsed_s = now () -. t0 in
+            (* Distinct slots, one writer each; publication happens-before
+               the reads below via [Domain.join] inside [shutdown]. *)
+            results.(i) <- Some { value; elapsed_s; queue_wait_s = wait_s; worker }))
+      arr;
+    let stats, qstats = shutdown t in
+    let out =
+      Array.mapi
+        (fun i r ->
+          match r with
+          | Some v -> v
+          | None -> invalid_arg (Printf.sprintf "Pool.map: task %d produced no result" i))
+        results
+    in
+    (out, stats, qstats)
+  end

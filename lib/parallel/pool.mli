@@ -1,0 +1,52 @@
+(** A fixed-size [Domain] worker pool with a bounded work queue.
+
+    The pool is the mechanical half of the corpus engine: it runs opaque
+    tasks on [jobs] OCaml 5 domains, applying backpressure to the
+    submitting thread once the queue holds [2 * jobs] pending tasks (so a
+    million-binary corpus never materializes a million closures).  All
+    determinism lives {e above} the pool — tasks must be pure functions
+    of their own inputs; the pool only promises that every submitted task
+    runs exactly once and that per-task results land in submission-order
+    slots.  Wall-clock accounting (per-worker busy time, per-task queue
+    wait) is measured for reporting and is, of course, not deterministic. *)
+
+type worker_stat = {
+  worker : int;  (** worker index in [0, jobs) *)
+  tasks_run : int;
+  busy_s : float;  (** wall-clock seconds spent inside task bodies *)
+}
+
+type queue_stats = {
+  wait_total_s : float;  (** sum over tasks of (dequeue - submit) time *)
+  wait_max_s : float;
+}
+
+type t
+
+val create : jobs:int -> t
+(** Spawn [max 1 jobs] worker domains sharing one bounded queue. *)
+
+val submit : t -> (worker:int -> wait_s:float -> unit) -> unit
+(** Enqueue a task; blocks while the queue is at capacity.  The task
+    receives the id of the worker running it and the seconds it spent
+    queued.  Tasks must not raise: a raising task is recorded and the
+    exception is re-raised by {!shutdown}, but intervening tasks still
+    run.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : t -> worker_stat array * queue_stats
+(** Drain the queue, stop and join every worker, and return per-worker
+    and queue accounting.  Re-raises the first task exception, if any
+    task raised. *)
+
+type 'b timed = {
+  value : 'b;
+  elapsed_s : float;  (** wall-clock seconds inside [f] *)
+  queue_wait_s : float;
+  worker : int;
+}
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b timed array * worker_stat array * queue_stats
+(** [map ~jobs f arr] applies [f] to every element on the pool and
+    returns results in input order regardless of scheduling.  [jobs <= 1]
+    runs inline on the calling thread (no domains), which is the serial
+    baseline the parallel paths are tested for byte-equality against. *)

@@ -18,6 +18,24 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+(* Stateless splitmix64 finalizer, for seed derivation without a
+   generator value. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let derive ~corpus_seed ~index =
+  (* One gamma step per index keeps streams for consecutive indices as far
+     apart as consecutive [split]s, then a double finalize decorrelates
+     seeds whose (corpus_seed, index) pairs differ in few bits. *)
+  let z =
+    Int64.add (Int64.of_int corpus_seed)
+      (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  (* Keep 62 bits so the seed fits OCaml's 63-bit int non-negatively. *)
+  Int64.to_int (Int64.shift_right_logical (mix64 (mix64 z)) 2)
+
 let int t bound =
   assert (bound > 0);
   (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)

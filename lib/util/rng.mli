@@ -19,6 +19,14 @@ val split : t -> t
 (** [split t] derives a new, statistically independent generator from [t],
     advancing [t].  Use this to give sub-components their own stream. *)
 
+val derive : corpus_seed:int -> index:int -> int
+(** [derive ~corpus_seed ~index] is a stateless splitmix-style mixer that
+    maps a corpus seed and a shard index to an independent, non-negative
+    63-bit seed.  Unlike {!split} it needs no shared generator state, so a
+    parallel corpus run can hand binary [index] its own stream without any
+    cross-worker coordination — the seed depends only on the pair, never on
+    scheduling or worker count. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

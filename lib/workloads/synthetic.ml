@@ -72,5 +72,29 @@ let apache_like ?(pic = false) ?(seed = 303) ?(tests = 80) () =
       pic;
     }
 
+let frag_like ?(seed = 404) ?(tests = 40) () =
+  build ~name:"frag-like" ~seed ~tests
+    {
+      Cgc.Cb_gen.n_handlers = 10;
+      n_helpers = 16;
+      body_ops = 420;
+      loop_iters = 100;
+      use_jump_table = true;
+      n_fptrs = 16;
+      (* Maximal fragmentation: many data islands and hidden regions carve
+         the text span into small fragments, and long handler bodies make
+         dollops larger than most fragments — the colocation drain then
+         splits dollops to fill fragments and revisits the split
+         remainders, exercising the drain-cache. *)
+      data_islands = 16;
+      hidden_funcs = 5;
+      dense_pair = true;
+      vuln = true;
+      vuln_fptr = false;
+      pathological = false;
+      mem_span = 2048;
+      pic = false;
+    }
+
 let all () =
-  [ libc_like (); jvm_like (); apache_like (); apache_like ~pic:true () ]
+  [ libc_like (); jvm_like (); apache_like (); apache_like ~pic:true (); frag_like () ]

@@ -36,5 +36,12 @@ val jvm_like : ?seed:int -> ?tests:int -> unit -> spec
 val apache_like : ?pic:bool -> ?seed:int -> ?tests:int -> unit -> spec
 (** Defaults: non-PIC, seed 303, 80 tests. *)
 
+val frag_like : ?seed:int -> ?tests:int -> unit -> spec
+(** A fragmentation-heavy service: many data islands, hidden
+    computed-jump regions and scattered pins shatter the text span, so
+    placement must split dollops into fragments — the workload that keeps
+    the reassembler's split path and drain-cache
+    ([layout_reuses]) demonstrably live.  Defaults: seed 404, 40 tests. *)
+
 val all : unit -> spec list
-(** libc-like, jvm-like, apache-like (both PIC modes). *)
+(** libc-like, jvm-like, apache-like (both PIC modes), frag-like. *)

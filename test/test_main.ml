@@ -25,4 +25,5 @@ let () =
       ("struct-properties", Test_struct_props.suite);
       ("verify-regressions", Test_verify_regress.suite);
       ("fuzz", Test_fuzz.suite);
+      ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,212 @@
+(* The domain-parallel corpus engine: pool mechanics, deterministic RNG
+   sharding, order-independent stats merging, and the end-to-end
+   jobs-independence property the whole subsystem exists to provide. *)
+
+module Pool = Parallel.Pool
+module Corpus = Parallel.Corpus
+module Rng = Zipr_util.Rng
+
+(* -- Rng.derive: the sharded seed function is part of the output format
+      (rewritten bytes depend on it), so its values are pinned. -- *)
+
+let test_derive_pinned () =
+  let check s i expected =
+    Alcotest.(check int)
+      (Printf.sprintf "derive %d %d" s i)
+      expected
+      (Rng.derive ~corpus_seed:s ~index:i)
+  in
+  check 0 0 1299394637241201967;
+  check 0 1 3701113985490053897;
+  check 7 0 2102454193392332656;
+  check 7 5 1336422713366693928;
+  check 123456789 41 2709742889758532527
+
+let test_derive_properties () =
+  (* Non-negative, and injective-in-practice over a small grid. *)
+  let seen = Hashtbl.create 512 in
+  for s = 0 to 15 do
+    for i = 0 to 15 do
+      let d = Rng.derive ~corpus_seed:s ~index:i in
+      Alcotest.(check bool) "non-negative" true (d >= 0);
+      Alcotest.(check bool) "no collision" false (Hashtbl.mem seen d);
+      Hashtbl.replace seen d ()
+    done
+  done
+
+(* -- Pool: results land in submission order, every task runs once,
+      per-worker accounting adds up. -- *)
+
+let test_pool_map_order () =
+  let input = Array.init 37 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      let timed, stats, _q = Pool.map ~jobs (fun i -> (2 * i) + 1) input in
+      Array.iteri
+        (fun i t -> Alcotest.(check int) "value in slot" ((2 * i) + 1) t.Pool.value)
+        timed;
+      let total = Array.fold_left (fun acc w -> acc + w.Pool.tasks_run) 0 stats in
+      Alcotest.(check int) "every task ran once" 37 total)
+    [ 1; 2; 4 ]
+
+let test_pool_inline_when_serial () =
+  (* jobs <= 1 must not spawn domains: everything runs on worker 0. *)
+  let timed, stats, _ = Pool.map ~jobs:1 (fun i -> i) (Array.init 5 (fun i -> i)) in
+  Array.iter (fun t -> Alcotest.(check int) "worker 0" 0 t.Pool.worker) timed;
+  Alcotest.(check int) "one worker stat" 1 (Array.length stats)
+
+let test_pool_task_exception_propagates () =
+  match Pool.map ~jobs:2 (fun i -> if i = 3 then failwith "boom" else i) (Array.init 8 Fun.id) with
+  | _ -> Alcotest.fail "expected the task exception to re-raise at shutdown"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
+
+(* -- stats merge: a commutative monoid (warnings excepted, which
+      concatenate). -- *)
+
+let sample_stats () =
+  let w = Workloads.Synthetic.apache_like ~tests:0 () in
+  let r = Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ] w.binary in
+  r.Zipr.Pipeline.stats
+
+let test_stats_monoid () =
+  let a = sample_stats () in
+  let b = { a with Zipr.Reassemble.dollops_placed = 3; warnings = [ "w1" ] } in
+  Alcotest.(check bool) "left identity" true (Zipr.Reassemble.merge_stats Zipr.Reassemble.zero_stats a = a);
+  Alcotest.(check bool) "right identity" true (Zipr.Reassemble.merge_stats a Zipr.Reassemble.zero_stats = a);
+  let ab = Zipr.Reassemble.merge_stats a b and ba = Zipr.Reassemble.merge_stats b a in
+  Alcotest.(check bool)
+    "counters commute" true
+    ({ ab with Zipr.Reassemble.warnings = [] } = { ba with Zipr.Reassemble.warnings = [] });
+  Alcotest.(check (list string))
+    "warnings concatenate in fold order" [ "w1" ]
+    ab.Zipr.Reassemble.warnings
+
+(* -- Corpus: the ISSUE's property — jobs must not be observable in the
+      deterministic output surface. -- *)
+
+let corpus_items () =
+  (* Varied binaries, including the fragmentation-heavy one that splits
+     dollops, so the merged stats have every counter live. *)
+  List.map
+    (fun (w : Workloads.Synthetic.spec) ->
+      { Corpus.name = w.name; data = Zelf.Binary.serialize w.binary })
+    [
+      Workloads.Synthetic.apache_like ~tests:0 ();
+      Workloads.Synthetic.apache_like ~seed:904 ~tests:0 ();
+      Workloads.Synthetic.libc_like ~tests:0 ();
+      Workloads.Synthetic.frag_like ~tests:0 ();
+      Workloads.Synthetic.apache_like ~seed:905 ~tests:0 ();
+      Workloads.Synthetic.libc_like ~seed:906 ~tests:0 ();
+    ]
+
+let random_config =
+  { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = Zipr.Placement.random }
+
+let test_jobs_independence () =
+  let items = corpus_items () in
+  List.iter
+    (fun corpus_seed ->
+      let a =
+        Corpus.rewrite_all ~jobs:1 ~config:random_config
+          ~transforms:[ Transforms.Null.transform ] ~corpus_seed items
+      in
+      let b =
+        Corpus.rewrite_all ~jobs:4 ~config:random_config
+          ~transforms:[ Transforms.Null.transform ] ~corpus_seed items
+      in
+      List.iter2
+        (fun (x : Corpus.entry) (y : Corpus.entry) ->
+          Alcotest.(check int) "same index" x.index y.index;
+          Alcotest.(check int) "same derived seed" x.seed y.seed;
+          match (x.result, y.result) with
+          | Ok ox, Ok oy ->
+              Alcotest.(check bool)
+                (Printf.sprintf "byte-identical output (%s, corpus seed %d)" x.name corpus_seed)
+                true
+                (Bytes.equal ox.Corpus.rewritten oy.Corpus.rewritten);
+              Alcotest.(check bool) "same per-binary stats" true (ox.Corpus.stats = oy.Corpus.stats)
+          | Error ex, Error ey -> Alcotest.(check string) "same error" ex ey
+          | _ -> Alcotest.fail "ok/error verdict differs between jobs 1 and 4")
+        a.Corpus.entries b.Corpus.entries;
+      Alcotest.(check bool) "identical merged stats" true
+        (a.Corpus.merged_stats = b.Corpus.merged_stats);
+      Alcotest.(check int) "same ok count" a.Corpus.ok b.Corpus.ok;
+      Alcotest.(check int) "same failed count" a.Corpus.failed b.Corpus.failed;
+      Alcotest.(check bool) "merged counters live" true
+        (a.Corpus.merged_stats.Zipr.Reassemble.dollops_placed > 0))
+    [ 3; 1177 ]
+
+let test_corpus_error_isolation () =
+  let items =
+    [
+      { Corpus.name = "garbage"; data = Bytes.of_string "not an elf at all" };
+      List.nth (corpus_items ()) 0;
+      { Corpus.name = "empty"; data = Bytes.create 0 };
+    ]
+  in
+  let r = Corpus.rewrite_all ~jobs:2 ~corpus_seed:1 items in
+  Alcotest.(check int) "one ok" 1 r.Corpus.ok;
+  Alcotest.(check int) "two failed" 2 r.Corpus.failed;
+  Alcotest.(check int) "all entries reported" 3 (List.length r.Corpus.entries);
+  (match (List.nth r.Corpus.entries 0).Corpus.result with
+  | Error msg -> Alcotest.(check bool) "parse error surfaced" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "garbage item must fail");
+  match (List.nth r.Corpus.entries 1).Corpus.result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "good item failed: %s" e
+
+let test_corpus_seed_matters () =
+  let items = corpus_items () in
+  let outputs corpus_seed =
+    let r = Corpus.rewrite_all ~jobs:1 ~config:random_config ~corpus_seed items in
+    List.filter_map
+      (fun (e : Corpus.entry) ->
+        match e.Corpus.result with Ok o -> Some o.Corpus.rewritten | Error _ -> None)
+      r.Corpus.entries
+  in
+  Alcotest.(check bool) "different corpus seeds shuffle layouts" true
+    (outputs 3 <> outputs 4)
+
+(* -- fuzz driver: same property at the next layer up — the summary
+      (reproducers and failure order included) must not depend on jobs.
+      The injected fault makes every case fail, exercising minimization
+      on the workers. -- *)
+
+let test_fuzz_jobs_independence () =
+  let opts jobs =
+    {
+      Fuzz.Driver.default_options with
+      Fuzz.Driver.cases = 8;
+      seed = 9;
+      fault = Some Fuzz.Driver.Skip_pin;
+      shrink_budget = 40;
+      jobs;
+    }
+  in
+  let a = Fuzz.Driver.run (opts 1) and b = Fuzz.Driver.run (opts 3) in
+  Alcotest.(check string) "identical summary" (Fuzz.Driver.render_summary a)
+    (Fuzz.Driver.render_summary b);
+  Alcotest.(check int) "identical rewrite counters" a.Fuzz.Driver.rewrites b.Fuzz.Driver.rewrites;
+  Alcotest.(check int) "identical input counters" a.Fuzz.Driver.inputs_compared
+    b.Fuzz.Driver.inputs_compared;
+  List.iter2
+    (fun (x : Fuzz.Driver.failure) (y : Fuzz.Driver.failure) ->
+      Alcotest.(check int) "failure case order" x.Fuzz.Driver.case y.Fuzz.Driver.case;
+      Alcotest.(check string) "identical reproducer" x.Fuzz.Driver.repro_zasm
+        y.Fuzz.Driver.repro_zasm)
+    a.Fuzz.Driver.failures b.Fuzz.Driver.failures
+
+let suite =
+  [
+    Alcotest.test_case "Rng.derive pinned values" `Quick test_derive_pinned;
+    Alcotest.test_case "Rng.derive non-negative, collision-free" `Quick test_derive_properties;
+    Alcotest.test_case "pool map preserves order (jobs 1/2/4)" `Quick test_pool_map_order;
+    Alcotest.test_case "pool serial path stays inline" `Quick test_pool_inline_when_serial;
+    Alcotest.test_case "pool re-raises task exceptions" `Quick test_pool_task_exception_propagates;
+    Alcotest.test_case "stats merge is a monoid" `Quick test_stats_monoid;
+    Alcotest.test_case "corpus jobs 1 vs 4: byte-identical, same merged stats" `Slow
+      test_jobs_independence;
+    Alcotest.test_case "corpus isolates per-file failures" `Quick test_corpus_error_isolation;
+    Alcotest.test_case "corpus seed changes layouts" `Quick test_corpus_seed_matters;
+    Alcotest.test_case "fuzz jobs 1 vs 3: identical summary" `Slow test_fuzz_jobs_independence;
+  ]

@@ -169,6 +169,30 @@ let test_unreachable_code_kept_conservatively () =
     (Bytes.sub new_text.Zelf.Section.data off 30);
   check_equivalent ~name:"conservative keep" binary r.Zipr.Pipeline.rewritten
 
+(* -- rewrite_bytes is total: bad input files report, never raise -- *)
+
+let test_rewrite_bytes_total () =
+  let reject name data =
+    match Zipr.Pipeline.rewrite_bytes ~transforms:[ Transforms.Null.transform ] data with
+    | Error msg ->
+        Alcotest.(check bool) (name ^ " reports a reason") true (String.length msg > 0)
+    | Ok _ -> Alcotest.failf "%s accepted" name
+    | exception e -> Alcotest.failf "%s raised %s" name (Printexc.to_string e)
+  in
+  reject "empty file" (Bytes.create 0);
+  reject "garbage" (Bytes.of_string "this is not a binary, it is a sentence");
+  let good = Zelf.Binary.serialize (fst (Cgc.Cb_gen.generate ~seed:3 Cgc.Cb_gen.default_profile)) in
+  (* Truncations at every coarse prefix: header-only, mid-section-table,
+     mid-contents. *)
+  List.iter
+    (fun frac ->
+      let len = Bytes.length good * frac / 10 in
+      reject (Printf.sprintf "truncated to %d/10" frac) (Bytes.sub good 0 len))
+    [ 1; 3; 5; 8 ];
+  match Zipr.Pipeline.rewrite_bytes ~transforms:[ Transforms.Null.transform ] good with
+  | Ok out -> Alcotest.(check bool) "intact file still rewrites" true (Bytes.length out > 0)
+  | Error e -> Alcotest.failf "intact file rejected: %s" e
+
 let suite =
   [
     Alcotest.test_case "null fib (3 strategies)" `Quick test_null_fib;
@@ -184,4 +208,5 @@ let suite =
     Alcotest.test_case "file size overhead" `Quick test_file_size_overhead_reasonable;
     Alcotest.test_case "random layouts differ" `Quick test_random_layouts_differ;
     Alcotest.test_case "unreachable code kept" `Quick test_unreachable_code_kept_conservatively;
+    Alcotest.test_case "rewrite_bytes total on bad files" `Quick test_rewrite_bytes_total;
   ]

@@ -239,6 +239,28 @@ let test_one_layout_per_dollop_and_determinism () =
         (Digest.to_hex (Digest.bytes (Zelf.Binary.serialize r2.Zipr.Pipeline.rewritten))))
     [ Zipr.Placement.naive; Zipr.Placement.optimized; Zipr.Placement.random ]
 
+(* The drain-cache must be live, not vestigial: on the fragmentation-heavy
+   workload the optimized strategy splits dollops to fill fragments, and
+   every split precomputes its remainder's layout — which the prefix's
+   connector reference then demands, hitting the cache.  A stale cached
+   remainder (a row placed first by another reference) costs one extra
+   layout, so the identity is bounded rather than exact here. *)
+let test_split_remainders_reuse_layouts () =
+  let w = Workloads.Synthetic.frag_like ~tests:1 () in
+  let r =
+    Zipr.Pipeline.rewrite ~transforms:[ Transforms.Null.transform ]
+      w.Workloads.Synthetic.binary
+  in
+  let s = r.Zipr.Pipeline.stats in
+  Alcotest.(check bool) "workload splits dollops" true (s.Zipr.Reassemble.dollops_split > 0);
+  Alcotest.(check bool) "drain cache served reuses" true (s.Zipr.Reassemble.layout_reuses > 0);
+  Alcotest.(check bool) "reuses bounded by splits" true
+    (s.Zipr.Reassemble.layout_reuses <= s.Zipr.Reassemble.dollops_split);
+  Alcotest.(check bool) "layouts within stale bound" true
+    (s.Zipr.Reassemble.layouts_computed >= s.Zipr.Reassemble.dollops_placed
+    && s.Zipr.Reassemble.layouts_computed
+       <= s.Zipr.Reassemble.dollops_placed + (2 * s.Zipr.Reassemble.dollops_split))
+
 let suite =
   [
     Alcotest.test_case "memspace reserve/release" `Quick test_memspace_reserve_release;
@@ -257,4 +279,6 @@ let suite =
     Alcotest.test_case "sled simulation" `Quick test_sled_body_simulates_everywhere;
     Alcotest.test_case "one layout per dollop, deterministic" `Quick
       test_one_layout_per_dollop_and_determinism;
+    Alcotest.test_case "split remainders reuse cached layouts" `Quick
+      test_split_remainders_reuse_layouts;
   ]
