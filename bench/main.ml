@@ -288,7 +288,30 @@ let corpus_section () =
     speedup;
   say "outputs vs serial     %s" (if identical then "byte-identical" else "DIVERGED");
   if not identical then failwith "corpus outputs diverged between serial and parallel runs";
-  (serial, par, critical_path_s, speedup, List.length items)
+  (* IR cache: a cold pass populates it (all misses), a warm pass at the
+     configured job count must then hit on every item and still produce
+     byte-identical outputs. *)
+  let ir_cache = Irdb.Cache.create ~capacity:(2 * List.length items) () in
+  let cold = Parallel.Corpus.rewrite_all ~jobs:1 ~transforms ~ir_cache ~corpus_seed items in
+  let warm = Parallel.Corpus.rewrite_all ~jobs:!jobs ~transforms ~ir_cache ~corpus_seed items in
+  let cache_identical =
+    List.for_all2
+      (fun (a : Parallel.Corpus.entry) (b : Parallel.Corpus.entry) ->
+        match (a.result, b.result) with
+        | Ok x, Ok y -> Bytes.equal x.rewritten y.rewritten
+        | Error x, Error y -> x = y
+        | _ -> false)
+      serial.entries warm.entries
+  in
+  say "ir cache cold         %10.4f s IR, %d misses" cold.merged_timing.ir_construction_s
+    cold.merged_cache.Zipr.Pipeline.ir_cache_misses;
+  say "ir cache warm         %10.4f s IR, %d hits (at --jobs %d)"
+    warm.merged_timing.ir_construction_s warm.merged_cache.Zipr.Pipeline.ir_cache_hits !jobs;
+  say "warm outputs          %s" (if cache_identical then "byte-identical" else "DIVERGED");
+  if warm.merged_cache.Zipr.Pipeline.ir_cache_hits <> List.length items then
+    failwith "warm cache run did not hit on every corpus item";
+  if not cache_identical then failwith "warm cache outputs diverged from uncached run";
+  (serial, par, cold, warm, critical_path_s, speedup, List.length items)
 
 let throughput () =
   say "== Throughput: rewriter processing time vs binary size (§IV-A) ==";
@@ -315,7 +338,7 @@ let throughput () =
         (w.Workloads.Synthetic.name, text_bytes, t, s))
       specs
   in
-  let serial, par, critical_path_s, speedup, n_items = corpus_section () in
+  let serial, par, cold, warm, critical_path_s, speedup, n_items = corpus_section () in
   if !json_mode then begin
     let oc = open_out "BENCH_throughput.json" in
     let field fmt = Printf.fprintf oc fmt in
@@ -341,6 +364,14 @@ let throughput () =
       serial.Parallel.Corpus.wall_clock_s par.Parallel.Corpus.wall_clock_s;
     field "  \"critical_path_s\": %.6f,\n  \"speedup_vs_serial\": %.3f,\n" critical_path_s
       speedup;
+    field "  \"pool_spawn_s\": %.6f,\n" par.Parallel.Corpus.pool_spawn_s;
+    field "  \"ir_cache_hits\": %d,\n  \"ir_cache_misses\": %d,\n"
+      warm.Parallel.Corpus.merged_cache.Zipr.Pipeline.ir_cache_hits
+      (cold.Parallel.Corpus.merged_cache.Zipr.Pipeline.ir_cache_misses
+      + warm.Parallel.Corpus.merged_cache.Zipr.Pipeline.ir_cache_misses);
+    field "  \"ir_cold_s\": %.6f,\n  \"ir_warm_s\": %.6f,\n"
+      cold.Parallel.Corpus.merged_timing.Zipr.Pipeline.ir_construction_s
+      warm.Parallel.Corpus.merged_timing.Zipr.Pipeline.ir_construction_s;
     let ms = par.Parallel.Corpus.merged_stats in
     field "  \"corpus\": {\n    \"ok\": %d, \"failed\": %d,\n" par.Parallel.Corpus.ok
       par.Parallel.Corpus.failed;

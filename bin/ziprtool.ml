@@ -433,7 +433,17 @@ let batch_cmd =
       & opt (some string) None
       & info [ "ext" ] ~docv:"EXT" ~doc:"Only process files with this extension (e.g. .zbf).")
   in
-  let run tnames placement corpus_seed jobs ext indir outdir =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed IR cache directory (created if missing). A re-run over the \
+             same inputs restores each binary's IR from the cache instead of rebuilding \
+             it; outputs are byte-identical either way.")
+  in
+  let run tnames placement corpus_seed jobs ext cache_dir indir outdir =
     let unknown = List.filter (fun n -> transform_of_name n = None) tnames in
     if unknown <> [] then begin
       Printf.eprintf "error: unknown transforms: %s\n" (String.concat ", " unknown);
@@ -468,9 +478,12 @@ let batch_cmd =
           }
         in
         let transforms = List.filter_map transform_of_name tnames in
+        let ir_cache =
+          Option.map (fun dir -> Irdb.Cache.create ~dir ()) cache_dir
+        in
         let report =
-          Parallel.Corpus.rewrite_all ~jobs:(max 1 jobs) ~config ~transforms ~corpus_seed
-            items
+          Parallel.Corpus.rewrite_all ~jobs:(max 1 jobs) ~config ~transforms ?ir_cache
+            ~corpus_seed items
         in
         let rec ensure_dir d =
           if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
@@ -499,7 +512,8 @@ let batch_cmd =
           file: a binary that does not parse or fails to rewrite is reported and the \
           batch continues (exit 1 if any failed).")
     Term.(
-      const run $ transforms $ placement $ corpus_seed $ batch_jobs $ ext $ indir $ outdir)
+      const run $ transforms $ placement $ corpus_seed $ batch_jobs $ ext $ cache_dir
+      $ indir $ outdir)
 
 let () =
   let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in

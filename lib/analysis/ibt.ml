@@ -48,8 +48,8 @@ let compute ?(config = default_config) binary (agg : Disasm.Aggregate.t) =
   List.iter (fun a -> add t a Jump_table) (Jumptable.all_entries tables);
   (* Immediates and after-call sites in decoded code; branch targets of
      fixed ranges. *)
-  let ambiguous = Disasm.Aggregate.ambiguous_ranges agg in
-  let in_ambiguous addr = List.exists (fun (alo, ahi) -> addr >= alo && addr < ahi) ambiguous in
+  let ambiguous = Zipr_util.Interval_set.of_ranges (Disasm.Aggregate.ambiguous_ranges agg) in
+  let in_ambiguous addr = Zipr_util.Interval_set.mem ambiguous addr in
   Hashtbl.iter
     (fun addr (insn, len) ->
       List.iter (fun a -> add t a Code_immediate) (immediate_refs ~lo ~hi insn);
@@ -73,6 +73,13 @@ let compute ?(config = default_config) binary (agg : Disasm.Aggregate.t) =
 let pins t =
   Hashtbl.fold (fun addr reasons acc -> (addr, List.rev reasons) :: acc) t.table []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Inverse of [pins] (which reverses the per-address reason lists), so
+   [of_pins (pins t)] round-trips exactly. *)
+let of_pins entries =
+  let t = { table = Hashtbl.create (max 64 (List.length entries)) } in
+  List.iter (fun (addr, reasons) -> Hashtbl.replace t.table addr (List.rev reasons)) entries;
+  t
 
 let addresses t = List.map fst (pins t)
 

@@ -45,6 +45,10 @@ val compute : ?config:config -> Zelf.Binary.t -> Disasm.Aggregate.t -> t
 val pins : t -> (int * reason list) list
 (** Pinned addresses ascending, each with every reason that pinned it. *)
 
+val of_pins : (int * reason list) list -> t
+(** Rebuild a pin set from [pins] output — the IR cache restores the
+    analysis result instead of re-running the analysis. *)
+
 val addresses : t -> int list
 
 val is_pinned : t -> int -> bool

@@ -1,5 +1,6 @@
 module Db = Irdb.Db
 module Agg = Disasm.Aggregate
+module Iset = Zipr_util.Interval_set
 
 type t = {
   db : Db.t;
@@ -24,8 +25,6 @@ let data_ranges_of agg =
   done;
   if !start >= 0 then ranges := (agg.Agg.base + !start, agg.Agg.base + agg.Agg.len) :: !ranges;
   List.rev !ranges
-
-let in_ranges ranges addr = List.exists (fun (lo, hi) -> addr >= lo && addr < hi) ranges
 
 (* [sys 0] is the terminate system call: its syscall number is an
    immediate, so it statically never falls through.  Cutting the edge here
@@ -60,14 +59,18 @@ let speculative_decode db binary warnings addr =
                   (Zvm.Decode.error_to_string e)
                 :: !warnings;
               None
-          | Ok (insn, len) ->
-              let insn = Mandatory.rewrite_insn ~at:a insn in
+          | Ok (decoded, len) ->
+              let insn = Mandatory.rewrite_insn ~at:a decoded in
               (* orig_addr stays empty: the primary row at this range owns
                  the by-address index. *)
               let id = Db.add_insn db insn in
               (match prev with Some p -> Db.set_fallthrough db p (Some id) | None -> ());
-              (* Direct branch targets resolve against known rows. *)
-              (match Zvm.Insn.static_target ~at:a insn with
+              (* Direct branch targets resolve against known rows — from
+                 the decoded displacement, not the stored instruction:
+                 [rewrite_insn] zeroes direct-branch displacements (the
+                 logical [target] link is the truth), so resolving after
+                 the rewrite would aim every branch at [a + len]. *)
+              (match Zvm.Insn.static_target ~at:a decoded with
               | Some tgt -> (
                   match Db.find_by_orig_addr db tgt with
                   | Some tid -> Db.set_target db id (Some tid)
@@ -86,44 +89,63 @@ let build ?pin_config binary =
   let aggregate = Agg.run binary in
   List.iter (fun w -> warnings := w :: !warnings) aggregate.Agg.warnings;
   let pins = Analysis.Ibt.compute ?config:pin_config binary aggregate in
-  let db = Db.create ~orig:binary in
   let fixed_ranges = Agg.ambiguous_ranges aggregate in
   let data_ranges = data_ranges_of aggregate in
-  (* Rows for every decoded boundary. *)
-  Hashtbl.iter
-    (fun addr (insn, _len) -> ignore (Db.add_insn ~orig_addr:addr db insn))
-    aggregate.Agg.insn_at;
-  (* Logical links. *)
-  Hashtbl.iter
-    (fun addr (insn, len) ->
-      match Db.find_by_orig_addr db addr with
-      | None -> ()
-      | Some id ->
-          if falls_through insn then begin
-            match Db.find_by_orig_addr db (addr + len) with
-            | Some ft -> Db.set_fallthrough db id (Some ft)
-            | None ->
-                (* Falling into data or off the section: leave open. *)
-                if not (in_ranges data_ranges (addr + len)) then
-                  warnings :=
-                    Printf.sprintf "instruction at 0x%x falls through to unknown 0x%x" addr
-                      (addr + len)
-                    :: !warnings
-          end;
-          (match Zvm.Insn.static_target ~at:addr insn with
-          | Some tgt -> (
-              match Db.find_by_orig_addr db tgt with
-              | Some tid -> Db.set_target db id (Some tid)
-              | None ->
-                  warnings :=
-                    Printf.sprintf "branch at 0x%x targets unknown 0x%x" addr tgt :: !warnings)
-          | None -> ()))
-    aggregate.Agg.insn_at;
-  (* Fixed rows keep original bytes. *)
-  Db.iter db (fun r ->
-      match r.Db.orig_addr with
-      | Some a when in_ranges fixed_ranges a -> r.Db.fixed <- true
-      | _ -> ());
+  (* Containment queries (fixed?/data?) run once per boundary and once per
+     pin; interval sets make them O(log n) instead of a scan of the range
+     list. *)
+  let in_fixed = Iset.mem (Iset.of_ranges fixed_ranges) in
+  let in_data = Iset.mem (Iset.of_ranges data_ranges) in
+  let n_boundaries = Hashtbl.length aggregate.Agg.insn_at in
+  let db = Db.create ~size_hint:n_boundaries ~orig:binary () in
+  (* Sort the decoded boundaries once.  Ascending address is the canonical
+     row order: ids become independent of hash-table iteration order (the
+     cache depends on cold builds being reproducible), and the sorted
+     array gives the link pass its fallthrough successor by adjacency in
+     the common case. *)
+  let boundaries = Array.of_seq (Hashtbl.to_seq aggregate.Agg.insn_at) in
+  Array.sort (fun (a, _) (b, _) -> compare a b) boundaries;
+  let n = Array.length boundaries in
+  let ids = Array.make n (-1) in
+  for i = 0 to n - 1 do
+    let addr, (insn, _len) = boundaries.(i) in
+    let id = Db.add_insn ~orig_addr:addr db insn in
+    ids.(i) <- id;
+    (* Fixed rows keep original bytes; marking here folds the old
+       whole-db sweep into row creation. *)
+    if in_fixed addr then (Db.row db id).Db.fixed <- true
+  done;
+  (* Logical links, one pass over the same sorted array. *)
+  for i = 0 to n - 1 do
+    let addr, (insn, len) = boundaries.(i) in
+    let id = ids.(i) in
+    if falls_through insn then begin
+      let succ =
+        (* Adjacent boundary first; overlapping decodes in ambiguous
+           ranges can put other boundaries in between, so fall back to
+           the by-address index. *)
+        if i + 1 < n && fst boundaries.(i + 1) = addr + len then Some ids.(i + 1)
+        else Db.find_by_orig_addr db (addr + len)
+      in
+      match succ with
+      | Some ft -> Db.set_fallthrough db id (Some ft)
+      | None ->
+          (* Falling into data or off the section: leave open. *)
+          if not (in_data (addr + len)) then
+            warnings :=
+              Printf.sprintf "instruction at 0x%x falls through to unknown 0x%x" addr
+                (addr + len)
+              :: !warnings
+    end;
+    match Zvm.Insn.static_target ~at:addr insn with
+    | Some tgt -> (
+        match Db.find_by_orig_addr db tgt with
+        | Some tid -> Db.set_target db id (Some tid)
+        | None ->
+            warnings :=
+              Printf.sprintf "branch at 0x%x targets unknown 0x%x" addr tgt :: !warnings)
+    | None -> ()
+  done;
   (* Mandatory transformations, before user transforms see the IR. *)
   Mandatory.apply db;
   (* Pin assignment.  Pins that may be targeted by an indirect branch are
@@ -139,12 +161,12 @@ let build ?pin_config binary =
   List.iter
     (fun (addr, reasons) ->
       if List.exists indirect_reason reasons then Db.mark_pin db addr;
-      if in_ranges data_ranges addr then ()  (* data bytes are copied; nothing to pin *)
+      if in_data addr then ()  (* data bytes are copied; nothing to pin *)
       else
         match Db.find_by_orig_addr db addr with
         | Some id -> Db.pin db id addr
         | None -> (
-            if in_ranges fixed_ranges addr then
+            if in_fixed addr then
               (* Inside fixed bytes but not on a decoded boundary: the
                  original bytes are preserved, so the address stays valid
                  without a reference. *)
@@ -163,3 +185,198 @@ let build ?pin_config binary =
   | None -> warnings := "entry point is not a decoded instruction" :: !warnings);
   Analysis.Funcid.assign db;
   { db; aggregate; pins; fixed_ranges; data_ranges; warnings = List.rev !warnings }
+
+(* -- snapshot / restore: the payload behind Irdb.Cache -- *)
+
+(* Bump whenever any serialized shape changes (including the embedded
+   ZIRDB2 dump): the version participates in the cache key, so old
+   entries become unreachable instead of misparsed. *)
+let snapshot_version = "ZIRIR1"
+
+let fingerprint (config : Analysis.Ibt.config) =
+  Printf.sprintf "ibt:pin_after_calls=%b" config.Analysis.Ibt.pin_after_calls
+
+let reason_code = function
+  | Analysis.Ibt.Entry -> 0
+  | Analysis.Ibt.Data_scan -> 1
+  | Analysis.Ibt.Code_immediate -> 2
+  | Analysis.Ibt.Jump_table -> 3
+  | Analysis.Ibt.After_call -> 4
+  | Analysis.Ibt.Fixed_target -> 5
+  | Analysis.Ibt.Fixed_fallthrough -> 6
+
+let reason_of_code = function
+  | 0 -> Some Analysis.Ibt.Entry
+  | 1 -> Some Analysis.Ibt.Data_scan
+  | 2 -> Some Analysis.Ibt.Code_immediate
+  | 3 -> Some Analysis.Ibt.Jump_table
+  | 4 -> Some Analysis.Ibt.After_call
+  | 5 -> Some Analysis.Ibt.Fixed_target
+  | 6 -> Some Analysis.Ibt.Fixed_fallthrough
+  | _ -> None
+
+let verdict_char = function Agg.Code -> 'c' | Agg.Data -> 'd' | Agg.Ambiguous -> 'a'
+
+let verdict_of_char = function
+  | 'c' -> Some Agg.Code
+  | 'd' -> Some Agg.Data
+  | 'a' -> Some Agg.Ambiguous
+  | _ -> None
+
+let snapshot t =
+  let agg = t.aggregate in
+  let buf = Buffer.create (65536 + (Db.count t.db * 48)) in
+  Buffer.add_string buf (snapshot_version ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "B %d %d\n" agg.Agg.base agg.Agg.len);
+  (* Verdicts, run-length encoded: long uniform code/data stretches
+     dominate real layouts. *)
+  Buffer.add_string buf "V";
+  let i = ref 0 in
+  while !i < agg.Agg.len do
+    let v = agg.Agg.verdicts.(!i) in
+    let j = ref !i in
+    while !j < agg.Agg.len && agg.Agg.verdicts.(!j) = v do incr j done;
+    Buffer.add_string buf (Printf.sprintf " %c%d" (verdict_char v) (!j - !i));
+    i := !j
+  done;
+  Buffer.add_char buf '\n';
+  (* Decoded boundaries, ascending address (canonical, diff-friendly). *)
+  let boundaries = Array.of_seq (Hashtbl.to_seq agg.Agg.insn_at) in
+  Array.sort (fun (a, _) (b, _) -> compare a b) boundaries;
+  Array.iter
+    (fun (addr, (insn, len)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "A %d %s %d\n" addr
+           (Zipr_util.Hex.of_bytes (Zvm.Encode.to_bytes insn))
+           len))
+    boundaries;
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "GW %s\n" (String.escaped w)))
+    agg.Agg.warnings;
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "W %s\n" (String.escaped w)))
+    t.warnings;
+  List.iter
+    (fun (addr, reasons) ->
+      Buffer.add_string buf
+        (Printf.sprintf "P %d %s\n" addr
+           (String.concat "," (List.map (fun r -> string_of_int (reason_code r)) reasons))))
+    (Analysis.Ibt.pins t.pins);
+  Buffer.add_string buf "DB\n";
+  Buffer.add_string buf (Irdb.Dump.serialize_exact t.db);
+  Buffer.contents buf
+
+exception Restore of string
+
+(* The "DB" line splits the snapshot: header records above, an embedded
+   ZIRDB2 dump (parsed by its own codec) below. *)
+let split_at_db_marker s =
+  let n = String.length s in
+  if n >= 3 && String.sub s 0 3 = "DB\n" then Some ("", String.sub s 3 (n - 3))
+  else
+    let rec go i =
+      match String.index_from_opt s i '\n' with
+      | None -> None
+      | Some j ->
+          if j + 3 < n && s.[j + 1] = 'D' && s.[j + 2] = 'B' && s.[j + 3] = '\n' then
+            Some (String.sub s 0 (j + 1), String.sub s (j + 4) (n - j - 4))
+          else go (j + 1)
+    in
+    go 0
+
+let restore binary payload =
+  try
+    let header, dump =
+      match split_at_db_marker payload with
+      | Some parts -> parts
+      | None -> raise (Restore "no DB section")
+    in
+    let base = ref 0 and len = ref (-1) in
+    let verdicts = ref [||] in
+    let insn_at = Hashtbl.create 1024 in
+    let agg_warnings = ref [] in
+    let ir_warnings = ref [] in
+    let pin_list = ref [] in
+    List.iteri
+      (fun lineno line ->
+        let fail msg = raise (Restore (Printf.sprintf "line %d: %s" (lineno + 1) msg)) in
+        match String.split_on_char ' ' line with
+        | [ "" ] | [] -> ()
+        | [ v ] when v = snapshot_version -> if lineno <> 0 then fail "misplaced header"
+        | [ v ] when String.length v >= 5 && String.sub v 0 5 = "ZIRIR" ->
+            fail "snapshot version mismatch"
+        | [ "B"; b; l ] ->
+            base := int_of_string b;
+            len := int_of_string l;
+            verdicts := Array.make !len Agg.Data
+        | "V" :: runs ->
+            if !len < 0 then fail "V before B";
+            let off = ref 0 in
+            List.iter
+              (fun tok ->
+                if tok <> "" then begin
+                  let v =
+                    match verdict_of_char tok.[0] with
+                    | Some v -> v
+                    | None -> fail "bad verdict code"
+                  in
+                  let count = int_of_string (String.sub tok 1 (String.length tok - 1)) in
+                  if !off + count > !len then fail "verdict run overflows section";
+                  Array.fill !verdicts !off count v;
+                  off := !off + count
+                end)
+              runs;
+            if !off <> !len then fail "verdict runs do not cover section"
+        | [ "A"; addr; hex; ilen ] -> (
+            let bytes = Zipr_util.Hex.to_bytes hex in
+            match Zvm.Decode.decode_bytes bytes ~pos:0 with
+            | Error e ->
+                fail
+                  (Printf.sprintf "bad boundary instruction: %s"
+                     (Zvm.Decode.error_to_string e))
+            | Ok (insn, declen) ->
+                if declen <> Bytes.length bytes then fail "trailing bytes in boundary";
+                Hashtbl.replace insn_at (int_of_string addr) (insn, int_of_string ilen))
+        | "GW" :: rest -> agg_warnings := Scanf.unescaped (String.concat " " rest) :: !agg_warnings
+        | "W" :: rest -> ir_warnings := Scanf.unescaped (String.concat " " rest) :: !ir_warnings
+        | [ "P"; addr; codes ] ->
+            let reasons =
+              List.map
+                (fun c ->
+                  match reason_of_code (int_of_string c) with
+                  | Some r -> r
+                  | None -> fail "bad pin reason code")
+                (String.split_on_char ',' codes)
+            in
+            pin_list := (int_of_string addr, reasons) :: !pin_list
+        | _ -> fail "unrecognized record")
+      (String.split_on_char '\n' header);
+    if !len < 0 then raise (Restore "missing B record");
+    let aggregate =
+      {
+        Agg.base = !base;
+        len = !len;
+        verdicts = !verdicts;
+        insn_at;
+        warnings = List.rev !agg_warnings;
+      }
+    in
+    match Irdb.Dump.deserialize_exact ~size_hint:(Hashtbl.length insn_at) ~orig:binary dump with
+    | Error msg -> Error ("irdb: " ^ msg)
+    | Ok db ->
+        Ok
+          {
+            db;
+            aggregate;
+            pins = Analysis.Ibt.of_pins (List.rev !pin_list);
+            (* Pure functions of the verdicts; cheaper to recompute than
+               to persist and cross-check. *)
+            fixed_ranges = Agg.ambiguous_ranges aggregate;
+            data_ranges = data_ranges_of aggregate;
+            warnings = List.rev !ir_warnings;
+          }
+  with
+  | Restore msg -> Error msg
+  | Scanf.Scan_failure msg -> Error msg
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg

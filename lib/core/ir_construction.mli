@@ -24,4 +24,37 @@ val build : ?pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> t
     fixed-range marking, mandatory transformations, pinned-address
     assignment (including speculative decoding at pins that fall between
     known instruction boundaries), entry designation and function
-    identification. *)
+    identification.
+
+    Row ids are canonical: ascending original address for decoded
+    boundaries, then insertion order for speculative and
+    mandatory-transform rows.  Two builds of the same binary with the
+    same configuration produce identical IRDBs — the property the IR
+    cache's byte-identity guarantee rests on. *)
+
+(** {1 Snapshot / restore}
+
+    [build] dominates pipeline cost (disassembly, pin analysis, linking),
+    yet is a pure function of the binary and the pin configuration.
+    [snapshot]/[restore] serialize its {e result} so repeat rewrites of
+    the same input (fuzzing, corpus runs, [ziprtool batch --cache]) skip
+    the phase entirely; {!Irdb.Cache} stores the payloads, keyed by
+    {!Irdb.Cache.key} over [snapshot_version], {!fingerprint} and the
+    input bytes. *)
+
+val snapshot_version : string
+(** Participates in the cache key, so a codec change silently invalidates
+    old entries rather than misparsing them. *)
+
+val fingerprint : Analysis.Ibt.config -> string
+(** Stable digest input covering every configuration knob that affects
+    [build]'s output. *)
+
+val snapshot : t -> string
+
+val restore : Zelf.Binary.t -> string -> (t, string) result
+(** Rebuild a [build] result from [snapshot] output over the same binary.
+    [restore binary (snapshot (build binary))] is structurally identical
+    to the original — same row ids, links, pins, marks, functions, entry,
+    warnings — so downstream phases cannot distinguish a cache hit from a
+    cold build. *)

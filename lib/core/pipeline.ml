@@ -13,11 +13,14 @@ type timing = {
   reassembly_s : float;
 }
 
+type cache_stats = { ir_cache_hits : int; ir_cache_misses : int }
+
 type result = {
   rewritten : Zelf.Binary.t;
   ir : Ir_construction.t;
   stats : Reassemble.stats;
   timing : timing;
+  cache : cache_stats;
 }
 
 let zero_timing = { ir_construction_s = 0.0; transformation_s = 0.0; reassembly_s = 0.0 }
@@ -29,14 +32,54 @@ let add_timing a b =
     reassembly_s = a.reassembly_s +. b.reassembly_s;
   }
 
+let zero_cache_stats = { ir_cache_hits = 0; ir_cache_misses = 0 }
+
+let add_cache_stats a b =
+  {
+    ir_cache_hits = a.ir_cache_hits + b.ir_cache_hits;
+    ir_cache_misses = a.ir_cache_misses + b.ir_cache_misses;
+  }
+
 let timed f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-let rewrite ?(config = default_config) ~transforms binary =
-  let ir, ir_construction_s =
-    timed (fun () -> Ir_construction.build ~pin_config:config.pin_config binary)
+let ir_cache_key ~pin_config binary =
+  Irdb.Cache.key
+    [
+      Ir_construction.snapshot_version;
+      Ir_construction.fingerprint pin_config;
+      Bytes.to_string (Zelf.Binary.serialize binary);
+    ]
+
+(* IR acquisition: a cache hit restores the snapshot (skipping
+   disassembly, pin analysis and IR build); a miss — or a payload the
+   codec rejects — builds cold and (re)publishes the snapshot.  Either
+   way [ir_construction_s] times whichever path actually ran. *)
+let obtain_ir ?ir_cache ~pin_config binary =
+  let build () = timed (fun () -> Ir_construction.build ~pin_config binary) in
+  match ir_cache with
+  | None ->
+      let ir, t = build () in
+      (ir, t, zero_cache_stats)
+  | Some cache -> (
+      let key = ir_cache_key ~pin_config binary in
+      let build_and_store () =
+        let ir, t = build () in
+        Irdb.Cache.store cache ~key (Ir_construction.snapshot ir);
+        (ir, t, { ir_cache_hits = 0; ir_cache_misses = 1 })
+      in
+      match Irdb.Cache.find cache key with
+      | None -> build_and_store ()
+      | Some payload -> (
+          match timed (fun () -> Ir_construction.restore binary payload) with
+          | Ok ir, t -> (ir, t, { ir_cache_hits = 1; ir_cache_misses = 0 })
+          | Error _, _ -> build_and_store ()))
+
+let rewrite ?(config = default_config) ?ir_cache ~transforms binary =
+  let ir, ir_construction_s, cache =
+    obtain_ir ?ir_cache ~pin_config:config.pin_config binary
   in
   let (), transformation_s =
     timed (fun () -> Transform.apply_all transforms ir.Ir_construction.db)
@@ -44,20 +87,20 @@ let rewrite ?(config = default_config) ~transforms binary =
   let (rewritten, stats), reassembly_s =
     timed (fun () -> Reassemble.run ~strategy:config.placement ~seed:config.seed ir)
   in
-  { rewritten; ir; stats; timing = { ir_construction_s; transformation_s; reassembly_s } }
+  { rewritten; ir; stats; timing = { ir_construction_s; transformation_s; reassembly_s }; cache }
 
-let try_rewrite ?config ~transforms binary =
-  match rewrite ?config ~transforms binary with
+let try_rewrite ?config ?ir_cache ~transforms binary =
+  match rewrite ?config ?ir_cache ~transforms binary with
   | r -> Ok r
   | exception Reassemble.Failure_ msg -> Error ("reassembly failed: " ^ msg)
   | exception Stdlib.Failure msg -> Error ("pipeline failure: " ^ msg)
   | exception Invalid_argument msg -> Error ("pipeline invalid argument: " ^ msg)
   | exception Not_found -> Error "pipeline failure: lookup failed (Not_found)"
 
-let rewrite_bytes ?config ~transforms raw =
+let rewrite_bytes ?config ?ir_cache ~transforms raw =
   match Zelf.Binary.parse raw with
   | Error e -> Error (Format.asprintf "parse error: %a" Zelf.Binary.pp_parse_error e)
   | Ok binary ->
       Result.map
         (fun r -> Zelf.Binary.serialize r.rewritten)
-        (try_rewrite ?config ~transforms binary)
+        (try_rewrite ?config ?ir_cache ~transforms binary)

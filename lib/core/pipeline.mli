@@ -23,20 +23,49 @@ val add_timing : timing -> timing -> timing
 (** Per-phase sum; commutative, so a corpus aggregate is independent of
     completion order. *)
 
+type cache_stats = { ir_cache_hits : int; ir_cache_misses : int }
+(** Per-rewrite IR-cache outcome: at most one of the fields is 1, both 0
+    when no cache was supplied.  Aggregated over a corpus with
+    {!add_cache_stats}. *)
+
+val zero_cache_stats : cache_stats
+val add_cache_stats : cache_stats -> cache_stats -> cache_stats
+
 type result = {
   rewritten : Zelf.Binary.t;
   ir : Ir_construction.t;
   stats : Reassemble.stats;
   timing : timing;
+  cache : cache_stats;
 }
 
+val ir_cache_key : pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> string
+(** The content address of a binary's IR: digest of the snapshot codec
+    version, the pin-configuration fingerprint and the serialized input
+    bytes.  Any change to any of the three yields a different key, so
+    stale cache entries are unreachable by construction. *)
+
 val rewrite :
-  ?config:config -> transforms:Transform.t list -> Zelf.Binary.t -> result
+  ?config:config ->
+  ?ir_cache:Irdb.Cache.t ->
+  transforms:Transform.t list ->
+  Zelf.Binary.t ->
+  result
 (** Rewrite a binary.  Raises {!Reassemble.Failure_} on unrecoverable
-    reassembly problems. *)
+    reassembly problems.
+
+    With [ir_cache], IR construction is served from the cache when the
+    {!ir_cache_key} hits: disassembly, pinned-address analysis and IR
+    build are skipped and the snapshot is restored instead (the restored
+    IR is bit-identical to a cold build, so the rewritten output is too).
+    On a miss — or a payload {!Ir_construction.restore} rejects — the IR
+    is built cold and its snapshot (re)stored.  [timing.ir_construction_s]
+    covers whichever path ran; [result.cache] says which it was.  The
+    cache may be shared across domains. *)
 
 val try_rewrite :
   ?config:config ->
+  ?ir_cache:Irdb.Cache.t ->
   transforms:Transform.t list ->
   Zelf.Binary.t ->
   (result, string) Stdlib.result
@@ -47,6 +76,7 @@ val try_rewrite :
 
 val rewrite_bytes :
   ?config:config ->
+  ?ir_cache:Irdb.Cache.t ->
   transforms:Transform.t list ->
   bytes ->
   (bytes, string) Stdlib.result

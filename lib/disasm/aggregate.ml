@@ -30,56 +30,69 @@ let combine_sources binary (sources : Source.t list) =
       if s.Source.base <> base || s.Source.len <> len then
         invalid_arg "Aggregate.combine_sources: sources cover different ranges")
     sources;
+  (* Preextract the per-source claim arrays and confidences once, then
+     judge every byte in a single allocation-free inner loop: the verdict
+     needs only the first claimed start, start agreement, whether any
+     high-confidence tool claimed code, and whether any tool claimed data.
+     Allocation happens only on the (rare) warning paths. *)
+  let srcs = Array.of_list sources in
+  let n_sources = Array.length srcs in
+  let claims = Array.map (fun (s : Source.t) -> s.Source.claims) srcs in
+  let high = Array.map (fun (s : Source.t) -> s.Source.confidence = Source.High) srcs in
   let verdicts = Array.make len Data in
   let warnings = ref [] in
   let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
   for off = 0 to len - 1 do
-    let addr = base + off in
-    let code_claims =
-      List.filter_map
-        (fun (s : Source.t) ->
-          match s.Source.claims.(off) with
-          | Source.Code start -> Some (s.Source.name, s.Source.confidence, start)
-          | _ -> None)
-        sources
-    in
-    let data_claimed =
-      List.exists (fun (s : Source.t) -> s.Source.claims.(off) = Source.Data) sources
-    in
+    let n_code = ref 0 and start0 = ref 0 and agree = ref true in
+    let high_claim = ref false and data_claimed = ref false in
+    for i = 0 to n_sources - 1 do
+      match claims.(i).(off) with
+      | Source.Code start ->
+          if !n_code = 0 then start0 := start else if start <> !start0 then agree := false;
+          incr n_code;
+          if high.(i) then high_claim := true
+      | Source.Data -> data_claimed := true
+      | Source.Unknown -> ()
+    done;
     verdicts.(off) <-
-      (match code_claims with
-      | [] -> Data
-      | (_, _, start0) :: rest ->
-          let starts_agree = List.for_all (fun (_, _, st) -> st = start0) rest in
-          let high_claim =
-            List.exists (fun (_, conf, _) -> conf = Source.High) code_claims
-          in
-          if not starts_agree then begin
-            warn "boundary disagreement at 0x%x (%s)" addr
-              (String.concat ", "
-                 (List.map (fun (n, _, st) -> Printf.sprintf "%s@0x%x" n st) code_claims));
-            Ambiguous
-          end
-          else if data_claimed then begin
-            if high_claim then
-              warn "data claim at 0x%x contradicted by a high-confidence code claim" addr;
-            Ambiguous
-          end
-          else if high_claim then Code
-          else (* only low-confidence tools call it code: case 4 *) Ambiguous)
+      (if !n_code = 0 then Data
+       else if not !agree then begin
+         warn "boundary disagreement at 0x%x (%s)" (base + off)
+           (String.concat ", "
+              (List.filter_map
+                 (fun (s : Source.t) ->
+                   match s.Source.claims.(off) with
+                   | Source.Code st -> Some (Printf.sprintf "%s@0x%x" s.Source.name st)
+                   | _ -> None)
+                 sources));
+         Ambiguous
+       end
+       else if !data_claimed then begin
+         if !high_claim then
+           warn "data claim at 0x%x contradicted by a high-confidence code claim" (base + off);
+         Ambiguous
+       end
+       else if !high_claim then Code
+       else (* only low-confidence tools call it code: case 4 *) Ambiguous)
   done;
-  let insn_at = Hashtbl.create 256 in
+  let boundary_estimate =
+    Array.fold_left (fun acc (s : Source.t) -> max acc (Hashtbl.length s.Source.insns)) 16 srcs
+  in
+  let insn_at = Hashtbl.create boundary_estimate in
   (* Boundary preference: earlier sources are lower priority (later
      replace); order the list lowest-priority first. *)
   List.iter
     (fun (s : Source.t) -> Hashtbl.iter (fun addr v -> Hashtbl.replace insn_at addr v) s.Source.insns)
     sources;
   (* Drop boundaries that start inside bytes judged pure data. *)
-  Hashtbl.iter
-    (fun addr _ ->
-      let off = addr - base in
-      if off < 0 || off >= len || verdicts.(off) = Data then Hashtbl.remove insn_at addr)
-    (Hashtbl.copy insn_at);
+  let doomed =
+    Hashtbl.fold
+      (fun addr _ acc ->
+        let off = addr - base in
+        if off < 0 || off >= len || verdicts.(off) = Data then addr :: acc else acc)
+      insn_at []
+  in
+  List.iter (Hashtbl.remove insn_at) doomed;
   ignore binary;
   { base; len; verdicts; insn_at; warnings = List.rev !warnings }
 

@@ -161,8 +161,10 @@ let skip_pin (r : Zipr.Pipeline.result) =
 type counters = { mutable rewrites : int; mutable inputs : int }
 
 (* Returns the rewritten (possibly fault-injected) binary, or a failure
-   reason that already terminates the case. *)
-let rewrite_spec opts counters spec cfg =
+   reason that already terminates the case.  [ir_cache] pays off inside
+   minimization, which re-rewrites the same (or a shrunk) binary once per
+   shrink test: only the first rewrite of each distinct binary builds IR. *)
+let rewrite_spec ~ir_cache opts counters spec cfg =
   match Gen.build spec with
   | exception Failure msg -> Error ("generator failure: " ^ msg)
   | exception e -> Error ("generator exception: " ^ Printexc.to_string e)
@@ -178,7 +180,7 @@ let rewrite_spec opts counters spec cfg =
         }
       in
       let transforms = List.map to_transform cfg.transforms in
-      match Zipr.Pipeline.rewrite ~config ~transforms binary with
+      match Zipr.Pipeline.rewrite ~config ~ir_cache ~transforms binary with
       | exception Zipr.Reassemble.Failure_ msg ->
           counters.rewrites <- counters.rewrites + 1;
           Error ("reassembly failed: " ^ msg)
@@ -210,8 +212,8 @@ let rewrite_spec opts counters spec cfg =
               Ok (binary, rewritten, inputs)))
 
 (* First failing input for the case, or None. *)
-let check_case opts counters spec cfg =
-  match rewrite_spec opts counters spec cfg with
+let check_case ~ir_cache opts counters spec cfg =
+  match rewrite_spec ~ir_cache opts counters spec cfg with
   | Error reason -> Some ("", reason)
   | Ok (orig, rewritten, inputs) ->
       List.find_map
@@ -223,8 +225,8 @@ let check_case opts counters spec cfg =
         inputs
 
 (* Does this exact (spec, cfg, input) still fail?  Used by the shrinker. *)
-let still_fails opts counters (spec, cfg, input) =
-  match rewrite_spec opts counters spec cfg with
+let still_fails ~ir_cache opts counters (spec, cfg, input) =
+  match rewrite_spec ~ir_cache opts counters spec cfg with
   | Error _ -> true
   | Ok (orig, rewritten, _) -> (
       counters.inputs <- counters.inputs + 1;
@@ -232,8 +234,8 @@ let still_fails opts counters (spec, cfg, input) =
       | Diff.Diverged _ -> true
       | Diff.Equivalent | Diff.Undecided -> false)
 
-let failure_reason opts counters (spec, cfg, input) =
-  match rewrite_spec opts counters spec cfg with
+let failure_reason ~ir_cache opts counters (spec, cfg, input) =
+  match rewrite_spec ~ir_cache opts counters spec cfg with
   | Error reason -> reason
   | Ok (orig, rewritten, _) -> (
       match Diff.compare_on ~fuel:opts.max_steps ~orig ~rewritten input with
@@ -255,9 +257,9 @@ let shrink_candidates (spec, cfg, input) =
   let inputs = List.map (fun s -> (spec, cfg, s)) (Shrink.shrink_string input) in
   specs @ cfgs @ inputs
 
-let minimize opts counters spec cfg input =
+let minimize ~ir_cache opts counters spec cfg input =
   Shrink.greedy ~budget:opts.shrink_budget
-    ~check:(still_fails opts counters)
+    ~check:(still_fails ~ir_cache opts counters)
     ~candidates:shrink_candidates (spec, cfg, input)
 
 let hex_of_string s =
@@ -280,19 +282,19 @@ let repro_listing (spec, cfg, input) reason =
    This is the unit the parallel driver shards: per-case counters merge
    by summation, per-case verdicts assemble in case order, so the summary
    is identical whatever the worker count. *)
-let run_case opts log case rng =
+let run_case ~ir_cache opts log case rng =
   let counters = { rewrites = 0; inputs = 0 } in
   let spec = Gen.random_spec rng in
   let cfg = random_cfg rng in
   let failure =
-    match check_case opts counters spec cfg with
+    match check_case ~ir_cache opts counters spec cfg with
     | None -> None
     | Some (input, reason) ->
         log (Printf.sprintf "case %d FAILED: %s (minimizing...)" case reason);
         let (min_spec, min_cfg, min_input), shrink_tests =
-          minimize opts counters spec cfg input
+          minimize ~ir_cache opts counters spec cfg input
         in
-        let min_reason = failure_reason opts counters (min_spec, min_cfg, min_input) in
+        let min_reason = failure_reason ~ir_cache opts counters (min_spec, min_cfg, min_input) in
         Some
           {
             case;
@@ -315,11 +317,15 @@ let run ?(log = fun _ -> ()) opts =
      case [i] sees the same RNG under every [jobs] value. *)
   let master = Rng.create opts.seed in
   let case_rngs = Array.init (max 0 opts.cases) (fun _ -> Rng.split master) in
+  (* One mutex-protected cache shared by every case and worker: restored
+     IR is identical to cold-built IR, so hit/miss mix (which does vary
+     with scheduling) never reaches the deterministic surface. *)
+  let ir_cache = Irdb.Cache.create () in
   let results =
     if opts.jobs <= 1 then
       Array.mapi
         (fun case rng ->
-          let r = run_case opts log case rng in
+          let r = run_case ~ir_cache opts log case rng in
           (match r with
           | _, Some _ | _, None ->
               if (case + 1) mod 50 = 0 then
@@ -329,7 +335,7 @@ let run ?(log = fun _ -> ()) opts =
     else
       let timed, _, _ =
         Parallel.Pool.map ~jobs:opts.jobs
-          (fun (case, rng) -> run_case opts log case rng)
+          (fun (case, rng) -> run_case ~ir_cache opts log case rng)
           (Array.mapi (fun case rng -> (case, rng)) case_rngs)
       in
       Array.map (fun t -> t.Parallel.Pool.value) timed

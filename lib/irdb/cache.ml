@@ -1,0 +1,135 @@
+let version = "ZIRCACHE1"
+
+type t = {
+  capacity : int;
+  dir : string option;
+  lock : Mutex.t;
+  entries : (string, string) Hashtbl.t;
+  last_use : (string, int) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ?(capacity = 64) ?dir () =
+  (match dir with
+  | Some d -> ( try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | None -> ());
+  {
+    capacity = max 1 capacity;
+    dir;
+    lock = Mutex.create ();
+    entries = Hashtbl.create 64;
+    last_use = Hashtbl.create 64;
+    tick = 0;
+  }
+
+let dir t = t.dir
+
+(* Length-prefix every part so ["ab"; "c"] and ["a"; "bc"] hash apart. *)
+let key parts =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf p)
+    parts;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let touch t k =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.last_use k t.tick
+
+let evict_until_room t =
+  while Hashtbl.length t.entries >= t.capacity do
+    let age k = Option.value (Hashtbl.find_opt t.last_use k) ~default:0 in
+    let victim =
+      Hashtbl.fold
+        (fun k _ acc ->
+          match acc with Some k' when age k' <= age k -> acc | _ -> Some k)
+        t.entries None
+    in
+    match victim with
+    | Some k ->
+        Hashtbl.remove t.entries k;
+        Hashtbl.remove t.last_use k
+    | None -> Hashtbl.reset t.entries
+  done
+
+let insert t k payload =
+  if not (Hashtbl.mem t.entries k) then evict_until_room t;
+  Hashtbl.replace t.entries k payload;
+  touch t k
+
+(* -- disk layer -- *)
+
+let frame k payload = version ^ " " ^ k ^ "\n" ^ payload
+
+(* The key is embedded in the file so a renamed, truncated or corrupted
+   entry reads as a miss, never as a wrong payload. *)
+let unframe k s =
+  let header = version ^ " " ^ k ^ "\n" in
+  let hl = String.length header in
+  if String.length s >= hl && String.sub s 0 hl = header then
+    Some (String.sub s hl (String.length s - hl))
+  else None
+
+let entry_path d k = Filename.concat d (k ^ ".zirc")
+
+let read_file p =
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try Some (really_input_string ic (in_channel_length ic))
+          with Sys_error _ | End_of_file -> None)
+
+let disk_find t k =
+  match t.dir with
+  | None -> None
+  | Some d -> Option.bind (read_file (entry_path d k)) (unframe k)
+
+let disk_store t k payload =
+  match t.dir with
+  | None -> ()
+  | Some d -> (
+      (* Write-to-temp + rename keeps concurrent readers (and workers on
+         other domains writing the same key) from ever observing a partial
+         entry; the domain id keeps temp names from colliding. *)
+      let tmp =
+        Filename.concat d (Printf.sprintf ".tmp.%s.%d" k (Domain.self () :> int))
+      in
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (frame k payload));
+        Sys.rename tmp (entry_path d k)
+      with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+
+(* -- lookup / store -- *)
+
+let find t k =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.entries k with
+      | Some payload ->
+          touch t k;
+          Some payload
+      | None -> (
+          match disk_find t k with
+          | Some payload ->
+              insert t k payload;
+              Some payload
+          | None -> None))
+
+let store t ~key:k payload =
+  with_lock t (fun () ->
+      insert t k payload;
+      disk_store t k payload)
+
+let mem_entries t = with_lock t (fun () -> Hashtbl.length t.entries)

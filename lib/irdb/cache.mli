@@ -1,0 +1,39 @@
+(** Content-addressed store for IR snapshots.
+
+    IR construction is the dominant pipeline phase (see DESIGN.md's phase
+    cost table), yet for a fixed input binary and pin configuration it is
+    a pure function — so the fuzz harness and [Corpus.rewrite_all], which
+    revisit the same binaries many times, can skip it entirely.  This
+    module is the store: payloads (serialized IR snapshots, opaque
+    strings here) are addressed by a digest of everything that determines
+    them, so a stale entry is structurally unreachable rather than merely
+    invalidated.
+
+    The store is a mutex-protected in-memory LRU with an optional on-disk
+    layer ([ziprtool batch --cache DIR]).  Disk entries embed their own
+    key, so corruption or renaming reads back as a miss, never as a wrong
+    payload; writes go through a temp file + atomic rename, so concurrent
+    domains racing on one key each publish a complete entry.  All
+    operations are safe to call from multiple domains sharing one [t]. *)
+
+type t
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [capacity] bounds the in-memory entry count (default 64; least
+    recently used entries are evicted).  [dir] enables the disk layer;
+    the directory is created if missing. *)
+
+val key : string list -> string
+(** Digest of the given parts (length-prefixed, so part boundaries are
+    unambiguous).  Callers include every input that determines the
+    payload: codec version, input bytes, configuration fingerprint. *)
+
+val find : t -> string -> string option
+(** Memory first, then disk (a disk hit is promoted into memory). *)
+
+val store : t -> key:string -> string -> unit
+
+val dir : t -> string option
+
+val mem_entries : t -> int
+(** In-memory entry count, for tests of the eviction policy. *)

@@ -30,12 +30,13 @@ type t = {
   mutable reloc_list : reloc list;  (* reversed *)
 }
 
-let create ~orig =
+let create ?(size_hint = 1024) ~orig () =
+  let size_hint = max 16 size_hint in
   {
     orig_binary = orig;
-    rows = Hashtbl.create 1024;
-    by_orig = Hashtbl.create 1024;
-    by_pin = Hashtbl.create 64;
+    rows = Hashtbl.create size_hint;
+    by_orig = Hashtbl.create size_hint;
+    by_pin = Hashtbl.create (max 64 (size_hint / 8));
     next_id = 0;
     entry_id = -1;
     functions = [];
@@ -212,6 +213,9 @@ let relocs t = List.rev t.reloc_list
 let mark_pin t addr = Hashtbl.replace t.marked_pins addr ()
 
 let pin_is_marked t addr = Hashtbl.mem t.marked_pins addr
+
+let marked_pins t =
+  Hashtbl.fold (fun addr () acc -> addr :: acc) t.marked_pins [] |> List.sort compare
 
 let validate t =
   let issues = ref [] in

@@ -43,8 +43,11 @@ type func = { fid : int; fname : string; entry : insn_id }
 
 type t
 
-val create : orig:Zelf.Binary.t -> t
-(** An empty IRDB for rewriting the given binary. *)
+val create : ?size_hint:int -> orig:Zelf.Binary.t -> unit -> t
+(** An empty IRDB for rewriting the given binary.  [size_hint] presizes
+    the row and original-address indexes (IR construction passes the
+    aggregate's decoded-boundary count so the tables never rehash during
+    the build). *)
 
 val orig : t -> Zelf.Binary.t
 
@@ -160,6 +163,11 @@ val mark_pin : t -> int -> unit
     reassembles over them. *)
 
 val pin_is_marked : t -> int -> bool
+
+val marked_pins : t -> int list
+(** Every address passed to {!mark_pin}, ascending — including marks on
+    addresses whose pin was later dropped.  Needed by the exact
+    persistence codec ({!Dump.serialize_exact}). *)
 
 (* Consistency *)
 

@@ -59,10 +59,34 @@ let serialize db =
     (Db.pinned_addresses db);
   Buffer.contents buf
 
+(* -- exact (v2) codec: id-preserving round trip -- *)
+
+let row_record (r : Db.row) =
+  Printf.sprintf "R %d %s %s %s %s %s %d %s\n" r.Db.id
+    (Zipr_util.Hex.of_bytes (Zvm.Encode.to_bytes r.Db.insn))
+    (opt_int r.Db.fallthrough) (opt_int r.Db.target) (opt_int r.Db.pinned)
+    (opt_int r.Db.orig_addr)
+    (if r.Db.fixed then 1 else 0)
+    (opt_int r.Db.func)
+
+let serialize_exact db =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "ZIRDB2\n";
+  Buffer.add_string buf (Printf.sprintf "E %d\n" (Db.entry db));
+  List.iter (fun id -> Buffer.add_string buf (row_record (Db.row db id))) (Db.ids db);
+  List.iter
+    (fun (f : Db.func) ->
+      Buffer.add_string buf (Printf.sprintf "F %d %s %d\n" f.Db.fid f.Db.fname f.Db.entry))
+    (Db.funcs db);
+  List.iter
+    (fun addr -> Buffer.add_string buf (Printf.sprintf "M %d\n" addr))
+    (Db.marked_pins db);
+  Buffer.contents buf
+
 exception Parse of string
 
 let deserialize ~orig text =
-  let db = Db.create ~orig in
+  let db = Db.create ~orig () in
   let id_map : (int, Db.insn_id) Hashtbl.t = Hashtbl.create 256 in
   (* Deferred work that needs the complete id map. *)
   let links = ref [] in
@@ -123,6 +147,59 @@ let deserialize ~orig text =
       !funcs;
     List.iter (Db.mark_pin db) !marks;
     (match !entry with Some e -> Db.set_entry db (resolve e) | None -> ());
+    Ok db
+  with
+  | Parse msg -> Error msg
+  | Failure msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let deserialize_exact ?size_hint ~orig text =
+  let db = Db.create ?size_hint ~orig () in
+  let entry = ref (-1) in
+  let next_fid = ref 0 in
+  let parse_opt s = if s = "-" then None else Some (int_of_string s) in
+  try
+    List.iteri
+      (fun lineno line ->
+        let fail msg = raise (Parse (Printf.sprintf "line %d: %s" (lineno + 1) msg)) in
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "" ] | [] -> ()
+        | [ "ZIRDB2" ] -> if lineno <> 0 then fail "misplaced ZIRDB2 header"
+        | [ "ZIRDB1" ] -> fail "version 1 dump; use deserialize"
+        | [ "E"; e ] -> entry := int_of_string e
+        | [ "R"; id; hex; ft; tgt; pin; orig_addr; fixed; func ] -> (
+            let bytes = Zipr_util.Hex.to_bytes hex in
+            match Zvm.Decode.decode_bytes bytes ~pos:0 with
+            | Error e -> fail (Printf.sprintf "bad instruction: %s" (Zvm.Decode.error_to_string e))
+            | Ok (insn, len) ->
+                if len <> Bytes.length bytes then fail "trailing bytes in instruction";
+                let new_id = Db.add_insn ?orig_addr:(parse_opt orig_addr) db insn in
+                (* The exact codec promises id preservation: records are
+                   written ascending and dense, so replaying them through
+                   [add_insn] must reproduce every id bit-for-bit. *)
+                if new_id <> int_of_string id then
+                  fail (Printf.sprintf "non-dense row id %s (got %d)" id new_id);
+                Db.set_fallthrough db new_id (parse_opt ft);
+                Db.set_target db new_id (parse_opt tgt);
+                (match parse_opt pin with Some a -> Db.pin db new_id a | None -> ());
+                if fixed = "1" then (Db.row db new_id).Db.fixed <- true;
+                match parse_opt func with
+                | Some f -> Db.set_func db new_id f
+                | None -> ())
+        | "F" :: fid :: fname :: [ fentry ] ->
+            let fid = int_of_string fid in
+            if fid <> !next_fid then fail "function ids not dense";
+            incr next_fid;
+            ignore (Db.add_func db ~fname ~entry:(int_of_string fentry))
+        | [ "M"; addr ] -> Db.mark_pin db (int_of_string addr)
+        | _ -> fail "unrecognized record")
+      (String.split_on_char '\n' text);
+    if !entry >= 0 then Db.set_entry db !entry;
+    (* Links were stored as raw ids; confirm they all landed on live rows
+       (and the other structural invariants) before handing the db out. *)
+    (match Db.validate db with
+    | [] -> ()
+    | issues -> raise (Parse (String.concat "; " issues)));
     Ok db
   with
   | Parse msg -> Error msg

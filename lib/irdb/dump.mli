@@ -28,3 +28,19 @@ val deserialize : orig:Zelf.Binary.t -> string -> (Db.t, string) result
     Row ids are preserved.  Transform-added sections and relocations are
     {e not} persisted (persist before transformation, as the pipeline
     does between its phases). *)
+
+(** {2 Exact (version 2) codec}
+
+    The IR cache needs a {e bit-exact} round trip: a db restored from a
+    snapshot must reassemble to the same bytes as the db that produced
+    it, which means row ids (placement iterates them in order), every
+    pin mark (including marks whose pin was later dropped) and the entry
+    sentinel must all survive.  [serialize_exact]/[deserialize_exact]
+    are that codec; the [ZIRDB2] header keeps the two formats from being
+    confused.  [deserialize_exact] re-validates the structural invariants
+    and errors (rather than degrading) on ids it cannot reproduce. *)
+
+val serialize_exact : Db.t -> string
+
+val deserialize_exact :
+  ?size_hint:int -> orig:Zelf.Binary.t -> string -> (Db.t, string) result

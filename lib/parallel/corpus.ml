@@ -6,6 +6,7 @@ type outcome = {
   rewritten : bytes;
   stats : Zipr.Reassemble.stats;
   timing : Zipr.Pipeline.timing;
+  cache : Zipr.Pipeline.cache_stats;
 }
 
 type entry = {
@@ -26,17 +27,19 @@ type report = {
   failed : int;
   merged_stats : Zipr.Reassemble.stats;
   merged_timing : Zipr.Pipeline.timing;
+  merged_cache : Zipr.Pipeline.cache_stats;
   rewrite_total_s : float;
   wall_clock_s : float;
   queue_wait_total_s : float;
   queue_wait_max_s : float;
+  pool_spawn_s : float;
   shards : Pool.worker_stat list;
 }
 
 (* The per-item task: total by construction.  [Pipeline.try_rewrite]
    renders pipeline exceptions; parse errors are rendered here; both
    leave the worker alive for the next item. *)
-let rewrite_one ~config ~transforms ~corpus_seed (index, it) =
+let rewrite_one ?ir_cache ~config ~transforms ~corpus_seed (index, it) =
   let seed = Rng.derive ~corpus_seed ~index in
   let config = { config with Zipr.Pipeline.seed } in
   let result =
@@ -50,19 +53,29 @@ let rewrite_one ~config ~transforms ~corpus_seed (index, it) =
               rewritten = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten;
               stats = r.Zipr.Pipeline.stats;
               timing = r.Zipr.Pipeline.timing;
+              cache = r.Zipr.Pipeline.cache;
             })
-          (Zipr.Pipeline.try_rewrite ~config ~transforms binary)
+          (Zipr.Pipeline.try_rewrite ~config ?ir_cache ~transforms binary)
   in
   (seed, result)
 
 let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transforms = [])
-    ~corpus_seed items =
+    ?ir_cache ~corpus_seed items =
   let arr = Array.of_list items in
+  let n = Array.length arr in
+  let tagged = Array.mapi (fun i it -> (i, it)) arr in
+  let task = rewrite_one ?ir_cache ~config ~transforms ~corpus_seed in
+  (* Domain spawn is pool overhead, not rewriting: keep it out of
+     [wall_clock_s] (and report it separately) so the speedup numbers
+     compare work against work, not work against work-plus-startup. *)
+  let spawn0 = Unix.gettimeofday () in
+  let pool = if jobs > 1 && n > 1 then Some (Pool.create ~jobs:(min jobs n)) else None in
+  let pool_spawn_s = Unix.gettimeofday () -. spawn0 in
   let t0 = Unix.gettimeofday () in
   let timed, shards, qstats =
-    Pool.map ~jobs
-      (rewrite_one ~config ~transforms ~corpus_seed)
-      (Array.mapi (fun i it -> (i, it)) arr)
+    match pool with
+    | Some p -> Pool.map_on p task tagged
+    | None -> Pool.map ~jobs task tagged
   in
   let wall_clock_s = Unix.gettimeofday () -. t0 in
   let entries =
@@ -82,18 +95,24 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
   (* Fold in index order: the stats/timing merges are commutative, but
      warning lists concatenate, and index order makes the report a pure
      function of the inputs. *)
-  let ok, failed, merged_stats, merged_timing, rewrite_total_s =
+  let ok, failed, merged_stats, merged_timing, merged_cache, rewrite_total_s =
     List.fold_left
-      (fun (ok, failed, ms, mt, tot) e ->
+      (fun (ok, failed, ms, mt, mc, tot) e ->
         match e.result with
         | Ok o ->
             ( ok + 1,
               failed,
               Zipr.Reassemble.merge_stats ms o.stats,
               Zipr.Pipeline.add_timing mt o.timing,
+              Zipr.Pipeline.add_cache_stats mc o.cache,
               tot +. e.elapsed_s )
-        | Error _ -> (ok, failed + 1, ms, mt, tot +. e.elapsed_s))
-      (0, 0, Zipr.Reassemble.zero_stats, Zipr.Pipeline.zero_timing, 0.0)
+        | Error _ -> (ok, failed + 1, ms, mt, mc, tot +. e.elapsed_s))
+      ( 0,
+        0,
+        Zipr.Reassemble.zero_stats,
+        Zipr.Pipeline.zero_timing,
+        Zipr.Pipeline.zero_cache_stats,
+        0.0 )
       entries
   in
   {
@@ -104,8 +123,10 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
     failed;
     merged_stats;
     merged_timing;
+    merged_cache;
     rewrite_total_s;
     wall_clock_s;
+    pool_spawn_s;
     queue_wait_total_s = qstats.Pool.wait_total_s;
     queue_wait_max_s = qstats.Pool.wait_max_s;
     shards = Array.to_list shards;
@@ -114,14 +135,17 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>corpus: %d binaries, %d ok, %d failed (jobs=%d, corpus-seed=%d)@,\
-     wall %.3fs, serial-equivalent %.3fs, queue wait total %.3fs max %.3fs@,\
+     wall %.3fs (+%.3fs pool spawn), serial-equivalent %.3fs, queue wait total %.3fs max \
+     %.3fs@,\
      merged: %a@,\
-     merged timing: ir %.3fs transform %.3fs reassembly %.3fs@,"
-    (r.ok + r.failed) r.ok r.failed r.jobs r.corpus_seed r.wall_clock_s r.rewrite_total_s
-    r.queue_wait_total_s r.queue_wait_max_s Zipr.Reassemble.pp_stats r.merged_stats
-    r.merged_timing.Zipr.Pipeline.ir_construction_s
+     merged timing: ir %.3fs transform %.3fs reassembly %.3fs@,\
+     ir-cache: %d hits, %d misses@,"
+    (r.ok + r.failed) r.ok r.failed r.jobs r.corpus_seed r.wall_clock_s r.pool_spawn_s
+    r.rewrite_total_s r.queue_wait_total_s r.queue_wait_max_s Zipr.Reassemble.pp_stats
+    r.merged_stats r.merged_timing.Zipr.Pipeline.ir_construction_s
     r.merged_timing.Zipr.Pipeline.transformation_s
-    r.merged_timing.Zipr.Pipeline.reassembly_s;
+    r.merged_timing.Zipr.Pipeline.reassembly_s r.merged_cache.Zipr.Pipeline.ir_cache_hits
+    r.merged_cache.Zipr.Pipeline.ir_cache_misses;
   List.iter
     (fun (s : Pool.worker_stat) ->
       Format.fprintf ppf "shard %d: %d binaries, busy %.3fs@," s.Pool.worker s.Pool.tasks_run

@@ -27,6 +27,7 @@ type outcome = {
   rewritten : bytes;  (** serialized rewritten binary *)
   stats : Zipr.Reassemble.stats;
   timing : Zipr.Pipeline.timing;
+  cache : Zipr.Pipeline.cache_stats;
 }
 
 type entry = {
@@ -47,11 +48,19 @@ type report = {
   failed : int;
   merged_stats : Zipr.Reassemble.stats;  (** over successful entries *)
   merged_timing : Zipr.Pipeline.timing;
+  merged_cache : Zipr.Pipeline.cache_stats;
+      (** IR-cache hits/misses summed over successful entries; zeros when
+          no [ir_cache] was supplied *)
   rewrite_total_s : float;
       (** sum of per-entry elapsed time: the serial-equivalent work *)
   wall_clock_s : float;
+      (** submit-to-join time for the rewriting itself; excludes domain
+          startup (see [pool_spawn_s]) *)
   queue_wait_total_s : float;
   queue_wait_max_s : float;
+  pool_spawn_s : float;
+      (** seconds spent spawning worker domains before any task ran; 0
+          on the inline serial path *)
   shards : Pool.worker_stat list;
 }
 
@@ -59,6 +68,7 @@ val rewrite_all :
   ?jobs:int ->
   ?config:Zipr.Pipeline.config ->
   ?transforms:Zipr.Transform.t list ->
+  ?ir_cache:Irdb.Cache.t ->
   corpus_seed:int ->
   item list ->
   report
@@ -66,7 +76,13 @@ val rewrite_all :
     (whose [seed] field is overridden per binary by the derived shard
     seed), no transforms.  [entries], [merged_stats] and [merged_timing]
     are a pure function of [(items, config, transforms, corpus_seed)] —
-    the timing floats excepted. *)
+    the timing floats excepted.
+
+    [ir_cache] is shared by every worker domain (the cache is
+    mutex-protected): repeat rewrites of a binary already in the cache
+    restore its IR instead of rebuilding it.  Because a restored IR is
+    identical to a cold build, outputs stay byte-identical whatever mix
+    of hits and misses — and whatever [jobs] value — the run sees. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable corpus summary (counts, merged stats, shard and queue

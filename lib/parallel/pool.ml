@@ -98,6 +98,30 @@ let shutdown t =
 
 type 'b timed = { value : 'b; elapsed_s : float; queue_wait_s : float; worker : int }
 
+let map_on t f arr =
+  let n = Array.length arr in
+  let results = Array.make n None in
+  Array.iteri
+    (fun i x ->
+      submit t (fun ~worker ~wait_s ->
+          let t0 = now () in
+          let value = f x in
+          let elapsed_s = now () -. t0 in
+          (* Distinct slots, one writer each; publication happens-before
+             the reads below via [Domain.join] inside [shutdown]. *)
+          results.(i) <- Some { value; elapsed_s; queue_wait_s = wait_s; worker }))
+    arr;
+  let stats, qstats = shutdown t in
+  let out =
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some v -> v
+        | None -> invalid_arg (Printf.sprintf "Pool.map: task %d produced no result" i))
+      results
+  in
+  (out, stats, qstats)
+
 let map ~jobs f arr =
   let n = Array.length arr in
   if jobs <= 1 || n <= 1 then begin
@@ -117,27 +141,4 @@ let map ~jobs f arr =
       [| { worker = 0; tasks_run = n; busy_s = !busy } |],
       { wait_total_s = 0.0; wait_max_s = 0.0 } )
   end
-  else begin
-    let results = Array.make n None in
-    let t = create ~jobs:(min jobs n) in
-    Array.iteri
-      (fun i x ->
-        submit t (fun ~worker ~wait_s ->
-            let t0 = now () in
-            let value = f x in
-            let elapsed_s = now () -. t0 in
-            (* Distinct slots, one writer each; publication happens-before
-               the reads below via [Domain.join] inside [shutdown]. *)
-            results.(i) <- Some { value; elapsed_s; queue_wait_s = wait_s; worker }))
-      arr;
-    let stats, qstats = shutdown t in
-    let out =
-      Array.mapi
-        (fun i r ->
-          match r with
-          | Some v -> v
-          | None -> invalid_arg (Printf.sprintf "Pool.map: task %d produced no result" i))
-        results
-    in
-    (out, stats, qstats)
-  end
+  else map_on (create ~jobs:(min jobs n)) f arr

@@ -50,3 +50,10 @@ val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b timed array * worker_stat arr
     returns results in input order regardless of scheduling.  [jobs <= 1]
     runs inline on the calling thread (no domains), which is the serial
     baseline the parallel paths are tested for byte-equality against. *)
+
+val map_on : t -> ('a -> 'b) -> 'a array -> 'b timed array * worker_stat array * queue_stats
+(** Like {!map}, on a pool the caller already {!create}d; the pool is
+    {!shutdown} before returning (it cannot be reused).  Splitting spawn
+    from mapping lets callers keep domain startup — milliseconds per
+    domain, easily dwarfing small workloads — out of their timed region;
+    {!map} conflates the two. *)

@@ -123,6 +123,11 @@ let rec succ_member t p =
 let mem t p =
   match pred_member t p with Some (_, hi) -> p < hi | None -> false
 
+let find_containing t p =
+  match pred_member t p with
+  | Some (lo, hi) when p < hi -> Some (lo, hi)
+  | _ -> None
+
 let contains_range t ~lo ~hi =
   if hi <= lo then true
   else match pred_member t lo with Some (_, mhi) -> hi <= mhi | None -> false
@@ -149,6 +154,9 @@ let add t ~lo ~hi =
     done;
     insert !t !lo !hi
   end
+
+let of_ranges ranges =
+  List.fold_left (fun t (lo, hi) -> add t ~lo ~hi) empty ranges
 
 let remove t ~lo ~hi =
   if hi <= lo then t

@@ -28,7 +28,17 @@ val remove : t -> lo:int -> hi:int -> t
     needed. *)
 
 val mem : t -> int -> bool
-(** Is the point inside some interval? *)
+(** Is the point inside some interval?  [O(log n)]. *)
+
+val find_containing : t -> int -> (int * int) option
+(** The member interval containing the point, if any.  [O(log n)] — this
+    is the containment query IR construction and IBT analysis issue per
+    address against the data/fixed/ambiguous range sets. *)
+
+val of_ranges : (int * int) list -> t
+(** Build a set from arbitrary [(lo, hi)] pairs (overlap and adjacency
+    are coalesced, empty ranges ignored), e.g. the range lists the
+    disassembler aggregation emits. *)
 
 val contains_range : t -> lo:int -> hi:int -> bool
 (** Is the whole of [\[lo, hi)] inside a single member interval? *)

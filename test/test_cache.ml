@@ -1,0 +1,193 @@
+(* Tests for the IR-cache stack: the exact IRDB codec, IR snapshot /
+   restore, the content-addressed store (memory LRU + disk layer), and
+   cache-served pipeline/corpus rewrites (counted, byte-identical). *)
+
+module Cache = Irdb.Cache
+module Db = Irdb.Db
+module Ir = Zipr.Ir_construction
+module Corpus = Parallel.Corpus
+
+let transforms = [ Transforms.Null.transform ]
+
+let named_binaries () =
+  [
+    ("fib", fst (Testprogs.assemble (Testprogs.fib_program ())));
+    ("dispatch", fst (Testprogs.assemble (Testprogs.dispatch_program ())));
+    ("island", fst (Testprogs.island_binary ()));
+    ("dense-pins", fst (Testprogs.assemble (Testprogs.dense_pins_program ())));
+  ]
+
+(* -- exact IRDB codec -- *)
+
+let test_exact_dump_roundtrip () =
+  List.iter
+    (fun (name, binary) ->
+      let ir = Ir.build binary in
+      let dump = Irdb.Dump.serialize_exact ir.Ir.db in
+      match Irdb.Dump.deserialize_exact ~orig:binary dump with
+      | Error e -> Alcotest.failf "%s: deserialize_exact: %s" name e
+      | Ok db2 ->
+          Alcotest.(check (list string)) (name ^ ": restored db validates") [] (Db.validate db2);
+          Alcotest.(check int) (name ^ ": row count") (Db.count ir.Ir.db) (Db.count db2);
+          Alcotest.(check string) (name ^ ": codec is a fixed point") dump
+            (Irdb.Dump.serialize_exact db2))
+    (named_binaries ())
+
+(* -- IR snapshot / restore -- *)
+
+let test_snapshot_roundtrip () =
+  List.iter
+    (fun (name, binary) ->
+      let ir = Ir.build binary in
+      let snap = Ir.snapshot ir in
+      match Ir.restore binary snap with
+      | Error e -> Alcotest.failf "%s: restore: %s" name e
+      | Ok ir2 ->
+          Alcotest.(check string) (name ^ ": snapshot fixed point") snap (Ir.snapshot ir2);
+          Alcotest.(check (list string)) (name ^ ": restored db validates") []
+            (Db.validate ir2.Ir.db);
+          Alcotest.(check bool) (name ^ ": fixed ranges") true
+            (ir2.Ir.fixed_ranges = ir.Ir.fixed_ranges);
+          Alcotest.(check bool) (name ^ ": data ranges") true
+            (ir2.Ir.data_ranges = ir.Ir.data_ranges);
+          Alcotest.(check bool) (name ^ ": warnings") true (ir2.Ir.warnings = ir.Ir.warnings);
+          Alcotest.(check bool) (name ^ ": pins") true
+            (Db.pinned_addresses ir2.Ir.db = Db.pinned_addresses ir.Ir.db))
+    (named_binaries ())
+
+let test_restore_rejects_garbage () =
+  let binary, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let reject name payload =
+    match Ir.restore binary payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s unexpectedly restored" name
+  in
+  reject "empty" "";
+  reject "wrong version" "ZIRIR0\nB 0 0\n";
+  let snap = Ir.snapshot (Ir.build binary) in
+  reject "truncated" (String.sub snap 0 (String.length snap / 2))
+
+(* -- the content-addressed store itself -- *)
+
+let test_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.store c ~key:"k1" "v1";
+  Cache.store c ~key:"k2" "v2";
+  Alcotest.(check (option string)) "k1 present" (Some "v1") (Cache.find c "k1");
+  (* k1 was just used, so a third entry evicts k2. *)
+  Cache.store c ~key:"k3" "v3";
+  Alcotest.(check int) "capacity respected" 2 (Cache.mem_entries c);
+  Alcotest.(check (option string)) "k1 survives (recently used)" (Some "v1") (Cache.find c "k1");
+  Alcotest.(check (option string)) "k2 evicted" None (Cache.find c "k2");
+  Alcotest.(check (option string)) "k3 present" (Some "v3") (Cache.find c "k3")
+
+let test_disk_layer () =
+  let dir =
+    let f = Filename.temp_file "zipr_cache" "" in
+    Sys.remove f;
+    f
+  in
+  let key = Cache.key [ "disk"; "layer" ] in
+  let c1 = Cache.create ~dir () in
+  Alcotest.(check (option string)) "miss before store" None (Cache.find c1 key);
+  Cache.store c1 ~key "payload-bytes";
+  (* A fresh store over the same directory sees the entry: memory is
+     empty, the disk layer hits. *)
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check (option string)) "disk hit" (Some "payload-bytes") (Cache.find c2 key);
+  (* Corrupt every entry file: the framed key no longer matches, so the
+     entry reads back as a miss, never as a wrong payload. *)
+  Array.iter
+    (fun f ->
+      let oc = open_out_bin (Filename.concat dir f) in
+      output_string oc "ZIRCACHE1 not-the-key\ngarbage";
+      close_out oc)
+    (Sys.readdir dir);
+  let c3 = Cache.create ~dir () in
+  Alcotest.(check (option string)) "corrupt entry is a miss" None (Cache.find c3 key)
+
+let test_key_sensitivity () =
+  let fib, _ = Testprogs.assemble (Testprogs.fib_program ()) in
+  let disp, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let conservative = { Analysis.Ibt.pin_after_calls = true } in
+  let lax = { Analysis.Ibt.pin_after_calls = false } in
+  let k = Zipr.Pipeline.ir_cache_key in
+  Alcotest.(check string) "key is deterministic"
+    (k ~pin_config:conservative fib)
+    (k ~pin_config:conservative fib);
+  Alcotest.(check bool) "pin config changes the key" true
+    (k ~pin_config:conservative fib <> k ~pin_config:lax fib);
+  Alcotest.(check bool) "input bytes change the key" true
+    (k ~pin_config:conservative fib <> k ~pin_config:conservative disp)
+
+(* -- cache-served rewrites -- *)
+
+let test_pipeline_cache_counts () =
+  let binary, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
+  let baseline = Zipr.Pipeline.rewrite ~transforms binary in
+  let cache = Cache.create () in
+  let cold = Zipr.Pipeline.rewrite ~ir_cache:cache ~transforms binary in
+  let warm = Zipr.Pipeline.rewrite ~ir_cache:cache ~transforms binary in
+  Alcotest.(check bool) "no cache means no counts" true
+    (baseline.Zipr.Pipeline.cache = Zipr.Pipeline.zero_cache_stats);
+  Alcotest.(check bool) "cold run is a miss" true
+    (cold.Zipr.Pipeline.cache = { Zipr.Pipeline.ir_cache_hits = 0; ir_cache_misses = 1 });
+  Alcotest.(check bool) "warm run is a hit" true
+    (warm.Zipr.Pipeline.cache = { Zipr.Pipeline.ir_cache_hits = 1; ir_cache_misses = 0 });
+  let bytes_of (r : Zipr.Pipeline.result) = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten in
+  Alcotest.(check bool) "miss output byte-identical to uncached" true
+    (Bytes.equal (bytes_of baseline) (bytes_of cold));
+  Alcotest.(check bool) "hit output byte-identical to uncached" true
+    (Bytes.equal (bytes_of baseline) (bytes_of warm))
+
+let test_corpus_warm_hits () =
+  let items =
+    List.filter_map
+      (fun (name, b) ->
+        if name = "dense-pins" then None
+        else Some { Corpus.name; data = Zelf.Binary.serialize b })
+      (named_binaries ())
+  in
+  let n = List.length items in
+  let outputs (r : Corpus.report) =
+    List.map
+      (fun (e : Corpus.entry) ->
+        match e.Corpus.result with
+        | Ok o -> o.Corpus.rewritten
+        | Error e -> Alcotest.failf "rewrite failed: %s" e)
+      r.Corpus.entries
+  in
+  let baseline = Corpus.rewrite_all ~jobs:1 ~transforms ~corpus_seed:5 items in
+  let cache = Cache.create () in
+  let cold = Corpus.rewrite_all ~jobs:1 ~transforms ~ir_cache:cache ~corpus_seed:5 items in
+  Alcotest.(check int) "cold run misses every item" n
+    cold.Corpus.merged_cache.Zipr.Pipeline.ir_cache_misses;
+  Alcotest.(check bool) "cold outputs byte-identical to uncached" true
+    (List.for_all2 Bytes.equal (outputs baseline) (outputs cold));
+  List.iter
+    (fun jobs ->
+      let warm = Corpus.rewrite_all ~jobs ~transforms ~ir_cache:cache ~corpus_seed:5 items in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs %d: every item served from cache" jobs)
+        n warm.Corpus.merged_cache.Zipr.Pipeline.ir_cache_hits;
+      Alcotest.(check int) (Printf.sprintf "jobs %d: no misses" jobs) 0
+        warm.Corpus.merged_cache.Zipr.Pipeline.ir_cache_misses;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs %d: warm outputs byte-identical to uncached" jobs)
+        true
+        (List.for_all2 Bytes.equal (outputs baseline) (outputs warm)))
+    [ 1; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "exact IRDB codec round-trips" `Quick test_exact_dump_roundtrip;
+    Alcotest.test_case "IR snapshot/restore round-trips" `Quick test_snapshot_roundtrip;
+    Alcotest.test_case "restore rejects malformed payloads" `Quick test_restore_rejects_garbage;
+    Alcotest.test_case "LRU eviction respects capacity and recency" `Quick test_lru_eviction;
+    Alcotest.test_case "disk layer round-trips; corruption is a miss" `Quick test_disk_layer;
+    Alcotest.test_case "cache key tracks version, config, input" `Quick test_key_sensitivity;
+    Alcotest.test_case "pipeline counts hits/misses, outputs identical" `Quick
+      test_pipeline_cache_counts;
+    Alcotest.test_case "corpus warm runs hit for every item (jobs 1/4)" `Slow
+      test_corpus_warm_hits;
+  ]

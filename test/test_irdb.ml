@@ -8,7 +8,7 @@ let dummy_binary () =
   Zelf.Binary.create ~entry:0x1000
     [ Zelf.Section.make ~name:".text" ~kind:Zelf.Section.Text ~vaddr:0x1000 (Bytes.make 64 '\x90') ]
 
-let fresh () = Db.create ~orig:(dummy_binary ())
+let fresh () = Db.create ~orig:(dummy_binary ()) ()
 
 let test_add_and_row () =
   let db = fresh () in

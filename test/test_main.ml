@@ -26,4 +26,6 @@ let () =
       ("verify-regressions", Test_verify_regress.suite);
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
+      ("speculative", Test_speculative.suite);
+      ("ir-cache", Test_cache.suite);
     ]

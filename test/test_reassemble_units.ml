@@ -56,7 +56,7 @@ let db_with_chain insns =
     Zelf.Binary.create ~entry:0x1000
       [ Zelf.Section.make ~name:".text" ~kind:Zelf.Section.Text ~vaddr:0x1000 (Bytes.make 16 '\x90') ]
   in
-  let db = Db.create ~orig:binary in
+  let db = Db.create ~orig:binary () in
   let head = Db.append_chain db insns in
   (db, head)
 

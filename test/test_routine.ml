@@ -10,6 +10,7 @@ let fresh_db () =
     ~orig:
       (Zelf.Binary.create ~entry:0x1000
          [ Zelf.Section.make ~name:".text" ~kind:Zelf.Section.Text ~vaddr:0x1000 (Bytes.make 8 '\x90') ])
+    ()
 
 let test_build_links_fallthrough () =
   let db = fresh_db () in

@@ -1,0 +1,128 @@
+(* Tests for speculative decoding at pins that land between known
+   instruction boundaries (paper §II-A2: a pinned address with no decoded
+   boundary still needs an IR row).  Covers each way the decode chain can
+   end: re-synchronization with a known boundary, budget exhaustion, and
+   a decoded direct branch — to both unknown and known targets. *)
+
+module Insn = Zvm.Insn
+module Builder = Zasm.Builder
+module Ast = Zasm.Ast
+module Db = Irdb.Db
+module Ir = Zipr.Ir_construction
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let warned ir needle = List.exists (fun w -> contains w needle) ir.Ir.warnings
+
+(* Each program pins [text_base + 1] — one byte into the entry
+   instruction — via a data word, giving it a data-scan IBT reason.  The
+   entry instruction's immediate bytes then become the bytes the
+   speculative chain decodes. *)
+let build_with_mid_pin body =
+  let b = Builder.create ~entry:"main" () in
+  Builder.label b "main";
+  body b;
+  Builder.data_word b (Ast.Abs 0x10001);
+  let binary, symbols = Builder.assemble_exn b in
+  Alcotest.(check int) "entry at the default text base" 0x10000 (List.assoc "main" symbols);
+  (Ir.build binary, symbols)
+
+let pinned_row db addr =
+  match List.assoc_opt addr (Db.pinned_addresses db) with
+  | Some id -> id
+  | None -> Alcotest.failf "no row pinned at 0x%x" addr
+
+let test_resync_fallthrough () =
+  let ir, symbols =
+    build_with_mid_pin (fun b ->
+        (* Immediate bytes 90 90 90 90: four nops from 0x10001, after
+           which the chain meets the real boundary at [after]. *)
+        Builder.insn b (Insn.Pushi 0x90909090);
+        Builder.label b "after";
+        Builder.insn b Insn.Nop;
+        Builder.insn b (Insn.Sys 0))
+  in
+  let db = ir.Ir.db in
+  let after =
+    match Db.find_by_orig_addr db (List.assoc "after" symbols) with
+    | Some id -> id
+    | None -> Alcotest.fail "no row at the re-sync boundary"
+  in
+  let rec follow id hops =
+    if id = after then hops
+    else begin
+      let r = Db.row db id in
+      Alcotest.(check bool) "speculative row is a nop" true (r.Db.insn = Insn.Nop);
+      Alcotest.(check bool) "speculative row has no orig_addr" true (r.Db.orig_addr = None);
+      match r.Db.fallthrough with
+      | Some next -> follow next (hops + 1)
+      | None -> Alcotest.fail "chain broke before re-synchronizing"
+    end
+  in
+  Alcotest.(check int) "four speculative rows before the known boundary" 4
+    (follow (pinned_row db 0x10001) 0);
+  Alcotest.(check bool) "no speculative warnings" false (warned ir "speculative")
+
+let test_budget_exhausted () =
+  let ir, _ =
+    build_with_mid_pin (fun b ->
+        (* A run of 0x68 bytes: every [Pushi 0x68686868] is five 0x68s,
+           so real boundaries sit at multiples of 5 while the speculative
+           chain from offset 1 stays at 1 mod 5 forever — it can only end
+           by running out of budget (32 rows, so the warning lands at
+           0x10001 + 32 * 5 = 0x100a1). *)
+        for _ = 1 to 34 do
+          Builder.insn b (Insn.Pushi 0x68686868)
+        done;
+        Builder.insn b (Insn.Sys 0))
+  in
+  Alcotest.(check bool) "budget warning emitted" true
+    (warned ir "speculative decode at 0x100a1 exceeded budget");
+  Alcotest.(check bool) "pin survives on the partial chain" true
+    (List.mem_assoc 0x10001 (Db.pinned_addresses ir.Ir.db))
+
+let test_branch_to_unknown () =
+  let ir, _ =
+    build_with_mid_pin (fun b ->
+        (* Immediate bytes eb 20 90 90: a short jump at 0x10001 whose
+           decoded displacement (0x20) aims at 0x10023, past the text end
+           — no row exists there. *)
+        Builder.insn b (Insn.Pushi 0x909020eb);
+        Builder.insn b Insn.Nop;
+        Builder.insn b (Insn.Sys 0))
+  in
+  Alcotest.(check bool) "warning names the decoded target" true
+    (warned ir "speculative branch at 0x10001 targets unknown 0x10023");
+  let r = Db.row ir.Ir.db (pinned_row ir.Ir.db 0x10001) in
+  Alcotest.(check bool) "displacement zeroed by the mandatory rewrite" true
+    (r.Db.insn = Insn.Jmp (Insn.Short, 0));
+  Alcotest.(check bool) "no target link" true (r.Db.target = None)
+
+let test_branch_to_known () =
+  let ir, symbols =
+    build_with_mid_pin (fun b ->
+        (* Immediate bytes eb 02 90 90: a short jump at 0x10001 targeting
+           0x10005 — the real boundary right after the entry Pushi.  The
+           logical target link must resolve from the decoded
+           displacement, not the zeroed stored one. *)
+        Builder.insn b (Insn.Pushi 0x909002eb);
+        Builder.label b "after";
+        Builder.insn b Insn.Nop;
+        Builder.insn b (Insn.Sys 0))
+  in
+  let db = ir.Ir.db in
+  let r = Db.row db (pinned_row db 0x10001) in
+  Alcotest.(check bool) "target link resolves to the known row" true
+    (r.Db.target = Db.find_by_orig_addr db (List.assoc "after" symbols));
+  Alcotest.(check bool) "no speculative warnings" false (warned ir "speculative")
+
+let suite =
+  [
+    Alcotest.test_case "chain re-syncs with a fallthrough link" `Quick test_resync_fallthrough;
+    Alcotest.test_case "decode budget exhaustion warns" `Quick test_budget_exhausted;
+    Alcotest.test_case "branch to unknown target warns" `Quick test_branch_to_unknown;
+    Alcotest.test_case "branch to known boundary links" `Quick test_branch_to_known;
+  ]

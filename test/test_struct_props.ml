@@ -113,11 +113,18 @@ let run_interval_set_ops seed ops =
         model.(i) <- false
       done
     end;
-    (* Invariant: membership agrees pointwise (spot-check 16 points). *)
+    (* Invariant: membership and containment agree pointwise with the
+       naive list model (spot-check 16 points). *)
+    let naive_containing ivs p =
+      List.find_opt (fun (lo, hi) -> p >= lo && p < hi) ivs
+    in
     for _ = 1 to 16 do
       let p = Rng.int rng universe in
       if Iset.mem !set p <> model.(p) then
-        Alcotest.failf "seed %d step %d: mem %d disagrees" seed step p
+        Alcotest.failf "seed %d step %d: mem %d disagrees" seed step p;
+      let expected = naive_containing (model_intervals model) p in
+      if Iset.find_containing !set p <> expected then
+        Alcotest.failf "seed %d step %d: find_containing %d disagrees" seed step p
     done;
     (* Invariant: total equals the model's population count. *)
     if Iset.total !set <> model_total model then
@@ -207,7 +214,17 @@ let test_interval_set_adjacency () =
   let s' = Iset.add s ~lo:7 ~hi:7 in
   Alcotest.(check (list (pair int int))) "empty add is a no-op" (ivs s) (ivs s');
   let s' = Iset.add s ~lo:5 ~hi:35 in
-  Alcotest.(check (list (pair int int))) "covered add is idempotent" (ivs s) (ivs s')
+  Alcotest.(check (list (pair int int))) "covered add is idempotent" (ivs s) (ivs s');
+  (* Containment respects half-open bounds on a coalesced member. *)
+  Alcotest.(check (option (pair int int))) "find_containing at lo" (Some (0, 40))
+    (Iset.find_containing s 0);
+  Alcotest.(check (option (pair int int))) "find_containing mid" (Some (0, 40))
+    (Iset.find_containing s 25);
+  Alcotest.(check (option (pair int int))) "find_containing at hi is out" None
+    (Iset.find_containing s 40);
+  (* of_ranges coalesces overlap and adjacency and drops empties. *)
+  let built = Iset.of_ranges [ (10, 20); (0, 10); (25, 25); (15, 22) ] in
+  Alcotest.(check (list (pair int int))) "of_ranges coalesces" [ (0, 22) ] (ivs built)
 
 (* -- Memspace vs. allocation model -- *)
 
