@@ -189,10 +189,14 @@ let e1 () =
 (* [--json] makes throughput also write BENCH_throughput.json (per-workload
    timings, dollop counts and allocator traffic) for CI trend tracking;
    [--small] drops the 5x jvm-like workload so the smoke run stays cheap;
-   [--jobs N] sets the worker-domain count for the corpus section. *)
+   [--jobs N] sets the worker-domain count for the corpus section;
+   [--trace] installs an obs sink for the whole run — the aggregated
+   per-phase table prints at the end, and with [--json] the report embeds
+   into BENCH_throughput.json under the "obs" key. *)
 let json_mode = ref false
 let small_mode = ref false
 let jobs = ref 1
+let trace_mode = ref false
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -388,7 +392,13 @@ let throughput () =
           (if i = 0 then "" else ",")
           w.Parallel.Pool.worker w.Parallel.Pool.tasks_run w.Parallel.Pool.busy_s)
       par.Parallel.Corpus.shards;
-    field "\n    ]\n  }\n}\n";
+    field "\n    ]\n  }";
+    (match Obs.active () with
+    | Some sink ->
+        (* [report_json] is itself a JSON object; embed it verbatim. *)
+        field ",\n  \"obs\": %s" (String.trim (Obs.Tracer.report_json sink))
+    | None -> ());
+    field "\n}\n";
     close_out oc;
     say "wrote BENCH_throughput.json (%d workloads, corpus of %d at --jobs %d)"
       (List.length rows) n_items !jobs
@@ -738,13 +748,18 @@ let () =
     | f :: rest when String.length f > 7 && String.sub f 0 7 = "--jobs=" ->
         jobs := max 1 (int_of_string (String.sub f 7 (String.length f - 7)));
         parse names rest
+    | "--trace" :: rest ->
+        trace_mode := true;
+        parse names rest
     | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
-        say "unknown flag %S; available: --json, --small, --jobs N" f;
+        say "unknown flag %S; available: --json, --small, --jobs N, --trace" f;
         parse names rest
     | name :: rest -> parse (name :: names) rest
   in
   let names = parse [] argv in
   let requested = match names with [] -> List.map fst experiments | _ -> names in
+  let sink = if !trace_mode then Some (Obs.Tracer.create ()) else None in
+  Option.iter Obs.install sink;
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -754,4 +769,10 @@ let () =
       | None ->
           say "unknown experiment %S; available: %s" name
             (String.concat ", " (List.map fst experiments)))
-    requested
+    requested;
+  Option.iter
+    (fun s ->
+      Obs.disable ();
+      say "== Trace: aggregated per-phase spans and counters ==";
+      print_string (Obs.Tracer.render s))
+    sink

@@ -18,6 +18,49 @@ let write_file path data =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc data)
 
+(* create the directory and any missing parents *)
+let rec ensure_dir d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    ensure_dir (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+(* -- tracing --
+
+   Install a global sink for the duration of [f], then export.  The sink
+   is torn down in a [finally] so a failing rewrite still leaves a trace
+   behind — usually the run you most want to look at. *)
+
+let with_trace_file path f =
+  match path with
+  | None -> f ()
+  | Some file ->
+      let sink = Obs.Tracer.create () in
+      Obs.install sink;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.disable ();
+          write_file file (Bytes.of_string (Obs.Tracer.chrome_json sink));
+          Printf.eprintf "trace: wrote %s (load in chrome://tracing or Perfetto)\n" file)
+        f
+
+let with_trace_dir dir f =
+  match dir with
+  | None -> f ()
+  | Some d ->
+      let sink = Obs.Tracer.create () in
+      Obs.install sink;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.disable ();
+          ensure_dir d;
+          let trace = Filename.concat d "trace.json" in
+          let report = Filename.concat d "report.json" in
+          write_file trace (Bytes.of_string (Obs.Tracer.chrome_json sink));
+          write_file report (Bytes.of_string (Obs.Tracer.report_json sink));
+          Printf.eprintf "trace: wrote %s and %s\n" trace report)
+        f
+
 let load_binary path =
   match Zelf.Binary.parse (Bytes.of_string (read_file path)) with
   | Ok b -> Ok b
@@ -116,7 +159,18 @@ let rewrite_cmd =
   let verify =
     Arg.(value & flag & info [ "verify" ] ~doc:"Run the structural post-rewrite verifier.")
   in
-  let run tnames placement seed stats verify inp out =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record per-phase spans and counters; write a Chrome trace_event JSON file \
+             loadable in chrome://tracing. The rewritten output is byte-identical with \
+             or without tracing.")
+  in
+  let run tnames placement seed stats verify trace inp out =
+    with_trace_file trace @@ fun () ->
     match load_binary inp with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -164,7 +218,7 @@ let rewrite_cmd =
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Rewrite a binary through the Zipr pipeline.")
     Term.(
-      const run $ transforms $ placement $ seed $ stats $ verify $ input_file
+      const run $ transforms $ placement $ seed $ stats $ verify $ trace $ input_file
       $ output_file ~pos:1)
 
 (* -- run -- *)
@@ -367,13 +421,6 @@ let fuzz_cmd =
     print_string (Fuzz.Driver.render_summary summary);
     (match repro_dir with
     | Some dir when summary.Fuzz.Driver.failures <> [] ->
-        (* create the directory and any missing parents *)
-        let rec ensure_dir d =
-          if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
-            ensure_dir (Filename.dirname d);
-            Sys.mkdir d 0o755
-          end
-        in
         ensure_dir dir;
         List.iter
           (fun (f : Fuzz.Driver.failure) ->
@@ -443,7 +490,18 @@ let batch_cmd =
              same inputs restores each binary's IR from the cache instead of rebuilding \
              it; outputs are byte-identical either way.")
   in
-  let run tnames placement corpus_seed jobs ext cache_dir indir outdir =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"DIR"
+          ~doc:
+            "Record spans and counters for the whole batch; write DIR/trace.json (Chrome \
+             trace_event) and DIR/report.json (aggregated per-phase totals). Outputs are \
+             byte-identical with or without tracing, at any $(b,--jobs).")
+  in
+  let run tnames placement corpus_seed jobs ext cache_dir trace indir outdir =
+    with_trace_dir trace @@ fun () ->
     let unknown = List.filter (fun n -> transform_of_name n = None) tnames in
     if unknown <> [] then begin
       Printf.eprintf "error: unknown transforms: %s\n" (String.concat ", " unknown);
@@ -485,12 +543,6 @@ let batch_cmd =
           Parallel.Corpus.rewrite_all ~jobs:(max 1 jobs) ~config ~transforms ?ir_cache
             ~corpus_seed items
         in
-        let rec ensure_dir d =
-          if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
-            ensure_dir (Filename.dirname d);
-            Sys.mkdir d 0o755
-          end
-        in
         ensure_dir outdir;
         List.iter
           (fun (e : Parallel.Corpus.entry) ->
@@ -513,7 +565,7 @@ let batch_cmd =
           batch continues (exit 1 if any failed).")
     Term.(
       const run $ transforms $ placement $ corpus_seed $ batch_jobs $ ext $ cache_dir
-      $ indir $ outdir)
+      $ trace $ indir $ outdir)
 
 let () =
   let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in

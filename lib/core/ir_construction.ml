@@ -86,9 +86,12 @@ let speculative_decode db binary warnings addr =
 
 let build ?pin_config binary =
   let warnings = ref [] in
-  let aggregate = Agg.run binary in
+  let aggregate = Obs.span "disasm" (fun () -> Agg.run binary) in
   List.iter (fun w -> warnings := w :: !warnings) aggregate.Agg.warnings;
-  let pins = Analysis.Ibt.compute ?config:pin_config binary aggregate in
+  let pins =
+    Obs.span "pins" (fun () -> Analysis.Ibt.compute ?config:pin_config binary aggregate)
+  in
+  Obs.span "irdb_build" (fun () ->
   let fixed_ranges = Agg.ambiguous_ranges aggregate in
   let data_ranges = data_ranges_of aggregate in
   (* Containment queries (fixed?/data?) run once per boundary and once per
@@ -184,7 +187,7 @@ let build ?pin_config binary =
   | Some id -> Db.set_entry db id
   | None -> warnings := "entry point is not a decoded instruction" :: !warnings);
   Analysis.Funcid.assign db;
-  { db; aggregate; pins; fixed_ranges; data_ranges; warnings = List.rev !warnings }
+  { db; aggregate; pins; fixed_ranges; data_ranges; warnings = List.rev !warnings })
 
 (* -- snapshot / restore: the payload behind Irdb.Cache -- *)
 

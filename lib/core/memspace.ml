@@ -14,13 +14,18 @@ type t = {
   mutable free : Iset.t;  (* the whole address space *)
   mutable text_free : Iset.t;  (* [free] clipped to the text span *)
   mutable overflow_cursor : int;
-  mutable queries : int;
-  mutable hits : int;
+  (* Allocator traffic lives in a per-instance obs registry: atomic
+     cells, readable through [counters] exactly as the old plain ints
+     were, and mergeable into a trace sink without a second mechanism. *)
+  ctrs : Obs.Counters.t;
+  c_queries : Obs.Counters.cell;
+  c_hits : Obs.Counters.cell;
 }
 
 let create ?(overflow_cap = default_overflow_span) ~text_lo ~text_hi ~overflow_base () =
   let free = Iset.add Iset.empty ~lo:text_lo ~hi:text_hi in
   let free = Iset.add free ~lo:overflow_base ~hi:(overflow_base + overflow_cap) in
+  let ctrs = Obs.Counters.create () in
   {
     text_lo;
     text_hi;
@@ -28,8 +33,9 @@ let create ?(overflow_cap = default_overflow_span) ~text_lo ~text_hi ~overflow_b
     free;
     text_free = Iset.add Iset.empty ~lo:text_lo ~hi:text_hi;
     overflow_cursor = overflow_base;
-    queries = 0;
-    hits = 0;
+    ctrs;
+    c_queries = Obs.Counters.counter ctrs "memspace.alloc_queries";
+    c_hits = Obs.Counters.counter ctrs "memspace.alloc_hits";
   }
 
 let text_lo t = t.text_lo
@@ -51,13 +57,15 @@ let release t ~lo ~hi =
 
 let is_free t ~lo ~hi = Iset.contains_range t.free ~lo ~hi
 
-let counters t = { queries = t.queries; hits = t.hits }
+let counters t = { queries = Obs.Counters.get t.c_queries; hits = Obs.Counters.get t.c_hits }
 
-let query t = t.queries <- t.queries + 1
+let obs_counters t = t.ctrs
+
+let query t = Obs.Counters.incr t.c_queries
 
 let tally t = function
   | Some _ as r ->
-      t.hits <- t.hits + 1;
+      Obs.Counters.incr t.c_hits;
       r
   | None -> None
 
@@ -70,7 +78,7 @@ let alloc_first t ~size =
   query t;
   match Iset.first_fit t.free ~size with
   | Some a ->
-      t.hits <- t.hits + 1;
+      Obs.Counters.incr t.c_hits;
       take t a size
   | None -> invalid_arg "Memspace.alloc_first: overflow exhausted"
 
@@ -104,7 +112,7 @@ let alloc_random_text t ~rng ~size =
       match Iset.kth_fit t.text_free ~size ~k:(Rng.int rng n) with
       | None -> assert false
       | Some (lo, hi) ->
-          t.hits <- t.hits + 1;
+          Obs.Counters.incr t.c_hits;
           let slack = hi - lo - size in
           let a = lo + if slack = 0 then 0 else Rng.int rng (slack + 1) in
           Some (take t a size))
@@ -113,7 +121,7 @@ let alloc_overflow t ~size =
   query t;
   match Iset.first_fit_at_or_after t.free ~pos:t.overflow_cursor ~size with
   | Some a ->
-      t.hits <- t.hits + 1;
+      Obs.Counters.incr t.c_hits;
       take t a size
   | None -> invalid_arg "Memspace.alloc_overflow: overflow exhausted"
 

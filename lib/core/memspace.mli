@@ -78,3 +78,7 @@ type counters = { queries : int; hits : int }
 val counters : t -> counters
 (** Cumulative allocator traffic: one query per [alloc_*] call, one hit
     per call that found space. *)
+
+val obs_counters : t -> Obs.Counters.t
+(** The per-instance registry backing {!counters}, mergeable into a
+    trace sink with [Obs.merge_counters]. *)

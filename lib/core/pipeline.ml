@@ -58,36 +58,69 @@ let ir_cache_key ~pin_config binary =
    codec rejects — builds cold and (re)publishes the snapshot.  Either
    way [ir_construction_s] times whichever path actually ran. *)
 let obtain_ir ?ir_cache ~pin_config binary =
-  let build () = timed (fun () -> Ir_construction.build ~pin_config binary) in
+  let build ~source () =
+    timed (fun () ->
+        Obs.span "ir" ~args:[ ("source", source) ] (fun () ->
+            Ir_construction.build ~pin_config binary))
+  in
   match ir_cache with
   | None ->
-      let ir, t = build () in
+      let ir, t = build ~source:"build" () in
       (ir, t, zero_cache_stats)
   | Some cache -> (
       let key = ir_cache_key ~pin_config binary in
       let build_and_store () =
-        let ir, t = build () in
+        let ir, t = build ~source:"build" () in
         Irdb.Cache.store cache ~key (Ir_construction.snapshot ir);
+        Obs.count "pipeline.ir_cache_misses" 1;
         (ir, t, { ir_cache_hits = 0; ir_cache_misses = 1 })
       in
       match Irdb.Cache.find cache key with
       | None -> build_and_store ()
       | Some payload -> (
-          match timed (fun () -> Ir_construction.restore binary payload) with
-          | Ok ir, t -> (ir, t, { ir_cache_hits = 1; ir_cache_misses = 0 })
+          match
+            timed (fun () ->
+                Obs.span "ir" ~args:[ ("source", "cache") ] (fun () ->
+                    Ir_construction.restore binary payload))
+          with
+          | Ok ir, t ->
+              Obs.count "pipeline.ir_cache_hits" 1;
+              (ir, t, { ir_cache_hits = 1; ir_cache_misses = 0 })
           | Error _, _ -> build_and_store ()))
 
+(* Per-transform spans want a computed name ("transform:cfi"); build the
+   string only when a sink is installed so the default path keeps
+   [Transform.apply_all] allocation-for-allocation unchanged. *)
+let apply_transforms transforms db =
+  if Obs.enabled () then
+    Obs.span "transforms" (fun () ->
+        List.iter
+          (fun (t : Transform.t) ->
+            Obs.span ("transform:" ^ t.Transform.name) (fun () ->
+                Transform.apply_all [ t ] db))
+          transforms)
+  else Transform.apply_all transforms db
+
 let rewrite ?(config = default_config) ?ir_cache ~transforms binary =
-  let ir, ir_construction_s, cache =
-    obtain_ir ?ir_cache ~pin_config:config.pin_config binary
-  in
-  let (), transformation_s =
-    timed (fun () -> Transform.apply_all transforms ir.Ir_construction.db)
-  in
-  let (rewritten, stats), reassembly_s =
-    timed (fun () -> Reassemble.run ~strategy:config.placement ~seed:config.seed ir)
-  in
-  { rewritten; ir; stats; timing = { ir_construction_s; transformation_s; reassembly_s }; cache }
+  Obs.span "rewrite" (fun () ->
+      let ir, ir_construction_s, cache =
+        obtain_ir ?ir_cache ~pin_config:config.pin_config binary
+      in
+      let (), transformation_s =
+        timed (fun () -> apply_transforms transforms ir.Ir_construction.db)
+      in
+      let (rewritten, stats), reassembly_s =
+        timed (fun () ->
+            Obs.span "reassemble" (fun () ->
+                Reassemble.run ~strategy:config.placement ~seed:config.seed ir))
+      in
+      {
+        rewritten;
+        ir;
+        stats;
+        timing = { ir_construction_s; transformation_s; reassembly_s };
+        cache;
+      })
 
 let try_rewrite ?config ?ir_cache ~transforms binary =
   match rewrite ?config ?ir_cache ~transforms binary with

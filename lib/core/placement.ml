@@ -81,18 +81,30 @@ let optimized =
           | None -> None)
       | _ -> None
     in
+    (* Which tier won is the shape of the layout; tally it so a trace
+       shows the near/pinned/text/split/overflow mix per run. *)
     match near_referent () with
-    | Some a -> Place_at a
+    | Some a ->
+        Obs.count "placement.near_referent" 1;
+        Place_at a
     | None -> (
         match on_pinned_page () with
-        | Some a -> Place_at a
+        | Some a ->
+            Obs.count "placement.pinned_page" 1;
+            Place_at a
         | None -> (
             match in_text () with
-            | Some a -> Place_at a
+            | Some a ->
+                Obs.count "placement.text" 1;
+                Place_at a
             | None -> (
                 match split () with
-                | Some d -> d
-                | None -> Place_at (Memspace.alloc_overflow ctx.space ~size:req.size))))
+                | Some d ->
+                    Obs.count "placement.split" 1;
+                    d
+                | None ->
+                    Obs.count "placement.overflow" 1;
+                    Place_at (Memspace.alloc_overflow ctx.space ~size:req.size))))
   in
   { name = "optimized"; decide; colocate_at_pin = true; prefer_short_pins = true }
 

@@ -78,6 +78,46 @@ type site = {
   pin_addr : int;  (* the pinned address this slot serves; -1 otherwise *)
 }
 
+(* Per-run counter cells: one obs registry owns every reassembly counter
+   (the [stats] record is read back out of it at the end of [run], and a
+   trace sink absorbs it whole).  Atomic cells cost the same as the old
+   plain mutable ints on this single-domain path and make the counters
+   safe to aggregate across Domain workers. *)
+type run_counters = {
+  ctrs : Obs.Counters.t;
+  c_pin_slots_long : Obs.Counters.cell;
+  c_pin_slots_short : Obs.Counters.cell;
+  c_pins_colocated : Obs.Counters.cell;
+  c_sleds : Obs.Counters.cell;
+  c_sled_entries : Obs.Counters.cell;
+  c_slot_expansions : Obs.Counters.cell;
+  c_chain_hops : Obs.Counters.cell;
+  c_dollops_placed : Obs.Counters.cell;
+  c_dollops_split : Obs.Counters.cell;
+  c_layouts_computed : Obs.Counters.cell;
+  c_layout_reuses : Obs.Counters.cell;
+  c_placements : Obs.Counters.cell;  (* placement-strategy decisions taken *)
+}
+
+let make_run_counters () =
+  let ctrs = Obs.Counters.create () in
+  let c name = Obs.Counters.counter ctrs ("reassemble." ^ name) in
+  {
+    ctrs;
+    c_pin_slots_long = c "pin_slots_long";
+    c_pin_slots_short = c "pin_slots_short";
+    c_pins_colocated = c "pins_colocated";
+    c_sleds = c "sleds";
+    c_sled_entries = c "sled_entries";
+    c_slot_expansions = c "slot_expansions";
+    c_chain_hops = c "chain_hops";
+    c_dollops_placed = c "dollops_placed";
+    c_dollops_split = c "dollops_split";
+    c_layouts_computed = c "layouts_computed";
+    c_layout_reuses = c "layout_reuses";
+    c_placements = c "placement_decisions";
+  }
+
 type state = {
   db : Db.t;
   buf : Codebuf.t;
@@ -92,17 +132,7 @@ type state = {
   rng : Rng.t;
   strategy : Placement.t;
   pinned_page : int -> bool;
-  mutable pin_slots_long : int;
-  mutable pin_slots_short : int;
-  mutable pins_colocated : int;
-  mutable sleds : int;
-  mutable sled_entries : int;
-  mutable slot_expansions : int;
-  mutable chain_hops : int;
-  mutable dollops_placed : int;
-  mutable dollops_split : int;
-  mutable layouts_computed : int;
-  mutable layout_reuses : int;
+  k : run_counters;
   mutable warnings : string list;
 }
 
@@ -143,7 +173,7 @@ let rec patch st site target ~depth =
       if not site.reserved_long then
         Memspace.reserve st.space ~lo:(site.opcode_at + 2) ~hi:(site.opcode_at + 5);
       write_long_jump st ~at:site.opcode_at ~target;
-      st.slot_expansions <- st.slot_expansions + 1
+      Obs.Counters.incr st.k.c_slot_expansions
     end
     else chain st site target ~depth
   end
@@ -156,13 +186,13 @@ and chain st site target ~depth =
   match Memspace.alloc_in_window st.space ~lo ~hi ~size:5 with
   | Some h ->
       write_long_jump st ~at:h ~target;
-      st.chain_hops <- st.chain_hops + 1;
+      Obs.Counters.incr st.k.c_chain_hops;
       patch st site h ~depth:(depth - 1)
   | None -> (
       match Memspace.alloc_in_window st.space ~lo ~hi:(hi - 3) ~size:2 with
       | Some h ->
           Codebuf.write8 st.buf h short_jmp_opcode;
-          st.chain_hops <- st.chain_hops + 1;
+          Obs.Counters.incr st.k.c_chain_hops;
           patch st site h ~depth:(depth - 1);
           (* The new short hop must itself reach the target. *)
           patch st
@@ -179,7 +209,7 @@ let patch_or_enqueue st site tgt =
 (* -- dollop emission -- *)
 
 let layout_counted st d =
-  st.layouts_computed <- st.layouts_computed + 1;
+  Obs.Counters.incr st.k.c_layouts_computed;
   Dollop.layout st.db d
 
 (* Build the dollop headed at [rid] and lay it out, once: the result is
@@ -192,7 +222,7 @@ let build_and_layout st rid =
   match Hashtbl.find_opt st.dcache rid with
   | Some ((d, _, _) as entry)
     when List.for_all (fun id -> not (has_home st id)) d.Dollop.rows ->
-      st.layout_reuses <- st.layout_reuses + 1;
+      Obs.Counters.incr st.k.c_layout_reuses;
       entry
   | _ ->
       let d = Dollop.build st.db ~has_home:(has_home st) rid in
@@ -242,7 +272,7 @@ let emit_dollop st (d : Dollop.t) ~placed ~total start =
       patch_or_enqueue st
         { opcode_at = !body_end; short = false; expandable = false; reserved_long = false; is_pin = false; pin_addr = -1 }
         tgt);
-  st.dollops_placed <- st.dollops_placed + 1;
+  Obs.Counters.incr st.k.c_dollops_placed;
   start + total
 
 (* Place the dollop [(d, placed, dsize)] containing [rid] somewhere, per
@@ -263,6 +293,7 @@ let place_dollop st ~referent (d, placed, dsize) =
     let endp = emit_dollop st d ~placed ~total addr in
     if endp < addr + reserved then Memspace.release st.space ~lo:endp ~hi:(addr + reserved)
   in
+  Obs.Counters.incr st.k.c_placements;
   match st.strategy.Placement.decide ctx { Placement.size = dsize; referent; min_prefix } with
   | Placement.Place_at addr -> emit_releasing d ~placed ~total:dsize addr dsize
   | Placement.Place_split { addr; capacity } -> (
@@ -274,7 +305,7 @@ let place_dollop st ~referent (d, placed, dsize) =
         | Some (prefix, rest_head) ->
             let pplaced, ptotal = layout_counted st prefix in
             emit_releasing prefix ~placed:pplaced ~total:ptotal addr capacity;
-            st.dollops_split <- st.dollops_split + 1;
+            Obs.Counters.incr st.k.c_dollops_split;
             (* The prefix's connector is about to demand the remainder, and
                we already know its shape: the split point cuts [d]'s
                fallthrough chain, so the rest is the suffix of [d.rows]
@@ -401,6 +432,7 @@ let synth_dispatch st (sled : Sled.t) =
   in
   (* Place and emit. *)
   let ctx = { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page } in
+  Obs.Counters.incr st.k.c_placements;
   let base =
     match
       st.strategy.Placement.decide ctx
@@ -489,8 +521,8 @@ let plan_pins st pins text_hi =
       let jump_at = emit_prologue st addr in
       let prefer_short = st.strategy.Placement.prefer_short_pins || width = 2 in
       Codebuf.write8 st.buf jump_at (if prefer_short then short_jmp_opcode else near_jmp_opcode);
-      if width = 5 then st.pin_slots_long <- st.pin_slots_long + 1
-      else st.pin_slots_short <- st.pin_slots_short + 1;
+      if width = 5 then Obs.Counters.incr st.k.c_pin_slots_long
+      else Obs.Counters.incr st.k.c_pin_slots_short;
       let site =
         {
           opcode_at = jump_at;
@@ -530,8 +562,8 @@ let plan_pins st pins text_hi =
         fail "sled at 0x%x collides with reserved bytes" sled.Sled.start;
       Memspace.reserve st.space ~lo:sled.Sled.start ~hi:send;
       Codebuf.write_bytes st.buf sled.Sled.start sled.Sled.body;
-      st.sleds <- st.sleds + 1;
-      st.sled_entries <- st.sled_entries + List.length sled.Sled.entries;
+      Obs.Counters.incr st.k.c_sleds;
+      Obs.Counters.bump st.k.c_sled_entries (List.length sled.Sled.entries);
       items := Sled_group sled :: !items
     end
   done;
@@ -583,7 +615,7 @@ let try_colocate st site (d : Dollop.t) ~placed ~dsize =
       assert (body_at = body_lo);
       ignore (emit_dollop st d ~placed ~total:dsize body_at);
       List.iter (fun (_, s) -> Hashtbl.replace st.cancelled s.opcode_at ()) covered;
-      st.pins_colocated <- st.pins_colocated + 1 + List.length covered;
+      Obs.Counters.bump st.k.c_pins_colocated (1 + List.length covered);
       true
     end
     else begin
@@ -656,17 +688,7 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
       rng = Rng.create seed;
       strategy;
       pinned_page = (fun p -> Hashtbl.mem pinned_pages p);
-      pin_slots_long = 0;
-      pin_slots_short = 0;
-      pins_colocated = 0;
-      sleds = 0;
-      sled_entries = 0;
-      slot_expansions = 0;
-      chain_hops = 0;
-      dollops_placed = 0;
-      dollops_split = 0;
-      layouts_computed = 0;
-      layout_reuses = 0;
+      k = make_run_counters ();
       warnings = [];
     }
   in
@@ -681,40 +703,43 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
     | None -> ());
     Memspace.reserve space ~lo ~hi
   in
-  List.iter copy_range ir.Ir_construction.data_ranges;
-  List.iter copy_range ir.Ir_construction.fixed_ranges;
-  (* Fixed rows are pre-placed at their original addresses. *)
-  Db.iter db (fun r ->
-      if r.Db.fixed then
-        match r.Db.orig_addr with Some a -> Hashtbl.replace st.m r.Db.id a | None -> ());
+  Obs.span "copy_fixed" (fun () ->
+      List.iter copy_range ir.Ir_construction.data_ranges;
+      List.iter copy_range ir.Ir_construction.fixed_ranges;
+      (* Fixed rows are pre-placed at their original addresses. *)
+      Db.iter db (fun r ->
+          if r.Db.fixed then
+            match r.Db.orig_addr with Some a -> Hashtbl.replace st.m r.Db.id a | None -> ()));
   (* 2. Pin plan: slots and sleds. *)
   let movable_pins =
     List.filter (fun (_, id) -> not (Db.row db id).Db.fixed) pins_all
   in
-  let items = plan_pins st movable_pins text_hi in
+  let items = Obs.span "pin_plan" (fun () -> plan_pins st movable_pins text_hi) in
   (* 3. Sled dispatch code, then seed the worklist with pin references. *)
-  List.iter
-    (function
-      | Sled_group sled ->
-          let dispatch = synth_dispatch st sled in
-          Codebuf.write8 buf sled.Sled.jmp_at near_jmp_opcode;
-          Codebuf.write32 buf (sled.Sled.jmp_at + 1)
-            ((dispatch - (sled.Sled.jmp_at + 5)) land 0xffffffff)
-      | Slot _ -> ())
-    items;
+  Obs.span "sled_dispatch" (fun () ->
+      List.iter
+        (function
+          | Sled_group sled ->
+              let dispatch = synth_dispatch st sled in
+              Codebuf.write8 buf sled.Sled.jmp_at near_jmp_opcode;
+              Codebuf.write32 buf (sled.Sled.jmp_at + 1)
+                ((dispatch - (sled.Sled.jmp_at + 5)) land 0xffffffff)
+          | Slot _ -> ())
+        items);
   List.iter (function Slot (site, row) -> Queue.add (site, row) st.udr | Sled_group _ -> ()) items;
   (* 4. Drain uDR (paper II-C4). *)
-  drain st;
+  Obs.span "drain" (fun () -> drain st);
   (* 4b. Relocations in transform-added data: place any still-homeless
      targets, then patch the 32-bit cells with final addresses. *)
   let relocs = Db.relocs db in
-  List.iter
-    (fun (r : Db.reloc) ->
-      if not (Hashtbl.mem st.m r.Db.reloc_target) then begin
-        place_dollop st ~referent:None (build_and_layout st r.Db.reloc_target);
-        drain st
-      end)
-    relocs;
+  Obs.span "relocs" (fun () ->
+      List.iter
+        (fun (r : Db.reloc) ->
+          if not (Hashtbl.mem st.m r.Db.reloc_target) then begin
+            place_dollop st ~referent:None (build_and_layout st r.Db.reloc_target);
+            drain st
+          end)
+        relocs);
   let patched_sections : (string, bytes) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun (r : Db.reloc) ->
@@ -751,45 +776,47 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
     | None -> s
   in
   (* 5. Assemble the output binary. *)
-  let new_text_data =
-    if contiguous && Codebuf.overflow_used buf > 0 then
-      Bytes.cat (Codebuf.text_image buf) (Codebuf.overflow_image buf)
-    else Codebuf.text_image buf
-  in
-  let sections =
-    List.map
-      (fun (s : Zelf.Section.t) ->
-        if s == text then
-          Zelf.Section.make ~name:s.Zelf.Section.name ~kind:Zelf.Section.Text ~vaddr:text_lo
-            new_text_data
-        else s)
-      binary.Zelf.Binary.sections
-  in
-  let overflow_sections =
-    if (not contiguous) && Codebuf.overflow_used buf > 0 then
-      [ Zelf.Section.make ~name:".ztext" ~kind:Zelf.Section.Text ~vaddr:overflow_base
-          (Codebuf.overflow_image buf) ]
-    else []
-  in
   let out =
-    Zelf.Binary.create ~entry:binary.Zelf.Binary.entry
-      (sections @ overflow_sections @ List.map finalize_added (Db.added_sections db))
+    Obs.span "finalize" (fun () ->
+        let new_text_data =
+          if contiguous && Codebuf.overflow_used buf > 0 then
+            Bytes.cat (Codebuf.text_image buf) (Codebuf.overflow_image buf)
+          else Codebuf.text_image buf
+        in
+        let sections =
+          List.map
+            (fun (s : Zelf.Section.t) ->
+              if s == text then
+                Zelf.Section.make ~name:s.Zelf.Section.name ~kind:Zelf.Section.Text
+                  ~vaddr:text_lo new_text_data
+              else s)
+            binary.Zelf.Binary.sections
+        in
+        let overflow_sections =
+          if (not contiguous) && Codebuf.overflow_used buf > 0 then
+            [ Zelf.Section.make ~name:".ztext" ~kind:Zelf.Section.Text ~vaddr:overflow_base
+                (Codebuf.overflow_image buf) ]
+          else []
+        in
+        Zelf.Binary.create ~entry:binary.Zelf.Binary.entry
+          (sections @ overflow_sections @ List.map finalize_added (Db.added_sections db)))
   in
   let alloc = Memspace.counters space in
+  let g n = Obs.Counters.get n in
   let stats =
     {
       pins_total = List.length pins_all;
-      pin_slots_long = st.pin_slots_long;
-      pin_slots_short = st.pin_slots_short;
-      pins_colocated = st.pins_colocated;
-      sleds = st.sleds;
-      sled_entries = st.sled_entries;
-      slot_expansions = st.slot_expansions;
-      chain_hops = st.chain_hops;
-      dollops_placed = st.dollops_placed;
-      dollops_split = st.dollops_split;
-      layouts_computed = st.layouts_computed;
-      layout_reuses = st.layout_reuses;
+      pin_slots_long = g st.k.c_pin_slots_long;
+      pin_slots_short = g st.k.c_pin_slots_short;
+      pins_colocated = g st.k.c_pins_colocated;
+      sleds = g st.k.c_sleds;
+      sled_entries = g st.k.c_sled_entries;
+      slot_expansions = g st.k.c_slot_expansions;
+      chain_hops = g st.k.c_chain_hops;
+      dollops_placed = g st.k.c_dollops_placed;
+      dollops_split = g st.k.c_dollops_split;
+      layouts_computed = g st.k.c_layouts_computed;
+      layout_reuses = g st.k.c_layout_reuses;
       alloc_queries = alloc.Memspace.queries;
       alloc_hits = alloc.Memspace.hits;
       overflow_bytes = Codebuf.overflow_used buf;
@@ -797,6 +824,10 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
       warnings = List.rev st.warnings;
     }
   in
+  if Obs.enabled () then begin
+    Obs.merge_counters st.k.ctrs;
+    Obs.merge_counters (Memspace.obs_counters space)
+  end;
   (out, stats)
 
 let pp_stats ppf s =

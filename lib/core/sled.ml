@@ -156,9 +156,14 @@ let plan ~pins =
       in
       let rec search k =
         if k >= 729 then raise (Infeasible "no filler permutation separates sled signatures")
-        else match attempt k with Some r -> r | None -> search (k + 1)
+        else begin
+          Obs.count "sled.permutations_tried" 1;
+          match attempt k with Some r -> r | None -> search (k + 1)
+        end
       in
       (try
          let body, entries = search 0 in
+         Obs.count "sled.planned" 1;
+         Obs.count "sled.span_bytes" span;
          { start; body; jmp_at = start + span + tail_len; entries }
        with Infeasible _ as e -> raise e)

@@ -115,19 +115,25 @@ let disk_store t k payload =
 (* -- lookup / store -- *)
 
 let find t k =
+  Obs.count "irdb.cache.lookups" 1;
   with_lock t (fun () ->
       match Hashtbl.find_opt t.entries k with
       | Some payload ->
           touch t k;
+          Obs.count "irdb.cache.mem_hits" 1;
           Some payload
       | None -> (
           match disk_find t k with
           | Some payload ->
               insert t k payload;
+              Obs.count "irdb.cache.disk_hits" 1;
               Some payload
-          | None -> None))
+          | None ->
+              Obs.count "irdb.cache.misses" 1;
+              None))
 
 let store t ~key:k payload =
+  Obs.count "irdb.cache.stores" 1;
   with_lock t (fun () ->
       insert t k payload;
       disk_store t k payload)

@@ -1,0 +1,70 @@
+(* Atomic counter/gauge registry.
+
+   A registry is a named collection of integer cells.  Cells are atomic
+   so Domain workers can bump them race-free; the registry's own table is
+   mutex-protected but only touched on registration and snapshot, never
+   on the bump path.  Two kinds:
+
+     [Sum] — ordinary counters; [bump] adds, merges add.
+     [Max] — high-water gauges (queue depth and the like); [bump] takes
+             the maximum, merges take the maximum.
+
+   Both operations are commutative and associative, so merging registries
+   from several domains yields the same totals in any order — the
+   property that keeps aggregated corpus reports independent of the
+   worker schedule. *)
+
+type kind = Sum | Max
+
+type cell = { name : string; kind : kind; v : int Atomic.t }
+
+type t = { lock : Mutex.t; tbl : (string, cell) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Registration is idempotent; re-registering under a different kind is a
+   programming error, not a data race, so it raises. *)
+let cell ~kind t name =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some c ->
+          if c.kind <> kind then
+            invalid_arg (Printf.sprintf "Counters.cell: %S registered with another kind" name);
+          c
+      | None ->
+          let c = { name; kind; v = Atomic.make 0 } in
+          Hashtbl.add t.tbl name c;
+          c)
+
+let counter t name = cell ~kind:Sum t name
+let gauge t name = cell ~kind:Max t name
+
+let bump c n =
+  match c.kind with
+  | Sum -> ignore (Atomic.fetch_and_add c.v n)
+  | Max ->
+      let rec go () =
+        let cur = Atomic.get c.v in
+        if n > cur && not (Atomic.compare_and_set c.v cur n) then go ()
+      in
+      go ()
+
+let incr c = bump c 1
+let get c = Atomic.get c.v
+let name c = c.name
+let kind c = c.kind
+
+let kind_to_string = function Sum -> "sum" | Max -> "max"
+
+(* Sorted by name: a deterministic projection of the registry. *)
+let snapshot t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun _ c acc -> (c.name, c.kind, Atomic.get c.v) :: acc) t.tbl [])
+  |> List.sort compare
+
+let merge ~into t =
+  List.iter (fun (n, kind, v) -> bump (cell ~kind into n) v) (snapshot t)

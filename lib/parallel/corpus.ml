@@ -61,7 +61,9 @@ let rewrite_one ?ir_cache ~config ~transforms ~corpus_seed (index, it) =
 
 let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transforms = [])
     ?ir_cache ~corpus_seed items =
+  Obs.span "corpus" (fun () ->
   let arr = Array.of_list items in
+  Obs.count "corpus.binaries" (Array.length arr);
   let n = Array.length arr in
   let tagged = Array.mapi (fun i it -> (i, it)) arr in
   let task = rewrite_one ?ir_cache ~config ~transforms ~corpus_seed in
@@ -130,7 +132,7 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
     queue_wait_total_s = qstats.Pool.wait_total_s;
     queue_wait_max_s = qstats.Pool.wait_max_s;
     shards = Array.to_list shards;
-  }
+  })
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -83,6 +83,7 @@ let submit t run =
     Condition.wait t.not_full t.mutex
   done;
   Queue.add { run; submitted_at = now () } t.queue;
+  Obs.gauge_max "pool.queue_depth" (Queue.length t.queue);
   Condition.signal t.not_empty;
   Mutex.unlock t.mutex
 
@@ -105,7 +106,9 @@ let map_on t f arr =
     (fun i x ->
       submit t (fun ~worker ~wait_s ->
           let t0 = now () in
-          let value = f x in
+          (* [~root] detaches the span from whatever the worker domain has
+             open, so task paths match the inline serial path below. *)
+          let value = Obs.span ~root:true "task" (fun () -> f x) in
           let elapsed_s = now () -. t0 in
           (* Distinct slots, one writer each; publication happens-before
              the reads below via [Domain.join] inside [shutdown]. *)
@@ -131,7 +134,7 @@ let map ~jobs f arr =
       Array.map
         (fun x ->
           let t0 = now () in
-          let value = f x in
+          let value = Obs.span ~root:true "task" (fun () -> f x) in
           let elapsed_s = now () -. t0 in
           busy := !busy +. elapsed_s;
           { value; elapsed_s; queue_wait_s = 0.0; worker = 0 })

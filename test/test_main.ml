@@ -28,4 +28,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("speculative", Test_speculative.suite);
       ("ir-cache", Test_cache.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -161,6 +161,74 @@ let test_stats_basics () =
   Alcotest.(check (float 1e-9)) "overhead" 50.0 (Stats.overhead_pct ~baseline:2.0 ~measured:3.0);
   Alcotest.(check (float 1e-9)) "overhead zero base" 0.0 (Stats.overhead_pct ~baseline:0.0 ~measured:3.0)
 
+let test_stats_edge_cases () =
+  (* Empty inputs never divide by zero. *)
+  Alcotest.(check (float 1e-9)) "mean []" 0.0 (Stats.mean []);
+  Alcotest.(check (float 1e-9)) "stddev []" 0.0 (Stats.stddev []);
+  Alcotest.(check (float 1e-9)) "stddev [x]" 0.0 (Stats.stddev [ 3.0 ]);
+  Alcotest.(check (float 1e-9)) "median []" 0.0 (Stats.median []);
+  Alcotest.(check (float 1e-9)) "percentile []" 0.0 (Stats.percentile [] 50.0);
+  (* Nearest-rank percentile: p=0 clamps to the minimum, p=100 is the
+     maximum, and a single element answers every p. *)
+  let xs = [ 5.0; 1.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 5.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "p50 = median elem" 3.0 (Stats.percentile xs 50.0);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "singleton p%g" p)
+        7.0
+        (Stats.percentile [ 7.0 ] p))
+    [ 0.0; 37.5; 100.0 ];
+  (* geomean_ratio ignores non-positive pairs instead of poisoning the
+     log; all-nonpositive input answers the neutral ratio 1.0. *)
+  Alcotest.(check (float 1e-9)) "geomean neutral" 1.0 (Stats.geomean_ratio []);
+  Alcotest.(check (float 1e-9)) "geomean skips nonpositive" 2.0
+    (Stats.geomean_ratio [ (1.0, 2.0); (0.0, 5.0); (-3.0, 4.0); (2.0, 0.0) ]);
+  Alcotest.(check (float 1e-9)) "geomean all nonpositive" 1.0
+    (Stats.geomean_ratio [ (0.0, 0.0); (-1.0, -2.0) ])
+
+let test_percentile_qcheck =
+  QCheck.Test.make ~name:"percentile is monotone in p and a list member" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 20) (float_bound_inclusive 100.0))
+              (list_of_size Gen.(2 -- 6) (float_bound_inclusive 100.0)))
+    (fun (xs, ps) ->
+      let ps = List.sort compare ps in
+      let vals = List.map (Stats.percentile xs) ps in
+      let rec monotone = function
+        | a :: (b :: _ as tl) -> a <= b && monotone tl
+        | _ -> true
+      in
+      monotone vals && List.for_all (fun v -> List.mem v xs) vals)
+
+let test_histogram_paper_bin_boundaries () =
+  (* Boundary samples land in the bin whose label contains them: edges
+     are half-open [lo, hi), negatives fall below the first edge. *)
+  let h = Histogram.paper_bins () in
+  List.iter (Histogram.add h)
+    [ -0.0001; 0.0; 4.999; 5.0; 10.0; 20.0; 50.0; 1e9 ];
+  Alcotest.(check (array int)) "boundary samples" [| 1; 2; 1; 1; 1; 2 |] (Histogram.counts h);
+  Alcotest.(check int) "total" 8 (Histogram.count h)
+
+let test_histogram_bin_qcheck =
+  QCheck.Test.make ~name:"histogram bins partition the line" ~count:300
+    QCheck.(float_range (-100.0) 200.0)
+    (fun x ->
+      let h = Histogram.paper_bins () in
+      Histogram.add h x;
+      let counts = Histogram.counts h in
+      let hits = Array.fold_left ( + ) 0 counts in
+      (* Exactly one bin, and the right one given the edges. *)
+      let edges = [| 0.0; 5.0; 10.0; 20.0; 50.0 |] in
+      let expected =
+        let rec go i =
+          if i >= Array.length edges then i else if x < edges.(i) then i else go (i + 1)
+        in
+        go 0
+      in
+      hits = 1 && counts.(expected) = 1)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -182,5 +250,9 @@ let suite =
     Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
     Alcotest.test_case "histogram bins" `Quick test_histogram_bins;
     Alcotest.test_case "histogram labels" `Quick test_histogram_labels;
+    Alcotest.test_case "histogram boundaries" `Quick test_histogram_paper_bin_boundaries;
+    QCheck_alcotest.to_alcotest test_histogram_bin_qcheck;
     Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats edge cases" `Quick test_stats_edge_cases;
+    QCheck_alcotest.to_alcotest test_percentile_qcheck;
   ]
