@@ -196,6 +196,7 @@ let e1 () =
 let json_mode = ref false
 let small_mode = ref false
 let jobs = ref 1
+let clients = ref 4
 let trace_mode = ref false
 
 let json_escape s =
@@ -653,6 +654,145 @@ let defenses () =
   say " displacement, and pure-diversity transforms block nothing — defense in depth matters)"
 
 (* ------------------------------------------------------------------ *)
+(* Serve: the rewriting daemon under concurrent load                   *)
+(* ------------------------------------------------------------------ *)
+
+(* An in-process load test of the serve subsystem: start a daemon on a
+   Unix socket, hammer it from [--clients N] client domains, and report
+   latency percentiles, throughput, shared-IR-cache effectiveness and
+   overload behaviour.  Always writes BENCH_serve.json — the serve
+   analog of BENCH_throughput.json; its fields are documented in the
+   README's "Serving" section. *)
+let serve_bench () =
+  say "== Serve: daemon latency/throughput under %d concurrent clients ==" !clients;
+  let sock_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "zipr-bench-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      Serve.Server.default_config with
+      Serve.Server.jobs = max 1 !jobs;
+      queue_bound = max 4 (2 * !clients);
+    }
+  in
+  let server =
+    Serve.Server.create ~config ~resolve_transform:Transforms.Registry.by_name
+      (Serve.Protocol.Unix_path sock_path)
+  in
+  let addr = Serve.Server.address server in
+  let server_domain = Domain.spawn (fun () -> Serve.Server.serve server) in
+  (* The request mix: distinct binaries (cache misses on first touch)
+     revisited by every client (hits thereafter). *)
+  let inputs =
+    List.concat_map
+      (fun seed ->
+        [
+          Bytes.unsafe_to_string
+            (Zelf.Binary.serialize
+               (Workloads.Synthetic.libc_like ~seed ~tests:0 ()).Workloads.Synthetic.binary);
+          Bytes.unsafe_to_string
+            (Zelf.Binary.serialize
+               (Workloads.Synthetic.frag_like ~seed ~tests:0 ()).Workloads.Synthetic.binary);
+        ])
+      [ 11; 12; 13 ]
+    |> Array.of_list
+  in
+  let per_client = if !small_mode then 8 else 24 in
+  (* Warm the IR cache so the measured section exercises the steady
+     state; the misses recorded below are these first touches. *)
+  Array.iter
+    (fun data ->
+      match Serve.Client.rewrite ~transforms:[ "null" ] addr data with
+      | Ok { Serve.Protocol.Response.status = Serve.Protocol.Ok_; _ } -> ()
+      | Ok r ->
+          failwith
+            (Printf.sprintf "serve bench: warmup rejected: %s: %s"
+               (Serve.Protocol.status_to_string r.Serve.Protocol.Response.status)
+               r.Serve.Protocol.Response.message)
+      | Error msg -> failwith ("serve bench: warmup failed: " ^ msg))
+    inputs;
+  let t0 = Unix.gettimeofday () in
+  let run_client c =
+    let lat = ref [] and ok = ref 0 and rejects = ref 0 and errors = ref 0 in
+    for i = 0 to per_client - 1 do
+      let data = inputs.(((c * per_client) + i) mod Array.length inputs) in
+      let r0 = Unix.gettimeofday () in
+      (match
+         Serve.Client.rewrite
+           ~id:(Int64.of_int ((c * 1_000_000) + i))
+           ~transforms:[ "null" ] addr data
+       with
+      | Ok { Serve.Protocol.Response.status = Serve.Protocol.Ok_; _ } ->
+          incr ok;
+          lat := (Unix.gettimeofday () -. r0) *. 1e3 :: !lat
+      | Ok { Serve.Protocol.Response.status = Serve.Protocol.Overloaded; _ } -> incr rejects
+      | Ok _ | Error _ -> incr errors)
+    done;
+    (!lat, !ok, !rejects, !errors)
+  in
+  let domains = List.init !clients (fun c -> Domain.spawn (fun () -> run_client c)) in
+  let results = List.map Domain.join domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  Serve.Server.stop server;
+  Domain.join server_domain;
+  let lats = List.concat_map (fun (l, _, _, _) -> l) results in
+  let ok = List.fold_left (fun a (_, o, _, _) -> a + o) 0 results in
+  let rejects = List.fold_left (fun a (_, _, r, _) -> a + r) 0 results in
+  let errors = List.fold_left (fun a (_, _, _, e) -> a + e) 0 results in
+  let total = !clients * per_client in
+  let s = Serve.Server.stats server in
+  let cache_lookups = s.Serve.Server.cache_hits + s.Serve.Server.cache_misses in
+  let hit_rate =
+    if cache_lookups = 0 then 0.0
+    else float_of_int s.Serve.Server.cache_hits /. float_of_int cache_lookups
+  in
+  let p50 = Stats.percentile lats 50.0 and p99 = Stats.percentile lats 99.0 in
+  let lmean = Stats.mean lats in
+  let lmax = List.fold_left max 0.0 lats in
+  say "requests              %10d  (%d ok, %d overloaded, %d errors)" total ok rejects errors;
+  say "wall clock            %10.4f s  (%.1f req/s)" wall (float_of_int ok /. wall);
+  say "latency p50           %10.2f ms" p50;
+  say "latency p99           %10.2f ms" p99;
+  say "latency mean/max      %10.2f / %.2f ms" lmean lmax;
+  say "ir cache              %10d hits / %d misses (%.0f%% hit rate)" s.Serve.Server.cache_hits
+    s.Serve.Server.cache_misses (hit_rate *. 100.0);
+  say "queue high water      %10d  (bound %d)" s.Serve.Server.queue_high_water
+    s.Serve.Server.queue_bound;
+  if errors > 0 then failwith "serve bench: unexpected request errors";
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"serve\",\n\
+    \  \"clients\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"requests_total\": %d,\n\
+    \  \"ok\": %d,\n\
+    \  \"overloaded_rejects\": %d,\n\
+    \  \"errors\": %d,\n\
+    \  \"wall_clock_s\": %.6f,\n\
+    \  \"requests_per_s\": %.3f,\n\
+    \  \"latency_p50_ms\": %.3f,\n\
+    \  \"latency_p99_ms\": %.3f,\n\
+    \  \"latency_mean_ms\": %.3f,\n\
+    \  \"latency_max_ms\": %.3f,\n\
+    \  \"cache_hits\": %d,\n\
+    \  \"cache_misses\": %d,\n\
+    \  \"cache_hit_rate\": %.4f,\n\
+    \  \"cache_resident_bytes\": %d,\n\
+    \  \"cache_evictions\": %d,\n\
+    \  \"queue_bound\": %d,\n\
+    \  \"queue_high_water\": %d\n\
+     }\n"
+    !clients config.Serve.Server.jobs total ok rejects errors wall
+    (float_of_int ok /. wall)
+    p50 p99 lmean lmax s.Serve.Server.cache_hits s.Serve.Server.cache_misses hit_rate
+    s.Serve.Server.cache_resident_bytes s.Serve.Server.cache_evictions
+    s.Serve.Server.queue_bound s.Serve.Server.queue_high_water;
+  close_out oc;
+  say "wrote BENCH_serve.json (%d clients at --jobs %d)" !clients config.Serve.Server.jobs
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -729,6 +869,7 @@ let experiments =
     ("pinning", pinning);
     ("jtrw", jtrw);
     ("defenses", defenses);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 
@@ -748,11 +889,17 @@ let () =
     | f :: rest when String.length f > 7 && String.sub f 0 7 = "--jobs=" ->
         jobs := max 1 (int_of_string (String.sub f 7 (String.length f - 7)));
         parse names rest
+    | "--clients" :: n :: rest ->
+        clients := max 1 (int_of_string n);
+        parse names rest
+    | f :: rest when String.length f > 10 && String.sub f 0 10 = "--clients=" ->
+        clients := max 1 (int_of_string (String.sub f 10 (String.length f - 10)));
+        parse names rest
     | "--trace" :: rest ->
         trace_mode := true;
         parse names rest
     | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
-        say "unknown flag %S; available: --json, --small, --jobs N, --trace" f;
+        say "unknown flag %S; available: --json, --small, --jobs N, --clients N, --trace" f;
         parse names rest
     | name :: rest -> parse (name :: names) rest
   in

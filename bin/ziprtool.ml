@@ -66,22 +66,8 @@ let load_binary path =
   | Ok b -> Ok b
   | Error e -> Error (Format.asprintf "%s: %a" path Zelf.Binary.pp_parse_error e)
 
-let shipped_transforms =
-  [
-    Transforms.Null.transform;
-    Transforms.Cfi.transform;
-    Transforms.Stack_pad.transform;
-    Transforms.Canary.transform;
-    Transforms.Stirring.transform;
-    Transforms.Jumptable_rewrite.transform;
-    Transforms.Shadow_stack.transform;
-    Transforms.Nop_pad.transform;
-  ]
-
-let transform_of_name name =
-  List.find_opt (fun t -> t.Zipr.Transform.name = name) shipped_transforms
-
-let transform_names = List.map (fun t -> t.Zipr.Transform.name) shipped_transforms
+let transform_of_name = Transforms.Registry.by_name
+let transform_names = Transforms.Registry.names
 
 (* -- common args -- *)
 
@@ -567,6 +553,218 @@ let batch_cmd =
       const run $ transforms $ placement $ corpus_seed $ batch_jobs $ ext $ cache_dir
       $ trace $ indir $ outdir)
 
+(* -- serve / client -- *)
+
+let addr_term =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on (or connect to) a Unix socket.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"TCP host.")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N"
+          ~doc:"Listen on (or connect to) a TCP port; 0 picks a free port when serving.")
+  in
+  let pick socket host port =
+    match (socket, port) with
+    | Some p, None -> Ok (Serve.Protocol.Unix_path p)
+    | None, Some n -> Ok (Serve.Protocol.Tcp { host; port = n })
+    | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+    | None, None -> Error "one of --socket PATH or --port N is required"
+  in
+  Term.(const pick $ socket $ host $ port)
+
+let serve_cmd =
+  let jobs =
+    Arg.(value & opt int 2 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_bound =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-bound" ] ~docv:"Q"
+          ~doc:
+            "Admission bound: at most Q requests may be queued awaiting a worker; \
+             requests past the bound get an immediate overloaded response.")
+  in
+  let max_request =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "max-request-bytes" ] ~docv:"B" ~doc:"Reject larger request payloads.")
+  in
+  let cache_entries =
+    Arg.(value & opt int 256 & info [ "cache-entries" ] ~docv:"N" ~doc:"IR cache entry cap.")
+  in
+  let cache_bytes =
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "cache-bytes" ] ~docv:"B" ~doc:"IR cache resident-byte budget (LRU eviction).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR" ~doc:"Spill the shared IR cache to this directory.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace of all served requests on shutdown.")
+  in
+  let run addr jobs queue_bound max_request cache_entries cache_bytes cache_dir trace =
+    match addr with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        2
+    | Ok addr -> (
+        with_trace_file trace @@ fun () ->
+        let config =
+          {
+            Serve.Server.default_config with
+            Serve.Server.jobs = max 1 jobs;
+            queue_bound = max 1 queue_bound;
+            max_request_bytes = max 1024 max_request;
+            cache_entries = max 1 cache_entries;
+            cache_max_bytes = max 1024 cache_bytes;
+            cache_dir;
+          }
+        in
+        match Serve.Server.create ~config ~resolve_transform:transform_of_name addr with
+        | exception Unix.Unix_error (e, _, arg) ->
+            Printf.eprintf "error: cannot listen on %s: %s %s\n"
+              (Serve.Protocol.addr_to_string addr)
+              (Unix.error_message e) arg;
+            1
+        | server ->
+            let stop _ = Serve.Server.stop server in
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+            Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+            Printf.eprintf "ziprtool serve: listening on %s (%d jobs, queue bound %d)\n%!"
+              (Serve.Protocol.addr_to_string (Serve.Server.address server))
+              config.Serve.Server.jobs config.Serve.Server.queue_bound;
+            Serve.Server.serve server;
+            let s = Serve.Server.stats server in
+            Printf.eprintf
+              "ziprtool serve: shut down cleanly: %d requests (%d ok, %d overloaded, %d \
+               errors), cache %d hits / %d misses\n"
+              s.Serve.Server.accepted s.Serve.Server.ok s.Serve.Server.overloaded
+              (s.Serve.Server.bad_request + s.Serve.Server.too_large
+             + s.Serve.Server.rewrite_errors)
+              s.Serve.Server.cache_hits s.Serve.Server.cache_misses;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the rewriting daemon: a long-lived server that accepts rewrite requests \
+          over a Unix or TCP socket, shares one IR cache across all clients, and sheds \
+          load with fast overloaded responses once its queue bound is reached. SIGTERM \
+          or SIGINT shuts it down cleanly (in-flight requests complete).")
+    Term.(
+      const run $ addr_term $ jobs $ queue_bound $ max_request $ cache_entries $ cache_bytes
+      $ cache_dir $ trace)
+
+let client_cmd =
+  let transforms =
+    Arg.(
+      value
+      & opt (list string) [ "null" ]
+      & info [ "t"; "transform" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf "Comma-separated transforms, applied in order. Available: %s."
+               (String.concat ", " transform_names)))
+  in
+  let placement =
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) Zipr.Placement.names)) "optimized"
+      & info [ "placement" ] ~doc:"Dollop placement strategy.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Layout seed (random placement).") in
+  let deadline_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline; 0 means none. Expired requests return an error.")
+  in
+  let do_ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Health check: echo a payload instead of rewriting.")
+  in
+  let sleep_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "sleep-ms" ] ~docv:"MS" ~doc:"With --ping: ask the server to sleep first.")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's per-request stats.") in
+  let files = Arg.(value & pos_all string [] & info [] ~docv:"INPUT OUTPUT") in
+  let run addr tnames placement seed deadline_ms do_ping sleep_ms stats files =
+    match addr with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        2
+    | Ok addr -> (
+        let deadline_us = max 0 deadline_ms * 1000 in
+        let finish (resp : Serve.Protocol.Response.t) on_ok =
+          if stats && resp.Serve.Protocol.Response.stats <> "" then
+            prerr_string resp.Serve.Protocol.Response.stats;
+          match resp.Serve.Protocol.Response.status with
+          | Serve.Protocol.Ok_ -> on_ok ()
+          | st ->
+              Printf.eprintf "error: server answered %s: %s\n"
+                (Serve.Protocol.status_to_string st)
+                resp.Serve.Protocol.Response.message;
+              1
+        in
+        if do_ping then
+          match Serve.Client.ping ~sleep_us:(max 0 sleep_ms * 1000) ~deadline_us addr with
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
+              1
+          | Ok resp ->
+              finish resp (fun () ->
+                  Printf.printf "pong: %s\n" resp.Serve.Protocol.Response.payload;
+                  0)
+        else
+          match files with
+          | [ inp; out ] -> (
+              match
+                Serve.Client.rewrite ~deadline_us ~placement ~seed ~transforms:tnames addr
+                  (read_file inp)
+              with
+              | Error msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  1
+              | Ok resp ->
+                  finish resp (fun () ->
+                      write_file out
+                        (Bytes.of_string resp.Serve.Protocol.Response.payload);
+                      Printf.printf "%s: %d -> %d bytes (served)\n" out
+                        (String.length (read_file inp))
+                        (String.length resp.Serve.Protocol.Response.payload);
+                      0))
+          | _ ->
+              Printf.eprintf "error: expected INPUT and OUTPUT arguments (or --ping)\n";
+              2)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running ziprtool serve daemon: rewrite INPUT into OUTPUT \
+          remotely, or health-check it with --ping.")
+    Term.(
+      const run $ addr_term $ transforms $ placement $ seed $ deadline_ms $ do_ping
+      $ sleep_ms $ stats $ files)
+
 let () =
   let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in
   let info = Cmd.info "ziprtool" ~version:"1.0.0" ~doc in
@@ -575,5 +773,5 @@ let () =
        (Cmd.group info
           [
             asm_cmd; gen_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd; audit_cmd; fuzz_cmd;
-            batch_cmd;
+            batch_cmd; serve_cmd; client_cmd;
           ]))

@@ -2,24 +2,32 @@ let version = "ZIRCACHE1"
 
 type t = {
   capacity : int;
+  max_bytes : int option;
   dir : string option;
   lock : Mutex.t;
   entries : (string, string) Hashtbl.t;
   last_use : (string, int) Hashtbl.t;
   mutable tick : int;
+  mutable resident : int;  (* sum of entry_bytes over [entries] *)
+  mutable evicted : int;
+  mutable oversize : int;
 }
 
-let create ?(capacity = 64) ?dir () =
+let create ?(capacity = 64) ?max_bytes ?dir () =
   (match dir with
   | Some d -> ( try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
   | None -> ());
   {
     capacity = max 1 capacity;
+    max_bytes = Option.map (max 1) max_bytes;
     dir;
     lock = Mutex.create ();
     entries = Hashtbl.create 64;
     last_use = Hashtbl.create 64;
     tick = 0;
+    resident = 0;
+    evicted = 0;
+    oversize = 0;
   }
 
 let dir t = t.dir
@@ -43,26 +51,61 @@ let touch t k =
   t.tick <- t.tick + 1;
   Hashtbl.replace t.last_use k t.tick
 
-let evict_until_room t =
-  while Hashtbl.length t.entries >= t.capacity do
-    let age k = Option.value (Hashtbl.find_opt t.last_use k) ~default:0 in
-    let victim =
-      Hashtbl.fold
-        (fun k _ acc ->
-          match acc with Some k' when age k' <= age k -> acc | _ -> Some k)
-        t.entries None
-    in
-    match victim with
-    | Some k ->
-        Hashtbl.remove t.entries k;
-        Hashtbl.remove t.last_use k
-    | None -> Hashtbl.reset t.entries
-  done
+(* What an entry charges against the byte budget: its key and payload,
+   the two strings the memory layer actually retains. *)
+let entry_bytes k payload = String.length k + String.length payload
 
+let evict_one t =
+  let age k = Option.value (Hashtbl.find_opt t.last_use k) ~default:0 in
+  let victim =
+    Hashtbl.fold
+      (fun k _ acc -> match acc with Some k' when age k' <= age k -> acc | _ -> Some k)
+      t.entries None
+  in
+  match victim with
+  | Some k ->
+      (match Hashtbl.find_opt t.entries k with
+      | Some payload -> t.resident <- t.resident - entry_bytes k payload
+      | None -> ());
+      Hashtbl.remove t.entries k;
+      Hashtbl.remove t.last_use k;
+      t.evicted <- t.evicted + 1;
+      Obs.count "irdb.cache.evictions" 1
+  | None ->
+      Hashtbl.reset t.entries;
+      t.resident <- 0
+
+(* Insert under both bounds: at most [capacity] entries, and — when a
+   byte budget is set — at most [max_bytes] resident bytes.  Eviction is
+   strictly least-recently-used for both triggers.  A payload that alone
+   exceeds the budget is not admitted at all (evicting the whole cache
+   for one entry that still would not fit buys nothing). *)
 let insert t k payload =
-  if not (Hashtbl.mem t.entries k) then evict_until_room t;
-  Hashtbl.replace t.entries k payload;
-  touch t k
+  (match Hashtbl.find_opt t.entries k with
+  | Some old ->
+      t.resident <- t.resident - entry_bytes k old;
+      Hashtbl.remove t.entries k;
+      Hashtbl.remove t.last_use k
+  | None -> ());
+  let sz = entry_bytes k payload in
+  match t.max_bytes with
+  | Some budget when sz > budget ->
+      t.oversize <- t.oversize + 1;
+      Obs.count "irdb.cache.oversize_skips" 1
+  | _ ->
+      let over_budget () =
+        match t.max_bytes with Some budget -> t.resident + sz > budget | None -> false
+      in
+      while
+        Hashtbl.length t.entries > 0
+        && (Hashtbl.length t.entries >= t.capacity || over_budget ())
+      do
+        evict_one t
+      done;
+      Hashtbl.replace t.entries k payload;
+      t.resident <- t.resident + sz;
+      touch t k;
+      Obs.gauge_max "irdb.cache.resident_bytes" t.resident
 
 (* -- disk layer -- *)
 
@@ -139,3 +182,6 @@ let store t ~key:k payload =
       disk_store t k payload)
 
 let mem_entries t = with_lock t (fun () -> Hashtbl.length t.entries)
+let resident_bytes t = with_lock t (fun () -> t.resident)
+let evictions t = with_lock t (fun () -> t.evicted)
+let oversize_skips t = with_lock t (fun () -> t.oversize)

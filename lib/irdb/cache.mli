@@ -18,10 +18,15 @@
 
 type t
 
-val create : ?capacity:int -> ?dir:string -> unit -> t
+val create : ?capacity:int -> ?max_bytes:int -> ?dir:string -> unit -> t
 (** [capacity] bounds the in-memory entry count (default 64; least
-    recently used entries are evicted).  [dir] enables the disk layer;
-    the directory is created if missing. *)
+    recently used entries are evicted).  [max_bytes] additionally bounds
+    the total resident bytes (key + payload per entry): inserting past
+    the budget evicts least-recently-used entries until the newcomer
+    fits, and a single entry larger than the whole budget is not
+    admitted at all ({!oversize_skips} counts those).  With no
+    [max_bytes] the store is entry-count bounded only.  [dir] enables
+    the disk layer; the directory is created if missing. *)
 
 val key : string list -> string
 (** Digest of the given parts (length-prefixed, so part boundaries are
@@ -37,3 +42,13 @@ val dir : t -> string option
 
 val mem_entries : t -> int
 (** In-memory entry count, for tests of the eviction policy. *)
+
+val resident_bytes : t -> int
+(** Total bytes the in-memory layer currently holds (sum over entries of
+    key + payload length).  Always [<= max_bytes] when a budget is set. *)
+
+val evictions : t -> int
+(** Entries evicted so far (capacity- or budget-triggered). *)
+
+val oversize_skips : t -> int
+(** Payloads refused because they alone exceed [max_bytes]. *)

@@ -71,7 +71,7 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
      [wall_clock_s] (and report it separately) so the speedup numbers
      compare work against work, not work against work-plus-startup. *)
   let spawn0 = Unix.gettimeofday () in
-  let pool = if jobs > 1 && n > 1 then Some (Pool.create ~jobs:(min jobs n)) else None in
+  let pool = if jobs > 1 && n > 1 then Some (Pool.create ~jobs:(min jobs n) ()) else None in
   let pool_spawn_s = Unix.gettimeofday () -. spawn0 in
   let t0 = Unix.gettimeofday () in
   let timed, shards, qstats =

@@ -19,6 +19,8 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
+type submit_outcome = Submitted | Queue_full | Closed
+
 let now () = Unix.gettimeofday ()
 
 let worker_loop t w =
@@ -52,12 +54,12 @@ let worker_loop t w =
   loop ();
   t.stats.(w) <- { worker = w; tasks_run = !tasks; busy_s = !busy }
 
-let create ~jobs =
+let create ?capacity ~jobs () =
   let jobs = max 1 jobs in
   let t =
     {
       jobs;
-      capacity = 2 * jobs;
+      capacity = (match capacity with Some c -> max 1 c | None -> 2 * jobs);
       queue = Queue.create ();
       mutex = Mutex.create ();
       not_empty = Condition.create ();
@@ -73,28 +75,58 @@ let create ~jobs =
   t.domains <- List.init jobs (fun w -> Domain.spawn (fun () -> worker_loop t w));
   t
 
+let enqueue_locked t run =
+  Queue.add { run; submitted_at = now () } t.queue;
+  Obs.gauge_max "pool.queue_depth" (Queue.length t.queue);
+  Condition.signal t.not_empty
+
 let submit t run =
   Mutex.lock t.mutex;
   if t.closed then begin
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  while Queue.length t.queue >= t.capacity do
+  while Queue.length t.queue >= t.capacity && not t.closed do
     Condition.wait t.not_full t.mutex
   done;
-  Queue.add { run; submitted_at = now () } t.queue;
-  Obs.gauge_max "pool.queue_depth" (Queue.length t.queue);
-  Condition.signal t.not_empty;
+  (* Re-check after the wait: a concurrent [shutdown] may have closed the
+     pool while we were blocked, and a task enqueued now would be drained
+     by workers that are already exiting — or never run at all. *)
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  enqueue_locked t run;
   Mutex.unlock t.mutex
+
+let try_submit t run =
+  Mutex.lock t.mutex;
+  let outcome =
+    if t.closed then Closed
+    else if Queue.length t.queue >= t.capacity then Queue_full
+    else begin
+      enqueue_locked t run;
+      Submitted
+    end
+  in
+  Mutex.unlock t.mutex;
+  outcome
 
 let shutdown t =
   Mutex.lock t.mutex;
   t.closed <- true;
   Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.domains;
   t.domains <- [];
-  (match t.first_error with Some e -> raise e | None -> ());
+  (* Consume the error so a second (idempotent) shutdown reports stats
+     instead of re-raising a failure the caller already saw. *)
+  (match t.first_error with
+  | Some e ->
+      t.first_error <- None;
+      raise e
+  | None -> ());
   (Array.copy t.stats, { wait_total_s = t.wait_total_s; wait_max_s = t.wait_max_s })
 
 type 'b timed = { value : 'b; elapsed_s : float; queue_wait_s : float; worker : int }
@@ -144,4 +176,4 @@ let map ~jobs f arr =
       [| { worker = 0; tasks_run = n; busy_s = !busy } |],
       { wait_total_s = 0.0; wait_max_s = 0.0 } )
   end
-  else map_on (create ~jobs:(min jobs n)) f arr
+  else map_on (create ~jobs:(min jobs n) ()) f arr

@@ -23,20 +23,37 @@ type queue_stats = {
 
 type t
 
-val create : jobs:int -> t
-(** Spawn [max 1 jobs] worker domains sharing one bounded queue. *)
+val create : ?capacity:int -> jobs:int -> unit -> t
+(** Spawn [max 1 jobs] worker domains sharing one bounded queue.
+    [capacity] sets the queue bound (default [2 * jobs]); {!submit}
+    blocks and {!try_submit} rejects once that many tasks are pending.
+    A serve daemon sets it to its admission-queue bound so the pool
+    itself never blocks the accept loop. *)
 
 val submit : t -> (worker:int -> wait_s:float -> unit) -> unit
 (** Enqueue a task; blocks while the queue is at capacity.  The task
     receives the id of the worker running it and the seconds it spent
     queued.  Tasks must not raise: a raising task is recorded and the
     exception is re-raised by {!shutdown}, but intervening tasks still
-    run.  Raises [Invalid_argument] after {!shutdown}. *)
+    run.  Raises [Invalid_argument] after {!shutdown} — including when
+    the pool is shut down while the call is blocked waiting for room
+    (the task is then {e not} enqueued). *)
+
+type submit_outcome = Submitted | Queue_full | Closed
+
+val try_submit : t -> (worker:int -> wait_s:float -> unit) -> submit_outcome
+(** Non-blocking {!submit}: [Queue_full] when the queue is at capacity,
+    [Closed] after {!shutdown}; the task runs only on [Submitted].  This
+    is the admission-control entry point — an overloaded server answers
+    [Queue_full] with a fast reject instead of stalling its accept
+    loop. *)
 
 val shutdown : t -> worker_stat array * queue_stats
-(** Drain the queue, stop and join every worker, and return per-worker
-    and queue accounting.  Re-raises the first task exception, if any
-    task raised. *)
+(** Drain the queue (already-accepted tasks still run), stop and join
+    every worker, and return per-worker and queue accounting.  Re-raises
+    the first task exception, if any task raised — once: the error is
+    consumed, so calling {!shutdown} again is harmless and returns the
+    same accounting (idempotent close). *)
 
 type 'b timed = {
   value : 'b;

@@ -1,0 +1,69 @@
+(* Queue-depth admission control.
+
+   The daemon's overload policy in one small state machine: a request is
+   ADMITTED (it may wait in the pool queue), then STARTED (a worker
+   picked it up), then FINISHED.  [try_admit] refuses once [bound]
+   requests are admitted-but-unfinished, which bounds both queue memory
+   and tail latency — the accept loop answers the refusal with a fast
+   [Overloaded] response instead of blocking, so a flood degrades into
+   rejections rather than an OOM or a frozen socket.
+
+   All cells are atomics: the accept loop admits, worker domains start
+   and finish, and tests read high-water marks, with no lock shared with
+   the request path. *)
+
+type t = {
+  bound : int;
+  queued : int Atomic.t;  (* admitted, not yet started *)
+  high_water : int Atomic.t;  (* max queued ever observed *)
+  admitted : int Atomic.t;
+  rejected : int Atomic.t;
+  completed : int Atomic.t;
+}
+
+let create ~bound =
+  {
+    bound = max 1 bound;
+    queued = Atomic.make 0;
+    high_water = Atomic.make 0;
+    admitted = Atomic.make 0;
+    rejected = Atomic.make 0;
+    completed = Atomic.make 0;
+  }
+
+let bound t = t.bound
+
+let rec bump_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then bump_max cell v
+
+let rec try_admit t =
+  let q = Atomic.get t.queued in
+  if q >= t.bound then begin
+    Atomic.incr t.rejected;
+    Obs.count "serve.rejects.overloaded" 1;
+    false
+  end
+  else if Atomic.compare_and_set t.queued q (q + 1) then begin
+    bump_max t.high_water (q + 1);
+    Atomic.incr t.admitted;
+    Obs.gauge_max "serve.queue_depth" (q + 1);
+    true
+  end
+  else try_admit t
+
+let started t = Atomic.decr t.queued
+
+(* Undo an admission whose task never reached the pool (e.g. the pool is
+   closing): the slot frees without counting as completed. *)
+let cancel t =
+  Atomic.decr t.queued;
+  Atomic.decr t.admitted
+
+let finished t = Atomic.incr t.completed
+
+let queued t = Atomic.get t.queued
+let high_water t = Atomic.get t.high_water
+let admitted t = Atomic.get t.admitted
+let rejected t = Atomic.get t.rejected
+let completed t = Atomic.get t.completed

@@ -1,0 +1,40 @@
+(** Queue-depth admission control for the serve daemon.
+
+    Bounds the number of admitted-but-unstarted requests at [bound]; an
+    admission attempt past the bound fails immediately (the server turns
+    that into a fast [Overloaded] response).  Lifecycle per request:
+    {!try_admit} [true] → {!started} (a worker dequeued it) →
+    {!finished}.  All transitions are lock-free atomics, safe from the
+    accept loop and every worker domain concurrently.
+
+    Invariant the flood test pins: {!high_water} never exceeds
+    {!bound}, so a 4×bound burst holds queue memory constant. *)
+
+type t
+
+val create : bound:int -> t
+(** [bound] is clamped to at least 1. *)
+
+val bound : t -> int
+
+val try_admit : t -> bool
+(** [true]: a queue slot was taken (caller must eventually call
+    {!started}, or {!cancel} if the task never reaches the pool).
+    [false]: over the bound; the rejection is counted. *)
+
+val started : t -> unit
+(** A worker dequeued the request: frees its queue slot. *)
+
+val cancel : t -> unit
+(** Undo an admission that never reached the pool queue. *)
+
+val finished : t -> unit
+
+(** {2 Accounting} *)
+
+val queued : t -> int
+val high_water : t -> int  (** max simultaneous queued ever observed *)
+
+val admitted : t -> int
+val rejected : t -> int
+val completed : t -> int

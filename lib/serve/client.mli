@@ -1,0 +1,37 @@
+(** Client library for the rewriting service.
+
+    Connection-per-request: each call connects, exchanges exactly one
+    frame pair and closes.  Total — connection failures, I/O errors and
+    protocol-level garbage are all rendered into [Error string].
+
+    Note that an [Ok response] still carries the {e server's} verdict in
+    [response.status]; only transport/protocol failure is [Error]. *)
+
+val request :
+  ?max_response_bytes:int ->
+  Protocol.addr ->
+  Protocol.Request.t ->
+  (Protocol.Response.t, string) result
+(** Also checks that the echoed response id matches the request id. *)
+
+val rewrite :
+  ?deadline_us:int ->
+  ?placement:string ->
+  ?seed:int ->
+  ?id:int64 ->
+  ?max_response_bytes:int ->
+  transforms:string list ->
+  Protocol.addr ->
+  string ->
+  (Protocol.Response.t, string) result
+(** Defaults mirror [ziprtool rewrite]: optimized placement, seed 1 —
+    so a served rewrite with the defaults is byte-comparable to the
+    offline CLI. *)
+
+val ping :
+  ?sleep_us:int ->
+  ?deadline_us:int ->
+  ?id:int64 ->
+  ?payload:string ->
+  Protocol.addr ->
+  (Protocol.Response.t, string) result

@@ -1,0 +1,20 @@
+(* The shipped-transform registry: the one list every front end (CLI,
+   serve daemon, bench, tests) resolves transform names against.  Order
+   is presentation order in --help output; names are the transforms' own
+   [Transform.name] fields. *)
+
+let all =
+  [
+    Null.transform;
+    Cfi.transform;
+    Stack_pad.transform;
+    Canary.transform;
+    Stirring.transform;
+    Jumptable_rewrite.transform;
+    Shadow_stack.transform;
+    Nop_pad.transform;
+  ]
+
+let by_name name = List.find_opt (fun t -> t.Zipr.Transform.name = name) all
+
+let names = List.map (fun t -> t.Zipr.Transform.name) all

@@ -178,12 +178,91 @@ let test_corpus_warm_hits () =
         (List.for_all2 Bytes.equal (outputs baseline) (outputs warm)))
     [ 1; 4 ]
 
+(* -- byte-budget LRU: the serve daemon's multi-tenant cache bound.
+      Entry cost is key + payload bytes; the invariants pinned here are
+      (a) resident_bytes never exceeds the budget, (b) eviction follows
+      recency, (c) replacement does not double-count, (d) an entry
+      larger than the whole budget is refused outright. -- *)
+
+let k8 c = String.make 8 c
+let pay n = String.make n 'p'
+
+let test_budget_invariant () =
+  (* Entries cost 8 (key) + 92 (payload) = 100 bytes; a 250-byte budget
+     holds two. *)
+  let c = Cache.create ~capacity:64 ~max_bytes:250 () in
+  Cache.store c ~key:(k8 'a') (pay 92);
+  Cache.store c ~key:(k8 'b') (pay 92);
+  Alcotest.(check int) "two resident" 2 (Cache.mem_entries c);
+  Alcotest.(check int) "200 bytes resident" 200 (Cache.resident_bytes c);
+  Cache.store c ~key:(k8 'c') (pay 92);
+  Alcotest.(check int) "still two resident" 2 (Cache.mem_entries c);
+  Alcotest.(check bool) "budget holds" true (Cache.resident_bytes c <= 250);
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  Alcotest.(check bool) "oldest (a) evicted" true (Cache.find c (k8 'a') = None);
+  Alcotest.(check bool) "b survives" true (Cache.find c (k8 'b') <> None);
+  Alcotest.(check bool) "newcomer resident" true (Cache.find c (k8 'c') <> None)
+
+let test_budget_eviction_order () =
+  let c = Cache.create ~capacity:64 ~max_bytes:250 () in
+  Cache.store c ~key:(k8 'a') (pay 92);
+  Cache.store c ~key:(k8 'b') (pay 92);
+  (* Touch [a]: now [b] is least recently used and must be the victim. *)
+  ignore (Cache.find c (k8 'a'));
+  Cache.store c ~key:(k8 'c') (pay 92);
+  Alcotest.(check bool) "recently-used a survives" true (Cache.find c (k8 'a') <> None);
+  Alcotest.(check bool) "lru b evicted" true (Cache.find c (k8 'b') = None)
+
+let test_budget_replacement_accounting () =
+  let c = Cache.create ~capacity:64 ~max_bytes:1000 () in
+  Cache.store c ~key:(k8 'a') (pay 492);
+  Alcotest.(check int) "500 resident" 500 (Cache.resident_bytes c);
+  Cache.store c ~key:(k8 'a') (pay 92);
+  Alcotest.(check int) "replacement, not accumulation" 100 (Cache.resident_bytes c);
+  Alcotest.(check int) "one entry" 1 (Cache.mem_entries c);
+  Cache.store c ~key:(k8 'a') (pay 492);
+  Alcotest.(check int) "grown back in place" 500 (Cache.resident_bytes c);
+  Alcotest.(check int) "no evictions for self-replacement" 0 (Cache.evictions c)
+
+let test_budget_oversize_refused () =
+  let c = Cache.create ~capacity:64 ~max_bytes:250 () in
+  Cache.store c ~key:(k8 'a') (pay 92);
+  (* 8 + 400 > 250: refusing it must not evict the resident entry. *)
+  Cache.store c ~key:(k8 'z') (pay 400);
+  Alcotest.(check bool) "oversize entry absent" true (Cache.find c (k8 'z') = None);
+  Alcotest.(check int) "oversize counted" 1 (Cache.oversize_skips c);
+  Alcotest.(check int) "no eviction" 0 (Cache.evictions c);
+  Alcotest.(check bool) "resident entry untouched" true (Cache.find c (k8 'a') <> None)
+
+let test_budget_many_inserts_hold_invariant () =
+  let c = Cache.create ~capacity:1000 ~max_bytes:1024 () in
+  for i = 0 to 199 do
+    let key = Cache.key [ string_of_int i ] in
+    Cache.store c ~key (pay (17 + (i * 13 mod 100)));
+    Alcotest.(check bool)
+      (Printf.sprintf "budget holds after insert %d" i)
+      true
+      (Cache.resident_bytes c <= 1024)
+  done;
+  Alcotest.(check bool) "evictions happened" true (Cache.evictions c > 0);
+  Alcotest.(check bool) "still serving hits" true
+    (Cache.find c (Cache.key [ "199" ]) <> None)
+
 let suite =
   [
     Alcotest.test_case "exact IRDB codec round-trips" `Quick test_exact_dump_roundtrip;
     Alcotest.test_case "IR snapshot/restore round-trips" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "restore rejects malformed payloads" `Quick test_restore_rejects_garbage;
     Alcotest.test_case "LRU eviction respects capacity and recency" `Quick test_lru_eviction;
+    Alcotest.test_case "byte budget: eviction keeps resident <= budget" `Quick
+      test_budget_invariant;
+    Alcotest.test_case "byte budget: eviction follows recency" `Quick test_budget_eviction_order;
+    Alcotest.test_case "byte budget: replacement does not double-count" `Quick
+      test_budget_replacement_accounting;
+    Alcotest.test_case "byte budget: oversize payloads are refused" `Quick
+      test_budget_oversize_refused;
+    Alcotest.test_case "byte budget: invariant holds under churn" `Quick
+      test_budget_many_inserts_hold_invariant;
     Alcotest.test_case "disk layer round-trips; corruption is a miss" `Quick test_disk_layer;
     Alcotest.test_case "cache key tracks version, config, input" `Quick test_key_sensitivity;
     Alcotest.test_case "pipeline counts hits/misses, outputs identical" `Quick

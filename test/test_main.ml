@@ -28,5 +28,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("speculative", Test_speculative.suite);
       ("ir-cache", Test_cache.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
     ]

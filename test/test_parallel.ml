@@ -60,6 +60,83 @@ let test_pool_task_exception_propagates () =
   | _ -> Alcotest.fail "expected the task exception to re-raise at shutdown"
   | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
 
+(* -- Pool shutdown paths: the serve daemon leans on these — drain must
+      complete in-flight work, close must be idempotent, and submission
+      after close must fail fast instead of hanging. -- *)
+
+let test_pool_shutdown_drains_inflight () =
+  let pool = Pool.create ~capacity:16 ~jobs:2 () in
+  let done_ = Atomic.make 0 in
+  for _ = 1 to 10 do
+    Pool.submit pool (fun ~worker:_ ~wait_s:_ ->
+        Unix.sleepf 0.01;
+        Atomic.incr done_)
+  done;
+  let stats, _q = Pool.shutdown pool in
+  Alcotest.(check int) "every accepted task completed" 10 (Atomic.get done_);
+  let total = Array.fold_left (fun acc w -> acc + w.Pool.tasks_run) 0 stats in
+  Alcotest.(check int) "worker accounting matches" 10 total
+
+let test_pool_double_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.submit pool (fun ~worker:_ ~wait_s:_ -> ());
+  let a, _ = Pool.shutdown pool in
+  let b, _ = Pool.shutdown pool in
+  Alcotest.(check int) "same worker count both times" (Array.length a) (Array.length b)
+
+let test_pool_double_shutdown_error_once () =
+  (* A task exception re-raises at the first shutdown only: the second
+     close is a clean no-op (the serve daemon's signal path may race a
+     normal exit into two closes). *)
+  let pool = Pool.create ~jobs:1 () in
+  Pool.submit pool (fun ~worker:_ ~wait_s:_ -> failwith "task-boom");
+  (match Pool.shutdown pool with
+  | _ -> Alcotest.fail "first shutdown must re-raise the task exception"
+  | exception Failure msg -> Alcotest.(check string) "original error" "task-boom" msg);
+  match Pool.shutdown pool with
+  | _ -> ()
+  | exception e -> Alcotest.failf "second shutdown must not raise: %s" (Printexc.to_string e)
+
+let test_pool_submit_after_shutdown_rejects () =
+  let pool = Pool.create ~jobs:1 () in
+  ignore (Pool.shutdown pool);
+  (match Pool.submit pool (fun ~worker:_ ~wait_s:_ -> ()) with
+  | () -> Alcotest.fail "submit after shutdown must raise"
+  | exception Invalid_argument _ -> ());
+  match Pool.try_submit pool (fun ~worker:_ ~wait_s:_ -> ()) with
+  | Pool.Closed -> ()
+  | Pool.Submitted | Pool.Queue_full -> Alcotest.fail "try_submit after shutdown must be Closed"
+
+let test_pool_try_submit_queue_full () =
+  (* One worker, capacity 1: a blocker occupies the worker, one queued
+     task fills the queue; the next try_submit must reject, not block. *)
+  let pool = Pool.create ~capacity:1 ~jobs:1 () in
+  let release = Atomic.make false in
+  let ran = Atomic.make 0 in
+  Pool.submit pool (fun ~worker:_ ~wait_s:_ ->
+      while not (Atomic.get release) do
+        Unix.sleepf 0.002
+      done);
+  (* Wait for the worker to pick the blocker up so the queue is empty. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let queued () =
+    match Pool.try_submit pool (fun ~worker:_ ~wait_s:_ -> Atomic.incr ran) with
+    | Pool.Submitted -> true
+    | Pool.Queue_full -> false
+    | Pool.Closed -> Alcotest.fail "pool closed unexpectedly"
+  in
+  while (not (queued ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  (* Queue now holds one task; the bound must hold. *)
+  (match Pool.try_submit pool (fun ~worker:_ ~wait_s:_ -> Atomic.incr ran) with
+  | Pool.Queue_full -> ()
+  | Pool.Submitted -> Alcotest.fail "queue bound not enforced"
+  | Pool.Closed -> Alcotest.fail "pool closed unexpectedly");
+  Atomic.set release true;
+  ignore (Pool.shutdown pool);
+  Alcotest.(check int) "the queued task still ran" 1 (Atomic.get ran)
+
 (* -- stats merge: a commutative monoid (warnings excepted, which
       concatenate). -- *)
 
@@ -203,6 +280,16 @@ let suite =
     Alcotest.test_case "pool map preserves order (jobs 1/2/4)" `Quick test_pool_map_order;
     Alcotest.test_case "pool serial path stays inline" `Quick test_pool_inline_when_serial;
     Alcotest.test_case "pool re-raises task exceptions" `Quick test_pool_task_exception_propagates;
+    Alcotest.test_case "pool shutdown drains in-flight tasks" `Quick
+      test_pool_shutdown_drains_inflight;
+    Alcotest.test_case "pool double shutdown is idempotent" `Quick
+      test_pool_double_shutdown_idempotent;
+    Alcotest.test_case "pool shutdown re-raises a task error once" `Quick
+      test_pool_double_shutdown_error_once;
+    Alcotest.test_case "pool submit after shutdown fails fast" `Quick
+      test_pool_submit_after_shutdown_rejects;
+    Alcotest.test_case "pool try_submit enforces the queue bound" `Quick
+      test_pool_try_submit_queue_full;
     Alcotest.test_case "stats merge is a monoid" `Quick test_stats_monoid;
     Alcotest.test_case "corpus jobs 1 vs 4: byte-identical, same merged stats" `Slow
       test_jobs_independence;
