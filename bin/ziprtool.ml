@@ -476,6 +476,34 @@ let batch_cmd =
              same inputs restores each binary's IR from the cache instead of rebuilding \
              it; outputs are byte-identical either way.")
   in
+  let delta =
+    Arg.(
+      value & flag
+      & info [ "delta" ]
+          ~doc:
+            "Enable the routine-granular delta cache: binaries that share routines with \
+             earlier (or cached) inputs reuse per-routine IR fragments and whole-IR \
+             memo entries instead of rebuilding. With $(b,--cache) DIR the fragment \
+             store persists under DIR/delta. Outputs are byte-identical either way.")
+  in
+  let cache_disk_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-disk-entries" ] ~docv:"N"
+          ~doc:
+            "Bound the $(b,--cache) directory to N entry files; after each store the \
+             oldest entries are pruned. Unbounded by default.")
+  in
+  let cache_disk_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-disk-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Bound the $(b,--cache) directory's total size; after each store the oldest \
+             entries are pruned until it fits. Unbounded by default.")
+  in
   let trace =
     Arg.(
       value
@@ -486,7 +514,8 @@ let batch_cmd =
              trace_event) and DIR/report.json (aggregated per-phase totals). Outputs are \
              byte-identical with or without tracing, at any $(b,--jobs).")
   in
-  let run tnames placement corpus_seed jobs ext cache_dir trace indir outdir =
+  let run tnames placement corpus_seed jobs ext cache_dir delta disk_entries disk_bytes
+      trace indir outdir =
     with_trace_dir trace @@ fun () ->
     let unknown = List.filter (fun n -> transform_of_name n = None) tnames in
     if unknown <> [] then begin
@@ -523,11 +552,23 @@ let batch_cmd =
         in
         let transforms = List.filter_map transform_of_name tnames in
         let ir_cache =
-          Option.map (fun dir -> Irdb.Cache.create ~dir ()) cache_dir
+          Option.map
+            (fun dir ->
+              Irdb.Cache.create ~dir ?max_disk_entries:disk_entries
+                ?max_disk_bytes:disk_bytes ())
+            cache_dir
+        in
+        let routine_cache =
+          if delta then
+            Some
+              (Zipr.Delta.create
+                 ?dir:(Option.map (fun d -> Filename.concat d "delta") cache_dir)
+                 ())
+          else None
         in
         let report =
           Parallel.Corpus.rewrite_all ~jobs:(max 1 jobs) ~config ~transforms ?ir_cache
-            ~corpus_seed items
+            ?routine_cache ~corpus_seed items
         in
         ensure_dir outdir;
         List.iter
@@ -551,7 +592,7 @@ let batch_cmd =
           batch continues (exit 1 if any failed).")
     Term.(
       const run $ transforms $ placement $ corpus_seed $ batch_jobs $ ext $ cache_dir
-      $ trace $ indir $ outdir)
+      $ delta $ cache_disk_entries $ cache_disk_bytes $ trace $ indir $ outdir)
 
 (* -- serve / client -- *)
 
@@ -614,6 +655,29 @@ let serve_cmd =
       & opt (some string) None
       & info [ "cache" ] ~docv:"DIR" ~doc:"Spill the shared IR cache to this directory.")
   in
+  let cache_disk_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-disk-entries" ] ~docv:"N"
+          ~doc:"Bound the $(b,--cache) directory to N entry files (oldest pruned).")
+  in
+  let cache_disk_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-disk-bytes" ] ~docv:"BYTES"
+          ~doc:"Bound the $(b,--cache) directory's total size (oldest entries pruned).")
+  in
+  let delta =
+    Arg.(
+      value & flag
+      & info [ "delta" ]
+          ~doc:
+            "Enable the shared routine-granular delta cache: requests whose binaries \
+             share routines with earlier requests stitch cached per-routine IR \
+             fragments instead of rebuilding from scratch.")
+  in
   let trace =
     Arg.(
       value
@@ -621,7 +685,8 @@ let serve_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write a Chrome trace of all served requests on shutdown.")
   in
-  let run addr jobs queue_bound max_request cache_entries cache_bytes cache_dir trace =
+  let run addr jobs queue_bound max_request cache_entries cache_bytes cache_dir
+      cache_disk_entries cache_disk_bytes delta trace =
     match addr with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -637,6 +702,9 @@ let serve_cmd =
             cache_entries = max 1 cache_entries;
             cache_max_bytes = max 1024 cache_bytes;
             cache_dir;
+            cache_disk_entries;
+            cache_disk_bytes;
+            delta;
           }
         in
         match Serve.Server.create ~config ~resolve_transform:transform_of_name addr with
@@ -656,11 +724,14 @@ let serve_cmd =
             let s = Serve.Server.stats server in
             Printf.eprintf
               "ziprtool serve: shut down cleanly: %d requests (%d ok, %d overloaded, %d \
-               errors), cache %d hits / %d misses\n"
+               errors), cache %d hits / %d misses, routines %d hits / %d misses (%d \
+               delta builds)\n"
               s.Serve.Server.accepted s.Serve.Server.ok s.Serve.Server.overloaded
               (s.Serve.Server.bad_request + s.Serve.Server.too_large
              + s.Serve.Server.rewrite_errors)
-              s.Serve.Server.cache_hits s.Serve.Server.cache_misses;
+              s.Serve.Server.cache_hits s.Serve.Server.cache_misses
+              s.Serve.Server.routine_hits s.Serve.Server.routine_misses
+              s.Serve.Server.delta_builds;
             0)
   in
   Cmd.v
@@ -672,7 +743,71 @@ let serve_cmd =
           or SIGINT shuts it down cleanly (in-flight requests complete).")
     Term.(
       const run $ addr_term $ jobs $ queue_bound $ max_request $ cache_entries $ cache_bytes
-      $ cache_dir $ trace)
+      $ cache_dir $ cache_disk_entries $ cache_disk_bytes $ delta $ trace)
+
+(* -- gencorpus -- *)
+
+let gencorpus_cmd =
+  let outdir = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTDIR") in
+  let versions =
+    Arg.(
+      value & opt int 3
+      & info [ "versions" ] ~docv:"N" ~doc:"Number of successive versions to emit.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed.") in
+  let routines =
+    Arg.(
+      value & opt int 24
+      & info [ "routines" ] ~docv:"N" ~doc:"Core routines (live in every version).")
+  in
+  let body_ops =
+    Arg.(
+      value & opt int 36
+      & info [ "body-ops" ] ~docv:"N" ~doc:"Approximate straight-line ops per routine body.")
+  in
+  let edits =
+    Arg.(
+      value & opt int 2
+      & info [ "edits" ] ~docv:"N" ~doc:"Edits applied between consecutive versions.")
+  in
+  let run versions seed routines body_ops edits outdir =
+    if versions < 1 then begin
+      Printf.eprintf "error: --versions must be >= 1\n";
+      2
+    end
+    else begin
+      ensure_dir outdir;
+      let vs =
+        Workloads.Versioned.generate ~n_routines:(max 1 routines) ~body_ops:(max 4 body_ops)
+          ~edits_per_version:(max 1 edits) ~seed ~versions ()
+      in
+      List.iter
+        (fun (v : Workloads.Versioned.version) ->
+          let data = Zelf.Binary.serialize v.Workloads.Versioned.binary in
+          let path = Filename.concat outdir (v.Workloads.Versioned.name ^ ".zbf") in
+          write_file path data;
+          Printf.printf "%s: %d bytes%s\n" path (Bytes.length data)
+            (match v.Workloads.Versioned.edits with
+            | [] -> ""
+            | es ->
+                Format.asprintf " (%a)"
+                  (Format.pp_print_list
+                     ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                     Workloads.Versioned.pp_edit)
+                  es))
+        vs;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "gencorpus"
+       ~doc:
+         "Generate a versioned corpus: N successive versions of one synthetic binary \
+          differing by a few local edits each (instruction edits, routine \
+          insertions/deletions, data moves) — the workload the delta cache \
+          ($(b,batch --delta), $(b,serve --delta), $(b,bench delta)) is built for. \
+          Writes OUTDIR/v0.zbf .. OUTDIR/v<N-1>.zbf, deterministically in --seed.")
+    Term.(const run $ versions $ seed $ routines $ body_ops $ edits $ outdir)
 
 let client_cmd =
   let transforms =
@@ -772,6 +907,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            asm_cmd; gen_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd; audit_cmd; fuzz_cmd;
-            batch_cmd; serve_cmd; client_cmd;
+            asm_cmd; gen_cmd; gencorpus_cmd; rewrite_cmd; run_cmd; disasm_cmd; ir_cmd;
+            audit_cmd; fuzz_cmd; batch_cmd; serve_cmd; client_cmd;
           ]))

@@ -1,0 +1,405 @@
+(* Routine-granular incremental IR construction (the "delta" path).
+
+   The cold pipeline rebuilds the whole IR from scratch for every input,
+   even when consecutive inputs are near-identical versions of one
+   program.  This module caches IR at two granularities and composes the
+   pieces into a full {!Ir_construction.t}:
+
+   - {e Level 1 — routine fragments.}  {!Disasm.Chunker} cuts the text at
+     routine boundaries; for each chunk whose disassembly aggregation was
+     conclusive (no ambiguous byte, no instruction crossing a cut) we
+     store its instruction boundaries, keyed by a digest of the chunk
+     bytes, the 6-byte suffix, and the chunk-relative inbound-reference
+     fingerprint.  A changed caller whose references into a callee are
+     unchanged leaves the callee's key — and cached entry — intact.
+
+   - {e Level 0 — assembled-IR memo.}  The finished pristine
+     [Ir_construction.t] for a whole binary, keyed by everything.  A hit
+     pays one {!Irdb.Db.copy}; this is what makes fully-warm repeat
+     rewrites (fuzzing loops, corpus re-runs) nearly free.
+
+   Byte-identity with the cold path is by construction, not by luck:
+
+   - the stitched aggregate is only used when {e every} chunk passes a
+     validation that makes it provably equal to what {!Disasm.Aggregate.run}
+     would produce.  A fresh (cheap) recursive traversal is compared
+     bidirectionally against the stitched boundaries: every boundary must
+     be a recursive instruction with identical framing, every recursive
+     byte must be covered by a boundary, every gap byte unreached.  Under
+     those conditions the three cold sources are fully determined: linear
+     framing inside each chunk is a pure function of the key material
+     (the sweep enters each chunk at its base by induction over the
+     validated tiling), and the superset source abstains everywhere
+     recursive traversal reached and claims [Data] exactly on the
+     undecodable gap bytes.  So verdicts, boundaries and (absence of)
+     warnings coincide with the cold aggregate's.
+
+   - the stitched aggregate then flows through the {e same}
+     {!Ir_construction.build_from_aggregate} as a cold build.
+
+   - any validation failure abandons the stitch and reports a miss; the
+     caller falls back to the cold path (and harvests it), so a binary
+     the scheme cannot prove clean is merely slow, never wrong. *)
+
+module Db = Irdb.Db
+module Agg = Disasm.Aggregate
+module Chunker = Disasm.Chunker
+module Rcache = Irdb.Rcache
+
+let codec_version = "ZIRDL1"
+
+type fragment = { boundaries : (int * Zvm.Insn.t * int) array }
+(* (chunk-relative start, instruction, encoded length), ascending,
+   non-overlapping, within the chunk. *)
+
+type t = {
+  fragments : fragment Rcache.t;
+  memo : (Ir_construction.t * int) Rcache.t;
+      (* pristine IR + its chunk count (so a memo hit can report
+         routine-level hit counters without re-running the chunker) *)
+}
+
+type key_set = {
+  binary : Zelf.Binary.t;
+  memo_key : string;
+  scan_keys : (Chunker.t * string array) Lazy.t;
+      (* the chunker scan and per-chunk keys cost a full decode pass
+         plus one digest per chunk — a whole-IR memo hit skips both *)
+}
+
+type outcome = {
+  ir : Ir_construction.t option;
+  routine_hits : int;
+  routine_misses : int;
+  delta_built : bool;
+  keys : key_set;
+}
+
+(* ---------- fragment disk codec ---------- *)
+
+let hex_of_bytes b =
+  let n = Bytes.length b in
+  let out = Buffer.create (2 * n) in
+  for i = 0 to n - 1 do
+    Buffer.add_string out (Printf.sprintf "%02x" (Char.code (Bytes.get b i)))
+  done;
+  Buffer.contents out
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else
+    try
+      Some
+        (Bytes.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> None
+
+let encode_fragment f =
+  let b = Buffer.create (64 + (Array.length f.boundaries * 24)) in
+  Buffer.add_string b
+    (Printf.sprintf "%s %d\n" codec_version (Array.length f.boundaries));
+  Array.iter
+    (fun (rel, insn, len) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %d %s\n" rel len
+           (hex_of_bytes (Zvm.Encode.to_bytes insn))))
+    f.boundaries;
+  Buffer.contents b
+
+(* Total: any framing, count, hex, decode or length anomaly is a miss. *)
+let decode_fragment s =
+  match String.split_on_char '\n' s with
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ v; n ] when v = codec_version -> (
+          match int_of_string_opt n with
+          | None -> None
+          | Some n when n < 0 || List.length rest < n -> None
+          | Some n -> (
+              let parse line =
+                match String.split_on_char ' ' line with
+                | [ rel; len; hex ] -> (
+                    match
+                      (int_of_string_opt rel, int_of_string_opt len, bytes_of_hex hex)
+                    with
+                    | Some rel, Some len, Some raw -> (
+                        match Zvm.Decode.decode_bytes raw ~pos:0 with
+                        | Ok (insn, ilen) when ilen = len && ilen = Bytes.length raw ->
+                            Some (rel, insn, len)
+                        | _ -> None)
+                    | _ -> None)
+                | _ -> None
+              in
+              let rec go i acc = function
+                | _ when i = n -> Some (List.rev acc)
+                | [] -> None
+                | line :: tl -> (
+                    match parse line with
+                    | Some b -> go (i + 1) (b :: acc) tl
+                    | None -> None)
+              in
+              match go 0 [] rest with
+              | Some bs -> Some { boundaries = Array.of_list bs }
+              | None -> None))
+      | _ -> None)
+  | [] -> None
+
+let weigh_fragment f = 64 + (56 * Array.length f.boundaries)
+
+(* A resident memo entry holds the whole IR: rows, links, the aggregate's
+   per-byte verdict array and boundary table, the pin list.  A rough
+   per-row and per-text-byte estimate is enough for the byte budget's
+   purpose (bounding growth, not accounting to the byte). *)
+let weigh_memo ((ir : Ir_construction.t), _) =
+  1024 + (3 * ir.Ir_construction.aggregate.Agg.len) + (160 * Db.count ir.Ir_construction.db)
+
+let create ?(fragment_capacity = 65536) ?fragment_bytes ?(memo_capacity = 64)
+    ?memo_bytes ?dir () =
+  let disk =
+    Option.map
+      (fun dir -> { Rcache.dir; encode = encode_fragment; decode = decode_fragment })
+      dir
+  in
+  {
+    fragments =
+      Rcache.create ~capacity:fragment_capacity ?max_bytes:fragment_bytes ?disk
+        ~name:"delta.frag" ~weigh:weigh_fragment ();
+    memo =
+      Rcache.create ~capacity:memo_capacity ?max_bytes:memo_bytes
+        ~name:"delta.memo" ~weigh:weigh_memo ();
+  }
+
+(* ---------- keys ---------- *)
+
+(* Everything that determines a chunk's fragment: codec version, pin
+   fingerprint (pins are not stored per fragment, but the gate's notion
+   of a conclusive build is downstream of the same configuration), the
+   chunk bytes, the decode lookahead past the cut, the chunk-relative
+   inbound references, and whether the chunk is flush with the text end
+   (decode attempts near the end of the {e last} chunk are truncated by
+   the section boundary, not by the next chunk's bytes). *)
+let chunk_key ~fp binary (scan : Chunker.t) (c : Chunker.chunk) =
+  let flags =
+    Printf.sprintf "%c%c"
+      (if c.Chunker.synced then 's' else 'u')
+      (if c.Chunker.hi = scan.Chunker.base + scan.Chunker.len then 't' else 'm')
+  in
+  Irdb.Cache.key
+    [
+      codec_version;
+      fp;
+      flags;
+      Chunker.chunk_bytes binary c;
+      Chunker.chunk_suffix binary c;
+      Chunker.inbound_string c;
+    ]
+
+(* The memo key covers the whole serialized binary (so data sections that
+   feed jump tables and the address-constant scan are included), plus the
+   configuration fingerprint. *)
+let memo_key ~fp binary =
+  Irdb.Cache.key
+    [ codec_version ^ "/memo"; fp; Bytes.to_string (Zelf.Binary.serialize binary) ]
+
+(* ---------- partial rebuild + validation ---------- *)
+
+exception Fallback
+
+(* Linear-framing decode of one chunk in isolation.  Equal to the global
+   sweep's framing inside the chunk because the sweep enters at [c.lo]
+   (guaranteed by the caller's induction over previously validated
+   chunks) and decode outcomes depend only on the bytes. *)
+let local_linear binary ~text_end (c : Chunker.chunk) =
+  let fetch a = Zelf.Binary.read8 binary a in
+  let acc = ref [] in
+  let pos = ref c.Chunker.lo in
+  while !pos < c.Chunker.hi do
+    match Zvm.Decode.decode ~fetch !pos with
+    | Ok (insn, ilen) when !pos + ilen <= text_end ->
+        if !pos + ilen > c.Chunker.hi then raise Fallback;
+        acc := (!pos - c.Chunker.lo, insn, ilen) :: !acc;
+        pos := !pos + ilen
+    | Ok _ | Error _ -> incr pos
+  done;
+  { boundaries = Array.of_list (List.rev !acc) }
+
+(* The stitched framing of a chunk is usable iff it coincides exactly
+   with recursive traversal inside the chunk: every boundary is a
+   recursive instruction with identical decode, every recursively
+   reached byte is covered by a boundary with that start, every gap
+   byte is unreached.  (This is precisely the condition under which the
+   cold aggregation yields Code on covered bytes and Data on gaps, with
+   no warnings — see the module comment.) *)
+let validate_chunk (rec_ : Disasm.Recursive.t) (c : Chunker.chunk) f =
+  let clen = c.Chunker.hi - c.Chunker.lo in
+  let expect = Array.make clen (-1) in
+  let prev_end = ref 0 in
+  Array.iter
+    (fun (rel, insn, ilen) ->
+      if rel < !prev_end || rel + ilen > clen then raise Fallback;
+      prev_end := rel + ilen;
+      (match Hashtbl.find_opt rec_.Disasm.Recursive.insns (c.Chunker.lo + rel) with
+      | Some (insn', ilen') when ilen' = ilen && insn' = insn -> ()
+      | _ -> raise Fallback);
+      for i = rel to rel + ilen - 1 do
+        expect.(i) <- c.Chunker.lo + rel
+      done)
+    f.boundaries;
+  let base = rec_.Disasm.Recursive.base in
+  for off = 0 to clen - 1 do
+    if rec_.Disasm.Recursive.cover.(c.Chunker.lo + off - base) <> expect.(off) then
+      raise Fallback
+  done
+
+let stitch t ~pin_config binary ~memo_key ~(scan : Chunker.t) ~chunk_keys frags =
+  let text_end = scan.Chunker.base + scan.Chunker.len in
+  match
+    Obs.span "delta_stitch" (fun () ->
+        let rec_ =
+          Obs.span "recursive" (fun () -> Disasm.Recursive.traverse binary)
+        in
+        let resolved =
+          Array.mapi
+            (fun i c ->
+              match frags.(i) with
+              | Some f -> (f, false)
+              | None -> (local_linear binary ~text_end c, true))
+            scan.Chunker.chunks
+        in
+        Array.iteri
+          (fun i c -> validate_chunk rec_ c (fst resolved.(i)))
+          scan.Chunker.chunks;
+        resolved)
+  with
+  | exception Fallback -> None
+  | resolved ->
+      let verdicts = Array.make scan.Chunker.len Agg.Data in
+      let insn_at = Hashtbl.create 1024 in
+      Array.iteri
+        (fun i (c : Chunker.chunk) ->
+          let f, _ = resolved.(i) in
+          Array.iter
+            (fun (rel, insn, ilen) ->
+              let addr = c.Chunker.lo + rel in
+              Hashtbl.replace insn_at addr (insn, ilen);
+              for j = addr - scan.Chunker.base to addr - scan.Chunker.base + ilen - 1
+              do
+                verdicts.(j) <- Agg.Code
+              done)
+            f.boundaries)
+        scan.Chunker.chunks;
+      let agg =
+        {
+          Agg.base = scan.Chunker.base;
+          len = scan.Chunker.len;
+          verdicts;
+          insn_at;
+          warnings = [];
+        }
+      in
+      let ir = Ir_construction.build_from_aggregate ~pin_config binary agg in
+      Array.iteri
+        (fun i (f, rebuilt) ->
+          if rebuilt then Rcache.store t.fragments ~key:chunk_keys.(i) f)
+        resolved;
+      Rcache.store t.memo ~key:memo_key
+        ( { ir with Ir_construction.db = Db.copy ir.Ir_construction.db },
+          Array.length scan.Chunker.chunks );
+      Some ir
+
+(* ---------- public entry points ---------- *)
+
+let obtain t ~pin_config binary =
+  let fp = Ir_construction.fingerprint pin_config in
+  let memo_key = memo_key ~fp binary in
+  let scan_keys =
+    lazy
+      (let scan = Obs.span "delta_scan" (fun () -> Chunker.scan binary) in
+       (scan, Array.map (chunk_key ~fp binary scan) scan.Chunker.chunks))
+  in
+  let keys = { binary; memo_key; scan_keys } in
+  match Rcache.find t.memo memo_key with
+  | Some (ir, n) ->
+      Obs.count "delta.memo_hits" 1;
+      Obs.count "delta.routine_hits" n;
+      let ir =
+        { ir with Ir_construction.db = Db.copy ~orig:binary ir.Ir_construction.db }
+      in
+      { ir = Some ir; routine_hits = n; routine_misses = 0; delta_built = false; keys }
+  | None -> (
+      let scan, chunk_keys = Lazy.force scan_keys in
+      let n = Array.length scan.Chunker.chunks in
+      let frags = Array.map (Rcache.find t.fragments) chunk_keys in
+      let n_hit = Array.fold_left (fun a f -> if f = None then a else a + 1) 0 frags in
+      if n_hit = 0 then begin
+        Obs.count "delta.routine_misses" n;
+        { ir = None; routine_hits = 0; routine_misses = n; delta_built = false; keys }
+      end
+      else
+        match stitch t ~pin_config binary ~memo_key ~scan ~chunk_keys frags with
+        | Some ir ->
+            Obs.count "delta.routine_hits" n_hit;
+            Obs.count "delta.routine_misses" (n - n_hit);
+            Obs.count "delta.delta_builds" 1;
+            {
+              ir = Some ir;
+              routine_hits = n_hit;
+              routine_misses = n - n_hit;
+              delta_built = true;
+              keys;
+            }
+        | None ->
+            Obs.count "delta.fallbacks" 1;
+            Obs.count "delta.routine_misses" n;
+            { ir = None; routine_hits = 0; routine_misses = n; delta_built = false; keys })
+
+(* Harvest gate: a chunk is cacheable iff, per the {e actual} cold
+   aggregate, it contains no ambiguous byte and its boundaries tile its
+   code bytes without crossing either cut.  Data bytes then necessarily
+   failed isolated decode (linear sweep attempted each one), so the
+   fragment's meaning is a pure function of its key material. *)
+let gate_chunk (agg : Agg.t) (c : Chunker.chunk) =
+  let acc = ref [] in
+  let ok = ref true in
+  let off = ref c.Chunker.lo in
+  while !ok && !off < c.Chunker.hi do
+    match agg.Agg.verdicts.(!off - agg.Agg.base) with
+    | Agg.Ambiguous -> ok := false
+    | Agg.Data -> incr off
+    | Agg.Code -> (
+        match Hashtbl.find_opt agg.Agg.insn_at !off with
+        | Some (insn, ilen) when !off + ilen <= c.Chunker.hi ->
+            let all_code = ref true in
+            for j = !off to !off + ilen - 1 do
+              if agg.Agg.verdicts.(j - agg.Agg.base) <> Agg.Code then
+                all_code := false
+            done;
+            if !all_code then begin
+              acc := (!off - c.Chunker.lo, insn, ilen) :: !acc;
+              off := !off + ilen
+            end
+            else ok := false
+        | _ -> ok := false)
+  done;
+  if !ok then Some { boundaries = Array.of_list (List.rev !acc) } else None
+
+let harvest t (o : outcome) (ir : Ir_construction.t) =
+  let agg = ir.Ir_construction.aggregate in
+  let scan, chunk_keys = Lazy.force o.keys.scan_keys in
+  Array.iteri
+    (fun i c ->
+      match gate_chunk agg c with
+      | Some f -> Rcache.store t.fragments ~key:chunk_keys.(i) f
+      | None -> ())
+    scan.Chunker.chunks;
+  Rcache.store t.memo ~key:o.keys.memo_key
+    ( { ir with Ir_construction.db = Db.copy ir.Ir_construction.db },
+      Array.length scan.Chunker.chunks )
+
+(* ---------- introspection ---------- *)
+
+let fragment_entries t = Rcache.mem_entries t.fragments
+let fragment_bytes t = Rcache.resident_bytes t.fragments
+let fragment_evictions t = Rcache.evictions t.fragments
+let memo_entries t = Rcache.mem_entries t.memo

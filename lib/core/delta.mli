@@ -1,0 +1,69 @@
+(** Routine-granular incremental IR construction (the delta path).
+
+    Caches IR at two granularities and composes the pieces into a full
+    {!Ir_construction.t} without rerunning the expensive disassembly
+    aggregation:
+
+    - {e routine fragments}: per-{!Disasm.Chunker} chunk instruction
+      boundaries, keyed by chunk bytes + decode lookahead + the
+      chunk-relative inbound-reference fingerprint.  A changed caller
+      whose references into an unchanged callee are unchanged does not
+      touch the callee's key, so version-to-version rewrites reuse the
+      IR of every untouched routine;
+    - an {e assembled-IR memo}: the finished pristine IR of a whole
+      binary, a hit paying only one {!Irdb.Db.copy}.
+
+    The composed result is byte-identical to the cold path: the stitched
+    aggregate is used only when a fresh recursive traversal proves it
+    equal to what {!Disasm.Aggregate.run} would produce, and it then
+    flows through the same {!Ir_construction.build_from_aggregate}.  Any
+    doubt falls back to a cold build (reported as a miss) — unsupported
+    binaries are slow, never wrong.  See DESIGN.md §12. *)
+
+type t
+
+val create :
+  ?fragment_capacity:int ->
+  ?fragment_bytes:int ->
+  ?memo_capacity:int ->
+  ?memo_bytes:int ->
+  ?dir:string ->
+  unit ->
+  t
+(** Defaults: 65536 fragment entries / 64 memo entries, no byte budgets,
+    no disk layer.  [dir] persists fragments on disk (atomic framed
+    writes; corruption reads back as a miss).  Safe to share across
+    domains. *)
+
+type key_set
+(** Precomputed key material for one binary (chunking, per-chunk keys,
+    memo key), carried from {!obtain} to {!harvest} so the scan is not
+    repeated. *)
+
+type outcome = {
+  ir : Ir_construction.t option;
+      (** the composed IR, or [None] when the caller must build cold
+          (and should then {!harvest}) *)
+  routine_hits : int;  (** chunks served from cache *)
+  routine_misses : int;  (** chunks rebuilt, or all chunks on fallback *)
+  delta_built : bool;  (** [ir] came from a partial stitch, not the memo *)
+  keys : key_set;
+}
+
+val obtain : t -> pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> outcome
+(** Try to serve IR construction from the cache: memo first, then a
+    routine-granular stitch when at least one fragment hits and the
+    whole composition validates. *)
+
+val harvest : t -> outcome -> Ir_construction.t -> unit
+(** Publish a cold (or snapshot-restored) build's results: fragments for
+    every chunk the disassembly aggregation was conclusive about, plus
+    the whole-binary memo.  Must be called on the pristine IR, before
+    transforms mutate it (the memo keeps its own copy). *)
+
+(* Introspection, for stats surfaces and tests. *)
+
+val fragment_entries : t -> int
+val fragment_bytes : t -> int
+val fragment_evictions : t -> int
+val memo_entries : t -> int

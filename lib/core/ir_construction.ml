@@ -84,9 +84,14 @@ let speculative_decode db binary warnings addr =
   and first a = go a 32 None in
   first addr
 
-let build ?pin_config binary =
+(* Everything downstream of disassembly: pin analysis, row/link
+   construction, mandatory transforms, pin assignment, entry, function
+   identification.  Factored out of {!build} so the delta path
+   ({!Delta}) can run the {e identical} code over an aggregate stitched
+   from cached routine fragments — byte-identity of the incremental path
+   rests on sharing this function, not reimplementing it. *)
+let build_from_aggregate ?pin_config binary (aggregate : Agg.t) =
   let warnings = ref [] in
-  let aggregate = Obs.span "disasm" (fun () -> Agg.run binary) in
   List.iter (fun w -> warnings := w :: !warnings) aggregate.Agg.warnings;
   let pins =
     Obs.span "pins" (fun () -> Analysis.Ibt.compute ?config:pin_config binary aggregate)
@@ -150,7 +155,7 @@ let build ?pin_config binary =
     | None -> ()
   done;
   (* Mandatory transformations, before user transforms see the IR. *)
-  Mandatory.apply db;
+  Obs.span "mandatory" (fun () -> Mandatory.apply db);
   (* Pin assignment.  Pins that may be targeted by an indirect branch are
      marked (they receive the pin prologue, e.g. CFI landing bytes);
      conservative pins that only straight-line or direct control flow can
@@ -161,6 +166,7 @@ let build ?pin_config binary =
     | Analysis.Ibt.Fixed_fallthrough ->
         false
   in
+  Obs.span "pin_assign" (fun () ->
   List.iter
     (fun (addr, reasons) ->
       if List.exists indirect_reason reasons then Db.mark_pin db addr;
@@ -181,13 +187,17 @@ let build ?pin_config binary =
                   warnings :=
                     Printf.sprintf "pin at 0x%x has no decodable instruction; dropped" addr
                     :: !warnings))
-    (Analysis.Ibt.pins pins);
+    (Analysis.Ibt.pins pins));
   (* Entry row. *)
   (match Db.find_by_orig_addr db binary.Zelf.Binary.entry with
   | Some id -> Db.set_entry db id
   | None -> warnings := "entry point is not a decoded instruction" :: !warnings);
-  Analysis.Funcid.assign db;
+  Obs.span "funcid" (fun () -> Analysis.Funcid.assign db);
   { db; aggregate; pins; fixed_ranges; data_ranges; warnings = List.rev !warnings })
+
+let build ?pin_config binary =
+  let aggregate = Obs.span "disasm" (fun () -> Agg.run binary) in
+  build_from_aggregate ?pin_config binary aggregate
 
 (* -- snapshot / restore: the payload behind Irdb.Cache -- *)
 

@@ -32,6 +32,17 @@ val build : ?pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> t
     same configuration produce identical IRDBs — the property the IR
     cache's byte-identity guarantee rests on. *)
 
+val build_from_aggregate :
+  ?pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> Disasm.Aggregate.t -> t
+(** Everything downstream of disassembly, over a caller-supplied
+    aggregate: pin analysis, row/link construction, mandatory
+    transforms, pin assignment, entry designation, function
+    identification.  [build] is [build_from_aggregate] over
+    [Aggregate.run]; the delta path ({!Delta}) calls this over an
+    aggregate stitched from cached routine fragments, so both paths run
+    the identical downstream code — the foundation of the incremental
+    path's byte-identity guarantee. *)
+
 (** {1 Snapshot / restore}
 
     [build] dominates pipeline cost (disassembly, pin analysis, linking),

@@ -23,10 +23,17 @@ val add_timing : timing -> timing -> timing
 (** Per-phase sum; commutative, so a corpus aggregate is independent of
     completion order. *)
 
-type cache_stats = { ir_cache_hits : int; ir_cache_misses : int }
-(** Per-rewrite IR-cache outcome: at most one of the fields is 1, both 0
-    when no cache was supplied.  Aggregated over a corpus with
-    {!add_cache_stats}. *)
+type cache_stats = {
+  ir_cache_hits : int;
+  ir_cache_misses : int;
+  routine_hits : int;  (** routine chunks served from the delta cache *)
+  routine_misses : int;  (** routine chunks rebuilt (or all, on fallback) *)
+  delta_builds : int;  (** rewrites whose IR came from a partial stitch *)
+}
+(** Per-rewrite cache outcome.  [ir_cache_*] report the snapshot cache
+    (at most one of the two is 1, both 0 when no cache was supplied);
+    the [routine_*] and [delta_builds] fields report the routine-granular
+    delta cache.  Aggregated over a corpus with {!add_cache_stats}. *)
 
 val zero_cache_stats : cache_stats
 val add_cache_stats : cache_stats -> cache_stats -> cache_stats
@@ -48,6 +55,7 @@ val ir_cache_key : pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> string
 val rewrite :
   ?config:config ->
   ?ir_cache:Irdb.Cache.t ->
+  ?routine_cache:Delta.t ->
   transforms:Transform.t list ->
   Zelf.Binary.t ->
   result
@@ -61,11 +69,18 @@ val rewrite :
     On a miss — or a payload {!Ir_construction.restore} rejects — the IR
     is built cold and its snapshot (re)stored.  [timing.ir_construction_s]
     covers whichever path ran; [result.cache] says which it was.  The
-    cache may be shared across domains. *)
+    cache may be shared across domains.
+
+    With [routine_cache], the routine-granular delta path ({!Delta}) is
+    consulted first: a whole-binary memo hit or a validated stitch of
+    cached routine fragments replaces IR construction entirely, and any
+    cold build is harvested back into the cache.  Outputs are
+    byte-identical to the uncached pipeline either way. *)
 
 val try_rewrite :
   ?config:config ->
   ?ir_cache:Irdb.Cache.t ->
+  ?routine_cache:Delta.t ->
   transforms:Transform.t list ->
   Zelf.Binary.t ->
   (result, string) Stdlib.result
@@ -77,6 +92,7 @@ val try_rewrite :
 val rewrite_bytes :
   ?config:config ->
   ?ir_cache:Irdb.Cache.t ->
+  ?routine_cache:Delta.t ->
   transforms:Transform.t list ->
   bytes ->
   (bytes, string) Stdlib.result

@@ -100,9 +100,9 @@ let combine binary (lin : Linear.t) (rec_ : Recursive.t) =
   combine_sources binary [ Source.of_linear lin; Source.of_recursive rec_ ]
 
 let run binary =
-  let lin = Linear.sweep binary in
-  let rec_ = Recursive.traverse binary in
-  let spec = Superset.run binary ~avoid:rec_ in
+  let lin = Obs.span "linear" (fun () -> Linear.sweep binary) in
+  let rec_ = Obs.span "recursive" (fun () -> Recursive.traverse binary) in
+  let spec = Obs.span "superset" (fun () -> Superset.run binary ~avoid:rec_) in
   (* Priority (lowest first): linear, superset, recursive — so recursive
      boundaries win, with superset refining the regions it never reached. *)
   combine_sources binary [ Source.of_linear lin; spec; Source.of_recursive rec_ ]

@@ -4,6 +4,8 @@ type t = {
   capacity : int;
   max_bytes : int option;
   dir : string option;
+  max_disk_entries : int option;
+  max_disk_bytes : int option;
   lock : Mutex.t;
   entries : (string, string) Hashtbl.t;
   last_use : (string, int) Hashtbl.t;
@@ -11,9 +13,10 @@ type t = {
   mutable resident : int;  (* sum of entry_bytes over [entries] *)
   mutable evicted : int;
   mutable oversize : int;
+  mutable disk_evicted : int;
 }
 
-let create ?(capacity = 64) ?max_bytes ?dir () =
+let create ?(capacity = 64) ?max_bytes ?dir ?max_disk_entries ?max_disk_bytes () =
   (match dir with
   | Some d -> ( try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
   | None -> ());
@@ -21,6 +24,8 @@ let create ?(capacity = 64) ?max_bytes ?dir () =
     capacity = max 1 capacity;
     max_bytes = Option.map (max 1) max_bytes;
     dir;
+    max_disk_entries = Option.map (max 1) max_disk_entries;
+    max_disk_bytes = Option.map (max 1) max_disk_bytes;
     lock = Mutex.create ();
     entries = Hashtbl.create 64;
     last_use = Hashtbl.create 64;
@@ -28,6 +33,7 @@ let create ?(capacity = 64) ?max_bytes ?dir () =
     resident = 0;
     evicted = 0;
     oversize = 0;
+    disk_evicted = 0;
   }
 
 let dir t = t.dir
@@ -137,6 +143,44 @@ let disk_find t k =
   | None -> None
   | Some d -> Option.bind (read_file (entry_path d k)) (unframe k)
 
+(* Bound the directory after a write.  The scan is O(entries) per store,
+   which is fine at cache scale, and — unlike an in-memory shadow count —
+   stays correct when several processes share the directory.  Oldest
+   mtime goes first: a coarse LRU (reads do not touch files), but
+   eviction order only affects future hit rates, never correctness. *)
+let prune_disk t d =
+  match (t.max_disk_entries, t.max_disk_bytes) with
+  | None, None -> ()
+  | _ -> (
+      try
+        let files =
+          Sys.readdir d |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".zirc")
+          |> List.filter_map (fun f ->
+                 let p = Filename.concat d f in
+                 match Unix.stat p with
+                 | { Unix.st_mtime; st_size; _ } -> Some (st_mtime, st_size, p)
+                 | exception Unix.Unix_error _ -> None)
+          |> List.sort compare
+        in
+        let count = ref (List.length files) in
+        let bytes = ref (List.fold_left (fun a (_, sz, _) -> a + sz) 0 files) in
+        let over () =
+          (match t.max_disk_entries with Some n -> !count > n | None -> false)
+          || match t.max_disk_bytes with Some b -> !bytes > b | None -> false
+        in
+        List.iter
+          (fun (_, sz, p) ->
+            if over () then begin
+              (try Sys.remove p with Sys_error _ -> ());
+              decr count;
+              bytes := !bytes - sz;
+              t.disk_evicted <- t.disk_evicted + 1;
+              Obs.count "irdb.cache.disk_evictions" 1
+            end)
+          files
+      with Sys_error _ -> ())
+
 let disk_store t k payload =
   match t.dir with
   | None -> ()
@@ -152,7 +196,8 @@ let disk_store t k payload =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (frame k payload));
-        Sys.rename tmp (entry_path d k)
+        Sys.rename tmp (entry_path d k);
+        prune_disk t d
       with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
 
 (* -- lookup / store -- *)
@@ -185,3 +230,4 @@ let mem_entries t = with_lock t (fun () -> Hashtbl.length t.entries)
 let resident_bytes t = with_lock t (fun () -> t.resident)
 let evictions t = with_lock t (fun () -> t.evicted)
 let oversize_skips t = with_lock t (fun () -> t.oversize)
+let disk_evictions t = with_lock t (fun () -> t.disk_evicted)

@@ -18,7 +18,14 @@
 
 type t
 
-val create : ?capacity:int -> ?max_bytes:int -> ?dir:string -> unit -> t
+val create :
+  ?capacity:int ->
+  ?max_bytes:int ->
+  ?dir:string ->
+  ?max_disk_entries:int ->
+  ?max_disk_bytes:int ->
+  unit ->
+  t
 (** [capacity] bounds the in-memory entry count (default 64; least
     recently used entries are evicted).  [max_bytes] additionally bounds
     the total resident bytes (key + payload per entry): inserting past
@@ -26,7 +33,13 @@ val create : ?capacity:int -> ?max_bytes:int -> ?dir:string -> unit -> t
     fits, and a single entry larger than the whole budget is not
     admitted at all ({!oversize_skips} counts those).  With no
     [max_bytes] the store is entry-count bounded only.  [dir] enables
-    the disk layer; the directory is created if missing. *)
+    the disk layer; the directory is created if missing.
+
+    [max_disk_entries] / [max_disk_bytes] bound the disk layer: after
+    each store the directory is pruned oldest-mtime-first until both
+    bounds hold ({!disk_evictions} counts removals).  The scan-based
+    prune stays correct when several processes share the directory.
+    Unbounded by default (the pre-existing behaviour). *)
 
 val key : string list -> string
 (** Digest of the given parts (length-prefixed, so part boundaries are
@@ -52,3 +65,7 @@ val evictions : t -> int
 
 val oversize_skips : t -> int
 (** Payloads refused because they alone exceed [max_bytes]. *)
+
+val disk_evictions : t -> int
+(** Disk entries this [t] pruned to keep the directory within
+    [max_disk_entries] / [max_disk_bytes]. *)

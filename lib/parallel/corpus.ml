@@ -39,7 +39,7 @@ type report = {
 (* The per-item task: total by construction.  [Pipeline.try_rewrite]
    renders pipeline exceptions; parse errors are rendered here; both
    leave the worker alive for the next item. *)
-let rewrite_one ?ir_cache ~config ~transforms ~corpus_seed (index, it) =
+let rewrite_one ?ir_cache ?routine_cache ~config ~transforms ~corpus_seed (index, it) =
   let seed = Rng.derive ~corpus_seed ~index in
   let config = { config with Zipr.Pipeline.seed } in
   let result =
@@ -55,18 +55,18 @@ let rewrite_one ?ir_cache ~config ~transforms ~corpus_seed (index, it) =
               timing = r.Zipr.Pipeline.timing;
               cache = r.Zipr.Pipeline.cache;
             })
-          (Zipr.Pipeline.try_rewrite ~config ?ir_cache ~transforms binary)
+          (Zipr.Pipeline.try_rewrite ~config ?ir_cache ?routine_cache ~transforms binary)
   in
   (seed, result)
 
 let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transforms = [])
-    ?ir_cache ~corpus_seed items =
+    ?ir_cache ?routine_cache ~corpus_seed items =
   Obs.span "corpus" (fun () ->
   let arr = Array.of_list items in
   Obs.count "corpus.binaries" (Array.length arr);
   let n = Array.length arr in
   let tagged = Array.mapi (fun i it -> (i, it)) arr in
-  let task = rewrite_one ?ir_cache ~config ~transforms ~corpus_seed in
+  let task = rewrite_one ?ir_cache ?routine_cache ~config ~transforms ~corpus_seed in
   (* Domain spawn is pool overhead, not rewriting: keep it out of
      [wall_clock_s] (and report it separately) so the speedup numbers
      compare work against work, not work against work-plus-startup. *)
@@ -141,13 +141,16 @@ let pp_report ppf r =
      %.3fs@,\
      merged: %a@,\
      merged timing: ir %.3fs transform %.3fs reassembly %.3fs@,\
-     ir-cache: %d hits, %d misses@,"
+     ir-cache: %d hits, %d misses@,\
+     routine-cache: %d hits, %d misses, %d delta builds@,"
     (r.ok + r.failed) r.ok r.failed r.jobs r.corpus_seed r.wall_clock_s r.pool_spawn_s
     r.rewrite_total_s r.queue_wait_total_s r.queue_wait_max_s Zipr.Reassemble.pp_stats
     r.merged_stats r.merged_timing.Zipr.Pipeline.ir_construction_s
     r.merged_timing.Zipr.Pipeline.transformation_s
     r.merged_timing.Zipr.Pipeline.reassembly_s r.merged_cache.Zipr.Pipeline.ir_cache_hits
-    r.merged_cache.Zipr.Pipeline.ir_cache_misses;
+    r.merged_cache.Zipr.Pipeline.ir_cache_misses
+    r.merged_cache.Zipr.Pipeline.routine_hits r.merged_cache.Zipr.Pipeline.routine_misses
+    r.merged_cache.Zipr.Pipeline.delta_builds;
   List.iter
     (fun (s : Pool.worker_stat) ->
       Format.fprintf ppf "shard %d: %d binaries, busy %.3fs@," s.Pool.worker s.Pool.tasks_run

@@ -69,6 +69,7 @@ val rewrite_all :
   ?config:Zipr.Pipeline.config ->
   ?transforms:Zipr.Transform.t list ->
   ?ir_cache:Irdb.Cache.t ->
+  ?routine_cache:Zipr.Delta.t ->
   corpus_seed:int ->
   item list ->
   report
@@ -82,7 +83,12 @@ val rewrite_all :
     mutex-protected): repeat rewrites of a binary already in the cache
     restore its IR instead of rebuilding it.  Because a restored IR is
     identical to a cold build, outputs stay byte-identical whatever mix
-    of hits and misses — and whatever [jobs] value — the run sees. *)
+    of hits and misses — and whatever [jobs] value — the run sees.
+
+    [routine_cache] is likewise shared across workers: the delta path
+    serves whole IRs from its memo and stitches partially changed
+    binaries from cached routine fragments, with the same byte-identity
+    guarantee (see {!Zipr.Delta}). *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Human-readable corpus summary (counts, merged stats, shard and queue

@@ -29,6 +29,9 @@ type config = {
   cache_entries : int;
   cache_max_bytes : int;
   cache_dir : string option;
+  cache_disk_entries : int option;
+  cache_disk_bytes : int option;
+  delta : bool;
   read_timeout_s : float;
   max_ping_sleep_us : int;
 }
@@ -41,6 +44,9 @@ let default_config =
     cache_entries = 256;
     cache_max_bytes = 64 * 1024 * 1024;
     cache_dir = None;
+    cache_disk_entries = None;
+    cache_disk_bytes = None;
+    delta = false;
     read_timeout_s = 10.0;
     max_ping_sleep_us = 30_000_000;
   }
@@ -57,10 +63,15 @@ type stats = {
   pings : int;
   cache_hits : int;
   cache_misses : int;
+  routine_hits : int;
+  routine_misses : int;
+  delta_builds : int;
   queue_high_water : int;
   queue_bound : int;
   cache_resident_bytes : int;
   cache_evictions : int;
+  routine_fragments : int;
+  routine_fragment_bytes : int;
 }
 
 type cells = {
@@ -75,6 +86,9 @@ type cells = {
   c_pings : int Atomic.t;
   c_cache_hits : int Atomic.t;
   c_cache_misses : int Atomic.t;
+  c_routine_hits : int Atomic.t;
+  c_routine_misses : int Atomic.t;
+  c_delta_builds : int Atomic.t;
 }
 
 type t = {
@@ -86,6 +100,7 @@ type t = {
   pool : Parallel.Pool.t;
   adm : Admission.t;
   cache : Irdb.Cache.t;
+  routine_cache : Zipr.Delta.t option;
   stop_flag : bool Atomic.t;
   c : cells;
 }
@@ -122,7 +137,20 @@ let create ?(config = default_config) ~resolve_transform addr =
     adm = Admission.create ~bound:config.queue_bound;
     cache =
       Irdb.Cache.create ~capacity:(max 1 config.cache_entries)
-        ~max_bytes:(max 1 config.cache_max_bytes) ?dir:config.cache_dir ();
+        ~max_bytes:(max 1 config.cache_max_bytes) ?dir:config.cache_dir
+        ?max_disk_entries:config.cache_disk_entries
+        ?max_disk_bytes:config.cache_disk_bytes ();
+    routine_cache =
+      (if config.delta then
+         (* The fragment store shares the snapshot cache's disk directory
+            (entries use a distinct extension) and inherits its byte
+            budget; the memo is entry-bounded like the snapshot LRU. *)
+         Some
+           (Zipr.Delta.create
+              ~fragment_bytes:(max 1 config.cache_max_bytes)
+              ~memo_capacity:(max 1 config.cache_entries)
+              ?dir:config.cache_dir ())
+       else None);
     stop_flag = Atomic.make false;
     c =
       {
@@ -137,6 +165,9 @@ let create ?(config = default_config) ~resolve_transform addr =
         c_pings = Atomic.make 0;
         c_cache_hits = Atomic.make 0;
         c_cache_misses = Atomic.make 0;
+        c_routine_hits = Atomic.make 0;
+        c_routine_misses = Atomic.make 0;
+        c_delta_builds = Atomic.make 0;
       };
   }
 
@@ -157,10 +188,21 @@ let stats t =
     pings = Atomic.get t.c.c_pings;
     cache_hits = Atomic.get t.c.c_cache_hits;
     cache_misses = Atomic.get t.c.c_cache_misses;
+    routine_hits = Atomic.get t.c.c_routine_hits;
+    routine_misses = Atomic.get t.c.c_routine_misses;
+    delta_builds = Atomic.get t.c.c_delta_builds;
     queue_high_water = Admission.high_water t.adm;
     queue_bound = Admission.bound t.adm;
     cache_resident_bytes = Irdb.Cache.resident_bytes t.cache;
     cache_evictions = Irdb.Cache.evictions t.cache;
+    routine_fragments =
+      (match t.routine_cache with
+      | Some d -> Zipr.Delta.fragment_entries d
+      | None -> 0);
+    routine_fragment_bytes =
+      (match t.routine_cache with
+      | Some d -> Zipr.Delta.fragment_bytes d
+      | None -> 0);
   }
 
 let stop t = Atomic.set t.stop_flag true
@@ -200,7 +242,8 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
    worker count — read identical ["det."] lines.  Wall-clock facts live
    in the unprefixed lines below. *)
 let stats_text ~(rc : Protocol.rewrite_config) ~input_bytes ~output_bytes
-    ~(rs : Zipr.Reassemble.stats) ~cache_outcome ~elapsed_us ~queue_wait_us =
+    ~(rs : Zipr.Reassemble.stats) ~cache_outcome ~(cache : Zipr.Pipeline.cache_stats)
+    ~elapsed_us ~queue_wait_us =
   String.concat ""
     [
       Printf.sprintf "det.chain_hops=%d\n" rs.Zipr.Reassemble.chain_hops;
@@ -215,9 +258,12 @@ let stats_text ~(rc : Protocol.rewrite_config) ~input_bytes ~output_bytes
       Printf.sprintf "det.sled_entries=%d\n" rs.Zipr.Reassemble.sled_entries;
       Printf.sprintf "det.sleds=%d\n" rs.Zipr.Reassemble.sleds;
       Printf.sprintf "det.transforms=%s\n" (String.concat "," rc.transforms);
+      Printf.sprintf "delta_builds=%d\n" cache.Zipr.Pipeline.delta_builds;
       Printf.sprintf "elapsed_us=%d\n" elapsed_us;
       Printf.sprintf "ir_cache=%s\n" cache_outcome;
       Printf.sprintf "queue_wait_us=%d\n" queue_wait_us;
+      Printf.sprintf "routine_hits=%d\n" cache.Zipr.Pipeline.routine_hits;
+      Printf.sprintf "routine_misses=%d\n" cache.Zipr.Pipeline.routine_misses;
     ]
 
 let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
@@ -239,7 +285,10 @@ let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
               { Zipr.Pipeline.default_config with Zipr.Pipeline.placement; seed = rc.seed }
             in
             let t0 = now () in
-            match Zipr.Pipeline.try_rewrite ~config ~ir_cache:t.cache ~transforms binary with
+            match
+              Zipr.Pipeline.try_rewrite ~config ~ir_cache:t.cache
+                ?routine_cache:t.routine_cache ~transforms binary
+            with
             | Error msg -> response ~id Protocol.Rewrite_error ~message:msg
             | Ok r ->
                 let elapsed_us = int_of_float ((now () -. t0) *. 1e6) in
@@ -248,13 +297,23 @@ let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
                 |> ignore;
                 Atomic.fetch_and_add t.c.c_cache_misses cache.Zipr.Pipeline.ir_cache_misses
                 |> ignore;
+                Atomic.fetch_and_add t.c.c_routine_hits cache.Zipr.Pipeline.routine_hits
+                |> ignore;
+                Atomic.fetch_and_add t.c.c_routine_misses cache.Zipr.Pipeline.routine_misses
+                |> ignore;
+                Atomic.fetch_and_add t.c.c_delta_builds cache.Zipr.Pipeline.delta_builds
+                |> ignore;
                 let out = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten in
                 let stats =
                   stats_text ~rc ~input_bytes:(String.length payload)
                     ~output_bytes:(Bytes.length out) ~rs:r.Zipr.Pipeline.stats
                     ~cache_outcome:
-                      (if cache.Zipr.Pipeline.ir_cache_hits > 0 then "hit" else "miss")
-                    ~elapsed_us ~queue_wait_us
+                      (if
+                         cache.Zipr.Pipeline.ir_cache_hits > 0
+                         || cache.Zipr.Pipeline.routine_hits > 0
+                       then "hit"
+                       else "miss")
+                    ~cache ~elapsed_us ~queue_wait_us
                 in
                 response ~id Protocol.Ok_ ~stats ~payload:(Bytes.unsafe_to_string out)))
 

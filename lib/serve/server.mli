@@ -25,13 +25,21 @@ type config = {
   cache_entries : int;
   cache_max_bytes : int;
   cache_dir : string option;  (** optional disk spill for the IR cache *)
+  cache_disk_entries : int option;
+      (** bound [cache_dir] to this many entry files (oldest pruned) *)
+  cache_disk_bytes : int option;  (** bound [cache_dir]'s total size *)
+  delta : bool;
+      (** enable the shared routine-granular cache: requests are served
+          through {!Zipr.Delta} (whole-IR memo + routine-fragment
+          stitching) before falling back to the snapshot IR cache *)
   read_timeout_s : float;  (** per-connection socket read timeout *)
   max_ping_sleep_us : int;  (** cap on client-requested ping sleeps *)
 }
 
 val default_config : config
 (** jobs 2, queue bound 32, 64 MiB max request, 256-entry / 64 MiB
-    memory-only cache, 10 s read timeout, 30 s ping-sleep cap. *)
+    memory-only cache (disk layer unbounded when enabled), delta off,
+    10 s read timeout, 30 s ping-sleep cap. *)
 
 type stats = {
   accepted : int;  (** request frames that decoded successfully *)
@@ -45,10 +53,15 @@ type stats = {
   pings : int;
   cache_hits : int;
   cache_misses : int;
+  routine_hits : int;  (** routine-fragment + memo hits (delta mode) *)
+  routine_misses : int;
+  delta_builds : int;  (** IRs assembled by stitching cached fragments *)
   queue_high_water : int;
   queue_bound : int;
   cache_resident_bytes : int;
   cache_evictions : int;
+  routine_fragments : int;  (** resident routine-fragment entries *)
+  routine_fragment_bytes : int;
 }
 
 type t

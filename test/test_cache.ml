@@ -131,9 +131,11 @@ let test_pipeline_cache_counts () =
   Alcotest.(check bool) "no cache means no counts" true
     (baseline.Zipr.Pipeline.cache = Zipr.Pipeline.zero_cache_stats);
   Alcotest.(check bool) "cold run is a miss" true
-    (cold.Zipr.Pipeline.cache = { Zipr.Pipeline.ir_cache_hits = 0; ir_cache_misses = 1 });
+    (cold.Zipr.Pipeline.cache
+    = { Zipr.Pipeline.zero_cache_stats with Zipr.Pipeline.ir_cache_misses = 1 });
   Alcotest.(check bool) "warm run is a hit" true
-    (warm.Zipr.Pipeline.cache = { Zipr.Pipeline.ir_cache_hits = 1; ir_cache_misses = 0 });
+    (warm.Zipr.Pipeline.cache
+    = { Zipr.Pipeline.zero_cache_stats with Zipr.Pipeline.ir_cache_hits = 1 });
   let bytes_of (r : Zipr.Pipeline.result) = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten in
   Alcotest.(check bool) "miss output byte-identical to uncached" true
     (Bytes.equal (bytes_of baseline) (bytes_of cold));
@@ -248,6 +250,70 @@ let test_budget_many_inserts_hold_invariant () =
   Alcotest.(check bool) "still serving hits" true
     (Cache.find c (Cache.key [ "199" ]) <> None)
 
+(* Hammer the byte-budget LRU from 4 domains through the worker pool:
+   each worker stores and reads back many varied-size entries against one
+   shared cache, sampling [resident_bytes] as it goes.  The budget must
+   hold at every sample and after the join — the mutex makes
+   evict-then-insert atomic, so no interleaving can overshoot. *)
+let test_budget_concurrent_hammer () =
+  let budget = 4096 in
+  let c = Cache.create ~capacity:10_000 ~max_bytes:budget () in
+  let work w =
+    let violations = ref 0 in
+    for i = 0 to 299 do
+      let key = Cache.key [ string_of_int w; string_of_int i ] in
+      Cache.store c ~key (pay (33 + ((w * 977) + (i * 131)) mod 700));
+      ignore (Cache.find c key);
+      if Cache.resident_bytes c > budget then incr violations
+    done;
+    !violations
+  in
+  let timed, _, _ = Parallel.Pool.map ~jobs:4 work [| 0; 1; 2; 3 |] in
+  let violations = Array.fold_left (fun acc t -> acc + t.Parallel.Pool.value) 0 timed in
+  Alcotest.(check int) "no budget violation observed by any domain" 0 violations;
+  Alcotest.(check bool) "budget holds after join" true (Cache.resident_bytes c <= budget);
+  Alcotest.(check bool) "churn forced evictions" true (Cache.evictions c > 0)
+
+(* -- disk-layer bounds (serve's shared --cache-dir must not grow without
+      limit across daemon restarts) -- *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "zipr_cache" "" in
+  Sys.remove f;
+  f
+
+let zirc_files dir =
+  Sys.readdir dir |> Array.to_list |> List.filter (fun f -> Filename.check_suffix f ".zirc")
+
+let test_disk_entry_bound () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir ~max_disk_entries:5 () in
+  for i = 0 to 19 do
+    Cache.store c ~key:(Cache.key [ "de"; string_of_int i ]) (pay 50)
+  done;
+  Alcotest.(check int) "at most 5 entry files" 5 (List.length (zirc_files dir));
+  Alcotest.(check int) "15 pruned" 15 (Cache.disk_evictions c);
+  Alcotest.(check bool) "newest entry still served from disk" true
+    (Cache.find (Cache.create ~dir ()) (Cache.key [ "de"; "19" ]) <> None)
+
+let test_disk_byte_bound () =
+  let dir = fresh_dir () in
+  (* Entry files carry framing overhead beyond the 100-byte payload, so
+     bound by a generous per-entry estimate and assert the real total. *)
+  let c = Cache.create ~dir ~max_disk_bytes:1024 () in
+  for i = 0 to 19 do
+    Cache.store c ~key:(Cache.key [ "db"; string_of_int i ]) (pay 100)
+  done;
+  let total =
+    List.fold_left
+      (fun acc f -> acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+      0 (zirc_files dir)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "disk bytes bounded (%d <= 1024)" total)
+    true (total <= 1024);
+  Alcotest.(check bool) "pruning happened" true (Cache.disk_evictions c > 0)
+
 let suite =
   [
     Alcotest.test_case "exact IRDB codec round-trips" `Quick test_exact_dump_roundtrip;
@@ -263,6 +329,11 @@ let suite =
       test_budget_oversize_refused;
     Alcotest.test_case "byte budget: invariant holds under churn" `Quick
       test_budget_many_inserts_hold_invariant;
+    Alcotest.test_case "byte budget: holds under 4-domain hammer" `Slow
+      test_budget_concurrent_hammer;
+    Alcotest.test_case "disk layer: entry-count bound prunes oldest" `Quick
+      test_disk_entry_bound;
+    Alcotest.test_case "disk layer: byte bound prunes oldest" `Quick test_disk_byte_bound;
     Alcotest.test_case "disk layer round-trips; corruption is a miss" `Quick test_disk_layer;
     Alcotest.test_case "cache key tracks version, config, input" `Quick test_key_sensitivity;
     Alcotest.test_case "pipeline counts hits/misses, outputs identical" `Quick

@@ -30,4 +30,5 @@ let () =
       ("ir-cache", Test_cache.suite);
       ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
+      ("delta", Test_delta.suite);
     ]
