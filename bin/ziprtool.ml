@@ -75,6 +75,56 @@ let input_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT")
 
 let output_file ~pos:p = Arg.(required & pos p (some string) None & info [] ~docv:"OUTPUT")
 
+(* -- placement args --
+
+   Shared by rewrite/batch/serve/client: the strategy name plus the
+   search knobs.  Names are validated through [Placement.resolve] rather
+   than a cmdliner enum so the error message always lists the live
+   strategy set and knob diagnostics read the same on every surface. *)
+
+let placement_name_arg =
+  Arg.(
+    value
+    & opt string "optimized"
+    & info [ "placement" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Dollop placement strategy: %s."
+             (String.concat ", " Zipr.Placement.names)))
+
+let placement_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "placement-budget" ] ~docv:"N"
+        ~doc:
+          "Candidates the search strategy evaluates per decision (enumeration \
+           width / annealing proposals). Only meaningful with --placement search.")
+
+let placement_epsilon_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "placement-epsilon" ] ~docv:"P"
+        ~doc:
+          "Probability in [0,1] that the search strategy diversifies uniformly \
+           over its beam instead of taking the cheapest candidate — the \
+           layout-diversity vs. overhead dial. Only meaningful with --placement \
+           search.")
+
+let placement_weights_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "placement-weights" ] ~docv:"SPEC"
+        ~doc:
+          "Cost-model weights for the search strategy as comma-separated \
+           key=value pairs, e.g. sled=1,chain=16,relax=3,overflow=1,page=64. \
+           Omitted keys keep their defaults.")
+
+(* [Error] already carries a printable message; callers print and exit 1. *)
+let resolve_placement name budget epsilon weights_spec =
+  Zipr.Placement.resolve ?budget ?epsilon ~weights_spec name
+
 (* -- asm -- *)
 
 let asm_cmd =
@@ -134,12 +184,6 @@ let rewrite_cmd =
             (Printf.sprintf "Comma-separated transforms, applied in order. Available: %s."
                (String.concat ", " transform_names)))
   in
-  let placement =
-    Arg.(
-      value
-      & opt (enum (List.map (fun n -> (n, n)) Zipr.Placement.names)) "optimized"
-      & info [ "placement" ] ~doc:"Dollop placement strategy.")
-  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Layout seed (random placement).") in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print reassembly statistics.") in
   let verify =
@@ -155,8 +199,13 @@ let rewrite_cmd =
              loadable in chrome://tracing. The rewritten output is byte-identical with \
              or without tracing.")
   in
-  let run tnames placement seed stats verify trace inp out =
+  let run tnames placement budget epsilon weights seed stats verify trace inp out =
     with_trace_file trace @@ fun () ->
+    match resolve_placement placement budget epsilon weights with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok strategy -> (
     match load_binary inp with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -170,11 +219,7 @@ let rewrite_cmd =
         else
           let transforms = List.filter_map transform_of_name tnames in
           let config =
-            {
-              Zipr.Pipeline.default_config with
-              Zipr.Pipeline.placement = Option.get (Zipr.Placement.by_name placement);
-              seed;
-            }
+            { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy; seed }
           in
           match Zipr.Pipeline.rewrite ~config ~transforms binary with
           | r ->
@@ -199,13 +244,14 @@ let rewrite_cmd =
               else 0
           | exception Zipr.Reassemble.Failure_ msg ->
               Printf.eprintf "reassembly failed: %s\n" msg;
-              1)
+              1))
   in
   Cmd.v
     (Cmd.info "rewrite" ~doc:"Rewrite a binary through the Zipr pipeline.")
     Term.(
-      const run $ transforms $ placement $ seed $ stats $ verify $ trace $ input_file
-      $ output_file ~pos:1)
+      const run $ transforms $ placement_name_arg $ placement_budget_arg
+      $ placement_epsilon_arg $ placement_weights_arg $ seed $ stats $ verify $ trace
+      $ input_file $ output_file ~pos:1)
 
 (* -- run -- *)
 
@@ -443,12 +489,6 @@ let batch_cmd =
             (Printf.sprintf "Comma-separated transforms, applied in order. Available: %s."
                (String.concat ", " transform_names)))
   in
-  let placement =
-    Arg.(
-      value
-      & opt (enum (List.map (fun n -> (n, n)) Zipr.Placement.names)) "optimized"
-      & info [ "placement" ] ~doc:"Dollop placement strategy.")
-  in
   let corpus_seed =
     Arg.(
       value & opt int 1
@@ -514,9 +554,14 @@ let batch_cmd =
              trace_event) and DIR/report.json (aggregated per-phase totals). Outputs are \
              byte-identical with or without tracing, at any $(b,--jobs).")
   in
-  let run tnames placement corpus_seed jobs ext cache_dir delta disk_entries disk_bytes
-      trace indir outdir =
+  let run tnames placement budget epsilon weights corpus_seed jobs ext cache_dir delta
+      disk_entries disk_bytes trace indir outdir =
     with_trace_dir trace @@ fun () ->
+    match resolve_placement placement budget epsilon weights with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | Ok strategy -> (
     let unknown = List.filter (fun n -> transform_of_name n = None) tnames in
     if unknown <> [] then begin
       Printf.eprintf "error: unknown transforms: %s\n" (String.concat ", " unknown);
@@ -545,10 +590,7 @@ let batch_cmd =
             files
         in
         let config =
-          {
-            Zipr.Pipeline.default_config with
-            Zipr.Pipeline.placement = Option.get (Zipr.Placement.by_name placement);
-          }
+          { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy }
         in
         let transforms = List.filter_map transform_of_name tnames in
         let ir_cache =
@@ -582,7 +624,7 @@ let batch_cmd =
         Format.printf "%a@." Parallel.Corpus.pp_report report;
         if report.Parallel.Corpus.failed = 0 then 0 else 1
       end
-    end
+    end)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -591,8 +633,9 @@ let batch_cmd =
           file: a binary that does not parse or fails to rewrite is reported and the \
           batch continues (exit 1 if any failed).")
     Term.(
-      const run $ transforms $ placement $ corpus_seed $ batch_jobs $ ext $ cache_dir
-      $ delta $ cache_disk_entries $ cache_disk_bytes $ trace $ indir $ outdir)
+      const run $ transforms $ placement_name_arg $ placement_budget_arg
+      $ placement_epsilon_arg $ placement_weights_arg $ corpus_seed $ batch_jobs $ ext
+      $ cache_dir $ delta $ cache_disk_entries $ cache_disk_bytes $ trace $ indir $ outdir)
 
 (* -- serve / client -- *)
 
@@ -686,12 +729,18 @@ let serve_cmd =
           ~doc:"Write a Chrome trace of all served requests on shutdown.")
   in
   let run addr jobs queue_bound max_request cache_entries cache_bytes cache_dir
-      cache_disk_entries cache_disk_bytes delta trace =
+      cache_disk_entries cache_disk_bytes delta budget epsilon weights trace =
     match addr with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         2
     | Ok addr -> (
+        (* Fail fast on bad default knobs instead of per-request. *)
+        match resolve_placement "search" budget epsilon weights with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            2
+        | Ok _ -> (
         with_trace_file trace @@ fun () ->
         let config =
           {
@@ -705,6 +754,9 @@ let serve_cmd =
             cache_disk_entries;
             cache_disk_bytes;
             delta;
+            placement_budget = budget;
+            placement_epsilon = epsilon;
+            placement_weights = weights;
           }
         in
         match Serve.Server.create ~config ~resolve_transform:transform_of_name addr with
@@ -732,7 +784,7 @@ let serve_cmd =
               s.Serve.Server.cache_hits s.Serve.Server.cache_misses
               s.Serve.Server.routine_hits s.Serve.Server.routine_misses
               s.Serve.Server.delta_builds;
-            0)
+            0))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -743,7 +795,8 @@ let serve_cmd =
           or SIGINT shuts it down cleanly (in-flight requests complete).")
     Term.(
       const run $ addr_term $ jobs $ queue_bound $ max_request $ cache_entries $ cache_bytes
-      $ cache_dir $ cache_disk_entries $ cache_disk_bytes $ delta $ trace)
+      $ cache_dir $ cache_disk_entries $ cache_disk_bytes $ delta $ placement_budget_arg
+      $ placement_epsilon_arg $ placement_weights_arg $ trace)
 
 (* -- gencorpus -- *)
 
@@ -770,8 +823,29 @@ let gencorpus_cmd =
       value & opt int 2
       & info [ "edits" ] ~docv:"N" ~doc:"Edits applied between consecutive versions.")
   in
-  let run versions seed routines body_ops edits outdir =
-    if versions < 1 then begin
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Scale-out mode: instead of a versioned corpus, emit N independent varied \
+             binaries (fragmentation-heavy mix; see $(b,bench placement)). Each binary \
+             depends only on (--seed, index), so growing N extends the corpus without \
+             changing existing files.")
+  in
+  let run versions seed routines body_ops edits count outdir =
+    if count > 0 then begin
+      ensure_dir outdir;
+      for i = 0 to count - 1 do
+        let item = Workloads.Scale.generate_one ~seed i in
+        write_file
+          (Filename.concat outdir item.Workloads.Scale.name)
+          (Zelf.Binary.serialize item.Workloads.Scale.binary)
+      done;
+      Printf.printf "%s: %d scale-out binaries (seed %d)\n" outdir count seed;
+      0
+    end
+    else if versions < 1 then begin
       Printf.eprintf "error: --versions must be >= 1\n";
       2
     end
@@ -806,8 +880,10 @@ let gencorpus_cmd =
           differing by a few local edits each (instruction edits, routine \
           insertions/deletions, data moves) — the workload the delta cache \
           ($(b,batch --delta), $(b,serve --delta), $(b,bench delta)) is built for. \
-          Writes OUTDIR/v0.zbf .. OUTDIR/v<N-1>.zbf, deterministically in --seed.")
-    Term.(const run $ versions $ seed $ routines $ body_ops $ edits $ outdir)
+          Writes OUTDIR/v0.zbf .. OUTDIR/v<N-1>.zbf, deterministically in --seed. \
+          With $(b,--count) N it instead emits N independent varied binaries for \
+          scale-out placement experiments.")
+    Term.(const run $ versions $ seed $ routines $ body_ops $ edits $ count $ outdir)
 
 let client_cmd =
   let transforms =
@@ -818,12 +894,6 @@ let client_cmd =
           ~doc:
             (Printf.sprintf "Comma-separated transforms, applied in order. Available: %s."
                (String.concat ", " transform_names)))
-  in
-  let placement =
-    Arg.(
-      value
-      & opt (enum (List.map (fun n -> (n, n)) Zipr.Placement.names)) "optimized"
-      & info [ "placement" ] ~doc:"Dollop placement strategy.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Layout seed (random placement).") in
   let deadline_ms =
@@ -842,12 +912,20 @@ let client_cmd =
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's per-request stats.") in
   let files = Arg.(value & pos_all string [] & info [] ~docv:"INPUT OUTPUT") in
-  let run addr tnames placement seed deadline_ms do_ping sleep_ms stats files =
+  let run addr tnames placement budget epsilon weights seed deadline_ms do_ping sleep_ms
+      stats files =
     match addr with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         2
     | Ok addr -> (
+        (* Validate locally before paying for a round-trip; the server
+           re-validates (it may know different strategies). *)
+        match resolve_placement placement budget epsilon weights with
+        | Error msg ->
+            Printf.eprintf "error: %s\n" msg;
+            1
+        | Ok _ -> (
         let deadline_us = max 0 deadline_ms * 1000 in
         let finish (resp : Serve.Protocol.Response.t) on_ok =
           if stats && resp.Serve.Protocol.Response.stats <> "" then
@@ -873,8 +951,9 @@ let client_cmd =
           match files with
           | [ inp; out ] -> (
               match
-                Serve.Client.rewrite ~deadline_us ~placement ~seed ~transforms:tnames addr
-                  (read_file inp)
+                Serve.Client.rewrite ~deadline_us ~placement ?placement_budget:budget
+                  ?placement_epsilon:epsilon ~placement_weights:weights ~seed
+                  ~transforms:tnames addr (read_file inp)
               with
               | Error msg ->
                   Printf.eprintf "error: %s\n" msg;
@@ -889,7 +968,7 @@ let client_cmd =
                       0))
           | _ ->
               Printf.eprintf "error: expected INPUT and OUTPUT arguments (or --ping)\n";
-              2)
+              2))
   in
   Cmd.v
     (Cmd.info "client"
@@ -897,7 +976,8 @@ let client_cmd =
          "Send one request to a running ziprtool serve daemon: rewrite INPUT into OUTPUT \
           remotely, or health-check it with --ping.")
     Term.(
-      const run $ addr_term $ transforms $ placement $ seed $ deadline_ms $ do_ping
+      const run $ addr_term $ transforms $ placement_name_arg $ placement_budget_arg
+      $ placement_epsilon_arg $ placement_weights_arg $ seed $ deadline_ms $ do_ping
       $ sleep_ms $ stats $ files)
 
 let () =

@@ -1,0 +1,110 @@
+(* Explicit placement cost model.
+
+   Every term is an integer count the reassembler already produces (or
+   can produce cheaply from Memspace state); [eval] folds them into one
+   scalar under a weight vector.  The same weights drive two things:
+
+   - the search strategy's per-decision scoring (Placement.search ranks
+     candidate addresses by the cost delta they would add), and
+   - the end-of-run [placement_cost] stat, computed from the *final*
+     stats record — so the number a search run reports is by
+     construction the objective it optimized, measured on the layout it
+     actually produced, not an estimate accumulated along the way. *)
+
+type weights = {
+  w_sled_bytes : float;
+  w_chain_hops : float;
+  w_relaxations : float;
+  w_overflow_bytes : float;
+  w_page_misses : float;
+}
+
+(* Byte-equivalents: an overflow byte is one byte of file-size overhead
+   (the unit); a relaxation adds 3 bytes in text; a chain hop is a
+   5-byte trampoline plus an executed indirection, charged 16; a page
+   miss is a 4-KiB page made resident that pins did not already force,
+   charged well below its raw size (residency is cheaper than file
+   growth for the paper's workloads) but enough to steer ties. *)
+let default_weights =
+  {
+    w_sled_bytes = 1.0;
+    w_chain_hops = 16.0;
+    w_relaxations = 3.0;
+    w_overflow_bytes = 1.0;
+    w_page_misses = 64.0;
+  }
+
+type terms = {
+  sled_bytes : int;
+  chain_hops : int;
+  relaxations : int;
+  overflow_bytes : int;
+  page_misses : int;
+}
+
+let zero_terms =
+  { sled_bytes = 0; chain_hops = 0; relaxations = 0; overflow_bytes = 0; page_misses = 0 }
+
+let add_terms a b =
+  {
+    sled_bytes = a.sled_bytes + b.sled_bytes;
+    chain_hops = a.chain_hops + b.chain_hops;
+    relaxations = a.relaxations + b.relaxations;
+    overflow_bytes = a.overflow_bytes + b.overflow_bytes;
+    page_misses = a.page_misses + b.page_misses;
+  }
+
+let eval w t =
+  (w.w_sled_bytes *. float_of_int t.sled_bytes)
+  +. (w.w_chain_hops *. float_of_int t.chain_hops)
+  +. (w.w_relaxations *. float_of_int t.relaxations)
+  +. (w.w_overflow_bytes *. float_of_int t.overflow_bytes)
+  +. (w.w_page_misses *. float_of_int t.page_misses)
+
+(* Per-run search accounting, threaded to the strategy through
+   [Placement.ctx].  A fresh record per reassembly run keeps the
+   strategy values themselves immutable — the same [Placement.t] is
+   shared across Domain workers in a corpus run, so any mutable search
+   state must live in run-local storage, and this is it. *)
+type tally = { mutable iterations : int; mutable accepted : int; mutable rejected : int }
+
+let make_tally () = { iterations = 0; accepted = 0; rejected = 0 }
+
+(* -- weight-spec parsing for the CLI/serve knobs -- *)
+
+let spec_keys = [ "sled"; "chain"; "relax"; "overflow"; "page" ]
+
+let to_spec w =
+  Printf.sprintf "sled=%g,chain=%g,relax=%g,overflow=%g,page=%g" w.w_sled_bytes w.w_chain_hops
+    w.w_relaxations w.w_overflow_bytes w.w_page_misses
+
+let weights_of_spec s =
+  let s = String.trim s in
+  if s = "" then Ok default_weights
+  else
+    let parts = String.split_on_char ',' s in
+    let rec apply w = function
+      | [] -> Ok w
+      | part :: rest -> (
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "weight %S is not key=value" part)
+          | Some i -> (
+              let key = String.trim (String.sub part 0 i) in
+              let v = String.trim (String.sub part (i + 1) (String.length part - i - 1)) in
+              match float_of_string_opt v with
+              | None -> Error (Printf.sprintf "weight %S: %S is not a number" key v)
+              | Some f when f < 0.0 ->
+                  Error (Printf.sprintf "weight %S must be >= 0, got %g" key f)
+              | Some f -> (
+                  match key with
+                  | "sled" -> apply { w with w_sled_bytes = f } rest
+                  | "chain" -> apply { w with w_chain_hops = f } rest
+                  | "relax" -> apply { w with w_relaxations = f } rest
+                  | "overflow" -> apply { w with w_overflow_bytes = f } rest
+                  | "page" -> apply { w with w_page_misses = f } rest
+                  | _ ->
+                      Error
+                        (Printf.sprintf "unknown weight %S (expected one of %s)" key
+                           (String.concat ", " spec_keys)))))
+    in
+    apply default_weights parts

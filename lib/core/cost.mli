@@ -1,0 +1,66 @@
+(** Explicit placement cost model (ROADMAP "search-based placement").
+
+    A layout's cost is a weighted sum of five integer terms, each one a
+    quantity the reassembler measures anyway:
+
+    - {b sled bytes} — footprint of sleds reserved for dense pins;
+    - {b chain hops} — 5-byte trampolines inserted when a constrained
+      reference could not be expanded in place (§II-C3);
+    - {b relaxations} — 2-byte reference slots grown to 5 bytes
+      ([slot_expansions]);
+    - {b overflow bytes} — code spilled past the original text span, the
+      direct file-size overhead (§IV-B);
+    - {b page misses} — 4-KiB pages the layout made resident that hold
+      no pin (pinned pages are resident regardless, so filling them is
+      free — the §III locality argument).
+
+    {!Placement.search} scores candidate decisions with these weights;
+    {!Reassemble.run} evaluates the same weights over the final stats so
+    the reported [placement_cost] is the optimized objective measured on
+    the layout actually produced. *)
+
+type weights = {
+  w_sled_bytes : float;
+  w_chain_hops : float;
+  w_relaxations : float;
+  w_overflow_bytes : float;
+  w_page_misses : float;
+}
+
+val default_weights : weights
+(** Byte-equivalent weights: sled=1, chain=16, relax=3, overflow=1,
+    page=64. *)
+
+type terms = {
+  sled_bytes : int;
+  chain_hops : int;
+  relaxations : int;
+  overflow_bytes : int;
+  page_misses : int;
+}
+
+val zero_terms : terms
+val add_terms : terms -> terms -> terms
+
+val eval : weights -> terms -> float
+(** Weighted sum; linear, so [eval w] distributes over {!add_terms}. *)
+
+type tally = { mutable iterations : int; mutable accepted : int; mutable rejected : int }
+(** Per-run search accounting: candidate evaluations, and accepted vs
+    rejected moves.  Allocated fresh per reassembly run
+    ({!Reassemble.run}) and threaded to the strategy through
+    [Placement.ctx], keeping the shared strategy record immutable across
+    Domain workers. *)
+
+val make_tally : unit -> tally
+
+val weights_of_spec : string -> (weights, string) result
+(** Parse a ["sled=1,chain=16,relax=3,overflow=1,page=64"] spec.  Keys
+    may appear in any subset/order; omitted keys keep their default.
+    The empty string yields {!default_weights}.  Weights must be
+    non-negative numbers. *)
+
+val to_spec : weights -> string
+(** Inverse of {!weights_of_spec} (canonical key order). *)
+
+val spec_keys : string list

@@ -130,3 +130,47 @@ let largest_text_gap t = Iset.largest t.text_free
 let text_free_bytes t = Iset.total t.text_free
 
 let text_gap_count t = Iset.count t.text_free
+
+(* -- non-committing probes (Placement.search candidate enumeration) --
+
+   Probes inspect the free map without reserving and without touching
+   the query/hit counters: a search strategy weighs many candidates per
+   decision and commits exactly one with [take_at], so allocator-traffic
+   stats keep meaning "placements", not "candidates considered". *)
+
+let probe_in_window t ~lo ~hi ~size = Iset.fit_in_window t.free ~lo ~hi ~size
+
+let probe_text_fits t ~size ~budget =
+  if budget <= 0 then []
+  else begin
+    let acc = ref [] and n = ref 0 in
+    ignore
+      (Iset.find_map
+         (fun glo ghi ->
+           if ghi - glo >= size then begin
+             acc := (glo, ghi) :: !acc;
+             incr n
+           end;
+           if !n >= budget then Some () else None)
+         t.text_free);
+    List.rev !acc
+  end
+
+let probe_random_text t ~rng ~size =
+  match Iset.fitting_count t.text_free ~size with
+  | 0 -> None
+  | n -> Iset.kth_fit t.text_free ~size ~k:(Rng.int rng n)
+
+let probe_overflow t ~size =
+  match Iset.first_fit_at_or_after t.free ~pos:t.overflow_cursor ~size with
+  | Some a -> a
+  | None -> invalid_arg "Memspace.probe_overflow: overflow exhausted"
+
+let free_gap_at t addr = Iset.find_containing t.free addr
+
+let take_at t ~addr ~size =
+  query t;
+  if not (is_free t ~lo:addr ~hi:(addr + size)) then
+    invalid_arg "Memspace.take_at: range not free";
+  Obs.Counters.incr t.c_hits;
+  take t addr size

@@ -73,6 +73,38 @@ val find_text_gap : t -> f:(int -> int -> 'a option) -> 'a option
 (** First [Some] produced by [f lo hi] over the ascending text gaps,
     stopping early. *)
 
+(** {2 Non-committing probes}
+
+    Candidate enumeration for the search placement strategy: probes
+    inspect the free map without reserving and without bumping the
+    query/hit counters — a search weighs many candidates per decision
+    and commits exactly one with {!take_at}, so allocator-traffic stats
+    keep meaning "placements", not "candidates considered". *)
+
+val probe_in_window : t -> lo:int -> hi:int -> size:int -> int option
+(** Like {!alloc_in_window} but reserves nothing. *)
+
+val probe_text_fits : t -> size:int -> budget:int -> (int * int) list
+(** Up to [budget] ascending text gaps at least [size] bytes wide,
+    with their bounds.  Stops scanning once [budget] are found. *)
+
+val probe_random_text : t -> rng:Zipr_util.Rng.t -> size:int -> (int * int) option
+(** A uniformly random text gap among those fitting [size] (the
+    annealing proposal distribution); reserves nothing. *)
+
+val probe_overflow : t -> size:int -> int
+(** Where {!alloc_overflow} would place [size] bytes, without
+    reserving. *)
+
+val free_gap_at : t -> int -> (int * int) option
+(** The free interval containing an address, if any — gives a probe
+    candidate its surrounding gap bounds for fragmentation scoring. *)
+
+val take_at : t -> addr:int -> size:int -> int
+(** Commit a probed candidate: reserve [\[addr, addr+size)] (which must
+    be entirely free — [Invalid_argument] otherwise) and return [addr].
+    Counts as one allocator query and one hit. *)
+
 type counters = { queries : int; hits : int }
 
 val counters : t -> counters

@@ -5,7 +5,7 @@
     and a placement request and decides where a dollop goes — possibly
     splitting it to fill a fragment.
 
-    Three strategies ship, mirroring the paper's design space:
+    Four strategies ship, mirroring the paper's design space:
 
     - {!naive}: first-fit at the lowest free address (§II-C's unoptimized
       algorithm);
@@ -16,12 +16,23 @@
       dollops into fragments, spill to overflow only as a last resort;
     - {!random}: uniformly random placement over the free text gaps —
       the maximum-flexibility layout-diversity configuration the paper
-      describes as the default's natural by-product. *)
+      describes as the default's natural by-product;
+    - {!search}: per-decision optimization over the explicit {!Cost}
+      model — candidates from every tier the optimized allocator knows
+      (near-referent, pinned-page, whole text gaps, split, overflow) are
+      scored and the cheapest wins, with a fragmentation lookahead that
+      turns first-fit into best-fit; on heavily shattered address spaces
+      a simulated-annealing walk over randomly sampled gaps (driven by
+      the deterministic per-run {!Zipr_util.Rng}) replaces exhaustive
+      enumeration. *)
 
 type ctx = {
   space : Memspace.t;
   rng : Zipr_util.Rng.t;
   pinned_page : int -> bool;  (** does this 4-KiB page number contain a pin? *)
+  tally : Cost.tally;
+      (** per-run search accounting (iterations, accepted/rejected
+          moves); strategies that do not search leave it untouched *)
 }
 
 type request = {
@@ -50,11 +61,49 @@ type t = {
       (** reserve 2-byte reference slots at pins and relax to 5 bytes only
           when the target lands out of range (§III); [false] reserves
           5-byte slots whenever the pin gap allows (§II-C3 expansion) *)
+  weights : Cost.weights option;
+      (** the cost model this strategy optimizes, when it has one; the
+          reassembler evaluates it over the final stats to report
+          [placement_cost] (greedy strategies report under
+          {!Cost.default_weights}) *)
 }
 
 val naive : t
 val optimized : t
 val random : t
 
+type search_knobs = {
+  weights : Cost.weights;  (** objective; see {!Cost.default_weights} *)
+  budget : int;
+      (** max candidates evaluated per decision: enumeration scans at
+          most this many whole text gaps; annealing draws this many
+          random proposals *)
+  beam : int;  (** survivors re-ranked with the fragmentation lookahead *)
+  anneal_gaps : int;
+      (** text-gap count above which annealing replaces enumeration *)
+  epsilon : float;
+      (** probability of diversifying uniformly over the beam instead of
+          taking the argmin — the diversity-vs-overhead dial; [0.] is
+          fully greedy and draws nothing from the rng *)
+}
+
+val default_search_knobs : search_knobs
+(** budget 16, beam 4, anneal threshold 96 gaps, epsilon 0. *)
+
+val search : ?knobs:search_knobs -> unit -> t
+(** The cost-model search strategy (name ["search"]).  Deterministic for
+    a fixed seed: every rng draw comes from the per-run stream in
+    {!ctx}, so corpus runs stay byte-identical at any [--jobs]. *)
+
 val by_name : string -> t option
+(** ["search"] resolves to {!search} with {!default_search_knobs}. *)
+
 val names : string list
+
+val resolve :
+  ?budget:int -> ?epsilon:float -> ?weights_spec:string -> string -> (t, string) result
+(** Total strategy construction for CLI/serve surfaces: unknown names,
+    malformed weight specs (see {!Cost.weights_of_spec}), non-positive
+    budgets and out-of-range epsilons come back as [Error] with a
+    printable message.  The knobs only affect ["search"]; other
+    strategies ignore them. *)

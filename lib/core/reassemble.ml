@@ -2,6 +2,7 @@ module Db = Irdb.Db
 module Rng = Zipr_util.Rng
 
 type stats = {
+  strategy : string;
   pins_total : int;
   pin_slots_long : int;
   pin_slots_short : int;
@@ -18,11 +19,18 @@ type stats = {
   alloc_hits : int;
   overflow_bytes : int;
   text_free_bytes : int;
+  sled_bytes : int;
+  page_misses : int;
+  placement_cost : float;
+  search_iterations : int;
+  search_accepted : int;
+  search_rejected : int;
   warnings : string list;
 }
 
 let zero_stats =
   {
+    strategy = "";
     pins_total = 0;
     pin_slots_long = 0;
     pin_slots_short = 0;
@@ -39,11 +47,24 @@ let zero_stats =
     alloc_hits = 0;
     overflow_bytes = 0;
     text_free_bytes = 0;
+    sled_bytes = 0;
+    page_misses = 0;
+    placement_cost = 0.0;
+    search_iterations = 0;
+    search_accepted = 0;
+    search_rejected = 0;
     warnings = [];
   }
 
 let merge_stats a b =
   {
+    (* [""] (the merge identity) disappears; agreeing names survive a
+       merge, so a homogeneous corpus aggregate still says which
+       strategy produced it; anything else is honestly "mixed". *)
+    strategy =
+      (if a.strategy = "" then b.strategy
+       else if b.strategy = "" || a.strategy = b.strategy then a.strategy
+       else "mixed");
     pins_total = a.pins_total + b.pins_total;
     pin_slots_long = a.pin_slots_long + b.pin_slots_long;
     pin_slots_short = a.pin_slots_short + b.pin_slots_short;
@@ -60,7 +81,25 @@ let merge_stats a b =
     alloc_hits = a.alloc_hits + b.alloc_hits;
     overflow_bytes = a.overflow_bytes + b.overflow_bytes;
     text_free_bytes = a.text_free_bytes + b.text_free_bytes;
+    sled_bytes = a.sled_bytes + b.sled_bytes;
+    page_misses = a.page_misses + b.page_misses;
+    placement_cost = a.placement_cost +. b.placement_cost;
+    search_iterations = a.search_iterations + b.search_iterations;
+    search_accepted = a.search_accepted + b.search_accepted;
+    search_rejected = a.search_rejected + b.search_rejected;
     warnings = a.warnings @ b.warnings;
+  }
+
+(* The cost-model view of a finished run: the terms {!Cost.eval} folds
+   are exactly these stats fields, so [placement_cost] is always the
+   objective measured on the layout actually produced. *)
+let cost_terms s =
+  {
+    Cost.sled_bytes = s.sled_bytes;
+    chain_hops = s.chain_hops;
+    relaxations = s.slot_expansions;
+    overflow_bytes = s.overflow_bytes;
+    page_misses = s.page_misses;
   }
 
 exception Failure_ of string
@@ -97,6 +136,7 @@ type run_counters = {
   c_layouts_computed : Obs.Counters.cell;
   c_layout_reuses : Obs.Counters.cell;
   c_placements : Obs.Counters.cell;  (* placement-strategy decisions taken *)
+  c_sled_bytes : Obs.Counters.cell;  (* reserved sled footprint, bodies + slots *)
 }
 
 let make_run_counters () =
@@ -116,6 +156,7 @@ let make_run_counters () =
     c_layouts_computed = c "layouts_computed";
     c_layout_reuses = c "layout_reuses";
     c_placements = c "placement_decisions";
+    c_sled_bytes = c "sled_bytes";
   }
 
 type state = {
@@ -132,6 +173,7 @@ type state = {
   rng : Rng.t;
   strategy : Placement.t;
   pinned_page : int -> bool;
+  tally : Cost.tally;  (* per-run search accounting, surfaced in stats *)
   k : run_counters;
   mutable warnings : string list;
 }
@@ -287,7 +329,7 @@ let place_dollop st ~referent (d, placed, dsize) =
         Dollop.normalized_size (Db.row st.db first).Db.insn + Dollop.connector_size
   in
   let ctx =
-    { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page }
+    { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page; tally = st.tally }
   in
   let emit_releasing d ~placed ~total addr reserved =
     let endp = emit_dollop st d ~placed ~total addr in
@@ -431,7 +473,9 @@ let synth_dispatch st (sled : Sled.t) =
       items
   in
   (* Place and emit. *)
-  let ctx = { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page } in
+  let ctx =
+    { Placement.space = st.space; rng = st.rng; pinned_page = st.pinned_page; tally = st.tally }
+  in
   Obs.Counters.incr st.k.c_placements;
   let base =
     match
@@ -506,6 +550,21 @@ let plan_pins st pins text_hi =
     let plen = prologue_len_at st addr in
     let next_gap = if !i + 1 < n then fst arr.(!i + 1) - addr else max_int in
     let gap = min next_gap (text_hi - addr) in
+    (* A pin cramped only by the end of text (not by a neighbouring pin)
+       may run its slot past [text_hi] when the bytes there are free:
+       with contiguous overflow the text grows in place (the free map
+       coalesces across the boundary), and with a detached overflow
+       section the range is simply not free, so this never fires.
+       Without the extension such a pin formed a one-pin "dense" group,
+       which no sled can serve. *)
+    let gap =
+      if gap >= plen + 2 || next_gap < plen + 2 then gap
+      else if
+        next_gap >= plen + 5 && Memspace.is_free st.space ~lo:addr ~hi:(addr + plen + 5)
+      then plen + 5
+      else if Memspace.is_free st.space ~lo:addr ~hi:(addr + plen + 2) then plen + 2
+      else gap
+    in
     if gap >= plen + 2 then begin
       (* Reserve the unconstrained 5-byte form whenever the pin gap and
          free space allow; relaxation gives the spare bytes back if the
@@ -552,6 +611,13 @@ let plan_pins st pins text_hi =
         else continue := false
       done;
       let group = List.rev !group in
+      (match group with
+      | [ (a, _) ] ->
+          (* Degenerate: a lone cramped pin (the extension above found no
+             free bytes either).  No sled serves one pin; fail loudly
+             rather than let [Sled.plan] raise [Invalid_argument]. *)
+          fail "pin at 0x%x has no room for a reference slot" a
+      | _ -> ());
       let sled =
         try Sled.plan ~pins:group
         with Sled.Infeasible msg -> fail "sled planning failed: %s" msg
@@ -562,6 +628,7 @@ let plan_pins st pins text_hi =
         fail "sled at 0x%x collides with reserved bytes" sled.Sled.start;
       Memspace.reserve st.space ~lo:sled.Sled.start ~hi:send;
       Codebuf.write_bytes st.buf sled.Sled.start sled.Sled.body;
+      Obs.Counters.bump st.k.c_sled_bytes (send - sled.Sled.start);
       Obs.Counters.incr st.k.c_sleds;
       Obs.Counters.bump st.k.c_sled_entries (List.length sled.Sled.entries);
       items := Sled_group sled :: !items
@@ -688,6 +755,7 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
       rng = Rng.create seed;
       strategy;
       pinned_page = (fun p -> Hashtbl.mem pinned_pages p);
+      tally = Cost.make_tally ();
       k = make_run_counters ();
       warnings = [];
     }
@@ -803,8 +871,21 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
   in
   let alloc = Memspace.counters space in
   let g n = Obs.Counters.get n in
+  (* Page-locality term: text pages the layout put code on that hold no
+     pin (pinned pages are resident regardless — §III), plus the pages
+     the overflow spill occupies.  Measured from the final free map, not
+     accumulated per decision, so it is exact whatever the strategy did. *)
+  let page_misses =
+    let misses = ref 0 in
+    for p = text_lo / 4096 to (text_hi - 1) / 4096 do
+      let lo = max text_lo (p * 4096) and hi = min text_hi ((p + 1) * 4096) in
+      if (not (st.pinned_page p)) && not (Memspace.is_free space ~lo ~hi) then incr misses
+    done;
+    !misses + ((Codebuf.overflow_used buf + 4095) / 4096)
+  in
   let stats =
     {
+      strategy = strategy.Placement.name;
       pins_total = List.length pins_all;
       pin_slots_long = g st.k.c_pin_slots_long;
       pin_slots_short = g st.k.c_pin_slots_short;
@@ -821,21 +902,35 @@ let run ?(strategy = Placement.optimized) ?(seed = 1) (ir : Ir_construction.t) =
       alloc_hits = alloc.Memspace.hits;
       overflow_bytes = Codebuf.overflow_used buf;
       text_free_bytes = Memspace.text_free_bytes space;
+      sled_bytes = g st.k.c_sled_bytes;
+      page_misses;
+      placement_cost = 0.0;
+      search_iterations = st.tally.Cost.iterations;
+      search_accepted = st.tally.Cost.accepted;
+      search_rejected = st.tally.Cost.rejected;
       warnings = List.rev st.warnings;
     }
   in
+  (* Evaluate the strategy's own objective (default weights for the
+     greedy strategies) over the finished layout's terms. *)
+  let weights =
+    Option.value strategy.Placement.weights ~default:Cost.default_weights
+  in
+  let stats = { stats with placement_cost = Cost.eval weights (cost_terms stats) } in
   if Obs.enabled () then begin
     Obs.merge_counters st.k.ctrs;
     Obs.merge_counters (Memspace.obs_counters space)
   end;
   (out, stats)
 
-let pp_stats ppf s =
+let pp_stats ppf (s : stats) =
   Format.fprintf ppf
-    "@[<v>pins=%d (long=%d short=%d colocated=%d)@,sleds=%d entries=%d@,expansions=%d \
-     chain-hops=%d@,dollops placed=%d split=%d@,layouts=%d (reused %d)@,alloc queries=%d \
-     hits=%d@,overflow=%d bytes, text free=%d bytes@,%d warnings@]"
-    s.pins_total s.pin_slots_long s.pin_slots_short s.pins_colocated s.sleds s.sled_entries
-    s.slot_expansions s.chain_hops s.dollops_placed s.dollops_split s.layouts_computed
-    s.layout_reuses s.alloc_queries s.alloc_hits s.overflow_bytes s.text_free_bytes
-    (List.length s.warnings)
+    "@[<v>placement=%s cost=%.1f@,pins=%d (long=%d short=%d colocated=%d)@,sleds=%d \
+     entries=%d (%d bytes)@,expansions=%d chain-hops=%d@,dollops placed=%d split=%d@,\
+     layouts=%d (reused %d)@,alloc queries=%d hits=%d@,overflow=%d bytes, text free=%d \
+     bytes, page misses=%d@,search iterations=%d accepted=%d rejected=%d@,%d warnings@]"
+    s.strategy s.placement_cost s.pins_total s.pin_slots_long s.pin_slots_short
+    s.pins_colocated s.sleds s.sled_entries s.sled_bytes s.slot_expansions s.chain_hops
+    s.dollops_placed s.dollops_split s.layouts_computed s.layout_reuses s.alloc_queries
+    s.alloc_hits s.overflow_bytes s.text_free_bytes s.page_misses s.search_iterations
+    s.search_accepted s.search_rejected (List.length s.warnings)

@@ -28,6 +28,9 @@
     simply not emitted. *)
 
 type stats = {
+  strategy : string;
+      (** placement strategy name; merges keep agreeing names and render
+          disagreement as ["mixed"] ([""] is the merge identity) *)
   pins_total : int;
   pin_slots_long : int;
   pin_slots_short : int;
@@ -54,6 +57,16 @@ type stats = {
   alloc_hits : int;  (** those that found space *)
   overflow_bytes : int;
   text_free_bytes : int;  (** free bytes left inside the original text span *)
+  sled_bytes : int;  (** reserved sled footprint (bodies and entry slots) *)
+  page_misses : int;
+      (** text pages holding placed code but no pin, plus overflow pages —
+          the {!Cost} locality term, measured from the final free map *)
+  placement_cost : float;
+      (** {!Cost.eval} of the strategy's weights (default weights for the
+          greedy strategies) over {!cost_terms} of this record *)
+  search_iterations : int;  (** candidates the search strategy evaluated *)
+  search_accepted : int;  (** improving/annealing-accepted moves *)
+  search_rejected : int;  (** candidates discarded *)
   warnings : string list;
 }
 
@@ -66,6 +79,11 @@ val merge_stats : stats -> stats -> stats
     independent of the order per-binary results arrive in; only
     [warnings] concatenates left-to-right, which callers wanting a
     deterministic report get by folding in binary-index order. *)
+
+val cost_terms : stats -> Cost.terms
+(** The cost-model terms of a finished run, straight from the stats —
+    [placement_cost = Cost.eval weights (cost_terms stats)] by
+    construction. *)
 
 exception Failure_ of string
 (** Unrecoverable reassembly failure (pin slot collision, unchainable

@@ -42,13 +42,23 @@ let request ?max_response_bytes addr (req : Protocol.Request.t) :
                   else Ok resp
               | Error f -> Error (Protocol.error_to_string f.Protocol.error)))
 
-let rewrite ?(deadline_us = 0) ?(placement = "optimized") ?(seed = 1) ?(id = 1L)
+let rewrite ?(deadline_us = 0) ?(placement = "optimized") ?placement_budget
+    ?placement_epsilon ?(placement_weights = "") ?(seed = 1) ?(id = 1L)
     ?max_response_bytes ~transforms addr data =
   request ?max_response_bytes addr
     {
       Protocol.Request.id;
       deadline_us;
-      op = Protocol.Rewrite { Protocol.transforms; placement; seed };
+      op =
+        Protocol.Rewrite
+          {
+            Protocol.transforms;
+            placement;
+            seed;
+            placement_budget;
+            placement_epsilon;
+            placement_weights;
+          };
       payload = data;
     }
 

@@ -17,6 +17,9 @@ val request :
 val rewrite :
   ?deadline_us:int ->
   ?placement:string ->
+  ?placement_budget:int ->
+  ?placement_epsilon:float ->
+  ?placement_weights:string ->
   ?seed:int ->
   ?id:int64 ->
   ?max_response_bytes:int ->
@@ -26,7 +29,8 @@ val rewrite :
   (Protocol.Response.t, string) result
 (** Defaults mirror [ziprtool rewrite]: optimized placement, seed 1 —
     so a served rewrite with the defaults is byte-comparable to the
-    offline CLI. *)
+    offline CLI.  The search knobs travel in the request config and are
+    validated server-side ([Bad_request] on a malformed spec). *)
 
 val ping :
   ?sleep_us:int ->

@@ -48,9 +48,24 @@ let header_bytes = 26
 
 let default_max_payload = 64 * 1024 * 1024
 
-type rewrite_config = { transforms : string list; placement : string; seed : int }
+type rewrite_config = {
+  transforms : string list;
+  placement : string;
+  seed : int;
+  placement_budget : int option;
+  placement_epsilon : float option;
+  placement_weights : string;  (* Cost.weights_of_spec syntax; "" means defaults *)
+}
 
-let default_rewrite_config = { transforms = [ "null" ]; placement = "optimized"; seed = 1 }
+let default_rewrite_config =
+  {
+    transforms = [ "null" ];
+    placement = "optimized";
+    seed = 1;
+    placement_budget = None;
+    placement_epsilon = None;
+    placement_weights = "";
+  }
 
 type op = Rewrite of rewrite_config | Ping of { sleep_us : int }
 
@@ -124,11 +139,26 @@ let domain_of_addr = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INE
 
 let op_byte = function Rewrite _ -> 1 | Ping _ -> 2
 
+(* Optional search knobs only appear when set, so configs from older
+   clients and to older servers stay byte-identical to v1; weight specs
+   contain ',' and '=' but no ';', and the parser splits each pair at
+   the FIRST '=', so the value round-trips unescaped. *)
 let config_of_op = function
   | Rewrite c ->
-      Printf.sprintf "transforms=%s;placement=%s;seed=%d"
-        (String.concat "," c.transforms)
-        c.placement c.seed
+      String.concat ""
+        [
+          Printf.sprintf "transforms=%s;placement=%s;seed=%d"
+            (String.concat "," c.transforms)
+            c.placement c.seed;
+          (match c.placement_budget with
+          | None -> ""
+          | Some b -> Printf.sprintf ";placement_budget=%d" b);
+          (match c.placement_epsilon with
+          | None -> ""
+          | Some e -> Printf.sprintf ";placement_epsilon=%.17g" e);
+          (if c.placement_weights = "" then ""
+           else ";placement_weights=" ^ c.placement_weights);
+        ]
   | Ping { sleep_us } -> Printf.sprintf "sleep_us=%d" sleep_us
 
 let split_pairs s =
@@ -164,6 +194,17 @@ let op_of_config opb config =
                     }
               | "placement" -> Ok { c with placement = v }
               | "seed" -> Result.map (fun seed -> { c with seed }) (int_field ~what:"seed" v)
+              | "placement_budget" ->
+                  Result.map
+                    (fun b -> { c with placement_budget = Some b })
+                    (int_field ~what:"placement_budget" v)
+              | "placement_epsilon" -> (
+                  match float_of_string_opt v with
+                  | Some e -> Ok { c with placement_epsilon = Some e }
+                  | None ->
+                      Error
+                        (Printf.sprintf "config: placement_epsilon is not a number: %S" v))
+              | "placement_weights" -> Ok { c with placement_weights = v }
               | _ -> Ok c))
         (Ok default_rewrite_config) (split_pairs config)
       |> Result.map (fun c -> Rewrite c)

@@ -20,10 +20,24 @@ val header_bytes : int
 
 val default_max_payload : int
 
-type rewrite_config = { transforms : string list; placement : string; seed : int }
+type rewrite_config = {
+  transforms : string list;
+  placement : string;
+  seed : int;
+  placement_budget : int option;
+      (** search-strategy candidate budget; [None] = server default *)
+  placement_epsilon : float option;
+      (** search-strategy diversity dial in [0,1]; [None] = server default *)
+  placement_weights : string;
+      (** cost-model weight spec ({!Zipr.Cost.weights_of_spec} syntax);
+          [""] = server default.  May contain [','] and ['='] but never
+          [';'] — pairs split at the first ['='] so it round-trips. *)
+}
 (** Transform names must not contain [','], [';'] or ['=']; registry
     names never do.  Unknown names are rejected by the server with
-    [Bad_request], not at codec level. *)
+    [Bad_request], not at codec level.  The optional search knobs are
+    encoded only when set, so v1 configs are unchanged byte-for-byte and
+    older servers ignore the new keys. *)
 
 val default_rewrite_config : rewrite_config
 

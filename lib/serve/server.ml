@@ -34,6 +34,11 @@ type config = {
   delta : bool;
   read_timeout_s : float;
   max_ping_sleep_us : int;
+  (* Server-side defaults for the search placement strategy; a request
+     that sets its own knobs wins. *)
+  placement_budget : int option;
+  placement_epsilon : float option;
+  placement_weights : string;
 }
 
 let default_config =
@@ -49,6 +54,9 @@ let default_config =
     delta = false;
     read_timeout_s = 10.0;
     max_ping_sleep_us = 30_000_000;
+    placement_budget = None;
+    placement_epsilon = None;
+    placement_weights = "";
   }
 
 type stats = {
@@ -251,10 +259,16 @@ let stats_text ~(rc : Protocol.rewrite_config) ~input_bytes ~output_bytes
       Printf.sprintf "det.dollops_split=%d\n" rs.Zipr.Reassemble.dollops_split;
       Printf.sprintf "det.input_bytes=%d\n" input_bytes;
       Printf.sprintf "det.output_bytes=%d\n" output_bytes;
+      Printf.sprintf "det.page_misses=%d\n" rs.Zipr.Reassemble.page_misses;
       Printf.sprintf "det.pins_colocated=%d\n" rs.Zipr.Reassemble.pins_colocated;
       Printf.sprintf "det.pins_total=%d\n" rs.Zipr.Reassemble.pins_total;
       Printf.sprintf "det.placement=%s\n" rc.placement;
+      Printf.sprintf "det.placement_cost=%.3f\n" rs.Zipr.Reassemble.placement_cost;
+      Printf.sprintf "det.search_accepted=%d\n" rs.Zipr.Reassemble.search_accepted;
+      Printf.sprintf "det.search_iterations=%d\n" rs.Zipr.Reassemble.search_iterations;
+      Printf.sprintf "det.search_rejected=%d\n" rs.Zipr.Reassemble.search_rejected;
       Printf.sprintf "det.seed=%d\n" rc.seed;
+      Printf.sprintf "det.sled_bytes=%d\n" rs.Zipr.Reassemble.sled_bytes;
       Printf.sprintf "det.sled_entries=%d\n" rs.Zipr.Reassemble.sled_entries;
       Printf.sprintf "det.sleds=%d\n" rs.Zipr.Reassemble.sleds;
       Printf.sprintf "det.transforms=%s\n" (String.concat "," rc.transforms);
@@ -272,9 +286,18 @@ let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
     response ~id Protocol.Bad_request
       ~message:("unknown transforms: " ^ String.concat ", " unknown)
   else
-    match Zipr.Placement.by_name rc.placement with
-    | None -> response ~id Protocol.Bad_request ~message:("unknown placement: " ^ rc.placement)
-    | Some placement -> (
+    let first_some a b = match a with Some _ -> a | None -> b in
+    match
+      Zipr.Placement.resolve
+        ?budget:(first_some rc.placement_budget t.cfg.placement_budget)
+        ?epsilon:(first_some rc.placement_epsilon t.cfg.placement_epsilon)
+        ~weights_spec:
+          (if rc.placement_weights <> "" then rc.placement_weights
+           else t.cfg.placement_weights)
+        rc.placement
+    with
+    | Error msg -> response ~id Protocol.Bad_request ~message:msg
+    | Ok placement -> (
         match Zelf.Binary.parse (Bytes.of_string payload) with
         | Error e ->
             response ~id Protocol.Bad_request

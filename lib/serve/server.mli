@@ -34,12 +34,20 @@ type config = {
           stitching) before falling back to the snapshot IR cache *)
   read_timeout_s : float;  (** per-connection socket read timeout *)
   max_ping_sleep_us : int;  (** cap on client-requested ping sleeps *)
+  placement_budget : int option;
+      (** default search-strategy candidate budget for requests that do
+          not set their own *)
+  placement_epsilon : float option;
+      (** default search-strategy diversity dial; a request's own knob
+          wins *)
+  placement_weights : string;
+      (** default cost-model weight spec ([""] = {!Zipr.Cost.default_weights}) *)
 }
 
 val default_config : config
 (** jobs 2, queue bound 32, 64 MiB max request, 256-entry / 64 MiB
     memory-only cache (disk layer unbounded when enabled), delta off,
-    10 s read timeout, 30 s ping-sleep cap. *)
+    10 s read timeout, 30 s ping-sleep cap, search knobs unset. *)
 
 type stats = {
   accepted : int;  (** request frames that decoded successfully *)

@@ -31,4 +31,5 @@ let () =
       ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("delta", Test_delta.suite);
+      ("placement-search", Test_placement_search.suite);
     ]

@@ -1,0 +1,249 @@
+(* The search placement strategy: cost-model plumbing (weight specs,
+   resolve validation), a QCheck property that search decisions always
+   land in free space and respect the split floor on randomized
+   free-map states, cost-accounting invariants (reported placement_cost
+   is Cost.eval over cost_terms; search stats live only under search),
+   a quality pin (search never costs more than optimized on the
+   workloads it was built to win), and corpus byte-identity across
+   worker counts. *)
+
+module Placement = Zipr.Placement
+module Cost = Zipr.Cost
+module Memspace = Zipr.Memspace
+module Rng = Zipr_util.Rng
+
+(* -- weight specs -- *)
+
+let test_weights_spec () =
+  (match Cost.weights_of_spec "" with
+  | Ok w -> Alcotest.(check bool) "empty spec is defaults" true (w = Cost.default_weights)
+  | Error e -> Alcotest.failf "empty spec rejected: %s" e);
+  (match Cost.weights_of_spec "chain=2.5,page=0" with
+  | Ok w ->
+      Alcotest.(check (float 0.0)) "chain set" 2.5 w.Cost.w_chain_hops;
+      Alcotest.(check (float 0.0)) "page set" 0.0 w.Cost.w_page_misses;
+      Alcotest.(check (float 0.0))
+        "omitted keys keep defaults" Cost.default_weights.Cost.w_sled_bytes w.Cost.w_sled_bytes
+  | Error e -> Alcotest.failf "partial spec rejected: %s" e);
+  (match Cost.weights_of_spec (Cost.to_spec Cost.default_weights) with
+  | Ok w -> Alcotest.(check bool) "to_spec round-trips" true (w = Cost.default_weights)
+  | Error e -> Alcotest.failf "canonical spec rejected: %s" e);
+  List.iter
+    (fun bad ->
+      match Cost.weights_of_spec bad with
+      | Ok _ -> Alcotest.failf "bad spec %S accepted" bad
+      | Error _ -> ())
+    [ "sled=-1"; "sled=banana"; "warp=9"; "sled" ]
+
+let test_resolve () =
+  (match Placement.resolve "warp" with
+  | Error msg ->
+      Alcotest.(check bool) "unknown-name error names the offender" true
+        (String.length msg > 0 && List.mem "search" Placement.names)
+  | Ok _ -> Alcotest.fail "unknown strategy resolved");
+  (match Placement.resolve ~budget:0 "search" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "budget 0 accepted");
+  (match Placement.resolve ~epsilon:1.5 "search" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "epsilon 1.5 accepted");
+  (match Placement.resolve ~weights_spec:"sled=x" "search" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage weights accepted");
+  (* Knobs are ignored (not rejected) for non-search strategies. *)
+  (match Placement.resolve ~budget:0 ~epsilon:7.0 "optimized" with
+  | Ok s -> Alcotest.(check string) "name" "optimized" s.Placement.name
+  | Error e -> Alcotest.failf "optimized with junk knobs rejected: %s" e);
+  match (Placement.by_name "search", Placement.resolve "search") with
+  | Some s, Ok r ->
+      Alcotest.(check string) "by_name" "search" s.Placement.name;
+      Alcotest.(check string) "resolve" "search" r.Placement.name
+  | _ -> Alcotest.fail "search not resolvable"
+
+(* -- QCheck: decisions land in free space, splits respect min_prefix -- *)
+
+(* A randomized free map: a text span shattered by random reservations,
+   under a variable pinned-page predicate — the state space the search
+   walks in real runs.  The property: whatever the search decides, the
+   committed range was entirely free before the decision and is entirely
+   reserved after it, and a split's capacity can hold the minimum
+   prefix.  This is the safety half of the strategy contract (the
+   quality half is benched, not proven). *)
+let gen_case =
+  QCheck.Gen.(
+    let* seed = 0 -- 1_000_000 in
+    let* span_pages = 1 -- 8 in
+    let* n_holes = 0 -- 40 in
+    let* size = 4 -- 300 in
+    let* min_prefix = 5 -- 30 in
+    let* with_referent = bool in
+    return (seed, span_pages, n_holes, size, min min_prefix size, with_referent))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, pages, holes, size, mp, r) ->
+      Printf.sprintf "{seed=%d pages=%d holes=%d size=%d min_prefix=%d referent=%b}" seed
+        pages holes size mp r)
+    gen_case
+
+let prop_search_decisions_sound =
+  QCheck.Test.make ~count:300 ~name:"search decisions land in free space, splits hold min_prefix"
+    arb_case
+    (fun (seed, span_pages, n_holes, size, min_prefix, with_referent) ->
+      let text_lo = 0x10000 in
+      let text_hi = text_lo + (span_pages * 4096) in
+      let space =
+        Memspace.create ~text_lo ~text_hi ~overflow_base:(text_hi + 8192) ()
+      in
+      let rng = Rng.create seed in
+      for _ = 1 to n_holes do
+        let lo = text_lo + Rng.int rng (text_hi - text_lo - 16) in
+        let len = 1 + Rng.int rng 256 in
+        Memspace.reserve space ~lo ~hi:(min text_hi (lo + len))
+      done;
+      let pin_mask = Rng.int rng 256 in
+      let ctx =
+        {
+          Placement.space;
+          rng;
+          pinned_page = (fun p -> (p land 7) land pin_mask <> 0);
+          tally = Cost.make_tally ();
+        }
+      in
+      let referent =
+        if with_referent then Some (text_lo + Rng.int rng (text_hi - text_lo)) else None
+      in
+      let req = { Placement.size; referent; min_prefix } in
+      let strategy = Placement.search () in
+      let check_commit addr len =
+        (* take_at validated freeness; after the decision the range must
+           be reserved. *)
+        if Memspace.is_free space ~lo:addr ~hi:(addr + len) then
+          QCheck.Test.fail_reportf "committed range [0x%x,+%d) still free" addr len;
+        true
+      in
+      match strategy.Placement.decide ctx req with
+      | Placement.Place_at addr -> check_commit addr size
+      | Placement.Place_split { addr; capacity } ->
+          if capacity < min_prefix then
+            QCheck.Test.fail_reportf "split capacity %d below min_prefix %d" capacity
+              min_prefix;
+          if capacity >= size then
+            QCheck.Test.fail_reportf "split capacity %d not smaller than size %d" capacity
+              size;
+          check_commit addr capacity)
+
+(* -- cost accounting invariants -- *)
+
+let rewrite strategy binary =
+  let config = { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy } in
+  Zipr.Pipeline.rewrite ~config ~transforms:[ Transforms.Null.transform ] binary
+
+let test_cost_matches_terms () =
+  let w = Workloads.Synthetic.libc_like ~tests:1 () in
+  List.iter
+    (fun name ->
+      let strategy = Option.get (Placement.by_name name) in
+      let r = rewrite strategy w.Workloads.Synthetic.binary in
+      let s = r.Zipr.Pipeline.stats in
+      let weights =
+        Option.value strategy.Placement.weights ~default:Cost.default_weights
+      in
+      Alcotest.(check (float 1e-6))
+        (name ^ ": placement_cost = eval weights (cost_terms stats)")
+        (Cost.eval weights (Zipr.Reassemble.cost_terms s))
+        s.Zipr.Reassemble.placement_cost;
+      Alcotest.(check string) (name ^ ": strategy recorded") name s.Zipr.Reassemble.strategy)
+    [ "naive"; "optimized"; "random"; "search" ]
+
+let test_search_stats_exclusive () =
+  let w = Workloads.Synthetic.frag_like ~tests:1 () in
+  let opt = (rewrite Placement.optimized w.Workloads.Synthetic.binary).Zipr.Pipeline.stats in
+  let sea = (rewrite (Placement.search ()) w.Workloads.Synthetic.binary).Zipr.Pipeline.stats in
+  Alcotest.(check int) "optimized: no search iterations" 0 opt.Zipr.Reassemble.search_iterations;
+  Alcotest.(check int) "optimized: no accepted" 0 opt.Zipr.Reassemble.search_accepted;
+  Alcotest.(check bool) "search: iterations counted" true
+    (sea.Zipr.Reassemble.search_iterations > 0);
+  Alcotest.(check bool) "search: accepted+rejected <= iterations" true
+    (sea.Zipr.Reassemble.search_accepted + sea.Zipr.Reassemble.search_rejected
+    <= sea.Zipr.Reassemble.search_iterations)
+
+(* -- quality: search never loses to optimized where it matters -- *)
+
+let test_search_beats_optimized () =
+  List.iter
+    (fun (label, (w : Workloads.Synthetic.spec)) ->
+      let opt = rewrite Placement.optimized w.Workloads.Synthetic.binary in
+      let sea = rewrite (Placement.search ()) w.Workloads.Synthetic.binary in
+      let size r = Zelf.Binary.file_size r.Zipr.Pipeline.rewritten in
+      Alcotest.(check bool)
+        (label ^ ": search output no larger than optimized")
+        true
+        (size sea <= size opt);
+      Alcotest.(check bool)
+        (label ^ ": search cost no worse than optimized")
+        true
+        (sea.Zipr.Pipeline.stats.Zipr.Reassemble.placement_cost
+        <= opt.Zipr.Pipeline.stats.Zipr.Reassemble.placement_cost))
+    [
+      ("libc-like", Workloads.Synthetic.libc_like ~tests:1 ());
+      ("frag-like", Workloads.Synthetic.frag_like ~tests:1 ());
+    ]
+
+(* -- corpus determinism across worker counts -- *)
+
+let test_jobs_identity () =
+  let items =
+    List.map
+      (fun (it : Workloads.Scale.item) ->
+        {
+          Parallel.Corpus.name = it.Workloads.Scale.name;
+          data = Zelf.Binary.serialize it.Workloads.Scale.binary;
+        })
+      (Workloads.Scale.corpus ~seed:9 ~count:12 ())
+  in
+  let config =
+    { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = Placement.search () }
+  in
+  let outputs jobs =
+    let r = Parallel.Corpus.rewrite_all ~jobs ~config ~corpus_seed:3 items in
+    List.map
+      (fun (e : Parallel.Corpus.entry) ->
+        match e.Parallel.Corpus.result with
+        | Ok o -> Digest.bytes o.Parallel.Corpus.rewritten
+        | Error m -> failwith m)
+      r.Parallel.Corpus.entries
+  in
+  Alcotest.(check bool) "search corpus byte-identical at jobs 1 vs 4" true
+    (outputs 1 = outputs 4)
+
+(* -- merge keeps the strategy label honest -- *)
+
+let test_merge_strategy_label () =
+  let a = { Zipr.Reassemble.zero_stats with Zipr.Reassemble.strategy = "search" } in
+  let b = { Zipr.Reassemble.zero_stats with Zipr.Reassemble.strategy = "search" } in
+  let c = { Zipr.Reassemble.zero_stats with Zipr.Reassemble.strategy = "optimized" } in
+  Alcotest.(check string) "agreeing names survive" "search"
+    (Zipr.Reassemble.merge_stats a b).Zipr.Reassemble.strategy;
+  Alcotest.(check string) "identity on zero" "search"
+    (Zipr.Reassemble.merge_stats Zipr.Reassemble.zero_stats a).Zipr.Reassemble.strategy;
+  Alcotest.(check string) "disagreement is mixed" "mixed"
+    (Zipr.Reassemble.merge_stats a c).Zipr.Reassemble.strategy
+
+let suite =
+  [
+    Alcotest.test_case "weight specs parse, round-trip and reject garbage" `Quick
+      test_weights_spec;
+    Alcotest.test_case "resolve validates names and knobs" `Quick test_resolve;
+    QCheck_alcotest.to_alcotest prop_search_decisions_sound;
+    Alcotest.test_case "placement_cost is Cost.eval over cost_terms" `Quick
+      test_cost_matches_terms;
+    Alcotest.test_case "search counters live only under search" `Quick
+      test_search_stats_exclusive;
+    Alcotest.test_case "search never loses to optimized (libc, frag)" `Quick
+      test_search_beats_optimized;
+    Alcotest.test_case "corpus outputs byte-identical at jobs 1 vs 4" `Quick
+      test_jobs_identity;
+    Alcotest.test_case "merged stats keep the strategy label honest" `Quick
+      test_merge_strategy_label;
+  ]

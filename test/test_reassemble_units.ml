@@ -237,7 +237,12 @@ let test_one_layout_per_dollop_and_determinism () =
       Alcotest.(check string) (name ^ ": rewrite is deterministic")
         (Digest.to_hex (Digest.bytes (Zelf.Binary.serialize r1.Zipr.Pipeline.rewritten)))
         (Digest.to_hex (Digest.bytes (Zelf.Binary.serialize r2.Zipr.Pipeline.rewritten))))
-    [ Zipr.Placement.naive; Zipr.Placement.optimized; Zipr.Placement.random ]
+    [
+      Zipr.Placement.naive;
+      Zipr.Placement.optimized;
+      Zipr.Placement.random;
+      Zipr.Placement.search ();
+    ]
 
 (* The drain-cache must be live, not vestigial: on the fragmentation-heavy
    workload the optimized strategy splits dollops to fill fragments, and

@@ -17,20 +17,29 @@ let sample_requests : P.Request.t list =
     {
       P.Request.id = 1L;
       deadline_us = 0;
-      op = P.Rewrite { P.transforms = [ "null" ]; placement = "optimized"; seed = 1 };
+      op = P.Rewrite { P.default_rewrite_config with P.transforms = [ "null" ] };
       payload = "hello";
     };
     {
       P.Request.id = -7L;
       deadline_us = 250_000;
-      op = P.Rewrite { P.transforms = [ "cfi"; "stack-pad" ]; placement = "random"; seed = 42 };
+      op =
+        P.Rewrite
+          {
+            P.transforms = [ "cfi"; "stack-pad" ];
+            placement = "random";
+            seed = 42;
+            placement_budget = Some 8;
+            placement_epsilon = Some 0.25;
+            placement_weights = "sled=2,chain=8";
+          };
       payload = String.init 257 (fun i -> Char.chr (i mod 256));
     };
     { P.Request.id = Int64.max_int; deadline_us = 1; op = P.Ping { sleep_us = 0 }; payload = "" };
     {
       P.Request.id = 0L;
       deadline_us = 0;
-      op = P.Rewrite { P.transforms = []; placement = "naive"; seed = 0 };
+      op = P.Rewrite { P.default_rewrite_config with P.transforms = []; placement = "naive"; seed = 0 };
       payload = "\x00\x00\xff";
     };
   ]
@@ -89,12 +98,19 @@ let test_response_roundtrip () =
 let gen_request =
   let open QCheck.Gen in
   let name = oneofl [ "null"; "cfi"; "canary"; "stack-pad"; "shadow-stack"; "x" ] in
+  let knobs =
+    triple
+      (oneofl [ None; Some 1; Some 16; Some 4096 ])
+      (oneofl [ None; Some 0.0; Some 0.25; Some 0.125; Some 1.0 ])
+      (oneofl [ ""; "sled=2"; "sled=1,chain=16,relax=3,overflow=1,page=64" ])
+  in
   let rc =
     map3
-      (fun transforms placement seed -> { P.transforms; placement; seed })
+      (fun transforms placement (seed, (placement_budget, placement_epsilon, placement_weights)) ->
+        { P.transforms; placement; seed; placement_budget; placement_epsilon; placement_weights })
       (list_size (0 -- 4) name)
-      (oneofl [ "optimized"; "naive"; "random"; "p0" ])
-      (0 -- 100_000)
+      (oneofl [ "optimized"; "naive"; "random"; "search"; "p0" ])
+      (pair (0 -- 100_000) knobs)
   in
   let op =
     oneof
