@@ -189,13 +189,17 @@ let e1 () =
 (* [--json] makes throughput also write BENCH_throughput.json (per-workload
    timings, dollop counts and allocator traffic) for CI trend tracking;
    [--small] drops the 5x jvm-like workload so the smoke run stays cheap;
-   [--jobs N] sets the worker-domain count for the corpus section;
+   [--jobs N] sets the worker-domain count for the corpus section (0 =
+   auto-detect the core count);
+   [--ir-jobs N] sets the intra-binary IR worker count per rewrite (0 =
+   auto); output bytes are identical at any value;
    [--trace] installs an obs sink for the whole run — the aggregated
    per-phase table prints at the end, and with [--json] the report embeds
    into BENCH_throughput.json under the "obs" key. *)
 let json_mode = ref false
 let small_mode = ref false
 let jobs = ref 1
+let ir_jobs = ref 1
 let clients = ref 4
 let trace_mode = ref false
 
@@ -210,8 +214,32 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* The corpus section of the throughput experiment: the same workloads at
-   several generation seeds, rewritten through [Parallel.Corpus].
+(* Host facts embedded in every BENCH_*.json: timing figures are only
+   comparable between runs on a known substrate, so each report records
+   the core count, compiler and corpus size it was measured with. *)
+let host_json ~corpus_size =
+  Printf.sprintf
+    "\"host\": { \"cores\": %d, \"ocaml_version\": \"%s\", \"corpus_size\": %d }"
+    (Domain.recommended_domain_count ())
+    (json_escape Sys.ocaml_version)
+    corpus_size
+
+(* Distribution summary (nearest-rank percentiles) — the migrated
+   benches report p50/p90/max rather than bare means. *)
+let dist_json xs =
+  Printf.sprintf "{ \"p50\": %.4f, \"p90\": %.4f, \"max\": %.4f }"
+    (Stats.percentile xs 50.0) (Stats.percentile xs 90.0) (Stats.percentile xs 100.0)
+
+(* The corpus section of the throughput experiment: the scale-out corpus
+   (the same deterministic class mix the placement bench draws from, at
+   least 120 members) rewritten through [Parallel.Corpus].
+
+   A serial admission pass runs first: the few corpus members the
+   pipeline itself cannot rewrite (a pin slot colliding with a fixed
+   data island — a strategy- and config-independent verdict, see the
+   placement bench) are excluded from every measured pass and accounted
+   for in the JSON; more than 2% failing means the generator regressed,
+   so the run aborts.
 
    [speedup_vs_serial] is the {e schedule} speedup: the serial run's
    wall-clock divided by the parallel schedule's critical path, where the
@@ -222,39 +250,45 @@ let json_escape s =
    raw wall-clock measures the scheduler, not the rewriter, so we report
    both and label them. *)
 let corpus_section () =
-  let open Workloads.Synthetic in
-  let gens =
-    if !small_mode then
-      [ (fun ~seed -> libc_like ~seed ~tests:0 ()); (fun ~seed -> apache_like ~seed ~tests:0 ()) ]
-    else
-      [
-        (fun ~seed -> libc_like ~seed ~tests:0 ());
-        (fun ~seed -> jvm_like ~seed ~tests:0 ());
-        (fun ~seed -> apache_like ~seed ~tests:0 ());
-        (fun ~seed -> apache_like ~pic:true ~seed ~tests:0 ());
-        (fun ~seed -> frag_like ~seed ~tests:0 ());
-      ]
-  in
-  let seeds = [ 11; 12; 13 ] in
-  let items =
-    List.concat_map
-      (fun gen ->
-        List.map
-          (fun seed ->
-            let w = gen ~seed in
-            {
-              Parallel.Corpus.name = Printf.sprintf "%s#%d" w.name seed;
-              data = Zelf.Binary.serialize w.binary;
-            })
-          seeds)
-      gens
+  let count = if !small_mode then 120 else 360 in
+  let corpus = Workloads.Scale.corpus ~seed:9 ~count () in
+  let all_items =
+    List.map
+      (fun (it : Workloads.Scale.item) ->
+        {
+          Parallel.Corpus.name = it.Workloads.Scale.name;
+          data = Zelf.Binary.serialize it.Workloads.Scale.binary;
+        })
+      corpus
   in
   let corpus_seed = 7 in
   let transforms = [ Transforms.Null.transform ] in
-  let serial = Parallel.Corpus.rewrite_all ~jobs:1 ~transforms ~corpus_seed items in
+  let config = { Zipr.Pipeline.default_config with Zipr.Pipeline.ir_jobs = !ir_jobs } in
+  let jobs_resolved = Zipr.Pipeline.resolve_jobs !jobs in
+  let probe = Parallel.Corpus.rewrite_all ~jobs:1 ~config ~transforms ~corpus_seed all_items in
+  let excluded =
+    List.filter_map
+      (fun (e : Parallel.Corpus.entry) ->
+        match e.Parallel.Corpus.result with
+        | Error m -> Some (e.Parallel.Corpus.name, m)
+        | Ok _ -> None)
+      probe.Parallel.Corpus.entries
+  in
+  List.iter (fun (n, m) -> say "excluded (unsupported) %s: %s" n m) excluded;
+  if 100 * List.length excluded > 2 * count then
+    failwith
+      (Printf.sprintf "throughput: %d/%d unsupported corpus members exceeds the 2%% tolerance"
+         (List.length excluded) count);
+  let items =
+    List.filter
+      (fun (it : Parallel.Corpus.item) ->
+        not (List.mem_assoc it.Parallel.Corpus.name excluded))
+      all_items
+  in
+  let serial = Parallel.Corpus.rewrite_all ~jobs:1 ~config ~transforms ~corpus_seed items in
   let par =
-    if !jobs <= 1 then serial
-    else Parallel.Corpus.rewrite_all ~jobs:!jobs ~transforms ~corpus_seed items
+    if jobs_resolved <= 1 then serial
+    else Parallel.Corpus.rewrite_all ~jobs:jobs_resolved ~config ~transforms ~corpus_seed items
   in
   (* Critical path of the parallel schedule, charged at serial prices. *)
   let serial_elapsed =
@@ -270,7 +304,7 @@ let corpus_section () =
     par.entries;
   let critical_path_s = Hashtbl.fold (fun _ s acc -> max s acc) per_shard 0.0 in
   let speedup =
-    if !jobs <= 1 || critical_path_s <= 0.0 then 1.0
+    if jobs_resolved <= 1 || critical_path_s <= 0.0 then 1.0
     else serial.wall_clock_s /. critical_path_s
   in
   let identical =
@@ -282,8 +316,23 @@ let corpus_section () =
         | _ -> false)
       serial.entries par.entries
   in
-  say "-- corpus: %d binaries, %d worker domain(s) --" (List.length items) !jobs;
+  say "-- corpus: %d binaries (%d generated, %d unsupported), %d worker domain(s) --"
+    (List.length items) count (List.length excluded) jobs_resolved;
   Format.printf "%a@." Parallel.Corpus.pp_report par;
+  let elapsed_ms =
+    List.map (fun (e : Parallel.Corpus.entry) -> e.Parallel.Corpus.elapsed_s *. 1e3)
+      serial.Parallel.Corpus.entries
+  in
+  let queue_wait_ms =
+    List.map (fun (e : Parallel.Corpus.entry) -> e.Parallel.Corpus.queue_wait_s *. 1e3)
+      par.Parallel.Corpus.entries
+  in
+  say "per-item elapsed      p50 %.3f ms  p90 %.3f ms  max %.3f ms"
+    (Stats.percentile elapsed_ms 50.0) (Stats.percentile elapsed_ms 90.0)
+    (Stats.percentile elapsed_ms 100.0);
+  say "queue wait            p50 %.3f ms  p90 %.3f ms  max %.3f ms"
+    (Stats.percentile queue_wait_ms 50.0) (Stats.percentile queue_wait_ms 90.0)
+    (Stats.percentile queue_wait_ms 100.0);
   say "serial wall clock     %10.4f s" serial.wall_clock_s;
   say "parallel wall clock   %10.4f s  (measured on this machine's cores)"
     par.Parallel.Corpus.wall_clock_s;
@@ -297,8 +346,11 @@ let corpus_section () =
      configured job count must then hit on every item and still produce
      byte-identical outputs. *)
   let ir_cache = Irdb.Cache.create ~capacity:(2 * List.length items) () in
-  let cold = Parallel.Corpus.rewrite_all ~jobs:1 ~transforms ~ir_cache ~corpus_seed items in
-  let warm = Parallel.Corpus.rewrite_all ~jobs:!jobs ~transforms ~ir_cache ~corpus_seed items in
+  let cold = Parallel.Corpus.rewrite_all ~jobs:1 ~config ~transforms ~ir_cache ~corpus_seed items in
+  let warm =
+    Parallel.Corpus.rewrite_all ~jobs:jobs_resolved ~config ~transforms ~ir_cache ~corpus_seed
+      items
+  in
   let cache_identical =
     List.for_all2
       (fun (a : Parallel.Corpus.entry) (b : Parallel.Corpus.entry) ->
@@ -311,12 +363,24 @@ let corpus_section () =
   say "ir cache cold         %10.4f s IR, %d misses" cold.merged_timing.ir_construction_s
     cold.merged_cache.Zipr.Pipeline.ir_cache_misses;
   say "ir cache warm         %10.4f s IR, %d hits (at --jobs %d)"
-    warm.merged_timing.ir_construction_s warm.merged_cache.Zipr.Pipeline.ir_cache_hits !jobs;
+    warm.merged_timing.ir_construction_s warm.merged_cache.Zipr.Pipeline.ir_cache_hits
+    jobs_resolved;
   say "warm outputs          %s" (if cache_identical then "byte-identical" else "DIVERGED");
   if warm.merged_cache.Zipr.Pipeline.ir_cache_hits <> List.length items then
     failwith "warm cache run did not hit on every corpus item";
   if not cache_identical then failwith "warm cache outputs diverged from uncached run";
-  (serial, par, cold, warm, critical_path_s, speedup, List.length items)
+  ( serial,
+    par,
+    cold,
+    warm,
+    critical_path_s,
+    speedup,
+    List.length items,
+    count,
+    List.map fst excluded,
+    jobs_resolved,
+    elapsed_ms,
+    queue_wait_ms )
 
 let throughput () =
   say "== Throughput: rewriter processing time vs binary size (§IV-A) ==";
@@ -343,7 +407,20 @@ let throughput () =
         (w.Workloads.Synthetic.name, text_bytes, t, s))
       specs
   in
-  let serial, par, cold, warm, critical_path_s, speedup, n_items = corpus_section () in
+  let ( serial,
+        par,
+        cold,
+        warm,
+        critical_path_s,
+        speedup,
+        n_items,
+        n_generated,
+        excluded_names,
+        jobs_resolved,
+        elapsed_ms,
+        queue_wait_ms ) =
+    corpus_section ()
+  in
   if !json_mode then begin
     let oc = open_out "BENCH_throughput.json" in
     let field fmt = Printf.fprintf oc fmt in
@@ -364,7 +441,15 @@ let throughput () =
           s.Zipr.Reassemble.alloc_hits)
       rows;
     field "\n  ],\n";
-    field "  \"jobs\": %d,\n  \"corpus_items\": %d,\n" !jobs n_items;
+    field "  \"jobs\": %d,\n  \"ir_jobs\": %d,\n  \"corpus_items\": %d,\n" jobs_resolved
+      (Zipr.Pipeline.resolve_jobs !ir_jobs)
+      n_items;
+    field "  \"corpus_generated\": %d,\n  \"corpus_excluded\": [%s],\n" n_generated
+      (String.concat ", "
+         (List.map (fun n -> Printf.sprintf "\"%s\"" (json_escape n)) excluded_names));
+    field "  \"elapsed_ms\": %s,\n  \"queue_wait_ms\": %s,\n" (dist_json elapsed_ms)
+      (dist_json queue_wait_ms);
+    field "  %s,\n" (host_json ~corpus_size:n_generated);
     field "  \"serial_wall_clock_s\": %.6f,\n  \"wall_clock_s\": %.6f,\n"
       serial.Parallel.Corpus.wall_clock_s par.Parallel.Corpus.wall_clock_s;
     field "  \"critical_path_s\": %.6f,\n  \"speedup_vs_serial\": %.3f,\n" critical_path_s
@@ -378,6 +463,9 @@ let throughput () =
       cold.Parallel.Corpus.merged_timing.Zipr.Pipeline.ir_construction_s
       warm.Parallel.Corpus.merged_timing.Zipr.Pipeline.ir_construction_s;
     let ms = par.Parallel.Corpus.merged_stats in
+    field "  \"par_builds\": %d,\n  \"par_fallbacks\": %d,\n"
+      par.Parallel.Corpus.merged_cache.Zipr.Pipeline.par_builds
+      par.Parallel.Corpus.merged_cache.Zipr.Pipeline.par_fallbacks;
     field "  \"corpus\": {\n    \"ok\": %d, \"failed\": %d,\n" par.Parallel.Corpus.ok
       par.Parallel.Corpus.failed;
     field "    \"queue_wait_total_s\": %.6f, \"queue_wait_max_s\": %.6f,\n"
@@ -402,7 +490,7 @@ let throughput () =
     field "\n}\n";
     close_out oc;
     say "wrote BENCH_throughput.json (%d workloads, corpus of %d at --jobs %d)"
-      (List.length rows) n_items !jobs
+      (List.length rows) n_items jobs_resolved
   end;
   say "(paper: libc 1.6MB in under 6 min; libjvm 12MB in under 58 min; Apache 624K in 71 s —";
   say " i.e. roughly linear in binary size, which the rows above should reproduce in shape)"
@@ -672,7 +760,8 @@ let serve_bench () =
   let config =
     {
       Serve.Server.default_config with
-      Serve.Server.jobs = max 1 !jobs;
+      Serve.Server.jobs = Zipr.Pipeline.resolve_jobs !jobs;
+      ir_jobs = !ir_jobs;
       queue_bound = max 4 (2 * !clients);
       delta = true;
     }
@@ -683,22 +772,27 @@ let serve_bench () =
   in
   let addr = Serve.Server.address server in
   let server_domain = Domain.spawn (fun () -> Serve.Server.serve server) in
-  (* The request mix: distinct binaries (cache misses on first touch)
-     revisited by every client (hits thereafter). *)
+  (* The request mix: the scale-out corpus — distinct binaries (cache
+     misses on first touch) revisited by every client (hits thereafter).
+     The handful of members the pipeline cannot rewrite (pin slot vs
+     fixed island, see the placement bench) are filtered out offline so
+     every served request is expected to succeed. *)
+  let corpus_generated = 128 in
+  let corpus = Workloads.Scale.corpus ~seed:17 ~count:corpus_generated () in
   let inputs =
-    List.concat_map
-      (fun seed ->
-        [
-          Bytes.unsafe_to_string
-            (Zelf.Binary.serialize
-               (Workloads.Synthetic.libc_like ~seed ~tests:0 ()).Workloads.Synthetic.binary);
-          Bytes.unsafe_to_string
-            (Zelf.Binary.serialize
-               (Workloads.Synthetic.frag_like ~seed ~tests:0 ()).Workloads.Synthetic.binary);
-        ])
-      [ 11; 12; 13 ]
+    List.filter_map
+      (fun (it : Workloads.Scale.item) ->
+        let binary = it.Workloads.Scale.binary in
+        match Zipr.Pipeline.try_rewrite ~transforms:[ Transforms.Null.transform ] binary with
+        | Ok _ -> Some (Bytes.unsafe_to_string (Zelf.Binary.serialize binary))
+        | Error _ -> None)
+      corpus
     |> Array.of_list
   in
+  if Array.length inputs < 120 then
+    failwith
+      (Printf.sprintf "serve bench: only %d/%d supported corpus members (need >= 120)"
+         (Array.length inputs) corpus_generated);
   let per_client = if !small_mode then 8 else 24 in
   (* Warm the IR cache so the measured section exercises the steady
      state; the misses recorded below are these first touches. *)
@@ -748,14 +842,18 @@ let serve_bench () =
     if cache_lookups = 0 then 0.0
     else float_of_int s.Serve.Server.cache_hits /. float_of_int cache_lookups
   in
-  let p50 = Stats.percentile lats 50.0 and p99 = Stats.percentile lats 99.0 in
-  let lmean = Stats.mean lats in
+  let p50 = Stats.percentile lats 50.0
+  and p90 = Stats.percentile lats 90.0
+  and p99 = Stats.percentile lats 99.0 in
   let lmax = List.fold_left max 0.0 lats in
+  say "corpus                %10d  members (%d generated)" (Array.length inputs)
+    corpus_generated;
   say "requests              %10d  (%d ok, %d overloaded, %d errors)" total ok rejects errors;
   say "wall clock            %10.4f s  (%.1f req/s)" wall (float_of_int ok /. wall);
   say "latency p50           %10.2f ms" p50;
+  say "latency p90           %10.2f ms" p90;
   say "latency p99           %10.2f ms" p99;
-  say "latency mean/max      %10.2f / %.2f ms" lmean lmax;
+  say "latency max           %10.2f ms" lmax;
   say "ir cache              %10d hits / %d misses (%.0f%% hit rate)" s.Serve.Server.cache_hits
     s.Serve.Server.cache_misses (hit_rate *. 100.0);
   say "routine cache         %10d hits / %d misses (%d delta builds)"
@@ -769,15 +867,20 @@ let serve_bench () =
     \  \"experiment\": \"serve\",\n\
     \  \"clients\": %d,\n\
     \  \"jobs\": %d,\n\
+    \  \"ir_jobs\": %d,\n\
+    \  \"corpus_generated\": %d,\n\
+    \  \"corpus_members\": %d,\n\
+    \  %s,\n\
     \  \"requests_total\": %d,\n\
     \  \"ok\": %d,\n\
     \  \"overloaded_rejects\": %d,\n\
     \  \"errors\": %d,\n\
     \  \"wall_clock_s\": %.6f,\n\
     \  \"requests_per_s\": %.3f,\n\
+    \  \"latency_ms\": %s,\n\
     \  \"latency_p50_ms\": %.3f,\n\
+    \  \"latency_p90_ms\": %.3f,\n\
     \  \"latency_p99_ms\": %.3f,\n\
-    \  \"latency_mean_ms\": %.3f,\n\
     \  \"latency_max_ms\": %.3f,\n\
     \  \"cache_hits\": %d,\n\
     \  \"cache_misses\": %d,\n\
@@ -792,10 +895,14 @@ let serve_bench () =
     \  \"queue_bound\": %d,\n\
     \  \"queue_high_water\": %d\n\
      }\n"
-    !clients config.Serve.Server.jobs total ok rejects errors wall
+    !clients config.Serve.Server.jobs
+    (Zipr.Pipeline.resolve_jobs config.Serve.Server.ir_jobs)
+    corpus_generated (Array.length inputs)
+    (host_json ~corpus_size:(Array.length inputs))
+    total ok rejects errors wall
     (float_of_int ok /. wall)
-    p50 p99 lmean lmax s.Serve.Server.cache_hits s.Serve.Server.cache_misses hit_rate
-    s.Serve.Server.cache_resident_bytes s.Serve.Server.cache_evictions
+    (dist_json lats) p50 p90 p99 lmax s.Serve.Server.cache_hits s.Serve.Server.cache_misses
+    hit_rate s.Serve.Server.cache_resident_bytes s.Serve.Server.cache_evictions
     s.Serve.Server.routine_hits s.Serve.Server.routine_misses s.Serve.Server.delta_builds
     s.Serve.Server.routine_fragments s.Serve.Server.routine_fragment_bytes
     s.Serve.Server.queue_bound s.Serve.Server.queue_high_water;
@@ -909,14 +1016,16 @@ let delta_bench () =
     \  \"byte_identical_warm\": %b,\n\
     \  \"byte_identical_jobs4\": %b,\n\
     \  \"fragment_entries\": %d,\n\
-    \  \"fragment_bytes\": %d\n\
+    \  \"fragment_bytes\": %d,\n\
+    \  %s\n\
      }\n"
     versions n_routines cold_ir delta_ir warm_ir delta_speedup warm_speedup
     dc.Zipr.Pipeline.routine_hits dc.Zipr.Pipeline.routine_misses
     dc.Zipr.Pipeline.delta_builds (rate dc) wc.Zipr.Pipeline.routine_hits (rate wc)
     id_delta id_warm id_jobs4
     (Zipr.Delta.fragment_entries routine_cache)
-    (Zipr.Delta.fragment_bytes routine_cache);
+    (Zipr.Delta.fragment_bytes routine_cache)
+    (host_json ~corpus_size:versions);
   close_out oc;
   say "wrote BENCH_delta.json (%d versions)" versions;
   if not (id_delta && id_warm && id_jobs4) then
@@ -1154,14 +1263,16 @@ let placement_bench () =
     \  \"tradeoff\": [\n\
      %s\n\
     \  ],\n\
-    \  \"search_gate\": { \"relative_reduction\": %.4f, \"floor\": 0.05, \"pass\": %b }\n\
+    \  \"search_gate\": { \"relative_reduction\": %.4f, \"floor\": 0.05, \"pass\": %b },\n\
+    \  %s\n\
      }\n"
     count failed
     (String.concat ", "
        (List.map (fun (_, name, _) -> Printf.sprintf "\"%s\"" name) excluded))
     corpus_seed
     (String.concat ",\n" (List.map strategy_json dists))
-    id_jobs tradeoff_json reduction gate_pass;
+    id_jobs tradeoff_json reduction gate_pass
+    (host_json ~corpus_size:count);
   close_out oc;
   say "wrote BENCH_placement.json (%d binaries)" count;
   if not id_jobs then failwith "placement bench: search outputs diverged across --jobs";
@@ -1170,6 +1281,116 @@ let placement_bench () =
       (Printf.sprintf
          "placement bench: search cut mean overhead by only %.1f%% (floor 5%%)"
          (100.0 *. reduction))
+
+(* ------------------------------------------------------------------ *)
+(* Irpar: intra-binary parallel IR construction                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The gate for domain-parallel chunked IR construction: each member of
+   the large class (>= 256 KiB of fully recursively-reachable text, the
+   regime where the chunk fan-out pays) is rewritten with the serial IR
+   builder and with 4 IR worker domains, and the run {e fails} unless
+
+     - the summed IR-phase time speeds up by at least 2x,
+     - every parallel build engaged (zero stitch-validation fallbacks on
+       this class — its members are constructed to validate), and
+     - the outputs are byte-identical.
+
+   Each mode takes the best of several repetitions: IR construction is
+   the measured phase and the minimum is the least noisy estimator on a
+   shared CI box.  Always writes BENCH_irpar.json; the gates fire after
+   the report is written so the artifact survives a failing run. *)
+let irpar_bench () =
+  say "== Irpar: intra-binary parallel IR construction (large class, --ir-jobs 4) ==";
+  let members = if !small_mode then 2 else 4 in
+  let reps = if !small_mode then 3 else 5 in
+  let corpus = Workloads.Scale.large_corpus ~seed:1 ~count:members () in
+  let transforms = [ Transforms.Null.transform ] in
+  let rewrite ~ir_jobs binary =
+    let config = { Zipr.Pipeline.default_config with Zipr.Pipeline.ir_jobs } in
+    match Zipr.Pipeline.try_rewrite ~config ~transforms binary with
+    | Ok r -> r
+    | Error m -> failwith ("irpar bench: rewrite failed: " ^ m)
+  in
+  let best ~ir_jobs binary =
+    let out = ref Bytes.empty and ir = ref infinity and builds = ref 0 and fbs = ref 0 in
+    for _ = 1 to reps do
+      let r = rewrite ~ir_jobs binary in
+      ir := min !ir r.Zipr.Pipeline.timing.Zipr.Pipeline.ir_construction_s;
+      out := Zelf.Binary.serialize r.Zipr.Pipeline.rewritten;
+      builds := r.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds;
+      fbs := r.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks
+    done;
+    (!out, !ir, !builds, !fbs)
+  in
+  let serial_ir = ref 0.0 and par_ir = ref 0.0 in
+  let par_builds = ref 0 and par_fallbacks = ref 0 in
+  let identical = ref true in
+  let rows =
+    List.map
+      (fun (it : Workloads.Scale.item) ->
+        let binary = it.Workloads.Scale.binary in
+        let text_bytes = (Zelf.Binary.text binary).Zelf.Section.size in
+        let out1, ir1, _, _ = best ~ir_jobs:1 binary in
+        let out4, ir4, b4, f4 = best ~ir_jobs:4 binary in
+        serial_ir := !serial_ir +. ir1;
+        par_ir := !par_ir +. ir4;
+        par_builds := !par_builds + b4;
+        par_fallbacks := !par_fallbacks + f4;
+        if not (Bytes.equal out1 out4) then identical := false;
+        let ratio = if ir4 > 0.0 then ir1 /. ir4 else 0.0 in
+        say "%-16s text %8d B  ir serial %8.4f s  ir par(4) %8.4f s  %6.2fx"
+          it.Workloads.Scale.name text_bytes ir1 ir4 ratio;
+        (it.Workloads.Scale.name, text_bytes, ir1, ir4))
+      corpus
+  in
+  let speedup = if !par_ir > 0.0 then !serial_ir /. !par_ir else 0.0 in
+  say "ir serial total       %10.4f s" !serial_ir;
+  say "ir parallel total     %10.4f s  (%d builds, %d fallbacks)" !par_ir !par_builds
+    !par_fallbacks;
+  say "ir speedup            %10.2fx  (floor 2x at --ir-jobs 4)" speedup;
+  say "outputs               %s" (if !identical then "byte-identical" else "DIVERGED");
+  let oc = open_out "BENCH_irpar.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"irpar\",\n\
+    \  \"members\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"ir_jobs\": 4,\n\
+    \  %s,\n\
+    \  \"rows\": [%s\n  ],\n\
+    \  \"serial_ir_s\": %.6f,\n\
+    \  \"par_ir_s\": %.6f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"byte_identical\": %b,\n\
+    \  \"par_builds\": %d,\n\
+    \  \"par_fallbacks\": %d\n\
+     }\n"
+    members reps
+    (host_json ~corpus_size:members)
+    (String.concat ","
+       (List.map
+          (fun (name, text_bytes, ir1, ir4) ->
+            Printf.sprintf
+              "\n    { \"name\": \"%s\", \"text_bytes\": %d, \"serial_ir_s\": %.6f, \
+               \"par_ir_s\": %.6f }"
+              (json_escape name) text_bytes ir1 ir4)
+          rows))
+    !serial_ir !par_ir speedup !identical !par_builds !par_fallbacks;
+  close_out oc;
+  say "wrote BENCH_irpar.json (%d members, %d reps)" members reps;
+  if not !identical then failwith "irpar bench: outputs diverged between --ir-jobs 1 and 4";
+  if !par_fallbacks > 0 then
+    failwith
+      (Printf.sprintf "irpar bench: %d stitch-validation fallbacks on the large class"
+         !par_fallbacks);
+  if !par_builds < members then
+    failwith
+      (Printf.sprintf "irpar bench: only %d/%d members engaged the parallel builder"
+         !par_builds members);
+  if speedup < 2.0 then
+    failwith
+      (Printf.sprintf "irpar bench: IR speedup %.2fx below the 2x floor at --ir-jobs 4" speedup)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -1251,6 +1472,7 @@ let experiments =
     ("serve", serve_bench);
     ("delta", delta_bench);
     ("placement", placement_bench);
+    ("irpar", irpar_bench);
     ("micro", micro);
   ]
 
@@ -1265,10 +1487,16 @@ let () =
         small_mode := true;
         parse names rest
     | "--jobs" :: n :: rest ->
-        jobs := max 1 (int_of_string n);
+        jobs := max 0 (int_of_string n);
         parse names rest
     | f :: rest when String.length f > 7 && String.sub f 0 7 = "--jobs=" ->
-        jobs := max 1 (int_of_string (String.sub f 7 (String.length f - 7)));
+        jobs := max 0 (int_of_string (String.sub f 7 (String.length f - 7)));
+        parse names rest
+    | "--ir-jobs" :: n :: rest ->
+        ir_jobs := max 0 (int_of_string n);
+        parse names rest
+    | f :: rest when String.length f > 10 && String.sub f 0 10 = "--ir-jobs=" ->
+        ir_jobs := max 0 (int_of_string (String.sub f 10 (String.length f - 10)));
         parse names rest
     | "--count" :: n :: rest ->
         count_override := max 1 (int_of_string n);
@@ -1286,7 +1514,10 @@ let () =
         trace_mode := true;
         parse names rest
     | f :: rest when String.length f > 2 && String.sub f 0 2 = "--" ->
-        say "unknown flag %S; available: --json, --small, --jobs N, --clients N, --count N, --trace" f;
+        say
+          "unknown flag %S; available: --json, --small, --jobs N, --ir-jobs N, --clients N, \
+           --count N, --trace"
+          f;
         parse names rest
     | name :: rest -> parse (name :: names) rest
   in

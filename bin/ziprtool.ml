@@ -125,6 +125,20 @@ let placement_weights_arg =
 let resolve_placement name budget epsilon weights_spec =
   Zipr.Placement.resolve ?budget ?epsilon ~weights_spec name
 
+(* Shared by rewrite/batch/serve: intra-binary IR construction workers.
+   Output bytes are identical at any value, so this is purely a
+   throughput knob. *)
+let ir_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "ir-jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for intra-binary IR construction: the text is chunked, \
+           chunks are framed in parallel and the merge is accepted only after \
+           stitch validation (disagreement falls back to the serial build). \
+           0 auto-detects the core count. Output bytes are identical at any \
+           value.")
+
 (* -- asm -- *)
 
 let asm_cmd =
@@ -199,7 +213,7 @@ let rewrite_cmd =
              loadable in chrome://tracing. The rewritten output is byte-identical with \
              or without tracing.")
   in
-  let run tnames placement budget epsilon weights seed stats verify trace inp out =
+  let run tnames placement budget epsilon weights ir_jobs seed stats verify trace inp out =
     with_trace_file trace @@ fun () ->
     match resolve_placement placement budget epsilon weights with
     | Error msg ->
@@ -219,7 +233,12 @@ let rewrite_cmd =
         else
           let transforms = List.filter_map transform_of_name tnames in
           let config =
-            { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy; seed }
+            {
+              Zipr.Pipeline.default_config with
+              Zipr.Pipeline.placement = strategy;
+              seed;
+              ir_jobs;
+            }
           in
           match Zipr.Pipeline.rewrite ~config ~transforms binary with
           | r ->
@@ -228,8 +247,13 @@ let rewrite_cmd =
               let nsize = Zelf.Binary.file_size r.Zipr.Pipeline.rewritten in
               Printf.printf "%s: %d -> %d bytes (%+.1f%%)\n" out osize nsize
                 (float_of_int (nsize - osize) /. float_of_int osize *. 100.0);
-              if stats then
+              if stats then begin
                 Format.printf "%a@." Zipr.Reassemble.pp_stats r.Zipr.Pipeline.stats;
+                Printf.printf "ir-jobs: %d resolved, %d parallel builds, %d fallbacks\n"
+                  (Zipr.Pipeline.resolve_jobs ir_jobs)
+                  r.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds
+                  r.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks
+              end;
               List.iter
                 (fun w -> Printf.printf "warning: %s\n" w)
                 r.Zipr.Pipeline.ir.Zipr.Ir_construction.warnings;
@@ -250,8 +274,8 @@ let rewrite_cmd =
     (Cmd.info "rewrite" ~doc:"Rewrite a binary through the Zipr pipeline.")
     Term.(
       const run $ transforms $ placement_name_arg $ placement_budget_arg
-      $ placement_epsilon_arg $ placement_weights_arg $ seed $ stats $ verify $ trace
-      $ input_file $ output_file ~pos:1)
+      $ placement_epsilon_arg $ placement_weights_arg $ ir_jobs_arg $ seed $ stats
+      $ verify $ trace $ input_file $ output_file ~pos:1)
 
 (* -- run -- *)
 
@@ -498,7 +522,9 @@ let batch_cmd =
              do not depend on $(b,--jobs).")
   in
   let batch_jobs =
-    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains (0 = auto-detect the core count).")
   in
   let ext =
     Arg.(
@@ -554,8 +580,8 @@ let batch_cmd =
              trace_event) and DIR/report.json (aggregated per-phase totals). Outputs are \
              byte-identical with or without tracing, at any $(b,--jobs).")
   in
-  let run tnames placement budget epsilon weights corpus_seed jobs ext cache_dir delta
-      disk_entries disk_bytes trace indir outdir =
+  let run tnames placement budget epsilon weights ir_jobs corpus_seed jobs ext cache_dir
+      delta disk_entries disk_bytes trace indir outdir =
     with_trace_dir trace @@ fun () ->
     match resolve_placement placement budget epsilon weights with
     | Error msg ->
@@ -590,7 +616,7 @@ let batch_cmd =
             files
         in
         let config =
-          { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy }
+          { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy; ir_jobs }
         in
         let transforms = List.filter_map transform_of_name tnames in
         let ir_cache =
@@ -609,7 +635,7 @@ let batch_cmd =
           else None
         in
         let report =
-          Parallel.Corpus.rewrite_all ~jobs:(max 1 jobs) ~config ~transforms ?ir_cache
+          Parallel.Corpus.rewrite_all ~jobs ~config ~transforms ?ir_cache
             ?routine_cache ~corpus_seed items
         in
         ensure_dir outdir;
@@ -634,8 +660,9 @@ let batch_cmd =
           batch continues (exit 1 if any failed).")
     Term.(
       const run $ transforms $ placement_name_arg $ placement_budget_arg
-      $ placement_epsilon_arg $ placement_weights_arg $ corpus_seed $ batch_jobs $ ext
-      $ cache_dir $ delta $ cache_disk_entries $ cache_disk_bytes $ trace $ indir $ outdir)
+      $ placement_epsilon_arg $ placement_weights_arg $ ir_jobs_arg $ corpus_seed
+      $ batch_jobs $ ext $ cache_dir $ delta $ cache_disk_entries $ cache_disk_bytes
+      $ trace $ indir $ outdir)
 
 (* -- serve / client -- *)
 
@@ -667,7 +694,9 @@ let addr_term =
 
 let serve_cmd =
   let jobs =
-    Arg.(value & opt int 2 & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker domains (0 = auto-detect the core count).")
   in
   let queue_bound =
     Arg.(
@@ -728,7 +757,7 @@ let serve_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write a Chrome trace of all served requests on shutdown.")
   in
-  let run addr jobs queue_bound max_request cache_entries cache_bytes cache_dir
+  let run addr jobs ir_jobs queue_bound max_request cache_entries cache_bytes cache_dir
       cache_disk_entries cache_disk_bytes delta budget epsilon weights trace =
     match addr with
     | Error msg ->
@@ -745,7 +774,8 @@ let serve_cmd =
         let config =
           {
             Serve.Server.default_config with
-            Serve.Server.jobs = max 1 jobs;
+            Serve.Server.jobs = Zipr.Pipeline.resolve_jobs jobs;
+            ir_jobs;
             queue_bound = max 1 queue_bound;
             max_request_bytes = max 1024 max_request;
             cache_entries = max 1 cache_entries;
@@ -794,9 +824,10 @@ let serve_cmd =
           load with fast overloaded responses once its queue bound is reached. SIGTERM \
           or SIGINT shuts it down cleanly (in-flight requests complete).")
     Term.(
-      const run $ addr_term $ jobs $ queue_bound $ max_request $ cache_entries $ cache_bytes
-      $ cache_dir $ cache_disk_entries $ cache_disk_bytes $ delta $ placement_budget_arg
-      $ placement_epsilon_arg $ placement_weights_arg $ trace)
+      const run $ addr_term $ jobs $ ir_jobs_arg $ queue_bound $ max_request
+      $ cache_entries $ cache_bytes $ cache_dir $ cache_disk_entries $ cache_disk_bytes
+      $ delta $ placement_budget_arg $ placement_epsilon_arg $ placement_weights_arg
+      $ trace)
 
 (* -- gencorpus -- *)
 
@@ -911,9 +942,19 @@ let client_cmd =
       & info [ "sleep-ms" ] ~docv:"MS" ~doc:"With --ping: ask the server to sleep first.")
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the server's per-request stats.") in
+  let client_ir_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ir-jobs" ] ~docv:"N"
+          ~doc:
+            "Override the server's intra-binary IR worker default for this request \
+             (0 = auto-detect on the server). The resolved value comes back in the \
+             det.ir_jobs stats line; output bytes are identical at any value.")
+  in
   let files = Arg.(value & pos_all string [] & info [] ~docv:"INPUT OUTPUT") in
-  let run addr tnames placement budget epsilon weights seed deadline_ms do_ping sleep_ms
-      stats files =
+  let run addr tnames placement budget epsilon weights ir_jobs seed deadline_ms do_ping
+      sleep_ms stats files =
     match addr with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -952,7 +993,7 @@ let client_cmd =
           | [ inp; out ] -> (
               match
                 Serve.Client.rewrite ~deadline_us ~placement ?placement_budget:budget
-                  ?placement_epsilon:epsilon ~placement_weights:weights ~seed
+                  ?placement_epsilon:epsilon ~placement_weights:weights ?ir_jobs ~seed
                   ~transforms:tnames addr (read_file inp)
               with
               | Error msg ->
@@ -977,8 +1018,8 @@ let client_cmd =
           remotely, or health-check it with --ping.")
     Term.(
       const run $ addr_term $ transforms $ placement_name_arg $ placement_budget_arg
-      $ placement_epsilon_arg $ placement_weights_arg $ seed $ deadline_ms $ do_ping
-      $ sleep_ms $ stats $ files)
+      $ placement_epsilon_arg $ placement_weights_arg $ client_ir_jobs $ seed
+      $ deadline_ms $ do_ping $ sleep_ms $ stats $ files)
 
 let () =
   let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in

@@ -48,9 +48,10 @@ module Rcache = Irdb.Rcache
 
 let codec_version = "ZIRDL1"
 
-type fragment = { boundaries : (int * Zvm.Insn.t * int) array }
+type fragment = Stitch.fragment = { boundaries : (int * Zvm.Insn.t * int) array }
 (* (chunk-relative start, instruction, encoded length), ascending,
-   non-overlapping, within the chunk. *)
+   non-overlapping, within the chunk.  The framing/validation machinery
+   lives in {!Stitch}, shared with the parallel IR builder. *)
 
 type t = {
   fragments : fragment Rcache.t;
@@ -204,53 +205,9 @@ let memo_key ~fp binary =
 
 (* ---------- partial rebuild + validation ---------- *)
 
-exception Fallback
-
-(* Linear-framing decode of one chunk in isolation.  Equal to the global
-   sweep's framing inside the chunk because the sweep enters at [c.lo]
-   (guaranteed by the caller's induction over previously validated
-   chunks) and decode outcomes depend only on the bytes. *)
-let local_linear binary ~text_end (c : Chunker.chunk) =
-  let fetch a = Zelf.Binary.read8 binary a in
-  let acc = ref [] in
-  let pos = ref c.Chunker.lo in
-  while !pos < c.Chunker.hi do
-    match Zvm.Decode.decode ~fetch !pos with
-    | Ok (insn, ilen) when !pos + ilen <= text_end ->
-        if !pos + ilen > c.Chunker.hi then raise Fallback;
-        acc := (!pos - c.Chunker.lo, insn, ilen) :: !acc;
-        pos := !pos + ilen
-    | Ok _ | Error _ -> incr pos
-  done;
-  { boundaries = Array.of_list (List.rev !acc) }
-
-(* The stitched framing of a chunk is usable iff it coincides exactly
-   with recursive traversal inside the chunk: every boundary is a
-   recursive instruction with identical decode, every recursively
-   reached byte is covered by a boundary with that start, every gap
-   byte is unreached.  (This is precisely the condition under which the
-   cold aggregation yields Code on covered bytes and Data on gaps, with
-   no warnings — see the module comment.) *)
-let validate_chunk (rec_ : Disasm.Recursive.t) (c : Chunker.chunk) f =
-  let clen = c.Chunker.hi - c.Chunker.lo in
-  let expect = Array.make clen (-1) in
-  let prev_end = ref 0 in
-  Array.iter
-    (fun (rel, insn, ilen) ->
-      if rel < !prev_end || rel + ilen > clen then raise Fallback;
-      prev_end := rel + ilen;
-      (match Hashtbl.find_opt rec_.Disasm.Recursive.insns (c.Chunker.lo + rel) with
-      | Some (insn', ilen') when ilen' = ilen && insn' = insn -> ()
-      | _ -> raise Fallback);
-      for i = rel to rel + ilen - 1 do
-        expect.(i) <- c.Chunker.lo + rel
-      done)
-    f.boundaries;
-  let base = rec_.Disasm.Recursive.base in
-  for off = 0 to clen - 1 do
-    if rec_.Disasm.Recursive.cover.(c.Chunker.lo + off - base) <> expect.(off) then
-      raise Fallback
-  done
+(* Framing and validation are {!Stitch}'s (shared with the parallel IR
+   builder); this path runs them serially over the chunk array with one
+   reusable scratch. *)
 
 let stitch t ~pin_config binary ~memo_key ~(scan : Chunker.t) ~chunk_keys frags =
   let text_end = scan.Chunker.base + scan.Chunker.len in
@@ -259,45 +216,23 @@ let stitch t ~pin_config binary ~memo_key ~(scan : Chunker.t) ~chunk_keys frags 
         let rec_ =
           Obs.span "recursive" (fun () -> Disasm.Recursive.traverse binary)
         in
+        let scratch = Stitch.scratch () in
         let resolved =
           Array.mapi
             (fun i c ->
               match frags.(i) with
               | Some f -> (f, false)
-              | None -> (local_linear binary ~text_end c, true))
+              | None -> (Stitch.local_linear ~scratch binary ~text_end c, true))
             scan.Chunker.chunks
         in
         Array.iteri
-          (fun i c -> validate_chunk rec_ c (fst resolved.(i)))
+          (fun i c -> Stitch.validate_chunk ~scratch rec_ c (fst resolved.(i)))
           scan.Chunker.chunks;
         resolved)
   with
-  | exception Fallback -> None
+  | exception Stitch.Fallback -> None
   | resolved ->
-      let verdicts = Array.make scan.Chunker.len Agg.Data in
-      let insn_at = Hashtbl.create 1024 in
-      Array.iteri
-        (fun i (c : Chunker.chunk) ->
-          let f, _ = resolved.(i) in
-          Array.iter
-            (fun (rel, insn, ilen) ->
-              let addr = c.Chunker.lo + rel in
-              Hashtbl.replace insn_at addr (insn, ilen);
-              for j = addr - scan.Chunker.base to addr - scan.Chunker.base + ilen - 1
-              do
-                verdicts.(j) <- Agg.Code
-              done)
-            f.boundaries)
-        scan.Chunker.chunks;
-      let agg =
-        {
-          Agg.base = scan.Chunker.base;
-          len = scan.Chunker.len;
-          verdicts;
-          insn_at;
-          warnings = [];
-        }
-      in
+      let agg = Stitch.assemble scan (Array.map fst resolved) in
       let ir = Ir_construction.build_from_aggregate ~pin_config binary agg in
       Array.iteri
         (fun i (f, rebuilt) ->

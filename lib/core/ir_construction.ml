@@ -106,53 +106,54 @@ let build_from_aggregate ?pin_config binary (aggregate : Agg.t) =
   let in_data = Iset.mem (Iset.of_ranges data_ranges) in
   let n_boundaries = Hashtbl.length aggregate.Agg.insn_at in
   let db = Db.create ~size_hint:n_boundaries ~orig:binary () in
-  (* Sort the decoded boundaries once.  Ascending address is the canonical
-     row order: ids become independent of hash-table iteration order (the
-     cache depends on cold builds being reproducible), and the sorted
-     array gives the link pass its fallthrough successor by adjacency in
-     the common case. *)
-  let boundaries = Array.of_seq (Hashtbl.to_seq aggregate.Agg.insn_at) in
-  Array.sort (fun (a, _) (b, _) -> compare a b) boundaries;
-  let n = Array.length boundaries in
-  let ids = Array.make n (-1) in
-  for i = 0 to n - 1 do
-    let addr, (insn, _len) = boundaries.(i) in
-    let id = Db.add_insn ~orig_addr:addr db insn in
-    ids.(i) <- id;
-    (* Fixed rows keep original bytes; marking here folds the old
-       whole-db sweep into row creation. *)
-    if in_fixed addr then (Db.row db id).Db.fixed <- true
-  done;
-  (* Logical links, one pass over the same sorted array. *)
-  for i = 0 to n - 1 do
-    let addr, (insn, len) = boundaries.(i) in
-    let id = ids.(i) in
-    if falls_through insn then begin
-      let succ =
-        (* Adjacent boundary first; overlapping decodes in ambiguous
-           ranges can put other boundaries in between, so fall back to
-           the by-address index. *)
-        if i + 1 < n && fst boundaries.(i + 1) = addr + len then Some ids.(i + 1)
-        else Db.find_by_orig_addr db (addr + len)
-      in
-      match succ with
-      | Some ft -> Db.set_fallthrough db id (Some ft)
-      | None ->
-          (* Falling into data or off the section: leave open. *)
-          if not (in_data (addr + len)) then
-            warnings :=
-              Printf.sprintf "instruction at 0x%x falls through to unknown 0x%x" addr
-                (addr + len)
-              :: !warnings
-    end;
-    match Zvm.Insn.static_target ~at:addr insn with
-    | Some tgt -> (
-        match Db.find_by_orig_addr db tgt with
-        | Some tid -> Db.set_target db id (Some tid)
-        | None ->
-            warnings :=
-              Printf.sprintf "branch at 0x%x targets unknown 0x%x" addr tgt :: !warnings)
+  (* Bucket the decoded boundaries by text offset instead of sorting.
+     Ascending address stays the canonical row order (ids independent of
+     hash-table iteration order — the cache depends on cold builds being
+     reproducible) at O(len) instead of O(n log n), and the offset-indexed
+     id table hands the link pass its fallthrough successors and branch
+     targets without by-address hash lookups. *)
+  let base = aggregate.Agg.base and alen = aggregate.Agg.len in
+  let slot = Array.make alen None in
+  Hashtbl.iter (fun addr b -> slot.(addr - base) <- Some b) aggregate.Agg.insn_at;
+  let ids = Array.make alen (-1) in
+  for off = 0 to alen - 1 do
+    match slot.(off) with
     | None -> ()
+    | Some (insn, _len) ->
+        let addr = base + off in
+        let id = Db.add_insn ~orig_addr:addr db insn in
+        ids.(off) <- id;
+        (* Fixed rows keep original bytes; marking here folds the old
+           whole-db sweep into row creation. *)
+        if in_fixed addr then (Db.row db id).Db.fixed <- true
+  done;
+  (* Logical links, one pass over the same offset table. *)
+  for off = 0 to alen - 1 do
+    match slot.(off) with
+    | None -> ()
+    | Some (insn, len) ->
+        let addr = base + off in
+        let id = ids.(off) in
+        (if falls_through insn then
+           let nxt = off + len in
+           match (if nxt < alen then ids.(nxt) else -1) with
+           | -1 ->
+               (* Falling into data or off the section: leave open. *)
+               if not (in_data (addr + len)) then
+                 warnings :=
+                   Printf.sprintf "instruction at 0x%x falls through to unknown 0x%x" addr
+                     (addr + len)
+                   :: !warnings
+           | ft -> Db.set_fallthrough db id (Some ft));
+        (match Zvm.Insn.static_target ~at:addr insn with
+        | Some tgt -> (
+            let toff = tgt - base in
+            match (if toff >= 0 && toff < alen then ids.(toff) else -1) with
+            | -1 ->
+                warnings :=
+                  Printf.sprintf "branch at 0x%x targets unknown 0x%x" addr tgt :: !warnings
+            | tid -> Db.set_target db id (Some tid))
+        | None -> ())
   done;
   (* Mandatory transformations, before user transforms see the IR. *)
   Obs.span "mandatory" (fun () -> Mandatory.apply db);

@@ -1,0 +1,116 @@
+(* Domain-parallel IR construction for a single binary.
+
+   The cold pipeline runs three whole-text disassembly sources (linear
+   sweep, recursive traversal, and the expensive superset decode with
+   its prune fixpoint) and aggregates them byte by byte.  This module
+   instead runs one fresh recursive traversal, tiles the text into
+   chunks whose cuts land on instruction starts or unreached bytes of
+   that traversal, and fans the chunks out over worker domains: each
+   chunk task re-frames its span linearly in isolation (a pure function
+   of the bytes — no shared state, no RNG) and validates the framing
+   bidirectionally against the traversal, exactly as the delta cache's
+   stitch does.  When every chunk validates, the validated claims
+   coincide with the traversal by construction, so the merged aggregate
+   is materialized directly from it ({!Stitch.of_recursive}) and fed to
+   the same sorted-boundary {!Ir_construction.build_from_aggregate} run
+   as the cold path — provably the same result (see {!Stitch} and
+   DESIGN.md §14).  The superset source is skipped entirely: under the
+   validation invariant it is fully determined (abstain on recursive
+   bytes, Data on gaps), which is where most of the single-binary
+   speedup comes from; the worker fan-out covers the rest on multicore
+   hosts.
+
+   Any chunk that fails to validate abandons the whole parallel build
+   ([None]); the caller falls back to the serial cold build, so
+   unsupported binaries are slow, never wrong.
+
+   Determinism: validation is a yes/no question per chunk and the
+   accepted aggregate is a pure function of the traversal, so the
+   output is independent of worker count and scheduling by
+   construction.  [jobs] is a ceiling, not a partition: the effective
+   worker count is clamped to the host's core count (extra domains past
+   the cores are pure spawn/GC-sync overhead) and to the chunk count.
+   [jobs = 1] still uses the chunked path, just inline; callers wanting
+   the exact cold build simply do not call this module. *)
+
+module Chunker = Disasm.Chunker
+
+(* Cut the text into ~[target]-byte validation tasks directly from the
+   recursive cover.  Every cut lands on an instruction start or an
+   unreached byte, so each chunk's linear framing enters in sync with
+   the traversal it is validated against and no traversal instruction
+   crosses a cut.  O(len) with no decoding — the {!Chunker}'s
+   content-defined scan (whose cuts also key the delta cache) is not
+   needed here, and skipping it keeps the parallel path's serial rump
+   small.  Soundness rests entirely on per-chunk validation, not on the
+   cut choice. *)
+let tile (rec_ : Disasm.Recursive.t) =
+  let base = rec_.Disasm.Recursive.base and len = rec_.Disasm.Recursive.len in
+  let cover = rec_.Disasm.Recursive.cover in
+  let target = 8192 in
+  let chunks = ref [] in
+  let lo = ref 0 in
+  while !lo < len do
+    let p = ref (min len (!lo + target)) in
+    while
+      !p < len && not (cover.(!p) = -1 || cover.(!p) = base + !p)
+    do
+      incr p
+    done;
+    chunks :=
+      { Chunker.lo = base + !lo; hi = base + !p; synced = true; inbound = [] }
+      :: !chunks;
+    lo := !p
+  done;
+  Array.of_list (List.rev !chunks)
+
+let build ~jobs ~pin_config binary =
+  Obs.span "ir_par" (fun () ->
+      let rec_ =
+        Obs.span "recursive" (fun () -> Disasm.Recursive.traverse binary)
+      in
+      let chunks = Obs.span "tile" (fun () -> tile rec_) in
+      let n = Array.length chunks in
+      if n = 0 then None
+      else begin
+        let text_end = rec_.Disasm.Recursive.base + rec_.Disasm.Recursive.len in
+        let workers =
+          max 1 (min (min jobs n) (Domain.recommended_domain_count ()))
+        in
+        let failed = Atomic.make false in
+        (* Worker [w] owns the contiguous block [n*w/workers, n*(w+1)/workers):
+           pure validation, no results to store, earliest-possible exit
+           once any domain has hit a fallback. *)
+        let run_block w =
+          let lo = n * w / workers and hi = n * (w + 1) / workers in
+          try
+            for i = lo to hi - 1 do
+              if not (Atomic.get failed) then
+                Stitch.validate_span binary ~text_end rec_ chunks.(i)
+            done
+          with Stitch.Fallback -> Atomic.set failed true
+        in
+        let domains =
+          Array.init (workers - 1) (fun k ->
+              Domain.spawn (fun () -> run_block (k + 1)))
+        in
+        let main_exn = (try run_block 0; None with e -> Some e) in
+        (* Join every domain before re-raising anything: an unjoined
+           domain must not outlive this call. *)
+        let worker_exn =
+          Array.fold_left
+            (fun acc d ->
+              match Domain.join d with
+              | () -> acc
+              | exception e -> (match acc with None -> Some e | some -> some))
+            None domains
+        in
+        (match main_exn with Some e -> raise e | None -> ());
+        (match worker_exn with Some e -> raise e | None -> ());
+        if Atomic.get failed then None
+        else
+          let agg =
+            Obs.span "stitch_merge" (fun () -> Stitch.of_recursive rec_)
+          in
+          Some (Ir_construction.build_from_aggregate ~pin_config binary agg)
+      end)

@@ -1,0 +1,21 @@
+(** Domain-parallel IR construction for a single binary.
+
+    Runs one fresh recursive traversal, tiles the text at that
+    traversal's instruction starts and gap bytes, and fans the chunks
+    out over worker domains as pure validation tasks (per-chunk linear
+    framing checked bidirectionally against the traversal).  When every
+    chunk validates, the merged claims provably coincide with the
+    traversal, so the aggregate is materialized from it directly and
+    fed to the same sorted-boundary IR build as the cold path — equal
+    output by construction (DESIGN.md §14).  Returns [None] when any
+    chunk fails to validate; the caller then falls back to
+    {!Ir_construction.build}, so unsupported binaries are slow, never
+    wrong. *)
+
+val build :
+  jobs:int -> pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> Ir_construction.t option
+(** Build the IR with up to [jobs] worker domains ([jobs] is clamped to
+    the host core count and the chunk count; [jobs <= 1] runs the
+    chunked path inline).  The result — verdicts, pins, row order, and
+    therefore the rewritten bytes — is independent of [jobs] and
+    identical to the serial cold build. *)

@@ -1,0 +1,57 @@
+(** Chunk-level stitching machinery shared by the delta cache
+    ({!Delta}) and the domain-parallel IR builder ({!Par_ir}).
+
+    A whole-text disassembly aggregate is rebuilt from per-chunk
+    instruction framings and accepted only after bidirectional
+    validation against a fresh recursive traversal — the exact condition
+    under which the result provably coincides with
+    {!Disasm.Aggregate.run}'s (see DESIGN.md §12 and §14).  Validation
+    failure raises {!Fallback}; callers then rebuild cold, so
+    unsupported binaries are slow, never wrong. *)
+
+type fragment = { boundaries : (int * Zvm.Insn.t * int) array }
+(** Per-chunk instruction framing: (chunk-relative start, instruction,
+    encoded length), ascending and non-overlapping within the chunk. *)
+
+exception Fallback
+
+type scratch
+(** Reusable per-domain working memory (claim buffer for
+    {!local_linear}, expected-cover array for {!validate_chunk}): tight
+    loops over thousands of chunks allocate once per domain instead of
+    once per chunk.  Never share one scratch across domains. *)
+
+val scratch : unit -> scratch
+
+val local_linear :
+  ?scratch:scratch -> Zelf.Binary.t -> text_end:int -> Disasm.Chunker.chunk -> fragment
+(** Linear-framing decode of one chunk in isolation — a pure function of
+    the chunk bytes and the decode lookahead, equal to the global
+    sweep's framing inside the chunk.  Raises {!Fallback} if an
+    instruction would cross the chunk's upper cut. *)
+
+val validate_chunk :
+  ?scratch:scratch -> Disasm.Recursive.t -> Disasm.Chunker.chunk -> fragment -> unit
+(** Bidirectional check of one chunk's framing against the recursive
+    traversal: every boundary a recursive instruction with identical
+    decode, every recursive byte covered, every gap byte unreached.
+    Raises {!Fallback} on any disagreement. *)
+
+val validate_span :
+  Zelf.Binary.t -> text_end:int -> Disasm.Recursive.t -> Disasm.Chunker.chunk -> unit
+(** Fused, allocation-free equivalent of {!local_linear} followed by
+    {!validate_chunk}: decodes the chunk's linear framing and compares
+    it against the recursive cover in the same pass, keeping nothing.
+    This is the parallel IR builder's chunk task — a pure validator.
+    Raises {!Fallback} on any disagreement. *)
+
+val assemble : Disasm.Chunker.t -> fragment array -> Disasm.Aggregate.t
+(** One merge pass over fully validated fragments, in chunk order:
+    Code on boundary spans, Data on gaps, no warnings.  Equal to the
+    cold aggregate under the validation invariant. *)
+
+val of_recursive : Disasm.Recursive.t -> Disasm.Aggregate.t
+(** The aggregate a fully validated tiling assembles, materialized
+    directly from the traversal it was validated against (the validated
+    claims coincide with the recursive cover, so copying the traversal
+    is the same merge without re-walking any fragment). *)

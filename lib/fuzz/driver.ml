@@ -177,6 +177,7 @@ let rewrite_spec ~ir_cache opts counters spec cfg =
             | None -> Zipr.Placement.optimized);
           pin_config = Analysis.Ibt.default_config;
           seed = cfg.layout_seed;
+          ir_jobs = 1;
         }
       in
       let transforms = List.map to_transform cfg.transforms in

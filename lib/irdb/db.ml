@@ -17,7 +17,12 @@ type reloc = { reloc_section : string; reloc_offset : int; reloc_target : insn_i
 
 type t = {
   orig_binary : Zelf.Binary.t;
-  rows : (insn_id, row) Hashtbl.t;
+  (* Dense id-indexed store: ids are allocated sequentially, so an array
+     beats a hashtable on every row access (the IR build and the
+     transforms touch every row several times).  [None] marks a row
+     spliced out. *)
+  mutable rows : row option array;
+  mutable live : int;
   by_orig : (int, insn_id) Hashtbl.t;
   by_pin : (int, insn_id) Hashtbl.t;
   mutable next_id : int;
@@ -34,7 +39,8 @@ let create ?(size_hint = 1024) ~orig () =
   let size_hint = max 16 size_hint in
   {
     orig_binary = orig;
-    rows = Hashtbl.create size_hint;
+    rows = Array.make size_hint None;
+    live = 0;
     by_orig = Hashtbl.create size_hint;
     by_pin = Hashtbl.create (max 64 (size_hint / 8));
     next_id = 0;
@@ -49,20 +55,28 @@ let create ?(size_hint = 1024) ~orig () =
 
 let orig t = t.orig_binary
 
+let set_row t id r =
+  (if id >= Array.length t.rows then begin
+     let grown = Array.make (max (2 * Array.length t.rows) (id + 1)) None in
+     Array.blit t.rows 0 grown 0 (Array.length t.rows);
+     t.rows <- grown
+   end);
+  t.rows.(id) <- Some r;
+  t.live <- t.live + 1
+
 let add_insn ?orig_addr t insn =
   let id = t.next_id in
   t.next_id <- id + 1;
   let r =
     { id; insn; fallthrough = None; target = None; pinned = None; fixed = false; orig_addr; func = None }
   in
-  Hashtbl.replace t.rows id r;
+  set_row t id r;
   (match orig_addr with Some a -> Hashtbl.replace t.by_orig a id | None -> ());
   id
 
 let row t id =
-  match Hashtbl.find_opt t.rows id with
-  | Some r -> r
-  | None -> raise Not_found
+  if id < 0 || id >= t.next_id then raise Not_found
+  else match t.rows.(id) with Some r -> r | None -> raise Not_found
 
 let find_by_orig_addr t addr = Hashtbl.find_opt t.by_orig addr
 
@@ -81,11 +95,19 @@ let pinned_addresses t =
   Hashtbl.fold (fun addr id acc -> (addr, id) :: acc) t.by_pin []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let count t = Hashtbl.length t.rows
+let count t = t.live
 
-let iter t f = Hashtbl.iter (fun _ r -> f r) t.rows
+let iter t f =
+  for id = 0 to t.next_id - 1 do
+    match t.rows.(id) with Some r -> f r | None -> ()
+  done
 
-let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.rows [] |> List.sort compare
+let ids t =
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    if t.rows.(id) <> None then acc := id :: !acc
+  done;
+  !acc
 
 (* Identity-stealing insertion: the existing row keeps its id (so all
    incoming fallthrough/target/pin references still reach it) but now holds
@@ -110,7 +132,7 @@ let insert_before t id insn =
       func = r.func;
     }
   in
-  Hashtbl.replace t.rows moved_id moved;
+  set_row t moved_id moved;
   r.insn <- insn;
   r.fallthrough <- Some moved_id;
   r.target <- None;
@@ -149,11 +171,9 @@ let splice_out t id =
   | None -> invalid_arg "Db.splice_out: row has no fallthrough"
   | Some ft ->
       (* Redirect every incoming link to the successor. *)
-      Hashtbl.iter
-        (fun _ r2 ->
+      iter t (fun r2 ->
           if r2.fallthrough = Some id then r2.fallthrough <- Some ft;
-          if r2.target = Some id then r2.target <- Some ft)
-        t.rows;
+          if r2.target = Some id then r2.target <- Some ft);
       if t.entry_id = id then t.entry_id <- ft;
       (match r.pinned with
       | Some a ->
@@ -170,7 +190,8 @@ let splice_out t id =
       (match r.orig_addr with
       | Some a when Hashtbl.find_opt t.by_orig a = Some id -> Hashtbl.remove t.by_orig a
       | _ -> ());
-      Hashtbl.remove t.rows id
+      t.rows.(id) <- None;
+      t.live <- t.live - 1
 
 let replace t id insn = (row t id).insn <- insn
 
@@ -188,8 +209,13 @@ let funcs t = List.rev t.functions
 let set_func t id fid = (row t id).func <- Some fid
 
 let func_insns t fid =
-  Hashtbl.fold (fun id r acc -> if r.func = Some fid then id :: acc else acc) t.rows []
-  |> List.sort compare
+  let acc = ref [] in
+  for id = t.next_id - 1 downto 0 do
+    match t.rows.(id) with
+    | Some r when r.func = Some fid -> acc := id :: !acc
+    | _ -> ()
+  done;
+  !acc
 
 let add_section t s = t.extra_sections <- s :: t.extra_sections
 
@@ -224,11 +250,11 @@ let marked_pins t =
    each hit pays only the copy, a fraction of rebuilding rows and links
    from an aggregate. *)
 let copy ?orig t =
-  let rows = Hashtbl.create (max 16 (Hashtbl.length t.rows)) in
-  Hashtbl.iter (fun id r -> Hashtbl.replace rows id { r with id }) t.rows;
+  let rows = Array.map (Option.map (fun r -> { r with id = r.id })) t.rows in
   {
     orig_binary = (match orig with Some b -> b | None -> t.orig_binary);
     rows;
+    live = t.live;
     by_orig = Hashtbl.copy t.by_orig;
     by_pin = Hashtbl.copy t.by_pin;
     next_id = t.next_id;
@@ -244,9 +270,9 @@ let copy ?orig t =
 let validate t =
   let issues = ref [] in
   let issue fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
-  let live id = Hashtbl.mem t.rows id in
-  Hashtbl.iter
-    (fun id r ->
+  let live id = id >= 0 && id < t.next_id && t.rows.(id) <> None in
+  iter t (fun r ->
+      let id = r.id in
       (match r.fallthrough with
       | Some ft when not (live ft) -> issue "row %d: dead fallthrough %d" id ft
       | Some _ when not (Zvm.Insn.has_fallthrough r.insn) ->
@@ -259,7 +285,7 @@ let validate t =
       | Some addr when Hashtbl.find_opt t.by_pin addr <> Some id ->
           issue "row %d: pin 0x%x not in the pin table" id addr
       | _ -> ())
-    t.rows;
+    ;
   Hashtbl.iter
     (fun addr id ->
       if not (live id) then issue "pin 0x%x: dead row %d" addr id

@@ -62,6 +62,9 @@ let rewrite_one ?ir_cache ?routine_cache ~config ~transforms ~corpus_seed (index
 let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transforms = [])
     ?ir_cache ?routine_cache ~corpus_seed items =
   Obs.span "corpus" (fun () ->
+  (* 0 means auto-detect, same rule as every other jobs knob; the report
+     carries the resolved value so runs are self-describing. *)
+  let jobs = Zipr.Pipeline.resolve_jobs jobs in
   let arr = Array.of_list items in
   Obs.count "corpus.binaries" (Array.length arr);
   let n = Array.length arr in
@@ -118,7 +121,7 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
       entries
   in
   {
-    jobs = max 1 jobs;
+    jobs;
     corpus_seed;
     entries;
     ok;
@@ -142,7 +145,8 @@ let pp_report ppf r =
      merged: %a@,\
      merged timing: ir %.3fs transform %.3fs reassembly %.3fs@,\
      ir-cache: %d hits, %d misses@,\
-     routine-cache: %d hits, %d misses, %d delta builds@,"
+     routine-cache: %d hits, %d misses, %d delta builds@,\
+     par-ir: %d parallel builds, %d fallbacks@,"
     (r.ok + r.failed) r.ok r.failed r.jobs r.corpus_seed r.wall_clock_s r.pool_spawn_s
     r.rewrite_total_s r.queue_wait_total_s r.queue_wait_max_s Zipr.Reassemble.pp_stats
     r.merged_stats r.merged_timing.Zipr.Pipeline.ir_construction_s
@@ -150,7 +154,8 @@ let pp_report ppf r =
     r.merged_timing.Zipr.Pipeline.reassembly_s r.merged_cache.Zipr.Pipeline.ir_cache_hits
     r.merged_cache.Zipr.Pipeline.ir_cache_misses
     r.merged_cache.Zipr.Pipeline.routine_hits r.merged_cache.Zipr.Pipeline.routine_misses
-    r.merged_cache.Zipr.Pipeline.delta_builds;
+    r.merged_cache.Zipr.Pipeline.delta_builds r.merged_cache.Zipr.Pipeline.par_builds
+    r.merged_cache.Zipr.Pipeline.par_fallbacks;
   List.iter
     (fun (s : Pool.worker_stat) ->
       Format.fprintf ppf "shard %d: %d binaries, busy %.3fs@," s.Pool.worker s.Pool.tasks_run

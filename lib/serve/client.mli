@@ -20,6 +20,7 @@ val rewrite :
   ?placement_budget:int ->
   ?placement_epsilon:float ->
   ?placement_weights:string ->
+  ?ir_jobs:int ->
   ?seed:int ->
   ?id:int64 ->
   ?max_response_bytes:int ->
@@ -30,7 +31,10 @@ val rewrite :
 (** Defaults mirror [ziprtool rewrite]: optimized placement, seed 1 —
     so a served rewrite with the defaults is byte-comparable to the
     offline CLI.  The search knobs travel in the request config and are
-    validated server-side ([Bad_request] on a malformed spec). *)
+    validated server-side ([Bad_request] on a malformed spec).
+    [ir_jobs] overrides the server's intra-binary IR worker default for
+    this request (0 = auto-detect on the server); it changes timing
+    only, never the output bytes. *)
 
 val ping :
   ?sleep_us:int ->

@@ -55,6 +55,7 @@ type rewrite_config = {
   placement_budget : int option;
   placement_epsilon : float option;
   placement_weights : string;  (* Cost.weights_of_spec syntax; "" means defaults *)
+  ir_jobs : int option;  (* intra-binary IR workers; None = server default *)
 }
 
 let default_rewrite_config =
@@ -65,6 +66,7 @@ let default_rewrite_config =
     placement_budget = None;
     placement_epsilon = None;
     placement_weights = "";
+    ir_jobs = None;
   }
 
 type op = Rewrite of rewrite_config | Ping of { sleep_us : int }
@@ -158,6 +160,9 @@ let config_of_op = function
           | Some e -> Printf.sprintf ";placement_epsilon=%.17g" e);
           (if c.placement_weights = "" then ""
            else ";placement_weights=" ^ c.placement_weights);
+          (match c.ir_jobs with
+          | None -> ""
+          | Some j -> Printf.sprintf ";ir_jobs=%d" j);
         ]
   | Ping { sleep_us } -> Printf.sprintf "sleep_us=%d" sleep_us
 
@@ -205,6 +210,10 @@ let op_of_config opb config =
                       Error
                         (Printf.sprintf "config: placement_epsilon is not a number: %S" v))
               | "placement_weights" -> Ok { c with placement_weights = v }
+              | "ir_jobs" ->
+                  Result.map
+                    (fun j -> { c with ir_jobs = Some j })
+                    (int_field ~what:"ir_jobs" v)
               | _ -> Ok c))
         (Ok default_rewrite_config) (split_pairs config)
       |> Result.map (fun c -> Rewrite c)

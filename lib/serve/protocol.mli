@@ -32,6 +32,9 @@ type rewrite_config = {
       (** cost-model weight spec ({!Zipr.Cost.weights_of_spec} syntax);
           [""] = server default.  May contain [','] and ['='] but never
           [';'] — pairs split at the first ['='] so it round-trips. *)
+  ir_jobs : int option;
+      (** intra-binary IR construction workers ([0] = auto-detect);
+          [None] = server default.  Output bytes never depend on it. *)
 }
 (** Transform names must not contain [','], [';'] or ['=']; registry
     names never do.  Unknown names are rejected by the server with

@@ -39,6 +39,7 @@ type config = {
   placement_budget : int option;
   placement_epsilon : float option;
   placement_weights : string;
+  ir_jobs : int;  (* intra-binary IR workers per request; 0 = auto *)
 }
 
 let default_config =
@@ -57,6 +58,7 @@ let default_config =
     placement_budget = None;
     placement_epsilon = None;
     placement_weights = "";
+    ir_jobs = 1;
   }
 
 type stats = {
@@ -249,7 +251,7 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
    of (input bytes, config), so N clients asking concurrently — at any
    worker count — read identical ["det."] lines.  Wall-clock facts live
    in the unprefixed lines below. *)
-let stats_text ~(rc : Protocol.rewrite_config) ~input_bytes ~output_bytes
+let stats_text ~(rc : Protocol.rewrite_config) ~ir_jobs ~input_bytes ~output_bytes
     ~(rs : Zipr.Reassemble.stats) ~cache_outcome ~(cache : Zipr.Pipeline.cache_stats)
     ~elapsed_us ~queue_wait_us =
   String.concat ""
@@ -258,6 +260,7 @@ let stats_text ~(rc : Protocol.rewrite_config) ~input_bytes ~output_bytes
       Printf.sprintf "det.dollops_placed=%d\n" rs.Zipr.Reassemble.dollops_placed;
       Printf.sprintf "det.dollops_split=%d\n" rs.Zipr.Reassemble.dollops_split;
       Printf.sprintf "det.input_bytes=%d\n" input_bytes;
+      Printf.sprintf "det.ir_jobs=%d\n" ir_jobs;
       Printf.sprintf "det.output_bytes=%d\n" output_bytes;
       Printf.sprintf "det.page_misses=%d\n" rs.Zipr.Reassemble.page_misses;
       Printf.sprintf "det.pins_colocated=%d\n" rs.Zipr.Reassemble.pins_colocated;
@@ -304,8 +307,20 @@ let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
               ~message:(Format.asprintf "input does not parse: %a" Zelf.Binary.pp_parse_error e)
         | Ok binary -> (
             let transforms = List.filter_map t.resolve rc.transforms in
+            (* The per-request override wins over the daemon default; the
+               resolved worker count is echoed in det.ir_jobs so clients
+               can confirm what the server actually ran with. *)
+            let ir_jobs =
+              Zipr.Pipeline.resolve_jobs
+                (Option.value rc.ir_jobs ~default:t.cfg.ir_jobs)
+            in
             let config =
-              { Zipr.Pipeline.default_config with Zipr.Pipeline.placement; seed = rc.seed }
+              {
+                Zipr.Pipeline.default_config with
+                Zipr.Pipeline.placement;
+                seed = rc.seed;
+                ir_jobs;
+              }
             in
             let t0 = now () in
             match
@@ -328,7 +343,7 @@ let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
                 |> ignore;
                 let out = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten in
                 let stats =
-                  stats_text ~rc ~input_bytes:(String.length payload)
+                  stats_text ~rc ~ir_jobs ~input_bytes:(String.length payload)
                     ~output_bytes:(Bytes.length out) ~rs:r.Zipr.Pipeline.stats
                     ~cache_outcome:
                       (if

@@ -42,12 +42,18 @@ type config = {
           wins *)
   placement_weights : string;
       (** default cost-model weight spec ([""] = {!Zipr.Cost.default_weights}) *)
+  ir_jobs : int;
+      (** default intra-binary IR construction workers per request
+          ([0] = auto-detect); a request's own [ir_jobs] knob wins.  The
+          resolved value is echoed in the response's [det.ir_jobs] stats
+          line; output bytes never depend on it. *)
 }
 
 val default_config : config
 (** jobs 2, queue bound 32, 64 MiB max request, 256-entry / 64 MiB
     memory-only cache (disk layer unbounded when enabled), delta off,
-    10 s read timeout, 30 s ping-sleep cap, search knobs unset. *)
+    10 s read timeout, 30 s ping-sleep cap, search knobs unset, serial
+    IR construction ([ir_jobs = 1]). *)
 
 type stats = {
   accepted : int;  (** request frames that decoded successfully *)

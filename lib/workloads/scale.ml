@@ -98,6 +98,47 @@ let pathological_profile rng =
     pic = false;
   }
 
+(* The "large" class: libc-like-and-larger bodies (>= 256 KiB of text)
+   for the intra-binary parallelism benches.  Deliberately a separate
+   entry point rather than a new [class_of_draw] arm: the existing
+   corpus stream's bytes are pinned (the placement benches and their
+   recorded baselines depend on them), so growing the mix in place
+   would silently invalidate every historical number. *)
+(* Everything in a large member's text must be recursively reachable
+   (the jump table publishes every handler address, the rodata fptr
+   table every fptr target) and nothing in the text may be data: that
+   is the stitch-validation regime where the chunked parallel IR path
+   engages rather than falling back, which is the whole point of this
+   class.  No helpers — a helper that no handler happens to call is
+   dead code, which reads as Ambiguous and forces the serial fallback.
+   Members with islands, hidden code and dead routines are what the
+   base corpus is for. *)
+let large_profile rng =
+  {
+    Cgc.Cb_gen.n_handlers = Rng.int_in rng 40 56;
+    n_helpers = 0;
+    body_ops = Rng.int_in rng 1800 2400;
+    loop_iters = 20;
+    use_jump_table = true;
+    n_fptrs = Rng.int_in rng 8 16;
+    data_islands = 0;
+    hidden_funcs = 0;
+    dense_pair = false;
+    vuln = false;
+    vuln_fptr = false;
+    pathological = false;
+    mem_span = 2048;
+    pic = false;
+  }
+
+let generate_large ~seed index =
+  let item_seed = Rng.derive ~corpus_seed:seed ~index in
+  let rng = Rng.create item_seed in
+  let binary, _meta = Cgc.Cb_gen.generate ~seed:item_seed (large_profile rng) in
+  { name = Printf.sprintf "lg%03d-large.zbf" index; binary }
+
+let large_corpus ?(seed = 1) ~count () = List.init count (generate_large ~seed)
+
 let generate_one ~seed index =
   let item_seed = Rng.derive ~corpus_seed:seed ~index in
   let rng = Rng.create item_seed in

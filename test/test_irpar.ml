@@ -1,0 +1,198 @@
+(* Intra-binary parallel IR construction: equality with the serial cold
+   build (verdicts, pins, row order, bytes), fallback semantics on
+   binaries the stitch validation cannot prove clean, the 0-means-auto
+   jobs rule, and the large workload class the irpar bench runs on. *)
+
+module Scale = Workloads.Scale
+module Chunker = Disasm.Chunker
+
+let transforms = [ Transforms.Cfi.transform; Transforms.Stack_pad.transform ]
+
+let config ir_jobs = { Zipr.Pipeline.default_config with Zipr.Pipeline.ir_jobs }
+
+let rewrite ?routine_cache ~ir_jobs binary =
+  match
+    Zipr.Pipeline.try_rewrite ?routine_cache ~config:(config ir_jobs) ~transforms binary
+  with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "rewrite failed: %s" m
+
+let out (r : Zipr.Pipeline.result) = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten
+
+(* -- the large workload class -- *)
+
+let test_large_class () =
+  let a = Scale.generate_large ~seed:1 0 in
+  let b = Scale.generate_large ~seed:1 0 in
+  Alcotest.(check bool) "deterministic" true
+    (Bytes.equal (Zelf.Binary.serialize a.Scale.binary) (Zelf.Binary.serialize b.Scale.binary));
+  let scan = Chunker.scan a.Scale.binary in
+  Alcotest.(check bool)
+    (Printf.sprintf "text >= 256 KiB (got %d)" scan.Chunker.len)
+    true
+    (scan.Chunker.len >= 256 * 1024);
+  Alcotest.(check string) "name records the class" "lg000-large.zbf" a.Scale.name
+
+(* -- parallel build == serial cold build, at the IR level -- *)
+
+let check_ir_equal ~what (serial : Zipr.Ir_construction.t) (par : Zipr.Ir_construction.t) =
+  Alcotest.(check bool)
+    (what ^ ": identical verdict array")
+    true
+    (serial.Zipr.Ir_construction.aggregate.Disasm.Aggregate.verdicts
+    = par.Zipr.Ir_construction.aggregate.Disasm.Aggregate.verdicts);
+  Alcotest.(check bool)
+    (what ^ ": identical pins")
+    true
+    (Analysis.Ibt.pins serial.Zipr.Ir_construction.pins
+    = Analysis.Ibt.pins par.Zipr.Ir_construction.pins);
+  Alcotest.(check bool)
+    (what ^ ": identical row ids in order")
+    true
+    (Irdb.Db.ids serial.Zipr.Ir_construction.db = Irdb.Db.ids par.Zipr.Ir_construction.db);
+  Alcotest.(check bool)
+    (what ^ ": identical snapshot")
+    true
+    (String.equal
+       (Zipr.Ir_construction.snapshot serial)
+       (Zipr.Ir_construction.snapshot par))
+
+let prop_par_equals_serial =
+  QCheck.Test.make ~count:10
+    ~name:"parallel chunked IR = serial build on Scale members (ir-jobs 1 vs 4)"
+    QCheck.(make ~print:string_of_int Gen.(0 -- 400))
+    (fun index ->
+      let binary = (Scale.generate_one ~seed:23 index).Scale.binary in
+      let serial = Zipr.Ir_construction.build binary in
+      (match Zipr.Par_ir.build ~jobs:4 ~pin_config:Analysis.Ibt.default_config binary with
+      | Some par -> check_ir_equal ~what:(Printf.sprintf "index %d" index) serial par
+      | None -> ());
+      (* Bytes are identical whether the parallel path built or fell back. *)
+      let a = rewrite ~ir_jobs:1 binary and b = rewrite ~ir_jobs:4 binary in
+      Alcotest.(check int) "one cold build"
+        1
+        (b.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds
+        + b.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks);
+      Bytes.equal (out a) (out b))
+
+let test_large_par_build () =
+  let binary = (Scale.generate_large ~seed:1 0).Scale.binary in
+  let a = rewrite ~ir_jobs:1 binary and b = rewrite ~ir_jobs:4 binary in
+  Alcotest.(check bool) "large member byte-identical" true (Bytes.equal (out a) (out b));
+  Alcotest.(check int) "parallel path served the build" 1
+    b.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds;
+  Alcotest.(check int) "no fallback" 0 b.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks;
+  Alcotest.(check int) "serial path has no par counters" 0
+    (a.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds
+    + a.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks)
+
+(* -- fallback semantics -- *)
+
+(* A fragment whose boundaries disagree with the recursive traversal —
+   here literally shifted off the true framing — must be rejected, and a
+   fragment straddling the chunk's upper cut must be rejected. *)
+let test_adversarial_fragment_falls_back () =
+  let binary = (Scale.generate_one ~seed:23 0).Scale.binary in
+  let scan = Chunker.scan binary in
+  let text_end = scan.Chunker.base + scan.Chunker.len in
+  let rec_ = Disasm.Recursive.traverse binary in
+  let c =
+    match
+      Array.find_opt
+        (fun (c : Chunker.chunk) ->
+          Array.length
+            (Zipr.Stitch.local_linear binary ~text_end c).Zipr.Stitch.boundaries
+          > 1)
+        scan.Chunker.chunks
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "no chunk with two boundaries"
+  in
+  let f = Zipr.Stitch.local_linear binary ~text_end c in
+  (* The honest framing validates. *)
+  Zipr.Stitch.validate_chunk rec_ c f;
+  let shifted =
+    {
+      Zipr.Stitch.boundaries =
+        Array.map (fun (rel, insn, len) -> (rel + 1, insn, len)) f.Zipr.Stitch.boundaries;
+    }
+  in
+  (match Zipr.Stitch.validate_chunk rec_ c shifted with
+  | () -> Alcotest.fail "shifted framing must fall back"
+  | exception Zipr.Stitch.Fallback -> ());
+  let straddle =
+    {
+      Zipr.Stitch.boundaries =
+        [| (c.Chunker.hi - c.Chunker.lo - 1, (let _, i, _ = f.Zipr.Stitch.boundaries.(0) in i), 4) |];
+    }
+  in
+  match Zipr.Stitch.validate_chunk rec_ c straddle with
+  | () -> Alcotest.fail "cut-straddling framing must fall back"
+  | exception Zipr.Stitch.Fallback -> ()
+
+(* Binaries the stitch cannot prove clean (hidden computed-jump regions,
+   data islands that decode) must take the serial fallback and still
+   produce byte-identical output. *)
+let test_dirty_binary_fallback_identical () =
+  List.iter
+    (fun seed ->
+      let binary =
+        (Workloads.Synthetic.frag_like ~seed ~tests:0 ()).Workloads.Synthetic.binary
+      in
+      let a = rewrite ~ir_jobs:1 binary and b = rewrite ~ir_jobs:4 binary in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d byte-identical" seed)
+        true
+        (Bytes.equal (out a) (out b));
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: exactly one cold build" seed)
+        1
+        (b.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds
+        + b.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks))
+    [ 404; 405 ]
+
+(* -- 0 means auto -- *)
+
+let test_jobs_auto () =
+  Alcotest.(check bool) "resolve_jobs 0 >= 1" true (Zipr.Pipeline.resolve_jobs 0 >= 1);
+  Alcotest.(check int) "resolve_jobs clamps" 1 (Zipr.Pipeline.resolve_jobs (-3));
+  Alcotest.(check int) "resolve_jobs passes through" 4 (Zipr.Pipeline.resolve_jobs 4);
+  let binary = (Scale.generate_one ~seed:23 7).Scale.binary in
+  let a = rewrite ~ir_jobs:1 binary and b = rewrite ~ir_jobs:0 binary in
+  Alcotest.(check bool) "auto ir-jobs byte-identical" true (Bytes.equal (out a) (out b))
+
+(* -- composition with the delta cache: a parallel cold build feeds the
+      fragment harvest, and the memo serves the repeat -- *)
+
+let test_composes_with_delta () =
+  let binary = (Scale.generate_one ~seed:23 3).Scale.binary in
+  let plain = rewrite ~ir_jobs:1 binary in
+  let dc = Zipr.Delta.create () in
+  let cold = rewrite ~routine_cache:dc ~ir_jobs:4 binary in
+  Alcotest.(check bool) "delta+par cold byte-identical" true
+    (Bytes.equal (out plain) (out cold));
+  Alcotest.(check int) "cold build went through the pipeline once" 1
+    (cold.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds
+    + cold.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks);
+  let warm = rewrite ~routine_cache:dc ~ir_jobs:4 binary in
+  Alcotest.(check bool) "warm byte-identical" true (Bytes.equal (out plain) (out warm));
+  Alcotest.(check int) "warm run is served by the memo, not the par path" 0
+    (warm.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds
+    + warm.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks);
+  Alcotest.(check bool) "memo hit" true
+    (warm.Zipr.Pipeline.cache.Zipr.Pipeline.routine_hits > 0)
+
+let suite =
+  [
+    Alcotest.test_case "large class: >= 256 KiB text, deterministic" `Quick test_large_class;
+    QCheck_alcotest.to_alcotest ~long:true prop_par_equals_serial;
+    Alcotest.test_case "large member: parallel build, byte-identical" `Slow
+      test_large_par_build;
+    Alcotest.test_case "adversarial fragments fall back" `Quick
+      test_adversarial_fragment_falls_back;
+    Alcotest.test_case "dirty binaries fall back byte-identically" `Quick
+      test_dirty_binary_fallback_identical;
+    Alcotest.test_case "jobs 0 auto-detects" `Quick test_jobs_auto;
+    Alcotest.test_case "parallel cold build composes with delta cache" `Slow
+      test_composes_with_delta;
+  ]

@@ -32,4 +32,5 @@ let () =
       ("obs", Test_obs.suite);
       ("delta", Test_delta.suite);
       ("placement-search", Test_placement_search.suite);
+      ("irpar", Test_irpar.suite);
     ]

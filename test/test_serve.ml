@@ -32,6 +32,7 @@ let sample_requests : P.Request.t list =
             placement_budget = Some 8;
             placement_epsilon = Some 0.25;
             placement_weights = "sled=2,chain=8";
+            ir_jobs = Some 4;
           };
       payload = String.init 257 (fun i -> Char.chr (i mod 256));
     };
@@ -99,15 +100,26 @@ let gen_request =
   let open QCheck.Gen in
   let name = oneofl [ "null"; "cfi"; "canary"; "stack-pad"; "shadow-stack"; "x" ] in
   let knobs =
-    triple
-      (oneofl [ None; Some 1; Some 16; Some 4096 ])
-      (oneofl [ None; Some 0.0; Some 0.25; Some 0.125; Some 1.0 ])
-      (oneofl [ ""; "sled=2"; "sled=1,chain=16,relax=3,overflow=1,page=64" ])
+    pair
+      (triple
+         (oneofl [ None; Some 1; Some 16; Some 4096 ])
+         (oneofl [ None; Some 0.0; Some 0.25; Some 0.125; Some 1.0 ])
+         (oneofl [ ""; "sled=2"; "sled=1,chain=16,relax=3,overflow=1,page=64" ]))
+      (oneofl [ None; Some 0; Some 1; Some 4; Some 64 ])
   in
   let rc =
     map3
-      (fun transforms placement (seed, (placement_budget, placement_epsilon, placement_weights)) ->
-        { P.transforms; placement; seed; placement_budget; placement_epsilon; placement_weights })
+      (fun transforms placement
+           (seed, ((placement_budget, placement_epsilon, placement_weights), ir_jobs)) ->
+        {
+          P.transforms;
+          placement;
+          seed;
+          placement_budget;
+          placement_epsilon;
+          placement_weights;
+          ir_jobs;
+        })
       (list_size (0 -- 4) name)
       (oneofl [ "optimized"; "naive"; "random"; "search"; "p0" ])
       (pair (0 -- 100_000) knobs)
@@ -374,6 +386,37 @@ let test_shared_cache_hits () =
       Alcotest.(check bool) "cache resident bytes visible" true
         (s.Server.cache_resident_bytes > 0))
 
+(* A per-request --ir-jobs override against a serial-default daemon:
+   the response's det.ir_jobs echoes the override, and the output stays
+   byte-identical to the offline pipeline (parallel IR construction
+   changes timing, never bytes). *)
+let test_ir_jobs_override () =
+  let data = workload_bytes (Workloads.Synthetic.libc_like ~seed:13 ~tests:0 ()) in
+  let transforms = List.filter_map Transforms.Registry.by_name [ "cfi" ] in
+  let offline =
+    match Zipr.Pipeline.rewrite_bytes ~transforms (Bytes.of_string data) with
+    | Ok out -> Bytes.to_string out
+    | Error e -> Alcotest.failf "offline rewrite failed: %s" e
+  in
+  let has_line needle stats =
+    List.exists (String.equal needle) (String.split_on_char '\n' stats)
+  in
+  with_server (fun _server addr ->
+      let par =
+        expect_ok "override" (Client.rewrite ~ir_jobs:4 ~transforms:[ "cfi" ] addr data)
+      in
+      Alcotest.(check bool) "det.ir_jobs echoes the override" true
+        (has_line "det.ir_jobs=4" par.P.Response.stats);
+      Alcotest.(check bool) "override output byte-identical to offline" true
+        (String.equal offline par.P.Response.payload);
+      let default =
+        expect_ok "server default" (Client.rewrite ~transforms:[ "cfi" ] addr data)
+      in
+      Alcotest.(check bool) "no override: server default (serial)" true
+        (has_line "det.ir_jobs=1" default.P.Response.stats);
+      Alcotest.(check bool) "default output byte-identical" true
+        (String.equal offline default.P.Response.payload))
+
 let test_ping_echoes () =
   with_server (fun _ addr ->
       let r = expect_ok "ping" (Client.ping ~payload:"\x00abc\xff" addr) in
@@ -506,6 +549,8 @@ let suite =
     Alcotest.test_case "served rewrites byte-identical to pipeline (1 and 8 clients)" `Slow
       test_served_byte_identity;
     Alcotest.test_case "concurrent clients share one IR cache" `Quick test_shared_cache_hits;
+    Alcotest.test_case "per-request ir-jobs override round-trips" `Quick
+      test_ir_jobs_override;
     Alcotest.test_case "ping echoes its payload" `Quick test_ping_echoes;
     Alcotest.test_case "bad requests answered, not dropped" `Quick test_server_rejects_nonsense;
     Alcotest.test_case "oversized requests answered with too_large" `Quick test_server_too_large;
