@@ -1392,6 +1392,138 @@ let irpar_bench () =
     failwith
       (Printf.sprintf "irpar bench: IR speedup %.2fx below the 2x floor at --ir-jobs 4" speedup)
 
+(* Infer bench: the inference refiner ([--infer]) over libc-like plus
+   the adversarial corpus.  For every workload it measures the
+   pinned-byte (ambiguous-range) reduction the refiner buys and the
+   file-size overhead with the refiner off and on, then runs the
+   differential soundness gate: every poller script executes on the
+   original and the [--infer] rewrite, and any transcript divergence is
+   a release blocker.  Always writes BENCH_infer.json; the run {e
+   fails} (non-zero exit) if
+
+     - libc-like's ambiguity reduction is below 10% (target >= 15%),
+     - any differential fuzz case diverges, or
+     - disabling the refiner does not reproduce the baseline bytes. *)
+let infer_bench () =
+  say "== Infer: inference-based third source over the adversarial corpus ==";
+  let take n xs =
+    let rec go i = function x :: tl when i < n -> x :: go (i + 1) tl | _ -> [] in
+    go 0 xs
+  in
+  let suite_cap = if !small_mode then 15 else 60 in
+  let specs = Workloads.Synthetic.libc_like () :: Workloads.Adversarial.all () in
+  let transforms = [ Transforms.Null.transform ] in
+  let rewrite ~infer binary =
+    let config = { Zipr.Pipeline.default_config with Zipr.Pipeline.infer } in
+    match Zipr.Pipeline.try_rewrite ~config ~transforms binary with
+    | Ok r -> r
+    | Error m -> failwith ("infer bench: rewrite failed: " ^ m)
+  in
+  let libc_reduction = ref 0.0 in
+  let divergences = ref 0 in
+  let identity_off = ref true in
+  let rows =
+    List.map
+      (fun (spec : Workloads.Synthetic.spec) ->
+        let b = spec.Workloads.Synthetic.binary in
+        let orig_bytes = Bytes.length (Zelf.Binary.serialize b) in
+        let amb agg =
+          let _, _, a = Disasm.Aggregate.stats agg in
+          a
+        in
+        let amb_base = amb (Disasm.Aggregate.run b) in
+        let amb_inf = amb (Disasm.Aggregate.run ~infer:true b) in
+        let reduction =
+          100.0 *. float_of_int (amb_base - amb_inf) /. float_of_int (max 1 amb_base)
+        in
+        if spec.Workloads.Synthetic.name = "libc-like" then libc_reduction := reduction;
+        let inf = Disasm.Infer.run b ~avoid:(Disasm.Recursive.traverse b) in
+        (* Byte-identity with the refiner off: the baseline config and an
+           explicit [infer = false] must agree byte for byte (guards the
+           default ever silently flipping on). *)
+        let r_base =
+          match Zipr.Pipeline.try_rewrite ~transforms b with
+          | Ok r -> r
+          | Error m -> failwith ("infer bench: baseline rewrite failed: " ^ m)
+        in
+        let out_base = Zelf.Binary.serialize r_base.Zipr.Pipeline.rewritten in
+        let r_off = rewrite ~infer:false b in
+        if not (Bytes.equal out_base (Zelf.Binary.serialize r_off.Zipr.Pipeline.rewritten))
+        then identity_off := false;
+        let r_on = rewrite ~infer:true b in
+        let on_bytes =
+          Bytes.length (Zelf.Binary.serialize r_on.Zipr.Pipeline.rewritten)
+        in
+        let off_bytes = Bytes.length out_base in
+        let overhead n = 100.0 *. float_of_int (n - orig_bytes) /. float_of_int orig_bytes in
+        (* Differential soundness gate: transcript comparison over the
+           workload's poller suite, original vs the [--infer] rewrite. *)
+        let suite = take suite_cap spec.Workloads.Synthetic.test_suite in
+        let check =
+          Cgc.Poller.functional_check ~orig:b
+            ~rewritten:r_on.Zipr.Pipeline.rewritten suite
+        in
+        let diverged = check.Cgc.Poller.total - check.Cgc.Poller.passed in
+        divergences := !divergences + diverged;
+        List.iter
+          (fun (s, why) ->
+            say "DIVERGED %s on %S: %s" spec.Workloads.Synthetic.name
+              s.Cgc.Poller.input why)
+          check.Cgc.Poller.failures;
+        say
+          "%-24s amb %5d -> %5d (%5.1f%%)  closed=%-5b  overhead off %6.2f%% on %6.2f%%  \
+           fuzz %d/%d"
+          spec.Workloads.Synthetic.name amb_base amb_inf reduction
+          inf.Disasm.Infer.closed (overhead off_bytes) (overhead on_bytes)
+          check.Cgc.Poller.passed check.Cgc.Poller.total;
+        ( spec.Workloads.Synthetic.name,
+          amb_base,
+          amb_inf,
+          reduction,
+          inf.Disasm.Infer.closed,
+          overhead off_bytes,
+          overhead on_bytes,
+          check.Cgc.Poller.total,
+          diverged ))
+      specs
+  in
+  say "libc-like reduction   %10.1f%%  (floor 10%%, target 15%%)" !libc_reduction;
+  say "fuzz divergences      %10d" !divergences;
+  say "byte-identity (off)   %s" (if !identity_off then "holds" else "VIOLATED");
+  let oc = open_out "BENCH_infer.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"infer\",\n\
+    \  %s,\n\
+    \  \"rows\": [%s\n  ],\n\
+    \  \"libc_reduction_pct\": %.2f,\n\
+    \  \"fuzz_divergences\": %d,\n\
+    \  \"byte_identity_off\": %b\n\
+     }\n"
+    (host_json ~corpus_size:(List.length specs))
+    (String.concat ","
+       (List.map
+          (fun (name, ab, ai, red, closed, ovoff, ovon, total, div) ->
+            Printf.sprintf
+              "\n    { \"name\": \"%s\", \"ambiguous_before\": %d, \"ambiguous_after\": \
+               %d, \"reduction_pct\": %.2f, \"closed\": %b, \"overhead_off_pct\": %.3f, \
+               \"overhead_on_pct\": %.3f, \"fuzz_total\": %d, \"fuzz_divergences\": %d }"
+              (json_escape name) ab ai red closed ovoff ovon total div)
+          rows))
+    !libc_reduction !divergences !identity_off;
+  close_out oc;
+  say "wrote BENCH_infer.json (%d workloads)" (List.length rows);
+  if not !identity_off then
+    failwith "infer bench: baseline bytes changed with the refiner disabled";
+  if !divergences > 0 then
+    failwith
+      (Printf.sprintf "infer bench: %d differential fuzz divergences with --infer"
+         !divergences);
+  if !libc_reduction < 10.0 then
+    failwith
+      (Printf.sprintf "infer bench: libc-like reduction %.1f%% below the 10%% floor"
+         !libc_reduction)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
@@ -1473,6 +1605,7 @@ let experiments =
     ("delta", delta_bench);
     ("placement", placement_bench);
     ("irpar", irpar_bench);
+    ("infer", infer_bench);
     ("micro", micro);
   ]
 

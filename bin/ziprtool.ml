@@ -139,6 +139,28 @@ let ir_jobs_arg =
            0 auto-detects the core count. Output bytes are identical at any \
            value.")
 
+(* Shared by rewrite/batch/serve/fuzz: the inference-refiner switch.
+   Off by default — with it off every output is byte-identical to
+   previous releases. *)
+let infer_arg =
+  Arg.(
+    value
+    & vflag false
+        [
+          ( true,
+            info [ "infer" ]
+              ~doc:
+                "Run the inference-based third disassembly source: a fact-propagation \
+                 fixpoint over the superset decode that resolves computed jump targets \
+                 by constant folding and proves dead bytes unreachable, shrinking the \
+                 pinned ambiguous ranges. Refinement-only: bytes the primary \
+                 disassemblers agree on are never overturned. Off by default \
+                 (byte-identical output to previous releases)." );
+          ( false,
+            info [ "no-infer" ]
+              ~doc:"Disable the inference refiner explicitly (the default)." );
+        ])
+
 (* -- asm -- *)
 
 let asm_cmd =
@@ -213,7 +235,7 @@ let rewrite_cmd =
              loadable in chrome://tracing. The rewritten output is byte-identical with \
              or without tracing.")
   in
-  let run tnames placement budget epsilon weights ir_jobs seed stats verify trace inp out =
+  let run tnames placement budget epsilon weights ir_jobs infer seed stats verify trace inp out =
     with_trace_file trace @@ fun () ->
     match resolve_placement placement budget epsilon weights with
     | Error msg ->
@@ -238,6 +260,7 @@ let rewrite_cmd =
               Zipr.Pipeline.placement = strategy;
               seed;
               ir_jobs;
+              infer;
             }
           in
           match Zipr.Pipeline.rewrite ~config ~transforms binary with
@@ -252,7 +275,14 @@ let rewrite_cmd =
                 Printf.printf "ir-jobs: %d resolved, %d parallel builds, %d fallbacks\n"
                   (Zipr.Pipeline.resolve_jobs ir_jobs)
                   r.Zipr.Pipeline.cache.Zipr.Pipeline.par_builds
-                  r.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks
+                  r.Zipr.Pipeline.cache.Zipr.Pipeline.par_fallbacks;
+                (* Aggregator per-case byte accounting (one line per
+                   canonical tally field). *)
+                List.iter
+                  (fun (k, v) -> Printf.printf "agg.%s: %d\n" k v)
+                  (Disasm.Aggregate.tally_fields
+                     r.Zipr.Pipeline.ir.Zipr.Ir_construction.aggregate
+                       .Disasm.Aggregate.tally)
               end;
               List.iter
                 (fun w -> Printf.printf "warning: %s\n" w)
@@ -274,8 +304,8 @@ let rewrite_cmd =
     (Cmd.info "rewrite" ~doc:"Rewrite a binary through the Zipr pipeline.")
     Term.(
       const run $ transforms $ placement_name_arg $ placement_budget_arg
-      $ placement_epsilon_arg $ placement_weights_arg $ ir_jobs_arg $ seed $ stats
-      $ verify $ trace $ input_file $ output_file ~pos:1)
+      $ placement_epsilon_arg $ placement_weights_arg $ ir_jobs_arg $ infer_arg $ seed
+      $ stats $ verify $ trace $ input_file $ output_file ~pos:1)
 
 (* -- run -- *)
 
@@ -460,7 +490,7 @@ let fuzz_cmd =
             "Worker domains for case execution. The summary, reproducers and failure \
              ordering are identical for every value.")
   in
-  let run cases seed max_steps structural inject repro_dir quiet jobs =
+  let run cases seed max_steps structural inject repro_dir quiet jobs infer =
     let opts =
       {
         Fuzz.Driver.default_options with
@@ -470,6 +500,7 @@ let fuzz_cmd =
         structural;
         fault = (if inject then Some Fuzz.Driver.Skip_pin else None);
         jobs = max 1 jobs;
+        infer;
       }
     in
     let log = if quiet then fun _ -> () else fun msg -> Printf.eprintf "%s\n%!" msg in
@@ -497,7 +528,7 @@ let fuzz_cmd =
           configurations, and demand semantic equivalence.")
     Term.(
       const run $ cases $ seed $ max_steps $ structural $ inject $ repro_dir $ quiet
-      $ fuzz_jobs)
+      $ fuzz_jobs $ infer_arg)
 
 (* -- batch -- *)
 
@@ -580,8 +611,8 @@ let batch_cmd =
              trace_event) and DIR/report.json (aggregated per-phase totals). Outputs are \
              byte-identical with or without tracing, at any $(b,--jobs).")
   in
-  let run tnames placement budget epsilon weights ir_jobs corpus_seed jobs ext cache_dir
-      delta disk_entries disk_bytes trace indir outdir =
+  let run tnames placement budget epsilon weights ir_jobs infer corpus_seed jobs ext
+      cache_dir delta disk_entries disk_bytes trace indir outdir =
     with_trace_dir trace @@ fun () ->
     match resolve_placement placement budget epsilon weights with
     | Error msg ->
@@ -616,7 +647,12 @@ let batch_cmd =
             files
         in
         let config =
-          { Zipr.Pipeline.default_config with Zipr.Pipeline.placement = strategy; ir_jobs }
+          {
+            Zipr.Pipeline.default_config with
+            Zipr.Pipeline.placement = strategy;
+            ir_jobs;
+            infer;
+          }
         in
         let transforms = List.filter_map transform_of_name tnames in
         let ir_cache =
@@ -660,9 +696,9 @@ let batch_cmd =
           batch continues (exit 1 if any failed).")
     Term.(
       const run $ transforms $ placement_name_arg $ placement_budget_arg
-      $ placement_epsilon_arg $ placement_weights_arg $ ir_jobs_arg $ corpus_seed
-      $ batch_jobs $ ext $ cache_dir $ delta $ cache_disk_entries $ cache_disk_bytes
-      $ trace $ indir $ outdir)
+      $ placement_epsilon_arg $ placement_weights_arg $ ir_jobs_arg $ infer_arg
+      $ corpus_seed $ batch_jobs $ ext $ cache_dir $ delta $ cache_disk_entries
+      $ cache_disk_bytes $ trace $ indir $ outdir)
 
 (* -- serve / client -- *)
 
@@ -757,8 +793,8 @@ let serve_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write a Chrome trace of all served requests on shutdown.")
   in
-  let run addr jobs ir_jobs queue_bound max_request cache_entries cache_bytes cache_dir
-      cache_disk_entries cache_disk_bytes delta budget epsilon weights trace =
+  let run addr jobs ir_jobs infer queue_bound max_request cache_entries cache_bytes
+      cache_dir cache_disk_entries cache_disk_bytes delta budget epsilon weights trace =
     match addr with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -776,6 +812,7 @@ let serve_cmd =
             Serve.Server.default_config with
             Serve.Server.jobs = Zipr.Pipeline.resolve_jobs jobs;
             ir_jobs;
+            infer;
             queue_bound = max 1 queue_bound;
             max_request_bytes = max 1024 max_request;
             cache_entries = max 1 cache_entries;
@@ -824,7 +861,7 @@ let serve_cmd =
           load with fast overloaded responses once its queue bound is reached. SIGTERM \
           or SIGINT shuts it down cleanly (in-flight requests complete).")
     Term.(
-      const run $ addr_term $ jobs $ ir_jobs_arg $ queue_bound $ max_request
+      const run $ addr_term $ jobs $ ir_jobs_arg $ infer_arg $ queue_bound $ max_request
       $ cache_entries $ cache_bytes $ cache_dir $ cache_disk_entries $ cache_disk_bytes
       $ delta $ placement_budget_arg $ placement_epsilon_arg $ placement_weights_arg
       $ trace)
@@ -952,9 +989,20 @@ let client_cmd =
              (0 = auto-detect on the server). The resolved value comes back in the \
              det.ir_jobs stats line; output bytes are identical at any value.")
   in
+  let client_infer =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "infer" ] ~docv:"BOOL"
+          ~doc:
+            "Override the server's inference-refiner default for this request \
+             (--infer=true or --infer=false). Unset, the knob is not encoded at \
+             all, so the request config stays byte-identical to v1 frames and the \
+             server default applies. The effective value comes back in det.infer.")
+  in
   let files = Arg.(value & pos_all string [] & info [] ~docv:"INPUT OUTPUT") in
-  let run addr tnames placement budget epsilon weights ir_jobs seed deadline_ms do_ping
-      sleep_ms stats files =
+  let run addr tnames placement budget epsilon weights ir_jobs infer seed deadline_ms
+      do_ping sleep_ms stats files =
     match addr with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
@@ -993,8 +1041,8 @@ let client_cmd =
           | [ inp; out ] -> (
               match
                 Serve.Client.rewrite ~deadline_us ~placement ?placement_budget:budget
-                  ?placement_epsilon:epsilon ~placement_weights:weights ?ir_jobs ~seed
-                  ~transforms:tnames addr (read_file inp)
+                  ?placement_epsilon:epsilon ~placement_weights:weights ?ir_jobs ?infer
+                  ~seed ~transforms:tnames addr (read_file inp)
               with
               | Error msg ->
                   Printf.eprintf "error: %s\n" msg;
@@ -1018,8 +1066,8 @@ let client_cmd =
           remotely, or health-check it with --ping.")
     Term.(
       const run $ addr_term $ transforms $ placement_name_arg $ placement_budget_arg
-      $ placement_epsilon_arg $ placement_weights_arg $ client_ir_jobs $ seed
-      $ deadline_ms $ do_ping $ sleep_ms $ stats $ files)
+      $ placement_epsilon_arg $ placement_weights_arg $ client_ir_jobs $ client_infer
+      $ seed $ deadline_ms $ do_ping $ sleep_ms $ stats $ files)
 
 let () =
   let doc = "static binary rewriting for the ZVM (a Zipr reproduction)" in

@@ -6,6 +6,7 @@ type reason =
   | After_call
   | Fixed_target
   | Fixed_fallthrough
+  | Computed_target
 
 type config = { pin_after_calls : bool }
 
@@ -21,6 +22,7 @@ let reason_to_string = function
   | After_call -> "after-call"
   | Fixed_target -> "fixed-range-target"
   | Fixed_fallthrough -> "fixed-range-fallthrough"
+  | Computed_target -> "computed-target"
 
 let add t addr reason =
   let existing = Option.value ~default:[] (Hashtbl.find_opt t.table addr) in
@@ -46,6 +48,11 @@ let compute ?(config = default_config) binary (agg : Disasm.Aggregate.t) =
      which the data scan does not see). *)
   let tables = Jumptable.find binary agg in
   List.iter (fun a -> add t a Jump_table) (Jumptable.all_entries tables);
+  (* Computed-jump targets the inference pass resolved by constant
+     folding: the run-time computation produces these original
+     addresses, so they are indirect branch targets the scans above
+     cannot see (masked pointers).  Empty unless [--infer] ran. *)
+  List.iter (fun a -> add t a Computed_target) agg.Disasm.Aggregate.pin_hints;
   (* Immediates and after-call sites in decoded code; branch targets of
      fixed ranges. *)
   let ambiguous = Zipr_util.Interval_set.of_ranges (Disasm.Aggregate.ambiguous_ranges agg) in

@@ -19,7 +19,12 @@
     - ambiguous (fixed) ranges keep their original bytes, so any address
       such bytes can transfer control to — static branch targets of their
       decoded instructions, and the fallthrough address just past the
-      range — must also be pinned. *)
+      range — must also be pinned;
+    - every computed-jump target the inference pass resolved by constant
+      folding ({!Disasm.Aggregate.t.pin_hints}, populated only under
+      [--infer]) is pinned: the run-time computation produces the
+      original address, which no scan above can see when the pointer is
+      stored masked. *)
 
 type reason =
   | Entry
@@ -29,6 +34,7 @@ type reason =
   | After_call
   | Fixed_target
   | Fixed_fallthrough
+  | Computed_target
 
 type config = {
   pin_after_calls : bool;

@@ -209,7 +209,7 @@ let memo_key ~fp binary =
    builder); this path runs them serially over the chunk array with one
    reusable scratch. *)
 
-let stitch t ~pin_config binary ~memo_key ~(scan : Chunker.t) ~chunk_keys frags =
+let stitch t ~pin_config ~infer binary ~memo_key ~(scan : Chunker.t) ~chunk_keys frags =
   let text_end = scan.Chunker.base + scan.Chunker.len in
   match
     Obs.span "delta_stitch" (fun () ->
@@ -232,7 +232,7 @@ let stitch t ~pin_config binary ~memo_key ~(scan : Chunker.t) ~chunk_keys frags 
   with
   | exception Stitch.Fallback -> None
   | resolved ->
-      let agg = Stitch.assemble scan (Array.map fst resolved) in
+      let agg = Stitch.assemble ~infer binary scan (Array.map fst resolved) in
       let ir = Ir_construction.build_from_aggregate ~pin_config binary agg in
       Array.iteri
         (fun i (f, rebuilt) ->
@@ -245,8 +245,8 @@ let stitch t ~pin_config binary ~memo_key ~(scan : Chunker.t) ~chunk_keys frags 
 
 (* ---------- public entry points ---------- *)
 
-let obtain t ~pin_config binary =
-  let fp = Ir_construction.fingerprint pin_config in
+let obtain t ~pin_config ?(infer = false) binary =
+  let fp = Ir_construction.fingerprint ~infer pin_config in
   let memo_key = memo_key ~fp binary in
   let scan_keys =
     lazy
@@ -272,7 +272,7 @@ let obtain t ~pin_config binary =
         { ir = None; routine_hits = 0; routine_misses = n; delta_built = false; keys }
       end
       else
-        match stitch t ~pin_config binary ~memo_key ~scan ~chunk_keys frags with
+        match stitch t ~pin_config ~infer binary ~memo_key ~scan ~chunk_keys frags with
         | Some ir ->
             Obs.count "delta.routine_hits" n_hit;
             Obs.count "delta.routine_misses" (n - n_hit);
@@ -293,10 +293,23 @@ let obtain t ~pin_config binary =
    aggregate, it contains no ambiguous byte and its boundaries tile its
    code bytes without crossing either cut.  Data bytes then necessarily
    failed isolated decode (linear sweep attempted each one), so the
-   fragment's meaning is a pure function of its key material. *)
+   fragment's meaning is a pure function of its key material.
+
+   Bytes the inference refiner flipped are excluded outright: their
+   verdicts rest on whole-program facts (reachability closure, resolved
+   computed targets), not on the chunk's bytes and inbound references,
+   so a fragment covering them would not be a pure function of its key
+   and could be wrongly reused after a distant edit. *)
+let refined_overlaps (agg : Agg.t) (c : Chunker.chunk) =
+  List.exists
+    (fun (off, _) ->
+      let a = agg.Agg.base + off in
+      a >= c.Chunker.lo && a < c.Chunker.hi)
+    agg.Agg.refined
+
 let gate_chunk (agg : Agg.t) (c : Chunker.chunk) =
   let acc = ref [] in
-  let ok = ref true in
+  let ok = ref (not (refined_overlaps agg c)) in
   let off = ref c.Chunker.lo in
   while !ok && !off < c.Chunker.hi do
     match agg.Agg.verdicts.(!off - agg.Agg.base) with

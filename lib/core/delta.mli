@@ -50,10 +50,14 @@ type outcome = {
   keys : key_set;
 }
 
-val obtain : t -> pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> outcome
+val obtain :
+  t -> pin_config:Analysis.Ibt.config -> ?infer:bool -> Zelf.Binary.t -> outcome
 (** Try to serve IR construction from the cache: memo first, then a
     routine-granular stitch when at least one fragment hits and the
-    whole composition validates. *)
+    whole composition validates.  [infer] (default false) enters the key
+    fingerprint — caches populated with and without the inference
+    refiner never cross-pollinate — and a stitched aggregate recomputes
+    the refiner's pin hints over its validated boundaries. *)
 
 val harvest : t -> outcome -> Ir_construction.t -> unit
 (** Publish a cold (or snapshot-restored) build's results: fragments for

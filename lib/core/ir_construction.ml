@@ -162,7 +162,9 @@ let build_from_aggregate ?pin_config binary (aggregate : Agg.t) =
      conservative pins that only straight-line or direct control flow can
      reach are not. *)
   let indirect_reason = function
-    | Analysis.Ibt.Data_scan | Analysis.Ibt.Code_immediate | Analysis.Ibt.Jump_table -> true
+    | Analysis.Ibt.Data_scan | Analysis.Ibt.Code_immediate | Analysis.Ibt.Jump_table
+    | Analysis.Ibt.Computed_target ->
+        true
     | Analysis.Ibt.Entry | Analysis.Ibt.After_call | Analysis.Ibt.Fixed_target
     | Analysis.Ibt.Fixed_fallthrough ->
         false
@@ -196,8 +198,8 @@ let build_from_aggregate ?pin_config binary (aggregate : Agg.t) =
   Obs.span "funcid" (fun () -> Analysis.Funcid.assign db);
   { db; aggregate; pins; fixed_ranges; data_ranges; warnings = List.rev !warnings })
 
-let build ?pin_config binary =
-  let aggregate = Obs.span "disasm" (fun () -> Agg.run binary) in
+let build ?pin_config ?(infer = false) binary =
+  let aggregate = Obs.span "disasm" (fun () -> Agg.run ~infer binary) in
   build_from_aggregate ?pin_config binary aggregate
 
 (* -- snapshot / restore: the payload behind Irdb.Cache -- *)
@@ -207,8 +209,15 @@ let build ?pin_config binary =
    entries become unreachable instead of misparsed. *)
 let snapshot_version = "ZIRIR1"
 
-let fingerprint (config : Analysis.Ibt.config) =
-  Printf.sprintf "ibt:pin_after_calls=%b" config.Analysis.Ibt.pin_after_calls
+(* The refinement pass's codec version.  It joins the fingerprint only
+   when [--infer] is on, so every cache key (whole-binary snapshot,
+   delta chunk, delta memo) gets a codec-version bump exactly then and
+   stays byte-identical to previous releases otherwise. *)
+let infer_codec_version = "ZIRINF1"
+
+let fingerprint ?(infer = false) (config : Analysis.Ibt.config) =
+  let base = Printf.sprintf "ibt:pin_after_calls=%b" config.Analysis.Ibt.pin_after_calls in
+  if infer then Printf.sprintf "%s;infer=%s" base infer_codec_version else base
 
 let reason_code = function
   | Analysis.Ibt.Entry -> 0
@@ -218,6 +227,7 @@ let reason_code = function
   | Analysis.Ibt.After_call -> 4
   | Analysis.Ibt.Fixed_target -> 5
   | Analysis.Ibt.Fixed_fallthrough -> 6
+  | Analysis.Ibt.Computed_target -> 7
 
 let reason_of_code = function
   | 0 -> Some Analysis.Ibt.Entry
@@ -227,6 +237,7 @@ let reason_of_code = function
   | 4 -> Some Analysis.Ibt.After_call
   | 5 -> Some Analysis.Ibt.Fixed_target
   | 6 -> Some Analysis.Ibt.Fixed_fallthrough
+  | 7 -> Some Analysis.Ibt.Computed_target
   | _ -> None
 
 let verdict_char = function Agg.Code -> 'c' | Agg.Data -> 'd' | Agg.Ambiguous -> 'a'
@@ -264,6 +275,39 @@ let snapshot t =
            (Zipr_util.Hex.of_bytes (Zvm.Encode.to_bytes insn))
            len))
     boundaries;
+  (* Aggregation tally (per-case byte counts) and refined-byte runs, so
+     cache hits reproduce the same stats and refinement provenance as the
+     cold build.  Absent in older payloads; restore then falls back to a
+     verdict-derived tally. *)
+  let ty = agg.Agg.tally in
+  Buffer.add_string buf
+    (Printf.sprintf "T %d %d %d %d %d %d %d %d\n" ty.Agg.case1_code ty.Agg.case1_data
+       ty.Agg.case2_disagree ty.Agg.case3_contradict ty.Agg.case4_low_confidence
+       ty.Agg.overlap_len_mismatch ty.Agg.refined_code ty.Agg.refined_data);
+  List.iter
+    (fun (fact, n) -> Buffer.add_string buf (Printf.sprintf "TF %s %d\n" fact n))
+    ty.Agg.refined_by_fact;
+  (* Refined offsets, run-length encoded per provenance tag. *)
+  let rec emit_refined = function
+    | [] -> ()
+    | (off, tag) :: _ as entries ->
+        let rec run n = function
+          | (o, t) :: rest when o = off + n && t = tag -> run (n + 1) rest
+          | rest -> (n, rest)
+        in
+        let n, rest = run 0 entries in
+        Buffer.add_string buf (Printf.sprintf "R %d %d %s\n" off n tag);
+        emit_refined rest
+  in
+  emit_refined agg.Agg.refined;
+  (* Pin hints (resolved computed-jump targets); only present under
+     [--infer], so older payloads and infer-off payloads never carry the
+     record. *)
+  (match agg.Agg.pin_hints with
+  | [] -> ()
+  | hints ->
+      Buffer.add_string buf
+        (Printf.sprintf "H %s\n" (String.concat "," (List.map string_of_int hints))));
   List.iter
     (fun w -> Buffer.add_string buf (Printf.sprintf "GW %s\n" (String.escaped w)))
     agg.Agg.warnings;
@@ -311,6 +355,10 @@ let restore binary payload =
     let agg_warnings = ref [] in
     let ir_warnings = ref [] in
     let pin_list = ref [] in
+    let tally = ref None in
+    let fact_list = ref [] in
+    let refined = ref [] in
+    let pin_hints = ref [] in
     List.iteri
       (fun lineno line ->
         let fail msg = raise (Restore (Printf.sprintf "line %d: %s" (lineno + 1) msg)) in
@@ -351,6 +399,28 @@ let restore binary payload =
             | Ok (insn, declen) ->
                 if declen <> Bytes.length bytes then fail "trailing bytes in boundary";
                 Hashtbl.replace insn_at (int_of_string addr) (insn, int_of_string ilen))
+        | [ "T"; c1c; c1d; c2; c3; c4; ov; rc; rd ] ->
+            tally :=
+              Some
+                {
+                  Agg.case1_code = int_of_string c1c;
+                  case1_data = int_of_string c1d;
+                  case2_disagree = int_of_string c2;
+                  case3_contradict = int_of_string c3;
+                  case4_low_confidence = int_of_string c4;
+                  overlap_len_mismatch = int_of_string ov;
+                  refined_code = int_of_string rc;
+                  refined_data = int_of_string rd;
+                  refined_by_fact = [];
+                }
+        | [ "TF"; fact; n ] -> fact_list := (fact, int_of_string n) :: !fact_list
+        | [ "H"; hints ] ->
+            pin_hints := List.map int_of_string (String.split_on_char ',' hints)
+        | [ "R"; off; n; tag ] ->
+            let off = int_of_string off and n = int_of_string n in
+            for i = n - 1 downto 0 do
+              refined := (off + i, tag) :: !refined
+            done
         | "GW" :: rest -> agg_warnings := Scanf.unescaped (String.concat " " rest) :: !agg_warnings
         | "W" :: rest -> ir_warnings := Scanf.unescaped (String.concat " " rest) :: !ir_warnings
         | [ "P"; addr; codes ] ->
@@ -373,6 +443,14 @@ let restore binary payload =
         verdicts = !verdicts;
         insn_at;
         warnings = List.rev !agg_warnings;
+        tally =
+          (match !tally with
+          | Some t -> { t with Agg.refined_by_fact = List.rev !fact_list }
+          (* Pre-tally payload: recover the agreement counts from the
+             verdicts; the ambiguous-case split is unknowable. *)
+          | None -> Agg.tally_of_verdicts !verdicts);
+        refined = List.sort compare !refined;
+        pin_hints = !pin_hints;
       }
     in
     match Irdb.Dump.deserialize_exact ~size_hint:(Hashtbl.length insn_at) ~orig:binary dump with

@@ -19,8 +19,10 @@ type t = {
   warnings : string list;
 }
 
-val build : ?pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> t
-(** Run the whole phase: aggregate disassembly, row/link construction,
+val build : ?pin_config:Analysis.Ibt.config -> ?infer:bool -> Zelf.Binary.t -> t
+(** Run the whole phase: aggregate disassembly (with the {!Disasm.Infer}
+    refinement pass when [~infer:true]; default false), row/link
+    construction,
     fixed-range marking, mandatory transformations, pinned-address
     assignment (including speculative decoding at pins that fall between
     known instruction boundaries), entry designation and function
@@ -57,9 +59,13 @@ val snapshot_version : string
 (** Participates in the cache key, so a codec change silently invalidates
     old entries rather than misparsing them. *)
 
-val fingerprint : Analysis.Ibt.config -> string
+val fingerprint : ?infer:bool -> Analysis.Ibt.config -> string
 (** Stable digest input covering every configuration knob that affects
-    [build]'s output. *)
+    [build]'s output.  The inference pass contributes its own codec
+    version ({!infer_codec_version}) {e only} when [~infer:true], so all
+    cache keys are unchanged whenever [--infer] is off. *)
+
+val infer_codec_version : string
 
 val snapshot : t -> string
 

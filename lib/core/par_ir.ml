@@ -64,7 +64,7 @@ let tile (rec_ : Disasm.Recursive.t) =
   done;
   Array.of_list (List.rev !chunks)
 
-let build ~jobs ~pin_config binary =
+let build ~jobs ~pin_config ?(infer = false) binary =
   Obs.span "ir_par" (fun () ->
       let rec_ =
         Obs.span "recursive" (fun () -> Disasm.Recursive.traverse binary)
@@ -110,7 +110,7 @@ let build ~jobs ~pin_config binary =
         if Atomic.get failed then None
         else
           let agg =
-            Obs.span "stitch_merge" (fun () -> Stitch.of_recursive rec_)
+            Obs.span "stitch_merge" (fun () -> Stitch.of_recursive ~infer binary rec_)
           in
           Some (Ir_construction.build_from_aggregate ~pin_config binary agg)
       end)

@@ -13,9 +13,17 @@
     wrong. *)
 
 val build :
-  jobs:int -> pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> Ir_construction.t option
+  jobs:int ->
+  pin_config:Analysis.Ibt.config ->
+  ?infer:bool ->
+  Zelf.Binary.t ->
+  Ir_construction.t option
 (** Build the IR with up to [jobs] worker domains ([jobs] is clamped to
     the host core count and the chunk count; [jobs <= 1] runs the
     chunked path inline).  The result — verdicts, pins, row order, and
     therefore the rewritten bytes — is independent of [jobs] and
-    identical to the serial cold build. *)
+    identical to the serial cold build.  With [~infer:true] (default
+    false) the materialized aggregate carries the inference pass's pin
+    hints, recomputed over the validated traversal
+    ({!Stitch.of_recursive}); a validated tiling has no ambiguity, so
+    this coincides with the cold build under [--infer]. *)

@@ -3,6 +3,9 @@ type config = {
   pin_config : Analysis.Ibt.config;
   seed : int;
   ir_jobs : int;
+  infer : bool;
+      (* run the inference refiner as a third disassembly source;
+         off by default so every existing path is byte-identical *)
 }
 
 let default_config =
@@ -11,6 +14,7 @@ let default_config =
     pin_config = Analysis.Ibt.default_config;
     seed = 1;
     ir_jobs = 1;
+    infer = false;
   }
 
 (* 0 means "ask the runtime" — shared by --jobs and --ir-jobs so every
@@ -77,11 +81,11 @@ let timed f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-let ir_cache_key ~pin_config binary =
+let ir_cache_key ~pin_config ~infer binary =
   Irdb.Cache.key
     [
       Ir_construction.snapshot_version;
-      Ir_construction.fingerprint pin_config;
+      Ir_construction.fingerprint ~infer pin_config;
       Bytes.to_string (Zelf.Binary.serialize binary);
     ]
 
@@ -95,11 +99,11 @@ let ir_cache_key ~pin_config binary =
    declines, the serial cold build runs instead and the fallback is
    counted — outputs are byte-identical on both paths, so the snapshot
    cache key does not depend on [ir_jobs]. *)
-let obtain_snapshot_ir ?ir_cache ?(ir_jobs = 1) ~pin_config binary =
+let obtain_snapshot_ir ?ir_cache ?(ir_jobs = 1) ?(infer = false) ~pin_config binary =
   let par_builds = ref 0 and par_fallbacks = ref 0 in
   let build_ir () =
     if ir_jobs > 1 then
-      match Par_ir.build ~jobs:ir_jobs ~pin_config binary with
+      match Par_ir.build ~jobs:ir_jobs ~pin_config ~infer binary with
       | Some ir ->
           incr par_builds;
           Obs.count "pipeline.par_builds" 1;
@@ -107,8 +111,8 @@ let obtain_snapshot_ir ?ir_cache ?(ir_jobs = 1) ~pin_config binary =
       | None ->
           incr par_fallbacks;
           Obs.count "pipeline.par_fallbacks" 1;
-          Ir_construction.build ~pin_config binary
-    else Ir_construction.build ~pin_config binary
+          Ir_construction.build ~pin_config ~infer binary
+    else Ir_construction.build ~pin_config ~infer binary
   in
   let build ~source () =
     timed (fun () -> Obs.span "ir" ~args:[ ("source", source) ] build_ir)
@@ -121,7 +125,7 @@ let obtain_snapshot_ir ?ir_cache ?(ir_jobs = 1) ~pin_config binary =
       let ir, t = build ~source:"build" () in
       (ir, t, par_stats zero_cache_stats)
   | Some cache -> (
-      let key = ir_cache_key ~pin_config binary in
+      let key = ir_cache_key ~pin_config ~infer binary in
       let build_and_store () =
         let ir, t = build ~source:"build" () in
         Irdb.Cache.store cache ~key (Ir_construction.snapshot ir);
@@ -146,14 +150,14 @@ let obtain_snapshot_ir ?ir_cache ?(ir_jobs = 1) ~pin_config binary =
    the composition validates); when it declines, the snapshot cache and
    cold build take over as before, and the result is harvested back into
    the routine cache — before any transform can touch it. *)
-let obtain_ir ?ir_cache ?routine_cache ?ir_jobs ~pin_config binary =
+let obtain_ir ?ir_cache ?routine_cache ?ir_jobs ?(infer = false) ~pin_config binary =
   match routine_cache with
-  | None -> obtain_snapshot_ir ?ir_cache ?ir_jobs ~pin_config binary
+  | None -> obtain_snapshot_ir ?ir_cache ?ir_jobs ~infer ~pin_config binary
   | Some dc -> (
       let outcome, t0 =
         timed (fun () ->
             Obs.span "ir" ~args:[ ("source", "delta") ] (fun () ->
-                Delta.obtain dc ~pin_config binary))
+                Delta.obtain dc ~pin_config ~infer binary))
       in
       let dstats =
         {
@@ -166,7 +170,9 @@ let obtain_ir ?ir_cache ?routine_cache ?ir_jobs ~pin_config binary =
       match outcome.Delta.ir with
       | Some ir -> (ir, t0, dstats)
       | None ->
-          let ir, t1, cstats = obtain_snapshot_ir ?ir_cache ?ir_jobs ~pin_config binary in
+          let ir, t1, cstats =
+            obtain_snapshot_ir ?ir_cache ?ir_jobs ~infer ~pin_config binary
+          in
           Delta.harvest dc outcome ir;
           (ir, t0 +. t1, add_cache_stats dstats cstats))
 
@@ -188,7 +194,7 @@ let rewrite ?(config = default_config) ?ir_cache ?routine_cache ~transforms bina
       let ir, ir_construction_s, cache =
         obtain_ir ?ir_cache ?routine_cache
           ~ir_jobs:(resolve_jobs config.ir_jobs)
-          ~pin_config:config.pin_config binary
+          ~infer:config.infer ~pin_config:config.pin_config binary
       in
       let (), transformation_s =
         timed (fun () -> apply_transforms transforms ir.Ir_construction.db)

@@ -12,10 +12,20 @@ type config = {
           output, serial fallback on validation failure), 0 = auto-detect
           [Domain.recommended_domain_count].  Independent of any
           corpus-level [--jobs]. *)
+  infer : bool;
+      (** run the {!Disasm.Infer} fact-propagation pass as a third
+          (refiner) disassembly source.  Off by default; when off every
+          output and cache key is byte-identical to previous releases.
+          When on, ambiguous bytes the inference closure proves
+          unreachable or resolves are refined, resolved computed-jump
+          targets are pinned, and all IR cache keys incorporate the
+          inference codec version so refined and unrefined IR never
+          cross-pollinate. *)
 }
 
 val default_config : config
-(** Optimized placement, conservative pinning, seed 1, serial IR. *)
+(** Optimized placement, conservative pinning, seed 1, serial IR, no
+    inference refiner. *)
 
 val resolve_jobs : int -> int
 (** The shared 0-means-auto rule for every jobs knob: [0] resolves to
@@ -64,11 +74,13 @@ type result = {
   cache : cache_stats;
 }
 
-val ir_cache_key : pin_config:Analysis.Ibt.config -> Zelf.Binary.t -> string
+val ir_cache_key :
+  pin_config:Analysis.Ibt.config -> infer:bool -> Zelf.Binary.t -> string
 (** The content address of a binary's IR: digest of the snapshot codec
-    version, the pin-configuration fingerprint and the serialized input
-    bytes.  Any change to any of the three yields a different key, so
-    stale cache entries are unreachable by construction. *)
+    version, the configuration fingerprint (pin configuration plus the
+    inference-refiner switch) and the serialized input bytes.  Any
+    change to any of the three yields a different key, so stale cache
+    entries are unreachable by construction. *)
 
 val rewrite :
   ?config:config ->

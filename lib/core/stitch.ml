@@ -149,8 +149,12 @@ let validate_span binary ~text_end (rec_ : Disasm.Recursive.t) (c : Chunker.chun
 (* One merge pass over all validated fragments, in chunk (= address)
    order: gap bytes stay Data, boundary spans become Code, and the
    boundary table is rebuilt.  Only called on fully validated tilings,
-   so no warnings can arise. *)
-let assemble (scan : Chunker.t) (frags : fragment array) =
+   so no warnings can arise.  With [~infer:true] the aggregate carries
+   the same pin hints the cold inference pass derives: a validated
+   tiling has no ambiguity, so the cold pass performs exactly one
+   computed-target resolution round over exactly these boundaries
+   ({!Disasm.Infer.resolve_pins}). *)
+let assemble ?(infer = false) binary (scan : Chunker.t) (frags : fragment array) =
   let verdicts = Array.make scan.Chunker.len Agg.Data in
   let insn_at = Hashtbl.create 1024 in
   Array.iteri
@@ -164,7 +168,16 @@ let assemble (scan : Chunker.t) (frags : fragment array) =
           done)
         frags.(i).boundaries)
     scan.Chunker.chunks;
-  { Agg.base = scan.Chunker.base; len = scan.Chunker.len; verdicts; insn_at; warnings = [] }
+  {
+    Agg.base = scan.Chunker.base;
+    len = scan.Chunker.len;
+    verdicts;
+    insn_at;
+    warnings = [];
+    tally = Agg.tally_of_verdicts verdicts;
+    refined = [];
+    pin_hints = (if infer then Disasm.Infer.resolve_pins binary ~insns:insn_at else []);
+  }
 
 (* The aggregate a fully validated tiling assembles, materialized from
    the traversal it was validated against: under the validation
@@ -172,17 +185,21 @@ let assemble (scan : Chunker.t) (frags : fragment array) =
    (boundaries are exactly the traversal's instructions, Code bytes are
    exactly the reached bytes, gaps stay Data), so copying the traversal
    is the same merge without re-walking any fragment. *)
-let of_recursive (rec_ : Disasm.Recursive.t) =
+let of_recursive ?(infer = false) binary (rec_ : Disasm.Recursive.t) =
   let len = rec_.Disasm.Recursive.len in
   let verdicts = Array.make len Agg.Data in
   let cover = rec_.Disasm.Recursive.cover in
   for i = 0 to len - 1 do
     if cover.(i) >= 0 then verdicts.(i) <- Agg.Code
   done;
+  let insn_at = Hashtbl.copy rec_.Disasm.Recursive.insns in
   {
     Agg.base = rec_.Disasm.Recursive.base;
     len;
     verdicts;
-    insn_at = Hashtbl.copy rec_.Disasm.Recursive.insns;
+    insn_at;
     warnings = [];
+    tally = Agg.tally_of_verdicts verdicts;
+    refined = [];
+    pin_hints = (if infer then Disasm.Infer.resolve_pins binary ~insns:insn_at else []);
   }

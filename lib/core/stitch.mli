@@ -45,13 +45,20 @@ val validate_span :
     This is the parallel IR builder's chunk task — a pure validator.
     Raises {!Fallback} on any disagreement. *)
 
-val assemble : Disasm.Chunker.t -> fragment array -> Disasm.Aggregate.t
+val assemble :
+  ?infer:bool -> Zelf.Binary.t -> Disasm.Chunker.t -> fragment array -> Disasm.Aggregate.t
 (** One merge pass over fully validated fragments, in chunk order:
     Code on boundary spans, Data on gaps, no warnings.  Equal to the
-    cold aggregate under the validation invariant. *)
+    cold aggregate under the validation invariant.  With [~infer:true]
+    (default false) the aggregate also carries the pin hints the cold
+    inference pass would derive: a validated tiling has no ambiguity, so
+    the cold pass reduces to one computed-target resolution round over
+    exactly these boundaries ({!Disasm.Infer.resolve_pins}). *)
 
-val of_recursive : Disasm.Recursive.t -> Disasm.Aggregate.t
+val of_recursive :
+  ?infer:bool -> Zelf.Binary.t -> Disasm.Recursive.t -> Disasm.Aggregate.t
 (** The aggregate a fully validated tiling assembles, materialized
     directly from the traversal it was validated against (the validated
     claims coincide with the recursive cover, so copying the traversal
-    is the same merge without re-walking any fragment). *)
+    is the same merge without re-walking any fragment).  [infer] as in
+    {!assemble}. *)

@@ -1,7 +1,7 @@
 (** Multi-disassembler aggregation with the paper's conservative four-case
     code/data disambiguation (§II-A1).
 
-    For every byte range of the text section the two disassemblers'
+    For every byte range of the text section the primary disassemblers'
     verdicts are combined:
 
     + both conclusively agree the bytes are code with identical
@@ -17,9 +17,42 @@
       is also treated as ambiguous — if there is {e any} chance a range
       labelled instructions actually contains data, the output is treated
       as inconclusive, and a warning is recorded to ease debugging
-      ({e case 4}). *)
+      ({e case 4}).
+
+    {!Source.Refiner} sources (the {!Infer} pass) never participate in the
+    case analysis; they may only {e refine} bytes it judged ambiguous, so
+    a byte the primaries agreed on is never overturned (DESIGN.md §15). *)
 
 type verdict = Code | Data | Ambiguous
+
+(** Per-case byte accounting of one aggregation, plus refinement and
+    overlap-mismatch counters.  [merge_stats] is an associative,
+    commutative monoid with identity [tally_zero], so corpus totals are
+    independent of job count and order. *)
+type tally = {
+  case1_code : int;  (** agreed code bytes *)
+  case1_data : int;  (** agreed data bytes *)
+  case2_disagree : int;  (** boundary-disagreement bytes *)
+  case3_contradict : int;  (** data-vs-code contradiction bytes *)
+  case4_low_confidence : int;  (** code claimed only by low-confidence tools *)
+  overlap_len_mismatch : int;
+      (** overlapping boundary pairs claiming different instruction
+          lengths (reported, never silently clamped) *)
+  refined_code : int;  (** ambiguous bytes a refiner flipped to code *)
+  refined_data : int;  (** ambiguous bytes a refiner flipped to data *)
+  refined_by_fact : (string * int) list;
+      (** flipped bytes per inference fact, sorted by fact name *)
+}
+
+val tally_zero : tally
+val merge_stats : tally -> tally -> tally
+val tally_of_verdicts : verdict array -> tally
+(** All-case-1 tally of a verdict array with no ambiguity (aggregates
+    materialized from a validated traversal). *)
+
+val tally_fields : tally -> (string * int) list
+(** Canonical [(key, value)] rendering shared by [--stats], the server's
+    [det.*] lines and bench JSON. *)
 
 type t = {
   base : int;
@@ -29,11 +62,20 @@ type t = {
       (** instruction boundaries for downstream IR construction: recursive
           traversal's where available, linear sweep's otherwise *)
   warnings : string list;
+  tally : tally;
+  refined : (int * string) list;
+      (** text offsets a refiner flipped, ascending, with the provenance
+          tag of the fact that justified each flip *)
+  pin_hints : int list;
+      (** resolved computed-jump targets (in-text, sorted, unique) the
+          pin analysis must keep landings at ({!Infer.t.pin_hints});
+          empty unless the inference refiner ran *)
 }
 
-val run : Zelf.Binary.t -> t
+val run : ?infer:bool -> Zelf.Binary.t -> t
 (** Run all three disassemblers (linear sweep, recursive traversal,
-    superset) and aggregate. *)
+    superset) and aggregate; with [~infer:true] (default false) the
+    {!Infer} fact-propagation pass rides along as a refiner source. *)
 
 val combine : Zelf.Binary.t -> Linear.t -> Recursive.t -> t
 (** Two-way aggregation, for tests that want to inject disassembler
@@ -42,10 +84,11 @@ val combine : Zelf.Binary.t -> Linear.t -> Recursive.t -> t
 val combine_sources : Zelf.Binary.t -> Source.t list -> t
 (** N-way aggregation over any set of {!Source}s covering the same text
     range (lowest boundary priority first).  A byte is [Code] iff a
-    high-confidence source claims it and every claiming source agrees on
-    the instruction start; [Data] iff nothing claims code; [Ambiguous]
-    otherwise.  Raises [Invalid_argument] on an empty or mismatched
-    source list. *)
+    high-confidence primary claims it and every claiming primary agrees on
+    the instruction start; [Data] iff no primary claims code; [Ambiguous]
+    otherwise — then refiner sources may flip ambiguous bytes only.
+    Raises [Invalid_argument] on an empty or mismatched source list, or
+    when no primary source is present. *)
 
 val verdict_at : t -> int -> verdict option
 

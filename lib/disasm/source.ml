@@ -2,6 +2,8 @@ type claim = Code of int | Data | Unknown
 
 type confidence = High | Low
 
+type kind = Primary | Refiner
+
 type t = {
   name : string;
   base : int;
@@ -9,7 +11,12 @@ type t = {
   claims : claim array;
   insns : (int, Zvm.Insn.t * int) Hashtbl.t;
   confidence : confidence;
+  kind : kind;
+  tags : string array;
 }
+
+let tag_at t off =
+  if Array.length t.tags = 0 || off < 0 || off >= t.len then "" else t.tags.(off)
 
 let of_linear (lin : Linear.t) =
   {
@@ -19,6 +26,8 @@ let of_linear (lin : Linear.t) =
     claims = Array.map (fun c -> if c < 0 then Data else Code c) lin.Linear.cover;
     insns = lin.Linear.insns;
     confidence = Low;
+    kind = Primary;
+    tags = [||];
   }
 
 let of_recursive (r : Recursive.t) =
@@ -29,6 +38,8 @@ let of_recursive (r : Recursive.t) =
     claims = Array.map (fun c -> if c < 0 then Unknown else Code c) r.Recursive.cover;
     insns = r.Recursive.insns;
     confidence = High;
+    kind = Primary;
+    tags = [||];
   }
 
 let claim_at t addr =

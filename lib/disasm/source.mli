@@ -17,6 +17,14 @@ type claim =
 
 type confidence = High | Low
 
+type kind =
+  | Primary
+      (** participates in the conservative four-case verdict (the paper's
+          aggregation) *)
+  | Refiner
+      (** evidence-only: may flip bytes the primaries left ambiguous, never
+          a byte they agreed on (see {!Aggregate.combine_sources}) *)
+
 type t = {
   name : string;
   base : int;
@@ -24,6 +32,10 @@ type t = {
   claims : claim array;  (** per text byte *)
   insns : (int, Zvm.Insn.t * int) Hashtbl.t;
   confidence : confidence;
+  kind : kind;
+  tags : string array;
+      (** per-byte provenance of each claim (the inference fact that
+          produced it); [[||]] for sources that do not track provenance *)
 }
 
 val of_linear : Linear.t -> t
@@ -33,3 +45,7 @@ val of_recursive : Recursive.t -> t
 (** High confidence; abstains on unreached bytes. *)
 
 val claim_at : t -> int -> claim
+
+val tag_at : t -> int -> string
+(** Provenance tag at a text {e offset} (not address); [""] when the
+    source tracks none. *)

@@ -107,4 +107,6 @@ let run binary ~avoid =
     claims;
     insns;
     confidence = Source.Low;
+    kind = Source.Primary;
+    tags = [||];
   }

@@ -23,3 +23,8 @@ val run : Zelf.Binary.t -> avoid:Recursive.t -> Source.t
 val prune_fixpoint : Zelf.Binary.t -> bool array
 (** Exposed for tests: per text byte, is there a {e surviving} candidate
     instruction starting at that offset after invalid-flow pruning? *)
+
+val decode_all : Zelf.Binary.t -> (Zvm.Insn.t * int) option array
+(** The raw candidate decode at every text offset ([None] where the bytes
+    do not decode or the instruction would spill off the section); the
+    input to the prune fixpoint and to {!Infer}'s fact propagation. *)

@@ -23,6 +23,7 @@ type options = {
   structural : bool;
   shrink_budget : int;
   jobs : int;
+  infer : bool;
 }
 
 let default_options =
@@ -34,6 +35,7 @@ let default_options =
     structural = false;
     shrink_budget = 120;
     jobs = 1;
+    infer = false;
   }
 
 type failure = {
@@ -178,6 +180,7 @@ let rewrite_spec ~ir_cache opts counters spec cfg =
           pin_config = Analysis.Ibt.default_config;
           seed = cfg.layout_seed;
           ir_jobs = 1;
+          infer = opts.infer;
         }
       in
       let transforms = List.map to_transform cfg.transforms in

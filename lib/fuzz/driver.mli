@@ -46,11 +46,15 @@ type options = {
           and verdicts reassemble in case order — so the summary,
           including reproducers and failure ordering, is identical for
           every [jobs] value. *)
+  infer : bool;
+      (** rewrite every case with the {!Disasm.Infer} refiner on — the
+          differential soundness gate for inference-based refinement:
+          any divergence it surfaces is a refinement bug. *)
 }
 
 val default_options : options
 (** 100 cases, seed 1, 2M steps, no fault, no structural, budget 120,
-    1 job. *)
+    1 job, no inference refiner. *)
 
 type failure = {
   case : int;

@@ -47,9 +47,23 @@ let random_web rng =
     jumptable = Rng.bool rng;
   }
 
+(* The adversarial corpus classes ride along in the mix at full size:
+   overlap traps, flattened/masked/opaque dispatch and dense islands are
+   exactly the shapes the inference refiner bets on, so the differential
+   run must keep hammering them whether or not --infer is set. *)
+let adversarial_profiles =
+  Array.of_list (List.map snd Workloads.Adversarial.profiles)
+
 let random_spec rng =
-  if Rng.chance rng 0.55 then
+  let u = Rng.int rng 100 in
+  if u < 50 then
     Profile { gen_seed = Rng.int_in rng 1 1_000_000; profile = random_profile rng }
+  else if u < 65 then
+    Profile
+      {
+        gen_seed = Rng.int_in rng 1 1_000_000;
+        profile = Rng.choose rng adversarial_profiles;
+      }
   else Web (random_web rng)
 
 (* -- web construction -- *)

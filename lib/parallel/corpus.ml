@@ -5,6 +5,7 @@ type item = { name : string; data : bytes }
 type outcome = {
   rewritten : bytes;
   stats : Zipr.Reassemble.stats;
+  tally : Disasm.Aggregate.tally;
   timing : Zipr.Pipeline.timing;
   cache : Zipr.Pipeline.cache_stats;
 }
@@ -26,6 +27,7 @@ type report = {
   ok : int;
   failed : int;
   merged_stats : Zipr.Reassemble.stats;
+  merged_tally : Disasm.Aggregate.tally;
   merged_timing : Zipr.Pipeline.timing;
   merged_cache : Zipr.Pipeline.cache_stats;
   rewrite_total_s : float;
@@ -52,6 +54,9 @@ let rewrite_one ?ir_cache ?routine_cache ~config ~transforms ~corpus_seed (index
             {
               rewritten = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten;
               stats = r.Zipr.Pipeline.stats;
+              tally =
+                r.Zipr.Pipeline.ir.Zipr.Ir_construction.aggregate
+                  .Disasm.Aggregate.tally;
               timing = r.Zipr.Pipeline.timing;
               cache = r.Zipr.Pipeline.cache;
             })
@@ -100,21 +105,24 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
   (* Fold in index order: the stats/timing merges are commutative, but
      warning lists concatenate, and index order makes the report a pure
      function of the inputs. *)
-  let ok, failed, merged_stats, merged_timing, merged_cache, rewrite_total_s =
+  let ok, failed, merged_stats, merged_tally, merged_timing, merged_cache, rewrite_total_s
+      =
     List.fold_left
-      (fun (ok, failed, ms, mt, mc, tot) e ->
+      (fun (ok, failed, ms, mg, mt, mc, tot) e ->
         match e.result with
         | Ok o ->
             ( ok + 1,
               failed,
               Zipr.Reassemble.merge_stats ms o.stats,
+              Disasm.Aggregate.merge_stats mg o.tally,
               Zipr.Pipeline.add_timing mt o.timing,
               Zipr.Pipeline.add_cache_stats mc o.cache,
               tot +. e.elapsed_s )
-        | Error _ -> (ok, failed + 1, ms, mt, mc, tot +. e.elapsed_s))
+        | Error _ -> (ok, failed + 1, ms, mg, mt, mc, tot +. e.elapsed_s))
       ( 0,
         0,
         Zipr.Reassemble.zero_stats,
+        Disasm.Aggregate.tally_zero,
         Zipr.Pipeline.zero_timing,
         Zipr.Pipeline.zero_cache_stats,
         0.0 )
@@ -127,6 +135,7 @@ let rewrite_all ?(jobs = 1) ?(config = Zipr.Pipeline.default_config) ?(transform
     ok;
     failed;
     merged_stats;
+    merged_tally;
     merged_timing;
     merged_cache;
     rewrite_total_s;
@@ -156,6 +165,13 @@ let pp_report ppf r =
     r.merged_cache.Zipr.Pipeline.routine_hits r.merged_cache.Zipr.Pipeline.routine_misses
     r.merged_cache.Zipr.Pipeline.delta_builds r.merged_cache.Zipr.Pipeline.par_builds
     r.merged_cache.Zipr.Pipeline.par_fallbacks;
+  (* Aggregator byte accounting, merged over the corpus with the tally
+     monoid — independent of job count and completion order. *)
+  Format.fprintf ppf "merged aggregation:%s@,"
+    (String.concat ""
+       (List.map
+          (fun (k, v) -> Printf.sprintf " %s=%d" k v)
+          (Disasm.Aggregate.tally_fields r.merged_tally)));
   List.iter
     (fun (s : Pool.worker_stat) ->
       Format.fprintf ppf "shard %d: %d binaries, busy %.3fs@," s.Pool.worker s.Pool.tasks_run

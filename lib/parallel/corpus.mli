@@ -26,6 +26,8 @@ type item = { name : string; data : bytes }
 type outcome = {
   rewritten : bytes;  (** serialized rewritten binary *)
   stats : Zipr.Reassemble.stats;
+  tally : Disasm.Aggregate.tally;
+      (** the binary's aggregator per-case byte accounting *)
   timing : Zipr.Pipeline.timing;
   cache : Zipr.Pipeline.cache_stats;
 }
@@ -47,6 +49,10 @@ type report = {
   ok : int;
   failed : int;
   merged_stats : Zipr.Reassemble.stats;  (** over successful entries *)
+  merged_tally : Disasm.Aggregate.tally;
+      (** aggregator byte accounting folded over successful entries with
+          {!Disasm.Aggregate.merge_stats} — the monoid merge makes the
+          total independent of job count and completion order *)
   merged_timing : Zipr.Pipeline.timing;
   merged_cache : Zipr.Pipeline.cache_stats;
       (** IR-cache hits/misses summed over successful entries; zeros when

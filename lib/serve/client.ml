@@ -43,7 +43,7 @@ let request ?max_response_bytes addr (req : Protocol.Request.t) :
               | Error f -> Error (Protocol.error_to_string f.Protocol.error)))
 
 let rewrite ?(deadline_us = 0) ?(placement = "optimized") ?placement_budget
-    ?placement_epsilon ?(placement_weights = "") ?ir_jobs ?(seed = 1) ?(id = 1L)
+    ?placement_epsilon ?(placement_weights = "") ?ir_jobs ?infer ?(seed = 1) ?(id = 1L)
     ?max_response_bytes ~transforms addr data =
   request ?max_response_bytes addr
     {
@@ -59,6 +59,7 @@ let rewrite ?(deadline_us = 0) ?(placement = "optimized") ?placement_budget
             placement_epsilon;
             placement_weights;
             ir_jobs;
+            infer;
           };
       payload = data;
     }

@@ -21,6 +21,7 @@ val rewrite :
   ?placement_epsilon:float ->
   ?placement_weights:string ->
   ?ir_jobs:int ->
+  ?infer:bool ->
   ?seed:int ->
   ?id:int64 ->
   ?max_response_bytes:int ->
@@ -34,7 +35,9 @@ val rewrite :
     validated server-side ([Bad_request] on a malformed spec).
     [ir_jobs] overrides the server's intra-binary IR worker default for
     this request (0 = auto-detect on the server); it changes timing
-    only, never the output bytes. *)
+    only, never the output bytes.  [infer] overrides the server's
+    inference-refiner default; unset, the key is not even encoded, so
+    the config stays byte-identical to v1. *)
 
 val ping :
   ?sleep_us:int ->

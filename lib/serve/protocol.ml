@@ -56,6 +56,7 @@ type rewrite_config = {
   placement_epsilon : float option;
   placement_weights : string;  (* Cost.weights_of_spec syntax; "" means defaults *)
   ir_jobs : int option;  (* intra-binary IR workers; None = server default *)
+  infer : bool option;  (* inference refiner; None = server default *)
 }
 
 let default_rewrite_config =
@@ -67,6 +68,7 @@ let default_rewrite_config =
     placement_epsilon = None;
     placement_weights = "";
     ir_jobs = None;
+    infer = None;
   }
 
 type op = Rewrite of rewrite_config | Ping of { sleep_us : int }
@@ -163,6 +165,9 @@ let config_of_op = function
           (match c.ir_jobs with
           | None -> ""
           | Some j -> Printf.sprintf ";ir_jobs=%d" j);
+          (match c.infer with
+          | None -> ""
+          | Some b -> Printf.sprintf ";infer=%d" (if b then 1 else 0));
         ]
   | Ping { sleep_us } -> Printf.sprintf "sleep_us=%d" sleep_us
 
@@ -214,6 +219,10 @@ let op_of_config opb config =
                   Result.map
                     (fun j -> { c with ir_jobs = Some j })
                     (int_field ~what:"ir_jobs" v)
+              | "infer" ->
+                  Result.map
+                    (fun b -> { c with infer = Some (b <> 0) })
+                    (int_field ~what:"infer" v)
               | _ -> Ok c))
         (Ok default_rewrite_config) (split_pairs config)
       |> Result.map (fun c -> Rewrite c)

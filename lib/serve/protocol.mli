@@ -35,6 +35,11 @@ type rewrite_config = {
   ir_jobs : int option;
       (** intra-binary IR construction workers ([0] = auto-detect);
           [None] = server default.  Output bytes never depend on it. *)
+  infer : bool option;
+      (** run the inference refiner ({!Disasm.Infer}) for this request;
+          [None] = server default.  Encoded (as [infer=0|1]) only when
+          set, so configs that never mention it stay byte-identical to
+          v1 frames. *)
 }
 (** Transform names must not contain [','], [';'] or ['=']; registry
     names never do.  Unknown names are rejected by the server with

@@ -40,6 +40,7 @@ type config = {
   placement_epsilon : float option;
   placement_weights : string;
   ir_jobs : int;  (* intra-binary IR workers per request; 0 = auto *)
+  infer : bool;  (* inference-refiner default; a request's infer= wins *)
 }
 
 let default_config =
@@ -59,6 +60,7 @@ let default_config =
     placement_epsilon = None;
     placement_weights = "";
     ir_jobs = 1;
+    infer = false;
   }
 
 type stats = {
@@ -251,14 +253,21 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
    of (input bytes, config), so N clients asking concurrently — at any
    worker count — read identical ["det."] lines.  Wall-clock facts live
    in the unprefixed lines below. *)
-let stats_text ~(rc : Protocol.rewrite_config) ~ir_jobs ~input_bytes ~output_bytes
-    ~(rs : Zipr.Reassemble.stats) ~cache_outcome ~(cache : Zipr.Pipeline.cache_stats)
-    ~elapsed_us ~queue_wait_us =
+let stats_text ~(rc : Protocol.rewrite_config) ~ir_jobs ~infer ~input_bytes ~output_bytes
+    ~(rs : Zipr.Reassemble.stats) ~(tally : Disasm.Aggregate.tally) ~cache_outcome
+    ~(cache : Zipr.Pipeline.cache_stats) ~elapsed_us ~queue_wait_us =
   String.concat ""
     [
+      (* Aggregator per-case byte accounting, one det.agg.* line per
+         canonical tally field — deterministic like every det.* line. *)
+      String.concat ""
+        (List.map
+           (fun (k, v) -> Printf.sprintf "det.agg.%s=%d\n" k v)
+           (Disasm.Aggregate.tally_fields tally));
       Printf.sprintf "det.chain_hops=%d\n" rs.Zipr.Reassemble.chain_hops;
       Printf.sprintf "det.dollops_placed=%d\n" rs.Zipr.Reassemble.dollops_placed;
       Printf.sprintf "det.dollops_split=%d\n" rs.Zipr.Reassemble.dollops_split;
+      Printf.sprintf "det.infer=%d\n" (if infer then 1 else 0);
       Printf.sprintf "det.input_bytes=%d\n" input_bytes;
       Printf.sprintf "det.ir_jobs=%d\n" ir_jobs;
       Printf.sprintf "det.output_bytes=%d\n" output_bytes;
@@ -314,12 +323,14 @@ let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
               Zipr.Pipeline.resolve_jobs
                 (Option.value rc.ir_jobs ~default:t.cfg.ir_jobs)
             in
+            let infer = Option.value rc.infer ~default:t.cfg.infer in
             let config =
               {
                 Zipr.Pipeline.default_config with
                 Zipr.Pipeline.placement;
                 seed = rc.seed;
                 ir_jobs;
+                infer;
               }
             in
             let t0 = now () in
@@ -343,8 +354,11 @@ let exec_rewrite t ~id ~queue_wait_us (rc : Protocol.rewrite_config) payload =
                 |> ignore;
                 let out = Zelf.Binary.serialize r.Zipr.Pipeline.rewritten in
                 let stats =
-                  stats_text ~rc ~ir_jobs ~input_bytes:(String.length payload)
+                  stats_text ~rc ~ir_jobs ~infer ~input_bytes:(String.length payload)
                     ~output_bytes:(Bytes.length out) ~rs:r.Zipr.Pipeline.stats
+                    ~tally:
+                      r.Zipr.Pipeline.ir.Zipr.Ir_construction.aggregate
+                        .Disasm.Aggregate.tally
                     ~cache_outcome:
                       (if
                          cache.Zipr.Pipeline.ir_cache_hits > 0

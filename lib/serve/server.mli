@@ -47,13 +47,18 @@ type config = {
           ([0] = auto-detect); a request's own [ir_jobs] knob wins.  The
           resolved value is echoed in the response's [det.ir_jobs] stats
           line; output bytes never depend on it. *)
+  infer : bool;
+      (** default inference-refiner switch per request; a request's own
+          [infer] knob wins.  The effective value is echoed in
+          [det.infer], and the aggregator's per-case byte accounting
+          rides in the [det.agg.*] lines either way. *)
 }
 
 val default_config : config
 (** jobs 2, queue bound 32, 64 MiB max request, 256-entry / 64 MiB
     memory-only cache (disk layer unbounded when enabled), delta off,
     10 s read timeout, 30 s ping-sleep cap, search knobs unset, serial
-    IR construction ([ir_jobs = 1]). *)
+    IR construction ([ir_jobs = 1]), inference refiner off. *)
 
 type stats = {
   accepted : int;  (** request frames that decoded successfully *)

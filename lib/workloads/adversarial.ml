@@ -1,0 +1,161 @@
+type spec = Synthetic.spec = {
+  name : string;
+  binary : Zelf.Binary.t;
+  meta : Cgc.Cb_gen.meta;
+  test_suite : Cgc.Poller.script list;
+}
+
+let build ~name ~seed ~tests profile =
+  let binary, meta = Cgc.Cb_gen.generate ~seed profile in
+  let test_suite = Cgc.Poller.generate meta ~seed:(seed * 31) ~count:tests in
+  { name; binary; meta; test_suite }
+
+(* Overlapping decode traps: the pathological pin scatter interleaves
+   many 1-byte pinned sites between large dollops, and the dense pair
+   adds adjacent pins whose superset decodes overlap at different
+   lengths.  The refiner must report (never clamp) the mismatched
+   ranges, and the differential gate checks the rewrite stays
+   trace-equivalent. *)
+let overlap_trap_profile =
+  {
+    Cgc.Cb_gen.n_handlers = 8;
+    n_helpers = 24;
+    body_ops = 140;
+    loop_iters = 80;
+    use_jump_table = true;
+    n_fptrs = 8;
+    data_islands = 8;
+    hidden_funcs = 2;
+    dense_pair = true;
+    vuln = true;
+    vuln_fptr = false;
+    pathological = true;
+    mem_span = 2048;
+    pic = false;
+  }
+
+let overlap_trap ?(seed = 1201) ?(tests = 60) () =
+  build ~name:"adv-overlap-trap" ~seed ~tests overlap_trap_profile
+
+(* Flattened dispatch: every handler is reached through the jump table
+   and a wide function-pointer surface, never by direct branch — the
+   control-flow-flattening shape.  The table targets are primary-agreed
+   code, so inference must keep them Code while still retiring the
+   surrounding ambiguity. *)
+let flattened_dispatch_profile =
+  {
+    Cgc.Cb_gen.n_handlers = 10;
+    n_helpers = 48;
+    body_ops = 260;
+    loop_iters = 120;
+    use_jump_table = true;
+    n_fptrs = 96;
+    data_islands = 2;
+    hidden_funcs = 1;
+    dense_pair = false;
+    vuln = true;
+    vuln_fptr = false;
+    pathological = false;
+    mem_span = 4096;
+    pic = false;
+  }
+
+let flattened_dispatch ?(seed = 1302) ?(tests = 60) () =
+  build ~name:"adv-flattened-dispatch" ~seed ~tests flattened_dispatch_profile
+
+(* Resolvable masked dispatch: many hidden (computed-jump-only)
+   functions whose entry addresses are materialized by a Loada/Xori
+   chain.  The value analysis must resolve every chain, flip the hidden
+   bodies to Code, and pin their entries — the class where the refiner
+   earns its reduction. *)
+let masked_dispatch_profile =
+  {
+    Cgc.Cb_gen.n_handlers = 9;
+    n_helpers = 40;
+    body_ops = 180;
+    loop_iters = 100;
+    use_jump_table = true;
+    n_fptrs = 12;
+    data_islands = 3;
+    hidden_funcs = 6;
+    dense_pair = true;
+    vuln = true;
+    vuln_fptr = false;
+    pathological = false;
+    mem_span = 2048;
+    pic = false;
+  }
+
+let masked_dispatch ?(seed = 1403) ?(tests = 60) () =
+  build ~name:"adv-masked-dispatch" ~seed ~tests masked_dispatch_profile
+
+(* Opaque dispatch: the indirect call loads its target from a writable
+   pointer table ([vuln_fptr]), so no sound static analysis can resolve
+   it.  The refiner must fail the closed-world proof and keep every
+   conservative pin — resolving anything here would be unsound, and the
+   differential gate would catch the diverging trace. *)
+let opaque_dispatch_profile =
+  {
+    Cgc.Cb_gen.n_handlers = 8;
+    n_helpers = 32;
+    body_ops = 160;
+    loop_iters = 100;
+    use_jump_table = true;
+    n_fptrs = 16;
+    data_islands = 4;
+    hidden_funcs = 2;
+    dense_pair = false;
+    vuln = true;
+    vuln_fptr = true;
+    pathological = false;
+    mem_span = 2048;
+    pic = false;
+  }
+
+let opaque_dispatch ?(seed = 1504) ?(tests = 60) () =
+  build ~name:"adv-opaque-dispatch" ~seed ~tests opaque_dispatch_profile
+
+(* Dense decodable islands: the text span is saturated with data blobs
+   that decode as plausible instruction streams.  Reachability facts
+   must exclude them without ever flipping a byte an execution could
+   reach. *)
+let dense_islands_profile =
+  {
+    Cgc.Cb_gen.n_handlers = 8;
+    n_helpers = 20;
+    body_ops = 120;
+    loop_iters = 80;
+    use_jump_table = true;
+    n_fptrs = 8;
+    data_islands = 20;
+    hidden_funcs = 3;
+    dense_pair = true;
+    vuln = true;
+    vuln_fptr = false;
+    pathological = false;
+    mem_span = 2048;
+    pic = false;
+  }
+
+let dense_islands ?(seed = 1605) ?(tests = 60) () =
+  build ~name:"adv-dense-islands" ~seed ~tests dense_islands_profile
+
+let all () =
+  [
+    overlap_trap ();
+    flattened_dispatch ();
+    masked_dispatch ();
+    opaque_dispatch ();
+    dense_islands ();
+  ]
+
+(* The classes as raw profiles, for harnesses (the differential fuzzer's
+   spec mix) that need to vary the generator seed themselves. *)
+let profiles =
+  [
+    ("adv-overlap-trap", overlap_trap_profile);
+    ("adv-flattened-dispatch", flattened_dispatch_profile);
+    ("adv-masked-dispatch", masked_dispatch_profile);
+    ("adv-opaque-dispatch", opaque_dispatch_profile);
+    ("adv-dense-islands", dense_islands_profile);
+  ]

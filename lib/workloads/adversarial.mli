@@ -1,0 +1,58 @@
+(** Adversarial corpus for the inference refiner ({!Disasm.Infer}).
+
+    Each class targets one way superset disambiguation goes wrong, and
+    each ships a poller test suite so the differential soundness gate
+    ([ziprtool fuzz], [bench infer]) can execute original and rewritten
+    binaries side by side.  The classes:
+
+    - {b overlap-trap}: pathological pin scatter plus adjacent 1-byte
+      pins whose superset decodes overlap at different lengths — the
+      refiner must {e report} the mismatched ranges, never clamp them.
+    - {b flattened-dispatch}: all control flow through a jump table and
+      a wide pointer surface, no direct branches to handlers.
+    - {b masked-dispatch}: many hidden functions reachable only through
+      Loada/Xori-masked computed jumps — the class the value analysis
+      must fully resolve.
+    - {b opaque-dispatch}: the indirect call target lives in a
+      {e writable} table, so resolution must fail and conservative pins
+      must survive; anything else is unsound.
+    - {b dense-islands}: text saturated with decodable data blobs that
+      reachability facts must exclude.
+
+    All classes are deterministic in their seeds. *)
+
+type spec = Synthetic.spec = {
+  name : string;
+  binary : Zelf.Binary.t;
+  meta : Cgc.Cb_gen.meta;
+  test_suite : Cgc.Poller.script list;
+}
+
+val overlap_trap : ?seed:int -> ?tests:int -> unit -> spec
+(** Overlapping decode traps (pathological + dense pair).  Defaults:
+    seed 1201, 60 tests. *)
+
+val flattened_dispatch : ?seed:int -> ?tests:int -> unit -> spec
+(** Flattening-style dispatch: wide jump table plus a 96-entry pointer
+    surface.  Defaults: seed 1302, 60 tests. *)
+
+val masked_dispatch : ?seed:int -> ?tests:int -> unit -> spec
+(** Resolvable masked computed dispatch (six hidden functions).
+    Defaults: seed 1403, 60 tests. *)
+
+val opaque_dispatch : ?seed:int -> ?tests:int -> unit -> spec
+(** Unresolvable dispatch through a writable pointer table
+    ([vuln_fptr]); the refiner must stay conservative here.  Defaults:
+    seed 1504, 60 tests. *)
+
+val dense_islands : ?seed:int -> ?tests:int -> unit -> spec
+(** Text saturated with decodable data islands.  Defaults: seed 1605,
+    60 tests. *)
+
+val all : unit -> spec list
+(** All five classes, in the order listed above. *)
+
+val profiles : (string * Cgc.Cb_gen.profile) list
+(** The five classes as raw generator profiles (class name first), for
+    harnesses that draw their own seeds — the differential fuzzer mixes
+    these into its random spec stream. *)

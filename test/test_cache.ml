@@ -111,14 +111,17 @@ let test_key_sensitivity () =
   let disp, _ = Testprogs.assemble (Testprogs.dispatch_program ()) in
   let conservative = { Analysis.Ibt.pin_after_calls = true } in
   let lax = { Analysis.Ibt.pin_after_calls = false } in
-  let k = Zipr.Pipeline.ir_cache_key in
+  let k = Zipr.Pipeline.ir_cache_key ~infer:false in
   Alcotest.(check string) "key is deterministic"
     (k ~pin_config:conservative fib)
     (k ~pin_config:conservative fib);
   Alcotest.(check bool) "pin config changes the key" true
     (k ~pin_config:conservative fib <> k ~pin_config:lax fib);
   Alcotest.(check bool) "input bytes change the key" true
-    (k ~pin_config:conservative fib <> k ~pin_config:conservative disp)
+    (k ~pin_config:conservative fib <> k ~pin_config:conservative disp);
+  Alcotest.(check bool) "inference switch changes the key" true
+    (k ~pin_config:conservative fib
+    <> Zipr.Pipeline.ir_cache_key ~infer:true ~pin_config:conservative fib)
 
 (* -- cache-served rewrites -- *)
 

@@ -33,4 +33,5 @@ let () =
       ("delta", Test_delta.suite);
       ("placement-search", Test_placement_search.suite);
       ("irpar", Test_irpar.suite);
+      ("infer", Test_infer.suite);
     ]

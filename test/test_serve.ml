@@ -33,6 +33,7 @@ let sample_requests : P.Request.t list =
             placement_epsilon = Some 0.25;
             placement_weights = "sled=2,chain=8";
             ir_jobs = Some 4;
+            infer = Some true;
           };
       payload = String.init 257 (fun i -> Char.chr (i mod 256));
     };
@@ -105,12 +106,14 @@ let gen_request =
          (oneofl [ None; Some 1; Some 16; Some 4096 ])
          (oneofl [ None; Some 0.0; Some 0.25; Some 0.125; Some 1.0 ])
          (oneofl [ ""; "sled=2"; "sled=1,chain=16,relax=3,overflow=1,page=64" ]))
-      (oneofl [ None; Some 0; Some 1; Some 4; Some 64 ])
+      (pair
+         (oneofl [ None; Some 0; Some 1; Some 4; Some 64 ])
+         (oneofl [ None; Some false; Some true ]))
   in
   let rc =
     map3
       (fun transforms placement
-           (seed, ((placement_budget, placement_epsilon, placement_weights), ir_jobs)) ->
+           (seed, ((placement_budget, placement_epsilon, placement_weights), (ir_jobs, infer))) ->
         {
           P.transforms;
           placement;
@@ -119,6 +122,7 @@ let gen_request =
           placement_epsilon;
           placement_weights;
           ir_jobs;
+          infer;
         })
       (list_size (0 -- 4) name)
       (oneofl [ "optimized"; "naive"; "random"; "search"; "p0" ])
